@@ -1,0 +1,66 @@
+//! Microbenches: the DNSSEC primitives — hashing, signing, verification,
+//! DS computation — that dominate zone generation and chain validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dns_crypto::sha1::nsec3_hash;
+use dns_crypto::sha2::{sha256, sha384};
+use dns_crypto::{ds_digest, sign_rrset, verify_rrset, Algorithm, DigestType, KeyPair, ValidityWindow};
+use dns_wire::canonical::canonical_rrset_wire;
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::RecordClass;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench(c: &mut Criterion) {
+    let data_small = vec![0xabu8; 64];
+    let data_large = vec![0xabu8; 4096];
+    c.bench_function("crypto/sha256_64B", |b| b.iter(|| black_box(sha256(&data_small))));
+    c.bench_function("crypto/sha256_4KiB", |b| b.iter(|| black_box(sha256(&data_large))));
+    c.bench_function("crypto/sha384_4KiB", |b| b.iter(|| black_box(sha384(&data_large))));
+
+    let owner = Name::parse("example.ch").unwrap().to_wire();
+    c.bench_function("crypto/nsec3_hash_0iter", |b| {
+        b.iter(|| black_box(nsec3_hash(&owner, b"salt", 0)))
+    });
+    c.bench_function("crypto/nsec3_hash_150iter", |b| {
+        b.iter(|| black_box(nsec3_hash(&owner, b"salt", 150)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let key = KeyPair::generate(&mut rng, Algorithm::EcdsaP256Sha256, 257);
+    let apex = Name::parse("example.ch").unwrap();
+    let rdatas: Vec<RData> = (0..4)
+        .map(|i| RData::A(Ipv4Addr::new(192, 0, 2, i)))
+        .collect();
+    let message = canonical_rrset_wire(&apex, RecordClass::In, 300, &rdatas);
+    c.bench_function("crypto/canonical_rrset_wire", |b| {
+        b.iter(|| black_box(canonical_rrset_wire(&apex, RecordClass::In, 300, &rdatas)))
+    });
+    c.bench_function("crypto/sign_rrset", |b| {
+        b.iter(|| black_box(sign_rrset(&key, &message)))
+    });
+    let sig = sign_rrset(&key, &message);
+    let window = ValidityWindow {
+        inception: 0,
+        expiration: u32::MAX,
+    };
+    c.bench_function("crypto/verify_rrset", |b| {
+        b.iter(|| {
+            black_box(
+                verify_rrset(key.algorithm, key.public_key(), &message, &sig, window, 500).is_ok(),
+            )
+        })
+    });
+    c.bench_function("crypto/ds_digest_sha256", |b| {
+        b.iter(|| black_box(ds_digest(DigestType::Sha256, &owner, &key.dnskey_rdata())))
+    });
+    c.bench_function("crypto/keypair_generate", |b| {
+        b.iter(|| black_box(KeyPair::generate(&mut rng, Algorithm::EcdsaP256Sha256, 256)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

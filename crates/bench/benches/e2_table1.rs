@@ -1,0 +1,73 @@
+//! E2 — Table 1: DNSSEC amongst the top-20 DNS operators.
+//!
+//! Paper shape: GoDaddy largest and ~0 % DNSSEC; Google Domains 45.3 %
+//! and OVH 43.9 % secured (DNSSEC-by-default); WIX 15.7 % islands; seven
+//! operators with no DNSSEC at all (only errant-DS "invalid" slivers).
+
+use bench::{banner, world};
+use bootscan::report;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_artifact() {
+    let w = world();
+    banner("E2 — Table 1 (regenerated)", "Table 1, §4.1");
+    let rows = report::table1(&w.results, 20);
+    println!("{}", report::render_table1(&rows));
+    // Shape checks the paper's prose calls out.
+    let find = |n: &str| rows.iter().find(|r| r.operator == n);
+    if let Some(g) = find("Google Domains") {
+        println!(
+            "Google Domains secured: {:.1} % (paper 45.3 %)",
+            100.0 * g.secured as f64 / g.domains.max(1) as f64
+        );
+    }
+    if let Some(o) = find("OVH") {
+        println!(
+            "OVH secured: {:.1} % (paper 43.9 %)",
+            100.0 * o.secured as f64 / o.domains.max(1) as f64
+        );
+    }
+    if let Some(x) = find("WIX") {
+        println!(
+            "WIX islands: {:.1} % (paper 15.7 %)",
+            100.0 * x.islands as f64 / x.domains.max(1) as f64
+        );
+    }
+    if let Some(gd) = find("GoDaddy") {
+        println!(
+            "GoDaddy unsigned: {:.1} % (paper 99.8 %)",
+            100.0 * gd.unsigned as f64 / gd.domains.max(1) as f64
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let w = world();
+    c.bench_function("e2/table1_aggregation", |b| {
+        b.iter(|| black_box(report::table1(&w.results, 20)))
+    });
+    // Operator identification micro-cost.
+    let ns_sets: Vec<Vec<dns_wire::Name>> = w
+        .results
+        .zones
+        .iter()
+        .take(256)
+        .map(|z| z.ns_names.clone())
+        .collect();
+    c.bench_function("e2/operator_identify_256", |b| {
+        b.iter(|| {
+            for set in &ns_sets {
+                black_box(w.scanner.operator_table().identify(set));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E3 — Table 2: the top-20 DNS operators publishing CDS RRs.
+//!
+//! Paper shape: Google Domains (4.6 M), WIX (1.3 M) and Cloudflare
+//! (1.2 M) lead by volume, but the list is dominated by *smaller*
+//! specialists with very high portfolio percentages (Gransy 98.9 %,
+//! AWARDIC 99.9 %), and 6 of the 20 are Swiss.
+
+use bench::{banner, world};
+use bootscan::report;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_artifact() {
+    let w = world();
+    banner("E3 — Table 2 (regenerated)", "Table 2, §4.2");
+    let swiss: Vec<String> = w
+        .eco
+        .operators
+        .iter()
+        .filter(|o| o.swiss)
+        .map(|o| o.name.clone())
+        .collect();
+    let rows = report::table2(&w.results, 20, &swiss);
+    println!("{}", report::render_table2(&rows));
+    println!(
+        "Swiss operators in the top 20: {} (paper: 6)",
+        rows.iter().filter(|r| r.swiss).count()
+    );
+    let high_pct_specialists = rows
+        .iter()
+        .filter(|r| r.pct_of_portfolio > 60.0 && r.portfolio < rows[0].portfolio / 2)
+        .count();
+    println!("smaller specialists with >60 % CDS coverage: {high_pct_specialists}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let w = world();
+    let swiss: Vec<String> = w
+        .eco
+        .operators
+        .iter()
+        .filter(|o| o.swiss)
+        .map(|o| o.name.clone())
+        .collect();
+    c.bench_function("e3/table2_aggregation", |b| {
+        b.iter(|| black_box(report::table2(&w.results, 20, &swiss)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

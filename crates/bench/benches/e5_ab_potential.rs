@@ -1,0 +1,73 @@
+//! E5 — §4.3: Authenticated Bootstrapping potential.
+//!
+//! Paper: 271.6 M zones cannot benefit (268.1 M unsigned, 640 k invalid,
+//! 2.7 M islands w/o CDS, 165 k islands with deletes, 5 broken-CDS
+//! islands); 15.8 M already secured; 303 k (0.1 %) could benefit. "The
+//! primary barrier to further DNSSEC is not adoption of AB, rather
+//! adoption of DNSSEC at all."
+
+use bench::{banner, world};
+use bootscan::{policy, report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_artifact() {
+    let w = world();
+    banner("E5 — AB potential (regenerated)", "§4.3 + Figure 1");
+    let p = report::ab_potential(&w.results);
+    println!("{}", p.render());
+    let total = p.cannot_benefit + p.already_secured + p.bootstrappable;
+    println!(
+        "bootstrappable share of dataset: {:.2} % (paper 0.1 %)",
+        100.0 * p.bootstrappable as f64 / total.max(1) as f64
+    );
+    println!(
+        "takeaway holds: cannot-benefit ({}) ≫ bootstrappable ({}) — {}",
+        p.cannot_benefit,
+        p.bootstrappable,
+        if p.cannot_benefit > 50 * p.bootstrappable {
+            "yes"
+        } else {
+            "NO (shape mismatch)"
+        }
+    );
+}
+
+fn print_policy_panel() {
+    let w = world();
+    banner(
+        "Appendix C — bootstrap-policy comparison",
+        "RFC 8078 §3 policies vs RFC 9615, quantified over the bootstrappable population",
+    );
+    let outcomes: Vec<policy::PolicyOutcome> = policy::default_panel()
+        .into_iter()
+        .map(|p| policy::evaluate(p, &w.results, 0xc0de))
+        .collect();
+    println!("{}", policy::render_comparison(&outcomes));
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    print_policy_panel();
+    let w = world();
+    c.bench_function("e5/ab_potential_aggregation", |b| {
+        b.iter(|| black_box(report::ab_potential(&w.results)))
+    });
+    c.bench_function("e5/policy_panel", |b| {
+        b.iter(|| {
+            black_box(
+                policy::default_panel()
+                    .into_iter()
+                    .map(|p| policy::evaluate(p, &w.results, 0xc0de))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E6 — Table 3 + §4.4: the Authenticated Bootstrapping signal census.
+//!
+//! Paper: three operators publish signal RRs at scale (Cloudflare 1.23 M,
+//! deSEC 7 314, Glauca 290) plus 279 scattered test zones; 805 k
+//! signal-bearing zones are already secured; 160.4 k cannot be
+//! bootstrapped (deletes dominate); 272.1 k have bootstrap potential,
+//! of which **99.9 %** have a correct signal setup.
+//!
+//! deSEC and Glauca are generated UNSCALED, so their columns reproduce
+//! the paper exactly; Cloudflare's column scales with `BOOTSCAN_SCALE`.
+
+use bench::{banner, world};
+use bootscan::report;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_artifact() {
+    let w = world();
+    banner("E6 — Table 3 (regenerated)", "Table 3 + §4.4");
+    let t3 = report::table3(&w.results, &["Cloudflare", "deSEC", "Glauca Digital"]);
+    println!("{}", t3.render());
+    let (pot, correct) = t3
+        .columns
+        .iter()
+        .fold((0u64, 0u64), |(p, c), (_, col)| {
+            (p + col.potential, c + col.signal_correct)
+        });
+    if pot > 0 {
+        println!(
+            "signal correctness among bootstrappable: {:.2} % (paper 99.9 %)",
+            100.0 * correct as f64 / pot as f64
+        );
+        // Re-weight the scaled Cloudflare column (deSEC/Glauca are
+        // unscaled) to recover the paper's mix.
+        if let Some((_, cf)) = t3.columns.iter().find(|(n, _)| n == "Cloudflare") {
+            let scale = bench::bench_scale();
+            let adj_pot = (pot - cf.potential) + cf.potential * scale;
+            let adj_cor = (correct - cf.signal_correct) + cf.signal_correct * scale;
+            println!(
+                "scale-adjusted signal correctness: {:.2} % (paper 99.9 %)",
+                100.0 * adj_cor as f64 / adj_pot.max(1) as f64
+            );
+        }
+    }
+    // The violation taxonomy (paper §4.4: zone cut 1, not-under-every-NS
+    // 206, invalid signal DNSSEC ~70 transient + 1 expired).
+    let mut violations: std::collections::HashMap<String, u64> = Default::default();
+    for z in w.results.resolved() {
+        if let bootscan::AbClass::SignalIncorrect(v) = z.ab {
+            *violations.entry(format!("{v:?}")).or_default() += 1;
+        }
+    }
+    println!("violations observed: {violations:?}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let w = world();
+    c.bench_function("e6/table3_aggregation", |b| {
+        b.iter(|| black_box(report::table3(&w.results, &["Cloudflare", "deSEC", "Glauca Digital"])))
+    });
+    // Full re-scan of one signal-bearing zone (the expensive per-zone
+    // path: delegation + per-NS + signal probes + validation).
+    if let Some(z) = w
+        .results
+        .zones
+        .iter()
+        .find(|z| z.ab == bootscan::AbClass::SignalCorrect)
+    {
+        let name = z.name.clone();
+        c.bench_function("e6/scan_signal_zone", |b| {
+            b.iter(|| black_box(w.scanner.scan_zone(&name)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

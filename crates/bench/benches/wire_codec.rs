@@ -1,0 +1,117 @@
+//! Microbenches: DNS wire codec (encode/decode, name compression) —
+//! the per-message cost every one of the study's ~10⁷ simulated
+//! exchanges pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dns_wire::message::{Message, Rcode};
+use dns_wire::name::Name;
+use dns_wire::rdata::{DsData, RData};
+use dns_wire::record::{Record, RecordType};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn sample_response() -> Message {
+    let q = Message::query(
+        7,
+        Name::parse("_dsboot.example.co.uk._signal.ns1.example.net").unwrap(),
+        RecordType::Cds,
+        true,
+    );
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    resp.header.flags.authoritative = true;
+    let owner = q.questions[0].name.clone();
+    for i in 0..4u16 {
+        resp.answers.push(Record::new(
+            owner.clone(),
+            300,
+            RData::Cds(DsData {
+                key_tag: 1000 + i,
+                algorithm: 13,
+                digest_type: 2,
+                digest: vec![i as u8; 32],
+            }),
+        ));
+    }
+    resp.authorities.push(Record::new(
+        Name::parse("example.net").unwrap(),
+        300,
+        RData::Ns(Name::parse("ns1.example.net").unwrap()),
+    ));
+    resp.additionals.push(Record::new(
+        Name::parse("ns1.example.net").unwrap(),
+        300,
+        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+    ));
+    resp
+}
+
+fn bench(c: &mut Criterion) {
+    let msg = sample_response();
+    let bytes = msg.to_bytes();
+    println!(
+        "sample response: {} records, {} wire bytes",
+        msg.answers.len() + msg.authorities.len() + msg.additionals.len(),
+        bytes.len()
+    );
+
+    c.bench_function("wire/encode_message", |b| {
+        b.iter(|| black_box(msg.to_bytes()))
+    });
+    c.bench_function("wire/decode_message", |b| {
+        b.iter(|| black_box(Message::from_bytes(&bytes).unwrap()))
+    });
+    c.bench_function("wire/roundtrip_message", |b| {
+        b.iter(|| {
+            let by = msg.to_bytes();
+            black_box(Message::from_bytes(&by).unwrap())
+        })
+    });
+
+    let name = Name::parse("_dsboot.some.long.zone.example.co.uk._signal.ns1.operator.example.net")
+        .unwrap();
+    c.bench_function("wire/name_parse", |b| {
+        b.iter(|| black_box(Name::parse("_dsboot.example.co.uk._signal.ns1.example.net").unwrap()))
+    });
+    c.bench_function("wire/name_canonical_cmp", |b| {
+        let other = Name::parse("_dsboot.example.co.uk._signal.ns2.example.org").unwrap();
+        b.iter(|| black_box(name.canonical_cmp(&other)))
+    });
+
+    // Zone-file round trip of a realistic signed zone.
+    let mut zone = dns_zone::Zone::new(Name::parse("example.ch").unwrap());
+    zone.add(Record::new(
+        Name::parse("example.ch").unwrap(),
+        300,
+        RData::Soa(dns_wire::rdata::SoaData {
+            mname: Name::parse("ns1.example.ch").unwrap(),
+            rname: Name::parse("h.example.ch").unwrap(),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        }),
+    ));
+    for i in 0..50u8 {
+        zone.add(Record::new(
+            Name::parse(&format!("h{i}.example.ch")).unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, i)),
+        ));
+    }
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let keys = dns_zone::ZoneKeys::generate(&mut rng, dns_crypto::Algorithm::EcdsaP256Sha256);
+    dns_zone::ZoneSigner::new(1_000_000).sign(&mut zone, &keys);
+    let text = zone.to_zone_file();
+    println!("signed test zone: {} records, {} bytes of zone file", zone.record_count(), text.len());
+    c.bench_function("wire/zonefile_parse_signed_zone", |b| {
+        b.iter(|| {
+            black_box(
+                dns_zone::Zone::from_zone_file(Name::parse("example.ch").unwrap(), &text).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! # bootscan — the paper's measurement system
+//!
+//! A from-scratch reproduction of the scanner + analysis pipeline of
+//! *"Measuring the Deployment of DNSSEC Bootstrapping Using Authenticated
+//! Signals"* (IMC 2025):
+//!
+//! * [`scanner::Scanner`] — the YoDNS-equivalent: resolves each zone's
+//!   delegation, queries every authoritative NS address for
+//!   DNSKEY/CDS/CDNSKEY with DNSSEC validation, probes RFC 9615 signal
+//!   names, applies the Cloudflare 2-of-12 sampling policy, and rate
+//!   limits itself to 50 queries/s per nameserver — all in deterministic
+//!   virtual time over [`netsim`].
+//! * [`classify`] — the paper's category logic: DNSSEC status (§4.1), CDS
+//!   status (§4.2), and the Authenticated-Bootstrapping waterfall
+//!   (§4.3/§4.4).
+//! * [`operator`] — NS-suffix operator identification with white-label
+//!   support (§3).
+//! * [`report`] — regenerates Figure 1 and Tables 1–3 plus the CDS
+//!   census.
+//! * [`budget`] — scan cost and the Appendix D registry-feasibility
+//!   estimate.
+//! * [`policy`] — the Appendix C bootstrap-policy comparison (the five
+//!   RFC 8078 alternatives vs RFC 9615), made quantitative.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use dns_ecosystem::{build, EcosystemConfig};
+//! use bootscan::{Scanner, ScanPolicy, operator::OperatorTable};
+//! use std::sync::Arc;
+//!
+//! let eco = build(EcosystemConfig::tiny(42));
+//! let table = OperatorTable::from_operators(
+//!     eco.operators.iter().map(|o| (o.name.as_str(), o.hosts.as_slice())),
+//! );
+//! let scanner = Arc::new(Scanner::new(
+//!     Arc::clone(&eco.net), eco.roots.clone(), eco.anchors.clone(),
+//!     table, eco.now, ScanPolicy::default(),
+//! ));
+//! let seeds = eco.seeds.compile(&eco.psl);
+//! let results = scanner.scan_all(&seeds);
+//! println!("{}", bootscan::report::figure1(&results).render());
+//! ```
+
+pub mod budget;
+pub mod classify;
+pub mod operator;
+pub mod policy;
+pub mod report;
+pub mod scanner;
+pub mod types;
+
+pub use operator::{Identified, OperatorTable};
+pub use scanner::{ScanPolicy, ScanResults, Scanner};
+pub use types::{AbClass, CannotReason, CdsClass, DnssecClass, SignalViolation, ZoneScan};

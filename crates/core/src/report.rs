@@ -1,0 +1,620 @@
+//! Report generation: every table and figure of the paper, regenerated
+//! from scan results.
+
+use crate::operator::Identified;
+use crate::scanner::ScanResults;
+use crate::types::*;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Figure 1: DNSSEC status and bootstrapping-possibility breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Figure1 {
+    pub resolved: u64,
+    pub unsigned: u64,
+    pub secured: u64,
+    pub invalid: u64,
+    pub islands: u64,
+    pub island_without_cds: u64,
+    pub island_cds_delete: u64,
+    pub island_invalid_cds: u64,
+    pub island_bootstrappable: u64,
+}
+
+/// Build Figure 1 from scan results.
+pub fn figure1(results: &ScanResults) -> Figure1 {
+    let mut f = Figure1::default();
+    for z in results.resolved() {
+        f.resolved += 1;
+        match z.dnssec {
+            DnssecClass::Unsigned => f.unsigned += 1,
+            DnssecClass::Secured => f.secured += 1,
+            DnssecClass::Invalid => f.invalid += 1,
+            DnssecClass::Island => {
+                f.islands += 1;
+                match z.cds {
+                    CdsClass::Absent => f.island_without_cds += 1,
+                    CdsClass::Delete => f.island_cds_delete += 1,
+                    CdsClass::MismatchesDnskey | CdsClass::BadSignature => {
+                        f.island_invalid_cds += 1
+                    }
+                    CdsClass::Valid => f.island_bootstrappable += 1,
+                    // NS disagreement: conservatively not bootstrappable.
+                    CdsClass::Inconsistent => f.island_invalid_cds += 1,
+                }
+            }
+            DnssecClass::Unresolvable => {}
+        }
+    }
+    f
+}
+
+impl Figure1 {
+    pub fn render(&self) -> String {
+        let pct = |n: u64| {
+            if self.resolved == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / self.resolved as f64
+            }
+        };
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 1 — DNSSEC status and bootstrapping possibility");
+        let _ = writeln!(s, "  resolved zones          {:>10}", self.resolved);
+        let _ = writeln!(s, "  without DNSSEC          {:>10}  ({:5.1} %)", self.unsigned, pct(self.unsigned));
+        let _ = writeln!(s, "  already secured         {:>10}  ({:5.1} %)", self.secured, pct(self.secured));
+        let _ = writeln!(s, "  invalid DNSSEC          {:>10}  ({:5.1} %)", self.invalid, pct(self.invalid));
+        let _ = writeln!(s, "  secure islands          {:>10}  ({:5.1} %)", self.islands, pct(self.islands));
+        let _ = writeln!(s, "    without CDS           {:>10}", self.island_without_cds);
+        let _ = writeln!(s, "    CDS delete            {:>10}", self.island_cds_delete);
+        let _ = writeln!(s, "    invalid CDS           {:>10}", self.island_invalid_cds);
+        let _ = writeln!(s, "    possible to bootstrap {:>10}", self.island_bootstrappable);
+        s
+    }
+}
+
+/// A Table 1 row: DNSSEC among one operator's domains.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    pub operator: String,
+    pub domains: u64,
+    pub unsigned: u64,
+    pub secured: u64,
+    pub invalid: u64,
+    pub islands: u64,
+}
+
+/// Table 1: DNSSEC among the top-N DNS operators by domain count.
+pub fn table1(results: &ScanResults, top_n: usize) -> Vec<Table1Row> {
+    let mut map: HashMap<String, Table1Row> = HashMap::new();
+    for z in results.resolved() {
+        let Identified::Single(op) = &z.operator else {
+            continue;
+        };
+        let row = map.entry(op.clone()).or_insert_with(|| Table1Row {
+            operator: op.clone(),
+            domains: 0,
+            unsigned: 0,
+            secured: 0,
+            invalid: 0,
+            islands: 0,
+        });
+        row.domains += 1;
+        match z.dnssec {
+            DnssecClass::Unsigned => row.unsigned += 1,
+            DnssecClass::Secured => row.secured += 1,
+            DnssecClass::Invalid => row.invalid += 1,
+            DnssecClass::Island => row.islands += 1,
+            DnssecClass::Unresolvable => {}
+        }
+    }
+    let mut rows: Vec<Table1Row> = map.into_values().collect();
+    rows.sort_by(|a, b| b.domains.cmp(&a.domains).then(a.operator.cmp(&b.operator)));
+    rows.truncate(top_n);
+    rows
+}
+
+/// Render Table 1 like the paper.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table 1 — DNSSEC amongst the top {} DNS operators",
+        rows.len()
+    );
+    let _ = writeln!(
+        s,
+        "{:<18} {:>9} {:>9}({:>5}) {:>8}({:>5}) {:>7}({:>6}) {:>7}({:>6})",
+        "Operator", "Domains", "Unsigned", "%", "Secured", "%", "Invalid", "%", "Islands", "%"
+    );
+    for r in rows {
+        let pct = |n: u64| 100.0 * n as f64 / r.domains.max(1) as f64;
+        let _ = writeln!(
+            s,
+            "{:<18} {:>9} {:>9}({:>5.1}) {:>8}({:>5.1}) {:>7}({:>6.2}) {:>7}({:>6.2})",
+            r.operator,
+            r.domains,
+            r.unsigned,
+            pct(r.unsigned),
+            r.secured,
+            pct(r.secured),
+            r.invalid,
+            pct(r.invalid),
+            r.islands,
+            pct(r.islands),
+        );
+    }
+    s
+}
+
+/// A Table 2 row: CDS publication per operator.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    pub operator: String,
+    pub swiss: bool,
+    pub domains_with_cds: u64,
+    pub portfolio: u64,
+    pub pct_of_portfolio: f64,
+}
+
+/// Table 2: the top-N operators publishing CDS RRs.
+pub fn table2(results: &ScanResults, top_n: usize, swiss_ops: &[String]) -> Vec<Table2Row> {
+    let mut cds: HashMap<String, u64> = HashMap::new();
+    let mut portfolio: HashMap<String, u64> = HashMap::new();
+    for z in results.resolved() {
+        let Identified::Single(op) = &z.operator else {
+            continue;
+        };
+        *portfolio.entry(op.clone()).or_insert(0) += 1;
+        if z.cds != CdsClass::Absent {
+            *cds.entry(op.clone()).or_insert(0) += 1;
+        }
+    }
+    let mut rows: Vec<Table2Row> = cds
+        .into_iter()
+        .map(|(op, n)| {
+            let p = portfolio.get(&op).copied().unwrap_or(n);
+            Table2Row {
+                swiss: swiss_ops.contains(&op),
+                domains_with_cds: n,
+                portfolio: p,
+                pct_of_portfolio: 100.0 * n as f64 / p.max(1) as f64,
+                operator: op,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.domains_with_cds
+            .cmp(&a.domains_with_cds)
+            .then(a.operator.cmp(&b.operator))
+    });
+    rows.truncate(top_n);
+    rows
+}
+
+/// Render Table 2 like the paper (Swiss operators marked with `[CH]`).
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table 2 — top {} DNS operators publishing CDS RRs",
+        rows.len()
+    );
+    let _ = writeln!(s, "{:<4} {:<22} {:>10} {:>7}", "#", "DNS Operator", "Dom.w.CDS", "%");
+    for (i, r) in rows.iter().enumerate() {
+        let mark = if r.swiss { " [CH]" } else { "" };
+        let _ = writeln!(
+            s,
+            "{:<4} {:<22} {:>10} {:>7.1}",
+            i + 1,
+            format!("{}{}", r.operator, mark),
+            r.domains_with_cds,
+            r.pct_of_portfolio
+        );
+    }
+    s
+}
+
+/// One Table 3 column (per signal-publishing operator).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Table3Col {
+    pub with_signal_cds: u64,
+    pub already_secured: u64,
+    pub cannot_bootstrap: u64,
+    pub cannot_deletion: u64,
+    pub cannot_invalid_dnssec: u64,
+    pub potential: u64,
+    pub signal_incorrect: u64,
+    pub signal_correct: u64,
+}
+
+/// Table 3: signal-zone census, grouped by operator with an "Others"
+/// bucket for operators outside `named`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3 {
+    pub columns: Vec<(String, Table3Col)>,
+}
+
+pub fn table3(results: &ScanResults, named: &[&str]) -> Table3 {
+    let mut cols: HashMap<String, Table3Col> = HashMap::new();
+    for z in results.resolved() {
+        if z.ab == AbClass::NoSignal {
+            continue;
+        }
+        let op = match &z.operator {
+            Identified::Single(op) if named.contains(&op.as_str()) => op.clone(),
+            _ => "Others".to_string(),
+        };
+        let col = cols.entry(op).or_default();
+        col.with_signal_cds += 1;
+        match z.ab {
+            AbClass::AlreadySecured => col.already_secured += 1,
+            AbClass::CannotBootstrap(reason) => {
+                col.cannot_bootstrap += 1;
+                match reason {
+                    CannotReason::DeletionRequest => col.cannot_deletion += 1,
+                    _ => col.cannot_invalid_dnssec += 1,
+                }
+            }
+            AbClass::SignalIncorrect(_) => {
+                col.potential += 1;
+                col.signal_incorrect += 1;
+            }
+            AbClass::SignalCorrect => {
+                col.potential += 1;
+                col.signal_correct += 1;
+            }
+            AbClass::NoSignal => unreachable!(),
+        }
+    }
+    let mut columns: Vec<(String, Table3Col)> = Vec::new();
+    for n in named {
+        if let Some(c) = cols.remove(*n) {
+            columns.push((n.to_string(), c));
+        }
+    }
+    if let Some(c) = cols.remove("Others") {
+        columns.push(("Others".to_string(), c));
+    }
+    Table3 { columns }
+}
+
+impl Table3 {
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Table 3 — DNS operators publishing CDS RRs in signal zones");
+        let _ = write!(s, "{:<28}", "");
+        for (name, _) in &self.columns {
+            let _ = write!(s, "{:>14}", name);
+        }
+        let total: Table3Col = self.columns.iter().fold(Table3Col::default(), |mut a, (_, c)| {
+            a.with_signal_cds += c.with_signal_cds;
+            a.already_secured += c.already_secured;
+            a.cannot_bootstrap += c.cannot_bootstrap;
+            a.cannot_deletion += c.cannot_deletion;
+            a.cannot_invalid_dnssec += c.cannot_invalid_dnssec;
+            a.potential += c.potential;
+            a.signal_incorrect += c.signal_incorrect;
+            a.signal_correct += c.signal_correct;
+            a
+        });
+        let _ = writeln!(s, "{:>14}", "Total");
+        let row = |s: &mut String, label: &str, f: &dyn Fn(&Table3Col) -> u64| {
+            let _ = write!(s, "{:<28}", label);
+            for (_, c) in &self.columns {
+                let _ = write!(s, "{:>14}", f(c));
+            }
+            let _ = writeln!(s, "{:>14}", f(&total));
+        };
+        row(&mut s, "with signal CDS", &|c| c.with_signal_cds);
+        row(&mut s, "  already secured", &|c| c.already_secured);
+        row(&mut s, "  cannot be bootstrapped", &|c| c.cannot_bootstrap);
+        row(&mut s, "    deletion request", &|c| c.cannot_deletion);
+        row(&mut s, "    invalid DNSSEC", &|c| c.cannot_invalid_dnssec);
+        row(&mut s, "  potential to bootstrap", &|c| c.potential);
+        row(&mut s, "    signal zone incorrect", &|c| c.signal_incorrect);
+        row(&mut s, "    signal zone correct", &|c| c.signal_correct);
+        s
+    }
+}
+
+/// The §4.2 CDS deployment census.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CdsCensus {
+    pub resolved: u64,
+    pub with_cds: u64,
+    pub cds_in_unsigned: u64,
+    pub delete_in_unsigned: u64,
+    pub delete_but_signed: u64,
+    pub islands_with_delete: u64,
+    pub islands_with_cds: u64,
+    pub islands_consistent: u64,
+    pub inconsistent: u64,
+    pub inconsistent_multi_operator: u64,
+    pub cds_without_matching_dnskey: u64,
+    pub cds_invalid_signature: u64,
+    pub cds_query_failures: u64,
+    /// Zones publishing RFC 7477 CSYNC records (paper §6 future work).
+    pub with_csync: u64,
+}
+
+pub fn cds_census(results: &ScanResults) -> CdsCensus {
+    let mut c = CdsCensus::default();
+    for z in results.resolved() {
+        c.resolved += 1;
+        if z.cds_query_failures() {
+            c.cds_query_failures += 1;
+        }
+        if z.ns_observations.iter().any(|o| o.csync_present) {
+            c.with_csync += 1;
+        }
+        if z.cds == CdsClass::Absent {
+            continue;
+        }
+        c.with_cds += 1;
+        let is_island = z.dnssec == DnssecClass::Island;
+        let is_unsigned = z.dnssec == DnssecClass::Unsigned;
+        if is_unsigned {
+            c.cds_in_unsigned += 1;
+            if z.cds == CdsClass::Delete {
+                c.delete_in_unsigned += 1;
+            }
+        }
+        if z.dnssec == DnssecClass::Secured && z.cds == CdsClass::Delete {
+            c.delete_but_signed += 1;
+        }
+        if is_island {
+            if z.cds == CdsClass::Delete {
+                c.islands_with_delete += 1;
+            }
+            c.islands_with_cds += 1;
+            if z.cds != CdsClass::Inconsistent {
+                c.islands_consistent += 1;
+            }
+        }
+        if z.cds == CdsClass::Inconsistent {
+            c.inconsistent += 1;
+            if matches!(z.operator, Identified::Multi(_)) {
+                c.inconsistent_multi_operator += 1;
+            }
+        }
+        if z.cds == CdsClass::MismatchesDnskey {
+            c.cds_without_matching_dnskey += 1;
+        }
+        if z.cds == CdsClass::BadSignature {
+            c.cds_invalid_signature += 1;
+        }
+    }
+    c
+}
+
+impl CdsCensus {
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "CDS deployment census (paper §4.2)");
+        let _ = writeln!(s, "  zones with CDS                    {:>9}  ({:4.1} % of {})", self.with_cds, 100.0 * self.with_cds as f64 / self.resolved.max(1) as f64, self.resolved);
+        let _ = writeln!(s, "  CDS in unsigned zones             {:>9}", self.cds_in_unsigned);
+        let _ = writeln!(s, "  CDS delete in unsigned zones      {:>9}", self.delete_in_unsigned);
+        let _ = writeln!(s, "  CDS delete but still signed       {:>9}", self.delete_but_signed);
+        let _ = writeln!(s, "  islands with CDS delete           {:>9}", self.islands_with_delete);
+        let _ = writeln!(s, "  islands with CDS                  {:>9}", self.islands_with_cds);
+        let _ = writeln!(s, "  islands with consistent CDS       {:>9}", self.islands_consistent);
+        let _ = writeln!(s, "  inconsistent CDS (between NSes)   {:>9}", self.inconsistent);
+        let _ = writeln!(s, "    of which multi-operator         {:>9}", self.inconsistent_multi_operator);
+        let _ = writeln!(s, "  CDS matching no DNSKEY            {:>9}", self.cds_without_matching_dnskey);
+        let _ = writeln!(s, "  CDS with invalid RRSIG            {:>9}", self.cds_invalid_signature);
+        let _ = writeln!(s, "  NSes failing CDS-type queries     {:>9}", self.cds_query_failures);
+        let _ = writeln!(s, "  zones with CSYNC (RFC 7477)       {:>9}", self.with_csync);
+        s
+    }
+}
+
+/// §4.3's AB-potential summary (the other half of Figure 1).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct AbPotential {
+    pub cannot_benefit: u64,
+    pub cannot_unsigned: u64,
+    pub cannot_invalid: u64,
+    pub cannot_island_no_cds: u64,
+    pub cannot_island_delete: u64,
+    pub cannot_island_bad_cds: u64,
+    pub already_secured: u64,
+    pub bootstrappable: u64,
+}
+
+pub fn ab_potential(results: &ScanResults) -> AbPotential {
+    let mut p = AbPotential::default();
+    for z in results.resolved() {
+        match (z.dnssec, z.cds) {
+            (DnssecClass::Secured, _) => p.already_secured += 1,
+            (DnssecClass::Unsigned, _) => {
+                p.cannot_benefit += 1;
+                p.cannot_unsigned += 1;
+            }
+            (DnssecClass::Invalid, _) => {
+                p.cannot_benefit += 1;
+                p.cannot_invalid += 1;
+            }
+            (DnssecClass::Island, CdsClass::Absent) => {
+                p.cannot_benefit += 1;
+                p.cannot_island_no_cds += 1;
+            }
+            (DnssecClass::Island, CdsClass::Delete) => {
+                p.cannot_benefit += 1;
+                p.cannot_island_delete += 1;
+            }
+            (DnssecClass::Island, CdsClass::Valid) => p.bootstrappable += 1,
+            (DnssecClass::Island, _) => {
+                p.cannot_benefit += 1;
+                p.cannot_island_bad_cds += 1;
+            }
+            (DnssecClass::Unresolvable, _) => {}
+        }
+    }
+    p
+}
+
+impl AbPotential {
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Authenticated Bootstrapping potential (paper §4.3)");
+        let _ = writeln!(s, "  cannot benefit from AB       {:>10}", self.cannot_benefit);
+        let _ = writeln!(s, "    unsigned                   {:>10}", self.cannot_unsigned);
+        let _ = writeln!(s, "    invalid DNSSEC             {:>10}", self.cannot_invalid);
+        let _ = writeln!(s, "    islands without CDS        {:>10}", self.cannot_island_no_cds);
+        let _ = writeln!(s, "    islands with CDS delete    {:>10}", self.cannot_island_delete);
+        let _ = writeln!(s, "    islands with broken CDS    {:>10}", self.cannot_island_bad_cds);
+        let _ = writeln!(s, "  already secured              {:>10}", self.already_secured);
+        let _ = writeln!(s, "  could benefit (bootstrappable){:>9}", self.bootstrappable);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::ScanResults;
+    use dns_wire::name;
+
+    fn zone(
+        n: &str,
+        op: Identified,
+        dnssec: DnssecClass,
+        cds: CdsClass,
+        ab: AbClass,
+    ) -> ZoneScan {
+        ZoneScan {
+            name: name!(n),
+            ns_names: vec![],
+            parent_ds: vec![],
+            ns_observations: vec![],
+            signal_observations: vec![],
+            dnssec,
+            cds,
+            ab,
+            operator: op,
+            queries: 10,
+            elapsed: 100,
+            sampled: false,
+        }
+    }
+
+    fn single(op: &str) -> Identified {
+        Identified::Single(op.to_string())
+    }
+
+    fn sample_results() -> ScanResults {
+        ScanResults {
+            zones: vec![
+                zone("a.com", single("OpA"), DnssecClass::Unsigned, CdsClass::Absent, AbClass::NoSignal),
+                zone("b.com", single("OpA"), DnssecClass::Secured, CdsClass::Valid, AbClass::AlreadySecured),
+                zone("c.com", single("OpA"), DnssecClass::Island, CdsClass::Valid, AbClass::SignalCorrect),
+                zone("d.com", single("OpB"), DnssecClass::Island, CdsClass::Delete, AbClass::CannotBootstrap(CannotReason::DeletionRequest)),
+                zone("e.com", single("OpB"), DnssecClass::Invalid, CdsClass::Absent, AbClass::NoSignal),
+                zone("f.com", Identified::Multi(vec!["OpA".into(), "OpB".into()]), DnssecClass::Island, CdsClass::Inconsistent, AbClass::NoSignal),
+                zone("g.com", single("OpB"), DnssecClass::Unresolvable, CdsClass::Absent, AbClass::NoSignal),
+                zone("h.com", single("OpC"), DnssecClass::Island, CdsClass::Valid, AbClass::SignalIncorrect(SignalViolation::ZoneCut)),
+            ],
+            simulated_duration: 1000,
+            total_queries: 80,
+        }
+    }
+
+    #[test]
+    fn figure1_counts() {
+        let f = figure1(&sample_results());
+        assert_eq!(f.resolved, 7); // g.com excluded
+        assert_eq!(f.unsigned, 1);
+        assert_eq!(f.secured, 1);
+        assert_eq!(f.invalid, 1);
+        assert_eq!(f.islands, 4);
+        assert_eq!(f.island_bootstrappable, 2);
+        assert_eq!(f.island_cds_delete, 1);
+        assert_eq!(f.island_invalid_cds, 1); // the inconsistent one
+        let text = f.render();
+        assert!(text.contains("possible to bootstrap"));
+    }
+
+    #[test]
+    fn table1_ranks_by_domains() {
+        let rows = table1(&sample_results(), 20);
+        assert_eq!(rows[0].operator, "OpA");
+        assert_eq!(rows[0].domains, 3);
+        // Multi-operator zones excluded from per-operator rows.
+        let total: u64 = rows.iter().map(|r| r.domains).sum();
+        assert_eq!(total, 6); // 7 resolved - 1 multi
+        assert!(render_table1(&rows).contains("OpA"));
+    }
+
+    #[test]
+    fn table2_percentages() {
+        let rows = table2(&sample_results(), 20, &["OpB".to_string()]);
+        let opa = rows.iter().find(|r| r.operator == "OpA").unwrap();
+        assert_eq!(opa.domains_with_cds, 2); // b.com + c.com
+        assert_eq!(opa.portfolio, 3);
+        assert!((opa.pct_of_portfolio - 66.7).abs() < 0.1);
+        let opb = rows.iter().find(|r| r.operator == "OpB").unwrap();
+        assert!(opb.swiss);
+        assert!(render_table2(&rows).contains("[CH]"));
+    }
+
+    #[test]
+    fn table3_waterfall() {
+        let t = table3(&sample_results(), &["OpA", "OpC"]);
+        let opa = &t.columns.iter().find(|(n, _)| n == "OpA").unwrap().1;
+        assert_eq!(opa.with_signal_cds, 2); // b.com (secured) + c.com
+        assert_eq!(opa.already_secured, 1);
+        assert_eq!(opa.signal_correct, 1);
+        let opc = &t.columns.iter().find(|(n, _)| n == "OpC").unwrap().1;
+        assert_eq!(opc.signal_incorrect, 1);
+        assert_eq!(opc.potential, 1);
+        // OpB's deletion-request zone lands in Others.
+        let others = &t.columns.iter().find(|(n, _)| n == "Others").unwrap().1;
+        assert_eq!(others.cannot_deletion, 1);
+        assert!(t.render().contains("signal zone correct"));
+    }
+
+    #[test]
+    fn cds_census_counts_exact() {
+        let c = cds_census(&sample_results());
+        assert_eq!(c.resolved, 7);
+        assert_eq!(c.with_cds, 5);
+        assert_eq!(c.islands_with_delete, 1);
+        assert_eq!(c.inconsistent, 1);
+        assert_eq!(c.inconsistent_multi_operator, 1);
+        assert_eq!(c.islands_with_cds, 4);
+        assert_eq!(c.islands_consistent, 3);
+        assert!(c.render().contains("multi-operator"));
+    }
+
+    #[test]
+    fn ab_potential_counts() {
+        let p = ab_potential(&sample_results());
+        assert_eq!(p.already_secured, 1);
+        assert_eq!(p.bootstrappable, 2);
+        assert_eq!(p.cannot_island_delete, 1);
+        assert_eq!(p.cannot_unsigned, 1);
+        assert_eq!(p.cannot_invalid, 1);
+        assert_eq!(p.cannot_island_bad_cds, 1);
+        assert_eq!(
+            p.cannot_benefit,
+            p.cannot_unsigned
+                + p.cannot_invalid
+                + p.cannot_island_no_cds
+                + p.cannot_island_delete
+                + p.cannot_island_bad_cds
+        );
+        assert!(p.render().contains("bootstrappable"));
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let r = sample_results();
+        let f = figure1(&r);
+        let json = serde_json::to_string(&f).unwrap();
+        assert!(json.contains("island_bootstrappable"));
+        let t3 = table3(&r, &["OpA"]);
+        assert!(serde_json::to_string(&t3).unwrap().contains("with_signal_cds"));
+    }
+}

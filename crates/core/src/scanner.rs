@@ -1,0 +1,727 @@
+//! The YoDNS-style scanner (paper §3 "Scans").
+//!
+//! For every seed zone the scanner:
+//! 1. resolves the delegation from the root, recording the chain (parent
+//!    NS set, DS presence, servers),
+//! 2. resolves the addresses of every authoritative NS hostname,
+//!    applying the Cloudflare sampling policy (§3: 2 of 12 addresses for
+//!    95 % of Cloudflare-hosted zones),
+//! 3. queries every selected address for DNSKEY / CDS / CDNSKEY with the
+//!    DO bit, under a per-address 50 qps virtual rate limit,
+//! 4. probes the RFC 9615 signal name under every NS hostname (presence,
+//!    consistency, DNSSEC validity, zone-cut check),
+//! 5. classifies DNSSEC / CDS / AB status.
+
+use crate::classify;
+use crate::operator::OperatorTable;
+use crate::types::*;
+use dns_crypto::UnixTime;
+use dns_resolver::validate::key_matches_any_ds;
+use dns_resolver::{DnsClient, Resolution, Resolver, RootHints};
+use dns_wire::message::Rcode;
+use dns_wire::name::Name;
+use dns_wire::rdata::{DnskeyData, DsData, RData, RrsigData};
+use dns_wire::record::{RecordClass, RecordType, RrSet};
+use dns_zone::signal::signal_name;
+use dns_zone::signer::verify_rrset_with_keys;
+use netsim::{Addr, DeterministicDraw, Network, RateLimiter, SimMicros};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Scanner policy knobs.
+#[derive(Debug, Clone)]
+pub struct ScanPolicy {
+    /// Fraction of anycast-pool zones scanned with only 1 IPv4 + 1 IPv6
+    /// address (the paper's 95 % Cloudflare sampling).
+    pub sample_fraction: f64,
+    /// NS-name suffixes subject to sampling (Cloudflare-style pools).
+    pub sampled_suffixes: Vec<Name>,
+    /// Per-address politeness rate (queries per virtual second).
+    pub rate_per_sec: f64,
+    /// Probe the RFC 9615 signal names.
+    pub probe_signal: bool,
+    /// Worker threads for `scan_all`.
+    pub parallelism: usize,
+}
+
+impl Default for ScanPolicy {
+    fn default() -> Self {
+        ScanPolicy {
+            sample_fraction: 0.95,
+            sampled_suffixes: vec![Name::parse("ns.cloudflare.com").unwrap()],
+            rate_per_sec: 50.0,
+            probe_signal: true,
+            parallelism: 1,
+        }
+    }
+}
+
+/// Aggregated scan output.
+#[derive(Debug)]
+pub struct ScanResults {
+    pub zones: Vec<ZoneScan>,
+    /// Simulated wall-clock of the scan: the maximum worker virtual time.
+    pub simulated_duration: SimMicros,
+    /// Total logical queries issued.
+    pub total_queries: u64,
+}
+
+/// The scanner. Thread-safe: share via `Arc` across workers.
+pub struct Scanner {
+    client: Arc<DnsClient>,
+    resolver: Resolver,
+    anchors: Vec<DsData>,
+    roots: Vec<Addr>,
+    table: OperatorTable,
+    policy: ScanPolicy,
+    now: UnixTime,
+    /// Validated DNSKEY sets per zone apex (root, TLDs — hot in every
+    /// chain validation).
+    key_cache: Mutex<HashMap<Name, Option<Vec<DnskeyData>>>>,
+    /// Per-address politeness limiters.
+    limiters: Mutex<HashMap<Addr, Arc<RateLimiter>>>,
+    seed: u64,
+}
+
+impl Scanner {
+    pub fn new(
+        net: Arc<Network>,
+        roots: Vec<Addr>,
+        anchors: Vec<DsData>,
+        table: OperatorTable,
+        now: UnixTime,
+        policy: ScanPolicy,
+    ) -> Self {
+        let client = Arc::new(DnsClient::new(net));
+        let resolver = Resolver::new(Arc::clone(&client), RootHints { addrs: roots.clone() });
+        Scanner {
+            client,
+            resolver,
+            anchors,
+            roots,
+            table,
+            policy,
+            now,
+            key_cache: Mutex::new(HashMap::new()),
+            limiters: Mutex::new(HashMap::new()),
+            seed: 0xb007,
+        }
+    }
+
+    /// The operator table (exposed for reports).
+    pub fn operator_table(&self) -> &OperatorTable {
+        &self.table
+    }
+
+    fn limiter_for(&self, addr: Addr) -> Arc<RateLimiter> {
+        Arc::clone(
+            self.limiters
+                .lock()
+                .entry(addr)
+                .or_insert_with(|| Arc::new(RateLimiter::new(self.policy.rate_per_sec, 10.0))),
+        )
+    }
+
+    /// One rate-limited query; returns (message, elapsed) and counts into
+    /// `budget`.
+    fn query(
+        &self,
+        clock: &mut SimMicros,
+        queries: &mut u32,
+        addr: Addr,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Option<dns_wire::message::Message> {
+        *clock += self.limiter_for(addr).acquire(*clock);
+        *queries += 1;
+        match self.client.query(addr, name, rtype, true) {
+            Ok(ex) => {
+                *clock += ex.elapsed;
+                Some(ex.message)
+            }
+            Err(_) => {
+                *clock += 2_000_000;
+                None
+            }
+        }
+    }
+
+    /// Fetch + verify the DNSKEY set of `zone` (must chain from `ds`),
+    /// with caching. `None` = could not validate.
+    fn validated_keys(
+        &self,
+        clock: &mut SimMicros,
+        queries: &mut u32,
+        zone: &Name,
+        servers: &[Addr],
+        ds: &[DsData],
+    ) -> Option<Vec<DnskeyData>> {
+        if let Some(cached) = self.key_cache.lock().get(zone) {
+            return cached.clone();
+        }
+        let keys = self.fetch_keys_uncached(clock, queries, zone, servers, ds);
+        self.key_cache.lock().insert(zone.clone(), keys.clone());
+        keys
+    }
+
+    fn fetch_keys_uncached(
+        &self,
+        clock: &mut SimMicros,
+        queries: &mut u32,
+        zone: &Name,
+        servers: &[Addr],
+        ds: &[DsData],
+    ) -> Option<Vec<DnskeyData>> {
+        for &addr in servers {
+            let Some(msg) = self.query(clock, queries, addr, zone, RecordType::Dnskey) else {
+                continue;
+            };
+            if msg.rcode().is_error() {
+                continue;
+            }
+            let keys: Vec<DnskeyData> = msg
+                .answers
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Dnskey(d) if r.name == *zone => Some(d.clone()),
+                    _ => None,
+                })
+                .collect();
+            if keys.is_empty() {
+                return None;
+            }
+            if !keys.iter().any(|k| key_matches_any_ds(zone, k, ds)) {
+                return None;
+            }
+            let rrsigs: Vec<RrsigData> = msg
+                .answers
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Rrsig(s) if s.type_covered == RecordType::Dnskey.code() => {
+                        Some(s.clone())
+                    }
+                    _ => None,
+                })
+                .collect();
+            let set = RrSet {
+                name: zone.clone(),
+                class: RecordClass::In,
+                rtype: RecordType::Dnskey,
+                ttl: 3600,
+                rdatas: keys.iter().cloned().map(RData::Dnskey).collect(),
+            };
+            if verify_rrset_with_keys(&set, &rrsigs, &keys, self.now).is_err() {
+                return None;
+            }
+            return Some(keys);
+        }
+        None
+    }
+
+    /// Validate the delegation chain of `res` down to (but not including)
+    /// the final zone, returning the parent's validated keys and the DS
+    /// set for the final zone. Uses the key cache so TLD keys are fetched
+    /// once per scan.
+    fn validate_chain_to_parent(
+        &self,
+        clock: &mut SimMicros,
+        queries: &mut u32,
+        res: &Resolution,
+    ) -> ChainStatus {
+        // Root keys.
+        let mut keys = match self.validated_keys(
+            clock,
+            queries,
+            &Name::root(),
+            &self.roots,
+            &self.anchors,
+        ) {
+            Some(k) => k,
+            None => return ChainStatus::Indeterminate,
+        };
+        let n = res.chain.len();
+        for (i, link) in res.chain.iter().enumerate() {
+            let last = i + 1 == n;
+            let Some(ds) = &link.ds else {
+                // Insecure delegation above or at the zone.
+                return if last {
+                    ChainStatus::NoDsAtParent
+                } else {
+                    ChainStatus::InsecureAbove
+                };
+            };
+            // DS RRset must be signed by the parent.
+            let ds_set = RrSet {
+                name: link.child_apex.clone(),
+                class: RecordClass::In,
+                rtype: RecordType::Ds,
+                ttl: 300,
+                rdatas: ds.iter().cloned().map(RData::Ds).collect(),
+            };
+            if verify_rrset_with_keys(&ds_set, &link.ds_rrsigs, &keys, self.now).is_err() {
+                return ChainStatus::Bogus;
+            }
+            if last {
+                return ChainStatus::DsPresent(ds.clone());
+            }
+            keys = match self.validated_keys(
+                clock,
+                queries,
+                &link.child_apex,
+                &link.child_servers,
+                ds,
+            ) {
+                Some(k) => k,
+                None => return ChainStatus::Bogus,
+            };
+        }
+        // No chain at all (zone served by the root?) — treat as insecure.
+        ChainStatus::InsecureAbove
+    }
+
+    /// Scan one zone.
+    pub fn scan_zone(&self, zone: &Name) -> ZoneScan {
+        let mut clock: SimMicros = 0;
+        let mut queries: u32 = 0;
+
+        // 1. Delegation resolution.
+        let res = match self.resolver.resolve(zone, RecordType::Soa) {
+            Ok(r) => r,
+            Err(_) => {
+                return self.unresolvable(zone, clock, queries);
+            }
+        };
+        let Some(last_link) = res.chain.last() else {
+            return self.unresolvable(zone, clock, queries);
+        };
+        if last_link.child_apex != *zone || res.rcode == Rcode::NxDomain {
+            // The zone is not actually delegated.
+            return self.unresolvable(zone, clock, queries);
+        }
+        clock += res.elapsed;
+        queries += res.queries;
+        let ns_names = last_link.ns_names.clone();
+        let chain = self.validate_chain_to_parent(&mut clock, &mut queries, &res);
+        let parent_ds = match &chain {
+            ChainStatus::DsPresent(ds) => ds.clone(),
+            _ => Vec::new(),
+        };
+
+        // 2. Addresses, with sampling policy.
+        let mut targets: Vec<(Name, Addr)> = Vec::new();
+        for ns in &ns_names {
+            if let Ok(addrs) = self.resolver.addresses_of(ns) {
+                for a in addrs {
+                    targets.push((ns.clone(), a));
+                }
+            }
+        }
+        let sampled = self.apply_sampling(zone, &mut targets);
+
+        // 3. Per-address DNSSEC/CDS observations.
+        let mut observations = Vec::new();
+        for (ns, addr) in &targets {
+            observations.push(self.observe_address(&mut clock, &mut queries, zone, ns, *addr));
+        }
+
+        // Zone DNSKEY validation (for Secured/Invalid/Island split).
+        let zone_keys: Option<Vec<DnskeyData>> = if parent_ds.is_empty() {
+            // Island check: self-validate against its own keys.
+            self.self_validated_keys(&observations)
+        } else {
+            let servers: Vec<Addr> = targets.iter().map(|(_, a)| *a).collect();
+            self.fetch_keys_uncached(&mut clock, &mut queries, zone, &servers, &parent_ds)
+        };
+
+        // 4. Signal probes.
+        let mut signal_observations = Vec::new();
+        if self.policy.probe_signal {
+            for ns in &ns_names {
+                signal_observations.push(self.probe_signal(&mut clock, &mut queries, zone, ns));
+            }
+        }
+
+        // 5. Classify.
+        let dnssec = classify::dnssec_class(&chain, &observations, zone_keys.as_deref());
+        let cds = classify::cds_class(&observations, zone_keys.as_deref(), dnssec);
+        let ab = classify::ab_class(dnssec, cds, &signal_observations, &observations);
+        let operator = self.table.identify(&ns_names);
+
+        ZoneScan {
+            name: zone.clone(),
+            ns_names,
+            parent_ds,
+            ns_observations: observations,
+            signal_observations,
+            dnssec,
+            cds,
+            ab,
+            operator,
+            queries,
+            elapsed: clock,
+            sampled,
+        }
+    }
+
+    fn unresolvable(&self, zone: &Name, elapsed: SimMicros, queries: u32) -> ZoneScan {
+        ZoneScan {
+            name: zone.clone(),
+            ns_names: Vec::new(),
+            parent_ds: Vec::new(),
+            ns_observations: Vec::new(),
+            signal_observations: Vec::new(),
+            dnssec: DnssecClass::Unresolvable,
+            cds: CdsClass::Absent,
+            ab: AbClass::NoSignal,
+            operator: crate::operator::Identified::Unknown,
+            queries,
+            elapsed,
+            sampled: false,
+        }
+    }
+
+    /// Apply the Cloudflare sampling policy. Returns whether sampling
+    /// reduced the target set.
+    fn apply_sampling(&self, zone: &Name, targets: &mut Vec<(Name, Addr)>) -> bool {
+        let pooled = targets.iter().all(|(ns, _)| {
+            self.policy
+                .sampled_suffixes
+                .iter()
+                .any(|s| ns.is_subdomain_of(s))
+        });
+        if !pooled || targets.is_empty() || targets.len() <= 2 {
+            return false;
+        }
+        let in_sample = DeterministicDraw::new(self.seed, &[b"sample", &zone.to_wire()]).unit()
+            < self.policy.sample_fraction;
+        if !in_sample {
+            return false;
+        }
+        // Keep 1 IPv4 and 1 IPv6.
+        let v4 = targets.iter().find(|(_, a)| !a.is_v6()).cloned();
+        let v6 = targets.iter().find(|(_, a)| a.is_v6()).cloned();
+        targets.clear();
+        targets.extend(v4);
+        targets.extend(v6);
+        true
+    }
+
+    /// Query one address for DNSKEY/CDS/CDNSKEY.
+    fn observe_address(
+        &self,
+        clock: &mut SimMicros,
+        queries: &mut u32,
+        zone: &Name,
+        ns: &Name,
+        addr: Addr,
+    ) -> NsObservation {
+        let mut obs = NsObservation {
+            ns_name: ns.clone(),
+            addr,
+            responded: false,
+            soa_present: false,
+            cds_query_error: false,
+            dnskeys: Vec::new(),
+            cds: Vec::new(),
+            cds_sig_valid: None,
+            csync_present: false,
+        };
+        // SOA: authoritativeness / lameness probe.
+        if let Some(msg) = self.query(clock, queries, addr, zone, RecordType::Soa) {
+            obs.responded = true;
+            obs.soa_present = msg
+                .answers
+                .iter()
+                .any(|r| r.rtype() == RecordType::Soa && r.name == *zone);
+        }
+        // DNSKEY.
+        if let Some(msg) = self.query(clock, queries, addr, zone, RecordType::Dnskey) {
+            obs.responded = true;
+            for r in &msg.answers {
+                if let RData::Dnskey(d) = &r.rdata {
+                    obs.dnskeys.push(d.clone());
+                }
+            }
+        }
+        // CDS + CDNSKEY.
+        let mut cds_rrsigs: Vec<RrsigData> = Vec::new();
+        let mut cds_rdatas: Vec<RData> = Vec::new();
+        for rtype in [RecordType::Cds, RecordType::Cdnskey] {
+            match self.query(clock, queries, addr, zone, rtype) {
+                Some(msg) => {
+                    obs.responded = true;
+                    if msg.rcode().is_error() {
+                        obs.cds_query_error = true;
+                        continue;
+                    }
+                    for r in &msg.answers {
+                        match &r.rdata {
+                            RData::Cds(d) => {
+                                obs.cds.push(CdsSeen::from_ds(d));
+                                cds_rdatas.push(r.rdata.clone());
+                            }
+                            RData::Cdnskey(k) => {
+                                obs.cds.push(CdsSeen::from_dnskey(k));
+                                cds_rdatas.push(r.rdata.clone());
+                            }
+                            RData::Rrsig(s) => cds_rrsigs.push(s.clone()),
+                            _ => {}
+                        }
+                    }
+                }
+                None => {
+                    obs.cds_query_error = true;
+                }
+            }
+        }
+        obs.cds.sort();
+        obs.cds.dedup();
+        // CSYNC (RFC 7477) — the other child→parent channel (paper §6).
+        if let Some(msg) = self.query(clock, queries, addr, zone, RecordType::Csync) {
+            obs.csync_present = msg
+                .answers
+                .iter()
+                .any(|r| r.rtype() == RecordType::Csync && r.name == *zone);
+        }
+        // Verify the RRSIG over the CDS RRset against the zone's DNSKEYs
+        // as served by this same address.
+        if !cds_rdatas.is_empty() && !obs.dnskeys.is_empty() {
+            let mut valid = true;
+            for rtype in [RecordType::Cds, RecordType::Cdnskey] {
+                let rdatas: Vec<RData> = cds_rdatas
+                    .iter()
+                    .filter(|r| r.rtype() == rtype)
+                    .cloned()
+                    .collect();
+                if rdatas.is_empty() {
+                    continue;
+                }
+                let set = RrSet {
+                    name: zone.clone(),
+                    class: RecordClass::In,
+                    rtype,
+                    ttl: 300,
+                    rdatas,
+                };
+                if verify_rrset_with_keys(&set, &cds_rrsigs, &obs.dnskeys, self.now).is_err() {
+                    valid = false;
+                }
+            }
+            obs.cds_sig_valid = Some(valid);
+        }
+        obs
+    }
+
+    /// Keys that self-validate from the NS observations (island check).
+    fn self_validated_keys(&self, observations: &[NsObservation]) -> Option<Vec<DnskeyData>> {
+        observations
+            .iter()
+            .find(|o| !o.dnskeys.is_empty())
+            .map(|o| o.dnskeys.clone())
+    }
+
+    /// Probe the signal name for (zone, ns): resolve its CDS, validate
+    /// its chain, and check for zone cuts on the signal path.
+    fn probe_signal(
+        &self,
+        clock: &mut SimMicros,
+        queries: &mut u32,
+        zone: &Name,
+        ns: &Name,
+    ) -> SignalObservation {
+        let mut obs = SignalObservation {
+            ns_name: ns.clone(),
+            name_unbuildable: false,
+            cds: Vec::new(),
+            dnssec_valid: None,
+            zone_cut: false,
+        };
+        let Ok(signame) = signal_name(zone, ns) else {
+            obs.name_unbuildable = true;
+            return obs;
+        };
+        let Ok(res) = self.resolver.resolve(&signame, RecordType::Cds) else {
+            return obs;
+        };
+        *clock += res.elapsed;
+        *queries += res.queries;
+        for r in &res.answers {
+            match &r.rdata {
+                RData::Cds(d) => obs.cds.push(CdsSeen::from_ds(d)),
+                RData::Cdnskey(k) => obs.cds.push(CdsSeen::from_dnskey(k)),
+                _ => {}
+            }
+        }
+        // CDNSKEY at the same name.
+        if let Ok(res2) = self.resolver.resolve(&signame, RecordType::Cdnskey) {
+            *clock += res2.elapsed;
+            *queries += res2.queries;
+            for r in &res2.answers {
+                if let RData::Cdnskey(k) = &r.rdata {
+                    obs.cds.push(CdsSeen::from_dnskey(k));
+                }
+            }
+        }
+        obs.cds.sort();
+        obs.cds.dedup();
+        // Zone-cut probe runs regardless of whether signal records were
+        // found: the parked-typo-NS case (§4.4) answers CDS queries with
+        // nothing while faking NS RRsets at every label.
+        obs.zone_cut =
+            self.detect_zone_cut(clock, queries, &res.zone_apex, &signame, &res.zone_servers);
+        if obs.cds.is_empty() {
+            return obs;
+        }
+        // Chain validation of the signal records.
+        let chain = self.validate_chain_to_parent(clock, queries, &res);
+        let valid = match chain {
+            ChainStatus::DsPresent(ds) => {
+                // Validate the answering zone's keys and the CDS RRsets.
+                let keys = self.validated_keys(
+                    clock,
+                    queries,
+                    &res.zone_apex,
+                    &res.zone_servers,
+                    &ds,
+                );
+                match keys {
+                    Some(keys) => self.signal_rrsets_valid(&res, &keys),
+                    None => false,
+                }
+            }
+            _ => false, // unsigned or broken chain → signal not authenticated
+        };
+        obs.dnssec_valid = Some(valid);
+        obs
+    }
+
+    fn signal_rrsets_valid(&self, res: &Resolution, keys: &[DnskeyData]) -> bool {
+        let rrsigs: Vec<RrsigData> = res
+            .answers
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Rrsig(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        for set in RrSet::group(&res.answers) {
+            if matches!(set.rtype, RecordType::Cds | RecordType::Cdnskey) {
+                if verify_rrset_with_keys(&set, &rrsigs, keys, self.now).is_err() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Probe for NS RRsets between the zone apex and the signal name.
+    fn detect_zone_cut(
+        &self,
+        clock: &mut SimMicros,
+        queries: &mut u32,
+        zone_apex: &Name,
+        signame: &Name,
+        servers: &[Addr],
+    ) -> bool {
+        let mut probe = signame.parent();
+        while let Some(p) = probe {
+            if !p.is_strict_subdomain_of(zone_apex) {
+                break;
+            }
+            for &addr in servers {
+                if let Some(msg) = self.query(clock, queries, addr, &p, RecordType::Ns) {
+                    if msg.rcode() == Rcode::NoError {
+                        let has_ns = msg
+                            .answers
+                            .iter()
+                            .any(|r| r.rtype() == RecordType::Ns && r.name == p);
+                        if has_ns {
+                            return true;
+                        }
+                    }
+                    break;
+                }
+            }
+            probe = p.parent();
+        }
+        false
+    }
+
+    /// Scan every zone in `seeds`, optionally in parallel.
+    pub fn scan_all(self: &Arc<Self>, seeds: &[Name]) -> ScanResults {
+        let workers = self.policy.parallelism.max(1);
+        let zones: Mutex<Vec<ZoneScan>> = Mutex::new(Vec::with_capacity(seeds.len()));
+        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let worker_time: Mutex<Vec<SimMicros>> = Mutex::new(vec![0; workers]);
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers {
+                let me = Arc::clone(self);
+                let zones = &zones;
+                let next = &next;
+                let worker_time = &worker_time;
+                s.spawn(move |_| {
+                    let mut local_time: SimMicros = 0;
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= seeds.len() {
+                            break;
+                        }
+                        let scan = me.scan_zone(&seeds[i]);
+                        local_time += scan.elapsed;
+                        zones.lock().push(scan);
+                    }
+                    worker_time.lock()[w] = local_time;
+                });
+            }
+        })
+        .expect("scan workers");
+        let mut zones = zones.into_inner();
+        zones.sort_by(|a, b| a.name.canonical_cmp(&b.name));
+        let total_queries = zones.iter().map(|z| z.queries as u64).sum();
+        let simulated_duration = worker_time.into_inner().into_iter().max().unwrap_or(0);
+        ScanResults {
+            zones,
+            simulated_duration,
+            total_queries,
+        }
+    }
+}
+
+/// Outcome of validating the chain from the root to a zone's parent.
+#[derive(Debug, Clone)]
+pub enum ChainStatus {
+    /// DS present at the parent (and the chain above validated).
+    DsPresent(Vec<DsData>),
+    /// No DS at the parent: the zone is insecurely delegated.
+    NoDsAtParent,
+    /// An ancestor delegation was already insecure.
+    InsecureAbove,
+    /// Validation failed somewhere above the zone.
+    Bogus,
+    /// Could not determine (unreachable/erroring servers).
+    Indeterminate,
+}
+
+impl Default for ScanResults {
+    fn default() -> Self {
+        ScanResults {
+            zones: Vec::new(),
+            simulated_duration: 0,
+            total_queries: 0,
+        }
+    }
+}
+
+impl ScanResults {
+    /// Resolved zones (the denominator of §4.1's percentages).
+    pub fn resolved(&self) -> impl Iterator<Item = &ZoneScan> {
+        self.zones
+            .iter()
+            .filter(|z| z.dnssec != DnssecClass::Unresolvable)
+    }
+}
+
+// Security is re-exported so downstream users need not depend on
+// dns-resolver directly.
+pub use dns_resolver::validate::Security as ResolverSecurity;

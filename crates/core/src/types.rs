@@ -1,0 +1,343 @@
+//! Observation and classification types produced by the scanner.
+
+use dns_wire::name::Name;
+use dns_wire::rdata::{DnskeyData, DsData};
+use netsim::{Addr, SimMicros};
+use serde::Serialize;
+
+/// Serialize a [`Name`] as its presentation string.
+fn ser_name<S: serde::Serializer>(n: &Name, s: S) -> Result<S::Ok, S::Error> {
+    s.serialize_str(&n.to_string_fqdn())
+}
+
+/// Serialize a list of [`Name`]s as presentation strings.
+fn ser_names<S: serde::Serializer>(v: &[Name], s: S) -> Result<S::Ok, S::Error> {
+    use serde::ser::SerializeSeq;
+    let mut seq = s.serialize_seq(Some(v.len()))?;
+    for n in v {
+        seq.serialize_element(&n.to_string_fqdn())?;
+    }
+    seq.end()
+}
+
+/// One CDS-shaped record observed on the wire (CDS or CDNSKEY), reduced
+/// to a comparable form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum CdsSeen {
+    Cds {
+        key_tag: u16,
+        algorithm: u8,
+        digest_type: u8,
+        digest: Vec<u8>,
+    },
+    Cdnskey {
+        flags: u16,
+        algorithm: u8,
+        public_key: Vec<u8>,
+    },
+}
+
+impl CdsSeen {
+    pub fn from_ds(d: &DsData) -> Self {
+        CdsSeen::Cds {
+            key_tag: d.key_tag,
+            algorithm: d.algorithm,
+            digest_type: d.digest_type,
+            digest: d.digest.clone(),
+        }
+    }
+
+    pub fn from_dnskey(k: &DnskeyData) -> Self {
+        CdsSeen::Cdnskey {
+            flags: k.flags,
+            algorithm: k.algorithm,
+            public_key: k.public_key.clone(),
+        }
+    }
+
+    /// RFC 8078 deletion sentinel?
+    pub fn is_delete(&self) -> bool {
+        match self {
+            CdsSeen::Cds { algorithm, .. } => *algorithm == 0,
+            CdsSeen::Cdnskey { algorithm, .. } => *algorithm == 0,
+        }
+    }
+}
+
+/// What one nameserver address said when asked about a zone.
+#[derive(Debug, Clone, Serialize)]
+pub struct NsObservation {
+    /// NS hostname this address belongs to.
+    #[serde(serialize_with = "ser_name")]
+    pub ns_name: Name,
+    #[serde(skip)]
+    pub addr: Addr,
+    /// The server answered (vs timeout/unreachable).
+    pub responded: bool,
+    /// The server answered the SOA query with an actual SOA record —
+    /// lame/parked servers (which answer everything but serve nothing)
+    /// fail this and are excluded from consistency checks.
+    pub soa_present: bool,
+    /// The server returned an error rcode for CDS-type queries (the
+    /// pre-RFC 3597 behaviour of §4.2).
+    pub cds_query_error: bool,
+    /// DNSKEY records returned.
+    #[serde(skip)]
+    pub dnskeys: Vec<DnskeyData>,
+    /// CDS/CDNSKEY content returned (sorted for comparison).
+    pub cds: Vec<CdsSeen>,
+    /// The RRSIGs over the CDS RRset verified against the zone's DNSKEYs.
+    pub cds_sig_valid: Option<bool>,
+    /// The zone publishes an RFC 7477 CSYNC record (the paper's §6
+    /// future-work synchronisation channel).
+    pub csync_present: bool,
+}
+
+/// What the scanner saw for one signal name
+/// (`_dsboot.<zone>._signal.<ns>`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SignalObservation {
+    /// The NS hostname whose signal subtree was probed.
+    #[serde(serialize_with = "ser_name")]
+    pub ns_name: Name,
+    /// The signal name could not even be formed (overlong /
+    /// in-domain NS).
+    pub name_unbuildable: bool,
+    /// Signal CDS content found (empty = nothing published there).
+    pub cds: Vec<CdsSeen>,
+    /// The signal records' DNSSEC chain validated end to end.
+    pub dnssec_valid: Option<bool>,
+    /// An (apparent) zone cut was detected on the signal path.
+    pub zone_cut: bool,
+}
+
+/// DNSSEC status per paper §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum DnssecClass {
+    Unsigned,
+    Secured,
+    Invalid,
+    Island,
+    /// The zone did not resolve at all (excluded from §4.1 percentages).
+    Unresolvable,
+}
+
+/// CDS status per paper §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum CdsClass {
+    /// No CDS anywhere.
+    Absent,
+    /// Present, consistent across NSes, matches a DNSKEY, validly signed
+    /// (where the zone is signed).
+    Valid,
+    /// Present and consistent, but a deletion request.
+    Delete,
+    /// NSes disagree about the CDS content.
+    Inconsistent,
+    /// CDS corresponds to no DNSKEY in the zone.
+    MismatchesDnskey,
+    /// The RRSIG over the CDS does not verify.
+    BadSignature,
+}
+
+/// Authenticated-Bootstrapping status per paper §4.3/§4.4 (Table 3's
+/// waterfall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum AbClass {
+    /// No signal RRs anywhere.
+    NoSignal,
+    /// Signal RRs exist but the zone is already secured.
+    AlreadySecured,
+    /// Signal RRs exist but the zone cannot be bootstrapped (deletion
+    /// request, unsigned, invalid, inconsistent/bad CDS).
+    CannotBootstrap(CannotReason),
+    /// Bootstrappable and signal RRs exist, but the signal setup violates
+    /// RFC 9615.
+    SignalIncorrect(SignalViolation),
+    /// Bootstrappable with a fully correct signal setup.
+    SignalCorrect,
+}
+
+/// Why a signal-bearing zone cannot be bootstrapped (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum CannotReason {
+    DeletionRequest,
+    ZoneUnsigned,
+    ZoneInvalidDnssec,
+    CdsInconsistent,
+    CdsBadSignature,
+    CdsMismatch,
+}
+
+/// Which RFC 9615 requirement the signal setup violates (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SignalViolation {
+    /// A zone cut inside the signal zone path.
+    ZoneCut,
+    /// Signal RRs not published under every NS.
+    NotUnderEveryNs,
+    /// Signal records' DNSSEC did not validate (bad or expired).
+    InvalidDnssec,
+    /// Signal content disagrees between NSes or with the in-zone CDS.
+    ContentMismatch,
+}
+
+/// Everything measured about one zone.
+#[derive(Debug, Clone, Serialize)]
+pub struct ZoneScan {
+    #[serde(serialize_with = "ser_name")]
+    pub name: Name,
+    /// NS hostnames per the registry (parent zone).
+    #[serde(serialize_with = "ser_names")]
+    pub ns_names: Vec<Name>,
+    /// DS records at the parent.
+    #[serde(skip)]
+    pub parent_ds: Vec<DsData>,
+    /// Per-address observations.
+    pub ns_observations: Vec<NsObservation>,
+    /// Per-NS-hostname signal observations.
+    pub signal_observations: Vec<SignalObservation>,
+    /// Classifications.
+    pub dnssec: DnssecClass,
+    pub cds: CdsClass,
+    pub ab: AbClass,
+    /// Operator identification.
+    pub operator: crate::operator::Identified,
+    /// Scan cost.
+    pub queries: u32,
+    pub elapsed: SimMicros,
+    /// Whether Cloudflare-style address sampling was applied.
+    pub sampled: bool,
+}
+
+impl ZoneScan {
+    /// All distinct CDS contents seen in-zone (union over NSes).
+    pub fn cds_union(&self) -> Vec<CdsSeen> {
+        let mut v: Vec<CdsSeen> = Vec::new();
+        for o in &self.ns_observations {
+            for c in &o.cds {
+                if !v.contains(c) {
+                    v.push(c.clone());
+                }
+            }
+        }
+        v.sort();
+        v
+    }
+
+    /// Whether any NS failed/errored on CDS queries (§4.2 "lack of
+    /// support for CDS").
+    pub fn cds_query_failures(&self) -> bool {
+        self.ns_observations
+            .iter()
+            .any(|o| !o.responded || o.cds_query_error)
+    }
+
+    /// Whether any signal RRs were observed.
+    pub fn has_signal(&self) -> bool {
+        self.signal_observations.iter().any(|s| !s.cds.is_empty())
+    }
+}
+
+// Manual Serialize for Identified so reports can dump JSON.
+impl Serialize for crate::operator::Identified {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            crate::operator::Identified::Single(n) => s.serialize_str(n),
+            crate::operator::Identified::Multi(v) => s.serialize_str(&v.join("+")),
+            crate::operator::Identified::Unknown => s.serialize_str("unknown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name;
+
+    fn obs(ns: &str, cds: Vec<CdsSeen>) -> NsObservation {
+        NsObservation {
+            ns_name: name!(ns),
+            addr: Addr::V4(std::net::Ipv4Addr::new(10, 0, 0, 1)),
+            responded: true,
+            soa_present: true,
+            cds_query_error: false,
+            dnskeys: vec![],
+            cds,
+            cds_sig_valid: None,
+            csync_present: false,
+        }
+    }
+
+    fn seen(tag: u16) -> CdsSeen {
+        CdsSeen::Cds {
+            key_tag: tag,
+            algorithm: 13,
+            digest_type: 2,
+            digest: vec![tag as u8; 4],
+        }
+    }
+
+    #[test]
+    fn delete_detection() {
+        let d = CdsSeen::Cds {
+            key_tag: 0,
+            algorithm: 0,
+            digest_type: 0,
+            digest: vec![0],
+        };
+        assert!(d.is_delete());
+        assert!(!seen(7).is_delete());
+        let k = CdsSeen::Cdnskey {
+            flags: 0,
+            algorithm: 0,
+            public_key: vec![0],
+        };
+        assert!(k.is_delete());
+    }
+
+    #[test]
+    fn cds_union_dedupes_and_sorts() {
+        let scan = ZoneScan {
+            name: name!("z.test"),
+            ns_names: vec![],
+            parent_ds: vec![],
+            ns_observations: vec![
+                obs("ns1.a.test", vec![seen(2), seen(1)]),
+                obs("ns2.a.test", vec![seen(1)]),
+            ],
+            signal_observations: vec![],
+            dnssec: DnssecClass::Island,
+            cds: CdsClass::Valid,
+            ab: AbClass::NoSignal,
+            operator: crate::operator::Identified::Unknown,
+            queries: 0,
+            elapsed: 0,
+            sampled: false,
+        };
+        let u = scan.cds_union();
+        assert_eq!(u.len(), 2);
+        assert!(u[0] < u[1]);
+    }
+
+    #[test]
+    fn query_failures_flagged() {
+        let mut scan = ZoneScan {
+            name: name!("z.test"),
+            ns_names: vec![],
+            parent_ds: vec![],
+            ns_observations: vec![obs("ns1.a.test", vec![])],
+            signal_observations: vec![],
+            dnssec: DnssecClass::Unsigned,
+            cds: CdsClass::Absent,
+            ab: AbClass::NoSignal,
+            operator: crate::operator::Identified::Unknown,
+            queries: 0,
+            elapsed: 0,
+            sampled: false,
+        };
+        assert!(!scan.cds_query_failures());
+        scan.ns_observations[0].cds_query_error = true;
+        assert!(scan.cds_query_failures());
+    }
+}

@@ -1,0 +1,174 @@
+//! DNSSEC algorithm and digest-type registries (IANA), restricted to the
+//! entries the measurement encounters.
+
+use std::fmt;
+
+/// DNSSEC signing algorithms.
+///
+/// Numbers match the IANA registry so wire data is faithful; the signature
+/// *math* behind each is the simulated keyed-hash scheme (see crate docs),
+/// differing only in conventional signature/key sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 0 — the RFC 8078 "delete DS" sentinel. Never signs.
+    Delete,
+    /// Algorithm 8 — RSA/SHA-256 (simulated; 256-byte signatures).
+    RsaSha256,
+    /// Algorithm 13 — ECDSA P-256/SHA-256 (simulated; 64-byte signatures).
+    EcdsaP256Sha256,
+    /// Algorithm 15 — Ed25519 (simulated; 64-byte signatures).
+    Ed25519,
+    /// Anything else seen on the wire.
+    Unknown(u8),
+}
+
+impl Algorithm {
+    pub fn code(self) -> u8 {
+        match self {
+            Algorithm::Delete => 0,
+            Algorithm::RsaSha256 => 8,
+            Algorithm::EcdsaP256Sha256 => 13,
+            Algorithm::Ed25519 => 15,
+            Algorithm::Unknown(v) => v,
+        }
+    }
+
+    pub fn from_code(v: u8) -> Self {
+        match v {
+            0 => Algorithm::Delete,
+            8 => Algorithm::RsaSha256,
+            13 => Algorithm::EcdsaP256Sha256,
+            15 => Algorithm::Ed25519,
+            other => Algorithm::Unknown(other),
+        }
+    }
+
+    /// Whether a validator can verify signatures made with this algorithm.
+    pub fn is_supported(self) -> bool {
+        matches!(
+            self,
+            Algorithm::RsaSha256 | Algorithm::EcdsaP256Sha256 | Algorithm::Ed25519
+        )
+    }
+
+    /// Conventional signature length in octets (what real implementations
+    /// of the algorithm produce; the simulation matches the size).
+    pub fn signature_len(self) -> usize {
+        match self {
+            Algorithm::RsaSha256 => 256,
+            Algorithm::EcdsaP256Sha256 | Algorithm::Ed25519 => 64,
+            Algorithm::Delete | Algorithm::Unknown(_) => 0,
+        }
+    }
+
+    /// Conventional public-key length in octets.
+    pub fn public_key_len(self) -> usize {
+        match self {
+            Algorithm::RsaSha256 => 260, // exponent framing + 2048-bit modulus
+            Algorithm::EcdsaP256Sha256 => 64,
+            Algorithm::Ed25519 => 32,
+            Algorithm::Delete | Algorithm::Unknown(_) => 0,
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Delete => write!(f, "DELETE"),
+            Algorithm::RsaSha256 => write!(f, "RSASHA256"),
+            Algorithm::EcdsaP256Sha256 => write!(f, "ECDSAP256SHA256"),
+            Algorithm::Ed25519 => write!(f, "ED25519"),
+            Algorithm::Unknown(v) => write!(f, "ALG{v}"),
+        }
+    }
+}
+
+/// DS digest types (RFC 4509, RFC 6605).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DigestType {
+    /// 1 — SHA-1 (legacy).
+    Sha1,
+    /// 2 — SHA-256.
+    Sha256,
+    /// 4 — SHA-384.
+    Sha384,
+    Unknown(u8),
+}
+
+impl DigestType {
+    pub fn code(self) -> u8 {
+        match self {
+            DigestType::Sha1 => 1,
+            DigestType::Sha256 => 2,
+            DigestType::Sha384 => 4,
+            DigestType::Unknown(v) => v,
+        }
+    }
+
+    pub fn from_code(v: u8) -> Self {
+        match v {
+            1 => DigestType::Sha1,
+            2 => DigestType::Sha256,
+            4 => DigestType::Sha384,
+            other => DigestType::Unknown(other),
+        }
+    }
+
+    /// Digest output length in octets; 0 for unknown types.
+    pub fn digest_len(self) -> usize {
+        match self {
+            DigestType::Sha1 => 20,
+            DigestType::Sha256 => 32,
+            DigestType::Sha384 => 48,
+            DigestType::Unknown(_) => 0,
+        }
+    }
+
+    pub fn is_supported(self) -> bool {
+        !matches!(self, DigestType::Unknown(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_codes_roundtrip() {
+        for c in [0u8, 8, 13, 15, 7, 254] {
+            assert_eq!(Algorithm::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    fn delete_is_not_supported_for_signing() {
+        assert!(!Algorithm::Delete.is_supported());
+        assert!(!Algorithm::Unknown(200).is_supported());
+        assert!(Algorithm::EcdsaP256Sha256.is_supported());
+        assert!(Algorithm::Ed25519.is_supported());
+        assert!(Algorithm::RsaSha256.is_supported());
+    }
+
+    #[test]
+    fn signature_sizes_match_convention() {
+        assert_eq!(Algorithm::EcdsaP256Sha256.signature_len(), 64);
+        assert_eq!(Algorithm::Ed25519.signature_len(), 64);
+        assert_eq!(Algorithm::RsaSha256.signature_len(), 256);
+    }
+
+    #[test]
+    fn digest_codes_roundtrip() {
+        for c in [1u8, 2, 4, 3, 99] {
+            assert_eq!(DigestType::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    fn digest_lengths() {
+        assert_eq!(DigestType::Sha1.digest_len(), 20);
+        assert_eq!(DigestType::Sha256.digest_len(), 32);
+        assert_eq!(DigestType::Sha384.digest_len(), 48);
+        assert_eq!(DigestType::Unknown(9).digest_len(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! DS digest computation (RFC 4034 §5.1.4): the digest in a DS record is
+//! `digest( canonical owner name ‖ DNSKEY RDATA )`.
+
+use crate::algorithm::DigestType;
+use crate::sha1::sha1;
+use crate::sha2::{sha256, sha384};
+
+/// Compute a DS digest over a DNSKEY.
+///
+/// `owner_wire` is the owner name in canonical (lowercase, uncompressed)
+/// wire form; `dnskey_rdata` the full DNSKEY RDATA. Returns `None` for
+/// unsupported digest types.
+pub fn ds_digest(digest_type: DigestType, owner_wire: &[u8], dnskey_rdata: &[u8]) -> Option<Vec<u8>> {
+    let mut input = Vec::with_capacity(owner_wire.len() + dnskey_rdata.len());
+    input.extend_from_slice(owner_wire);
+    input.extend_from_slice(dnskey_rdata);
+    Some(match digest_type {
+        DigestType::Sha1 => sha1(&input).to_vec(),
+        DigestType::Sha256 => sha256(&input).to_vec(),
+        DigestType::Sha384 => sha384(&input).to_vec(),
+        DigestType::Unknown(_) => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_lengths_match_type() {
+        let owner = b"\x07example\x00";
+        let rdata = [1u8, 1, 3, 13, 9, 9, 9];
+        assert_eq!(ds_digest(DigestType::Sha1, owner, &rdata).unwrap().len(), 20);
+        assert_eq!(
+            ds_digest(DigestType::Sha256, owner, &rdata).unwrap().len(),
+            32
+        );
+        assert_eq!(
+            ds_digest(DigestType::Sha384, owner, &rdata).unwrap().len(),
+            48
+        );
+        assert_eq!(ds_digest(DigestType::Unknown(9), owner, &rdata), None);
+    }
+
+    #[test]
+    fn digest_depends_on_owner_and_key() {
+        let rdata = [1u8, 1, 3, 13, 5];
+        let a = ds_digest(DigestType::Sha256, b"\x01a\x00", &rdata).unwrap();
+        let b = ds_digest(DigestType::Sha256, b"\x01b\x00", &rdata).unwrap();
+        assert_ne!(a, b);
+        let c = ds_digest(DigestType::Sha256, b"\x01a\x00", &[1, 1, 3, 13, 6]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn digest_is_plain_hash_of_concatenation() {
+        let owner = b"\x02ch\x00";
+        let rdata = [0u8, 0, 3, 13];
+        let mut cat = owner.to_vec();
+        cat.extend_from_slice(&rdata);
+        assert_eq!(
+            ds_digest(DigestType::Sha256, owner, &rdata).unwrap(),
+            sha256(&cat).to_vec()
+        );
+    }
+}

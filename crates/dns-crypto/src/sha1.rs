@@ -1,0 +1,157 @@
+//! SHA-1 (FIPS 180-4), used only where the DNS protocol demands it:
+//! NSEC3 owner-name hashing (RFC 5155 registers SHA-1 as the sole hash
+//! algorithm) and DS digest type 1.
+
+/// One-shot SHA-1.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut state: [u32; 5] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0];
+    let bit_len = (data.len() as u64) * 8;
+    let mut padded = data.to_vec();
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&bit_len.to_be_bytes());
+
+    for chunk in padded.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, wi) in w.iter_mut().take(16).enumerate() {
+            *wi = u32::from_be_bytes(chunk[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5a827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ed9eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        for (s, v) in state.iter_mut().zip([a, b, c, d, e]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+    let mut out = [0u8; 20];
+    for (i, s) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&s.to_be_bytes());
+    }
+    out
+}
+
+/// RFC 5155 §5 NSEC3 hash: `IH(salt, x, k)` — `k+1` SHA-1 applications,
+/// each over the previous digest (or the owner name) concatenated with the
+/// salt. The input name must already be in canonical wire form.
+pub fn nsec3_hash(owner_wire: &[u8], salt: &[u8], iterations: u16) -> [u8; 20] {
+    let mut buf = Vec::with_capacity(owner_wire.len() + salt.len());
+    buf.extend_from_slice(owner_wire);
+    buf.extend_from_slice(salt);
+    let mut digest = sha1(&buf);
+    for _ in 0..iterations {
+        let mut b = Vec::with_capacity(20 + salt.len());
+        b.extend_from_slice(&digest);
+        b.extend_from_slice(salt);
+        digest = sha1(&b);
+    }
+    digest
+}
+
+/// RFC 4648 base32hex (no padding), the encoding NSEC3 owner names use.
+pub fn base32hex(data: &[u8]) -> String {
+    const ALPHABET: &[u8] = b"0123456789abcdefghijklmnopqrstuv";
+    let mut out = String::new();
+    let mut bits = 0u32;
+    let mut acc = 0u32;
+    for &b in data {
+        acc = acc << 8 | b as u32;
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            out.push(ALPHABET[(acc >> bits) as usize & 0x1f] as char);
+        }
+    }
+    if bits > 0 {
+        out.push(ALPHABET[(acc << (5 - bits)) as usize & 0x1f] as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // FIPS 180-4 vectors.
+    #[test]
+    fn sha1_empty() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn sha1_abc() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn sha1_two_block() {
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    // RFC 5155 Appendix A: H(example) with salt aabbccdd, 12 iterations
+    // is 0p9mhaveqvm6t7vbl5lop2u3t2rp3tom (base32hex).
+    #[test]
+    fn nsec3_rfc5155_vector() {
+        let owner = b"\x07example\x00";
+        let salt = [0xaa, 0xbb, 0xcc, 0xdd];
+        let h = nsec3_hash(owner, &salt, 12);
+        assert_eq!(base32hex(&h), "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom");
+    }
+
+    // RFC 5155 Appendix A: a.example → 35mthgpgcu1qg68fab165klnsnk3dpvl.
+    #[test]
+    fn nsec3_rfc5155_vector_a_example() {
+        let owner = b"\x01a\x07example\x00";
+        let salt = [0xaa, 0xbb, 0xcc, 0xdd];
+        let h = nsec3_hash(owner, &salt, 12);
+        assert_eq!(base32hex(&h), "35mthgpgcu1qg68fab165klnsnk3dpvl");
+    }
+
+    #[test]
+    fn zero_iterations_is_single_hash() {
+        let owner = b"\x07example\x00";
+        let mut buf = owner.to_vec();
+        buf.extend_from_slice(b"salt");
+        assert_eq!(nsec3_hash(owner, b"salt", 0), sha1(&buf));
+    }
+
+    #[test]
+    fn base32hex_known_values() {
+        // RFC 4648 §10 (lowercased, unpadded).
+        assert_eq!(base32hex(b""), "");
+        assert_eq!(base32hex(b"f"), "co");
+        assert_eq!(base32hex(b"fo"), "cpng");
+        assert_eq!(base32hex(b"foo"), "cpnmu");
+        assert_eq!(base32hex(b"foob"), "cpnmuog");
+        assert_eq!(base32hex(b"fooba"), "cpnmuoj1");
+        assert_eq!(base32hex(b"foobar"), "cpnmuoj1e8");
+    }
+}

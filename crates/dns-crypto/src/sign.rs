@@ -1,0 +1,254 @@
+//! RRset signing and verification (RFC 4034 §3) over the simulated
+//! signature scheme.
+//!
+//! The message that gets signed is exactly what RFC 4034 §3.1.8.1 mandates:
+//! `RRSIG_RDATA_prefix ‖ canonical RRset wire`, where the prefix is the
+//! RRSIG RDATA up to (not including) the signature field, and the RRset is
+//! in canonical form/order with the original TTL. Callers assemble those
+//! bytes with `dns-wire`'s canonical module; this module is byte-oriented
+//! and does not depend on `dns-wire`.
+
+use crate::algorithm::Algorithm;
+use crate::keys::{expand, KeyPair};
+use crate::sha2::sha256_parts;
+use crate::UnixTime;
+use std::fmt;
+
+/// Inception/expiration window carried in an RRSIG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidityWindow {
+    pub inception: UnixTime,
+    pub expiration: UnixTime,
+}
+
+impl ValidityWindow {
+    /// A window centred on `now`, the shape zone-signing software produces
+    /// (slight backdating against clock skew, weeks of validity).
+    pub fn around(now: UnixTime, backdate: u32, lifetime: u32) -> Self {
+        ValidityWindow {
+            inception: now.saturating_sub(backdate),
+            expiration: now.saturating_add(lifetime),
+        }
+    }
+
+    /// Whether `now` falls inside the window (RFC 4035 §5.3.1: inception ≤
+    /// now ≤ expiration).
+    pub fn contains(&self, now: UnixTime) -> bool {
+        self.inception <= now && now <= self.expiration
+    }
+}
+
+/// Why a signature failed to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureError {
+    /// The algorithm cannot be verified (unknown or the delete sentinel).
+    UnsupportedAlgorithm(u8),
+    /// `now` is before the inception time.
+    NotYetValid,
+    /// `now` is after the expiration time.
+    Expired,
+    /// The signature bytes do not match the keyed hash.
+    BadSignature,
+    /// The signature length is wrong for the algorithm.
+    BadLength { expected: usize, actual: usize },
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::UnsupportedAlgorithm(a) => write!(f, "unsupported algorithm {a}"),
+            SignatureError::NotYetValid => write!(f, "signature not yet valid"),
+            SignatureError::Expired => write!(f, "signature expired"),
+            SignatureError::BadSignature => write!(f, "signature mismatch"),
+            SignatureError::BadLength { expected, actual } => {
+                write!(f, "signature length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// Compute the signature octets over `message` with `key`.
+///
+/// `message` must be `RRSIG_RDATA_prefix ‖ canonical RRset` per RFC 4034.
+/// Panics if the key's algorithm cannot sign (delete sentinel / unknown) —
+/// generating such a signature is a programming error, not a data error.
+pub fn sign_rrset(key: &KeyPair, message: &[u8]) -> Vec<u8> {
+    assert!(
+        key.algorithm.is_supported(),
+        "cannot sign with {}",
+        key.algorithm
+    );
+    signature_bytes(key.algorithm, key.public_key(), message)
+    // Note: the private key's only role in the simulation is deriving the
+    // public key; including it here would break public verifiability.
+    // `KeyPair::private_key` documents this.
+}
+
+/// Verify signature octets over `message` with a *public* key, at time
+/// `now` against the validity `window`.
+pub fn verify_rrset(
+    algorithm: Algorithm,
+    public_key: &[u8],
+    message: &[u8],
+    signature: &[u8],
+    window: ValidityWindow,
+    now: UnixTime,
+) -> Result<(), SignatureError> {
+    if !algorithm.is_supported() {
+        return Err(SignatureError::UnsupportedAlgorithm(algorithm.code()));
+    }
+    if now < window.inception {
+        return Err(SignatureError::NotYetValid);
+    }
+    if now > window.expiration {
+        return Err(SignatureError::Expired);
+    }
+    let expected = signature_bytes(algorithm, public_key, message);
+    if signature.len() != expected.len() {
+        return Err(SignatureError::BadLength {
+            expected: expected.len(),
+            actual: signature.len(),
+        });
+    }
+    if signature != expected.as_slice() {
+        return Err(SignatureError::BadSignature);
+    }
+    Ok(())
+}
+
+/// The keyed-hash signature: domain-separated hash of public key and
+/// message, expanded to the algorithm's conventional signature size.
+fn signature_bytes(algorithm: Algorithm, public_key: &[u8], message: &[u8]) -> Vec<u8> {
+    let digest = sha256_parts(&[b"dnssec-sim-sig", &[algorithm.code()], public_key, message]);
+    expand(&[&digest], algorithm.signature_len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(alg: Algorithm) -> KeyPair {
+        let mut rng = StdRng::seed_from_u64(99);
+        KeyPair::generate(&mut rng, alg, 257)
+    }
+
+    const WINDOW: ValidityWindow = ValidityWindow {
+        inception: 100,
+        expiration: 1000,
+    };
+
+    #[test]
+    fn sign_verify_roundtrip_all_algorithms() {
+        for alg in [
+            Algorithm::RsaSha256,
+            Algorithm::EcdsaP256Sha256,
+            Algorithm::Ed25519,
+        ] {
+            let k = key(alg);
+            let msg = b"canonical rrset bytes";
+            let sig = sign_rrset(&k, msg);
+            assert_eq!(sig.len(), alg.signature_len());
+            verify_rrset(alg, k.public_key(), msg, &sig, WINDOW, 500).unwrap();
+        }
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let k = key(Algorithm::EcdsaP256Sha256);
+        let sig = sign_rrset(&k, b"original");
+        assert_eq!(
+            verify_rrset(k.algorithm, k.public_key(), b"tampered", &sig, WINDOW, 500),
+            Err(SignatureError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let k1 = key(Algorithm::EcdsaP256Sha256);
+        let mut rng = StdRng::seed_from_u64(123);
+        let k2 = KeyPair::generate(&mut rng, Algorithm::EcdsaP256Sha256, 257);
+        let sig = sign_rrset(&k1, b"msg");
+        assert_eq!(
+            verify_rrset(k1.algorithm, k2.public_key(), b"msg", &sig, WINDOW, 500),
+            Err(SignatureError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn corrupted_signature_fails() {
+        let k = key(Algorithm::Ed25519);
+        let mut sig = sign_rrset(&k, b"msg");
+        sig[0] ^= 0xff;
+        assert_eq!(
+            verify_rrset(k.algorithm, k.public_key(), b"msg", &sig, WINDOW, 500),
+            Err(SignatureError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn truncated_signature_fails_with_length_error() {
+        let k = key(Algorithm::Ed25519);
+        let sig = sign_rrset(&k, b"msg");
+        assert_eq!(
+            verify_rrset(k.algorithm, k.public_key(), b"msg", &sig[..32], WINDOW, 500),
+            Err(SignatureError::BadLength {
+                expected: 64,
+                actual: 32
+            })
+        );
+    }
+
+    #[test]
+    fn validity_window_enforced() {
+        let k = key(Algorithm::EcdsaP256Sha256);
+        let sig = sign_rrset(&k, b"msg");
+        assert_eq!(
+            verify_rrset(k.algorithm, k.public_key(), b"msg", &sig, WINDOW, 50),
+            Err(SignatureError::NotYetValid)
+        );
+        assert_eq!(
+            verify_rrset(k.algorithm, k.public_key(), b"msg", &sig, WINDOW, 1001),
+            Err(SignatureError::Expired)
+        );
+        // Boundaries inclusive.
+        assert!(verify_rrset(k.algorithm, k.public_key(), b"msg", &sig, WINDOW, 100).is_ok());
+        assert!(verify_rrset(k.algorithm, k.public_key(), b"msg", &sig, WINDOW, 1000).is_ok());
+    }
+
+    #[test]
+    fn unsupported_algorithm_rejected() {
+        assert_eq!(
+            verify_rrset(Algorithm::Delete, b"", b"msg", b"", WINDOW, 500),
+            Err(SignatureError::UnsupportedAlgorithm(0))
+        );
+        assert_eq!(
+            verify_rrset(Algorithm::Unknown(99), b"", b"msg", b"", WINDOW, 500),
+            Err(SignatureError::UnsupportedAlgorithm(99))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sign")]
+    fn signing_with_delete_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = KeyPair::generate(&mut rng, Algorithm::Delete, 0);
+        sign_rrset(&k, b"msg");
+    }
+
+    #[test]
+    fn window_around_and_contains() {
+        let w = ValidityWindow::around(1000, 100, 5000);
+        assert_eq!(w.inception, 900);
+        assert_eq!(w.expiration, 6000);
+        assert!(w.contains(1000));
+        assert!(!w.contains(899));
+        assert!(!w.contains(6001));
+        // Saturating at zero.
+        let w = ValidityWindow::around(50, 100, 10);
+        assert_eq!(w.inception, 0);
+    }
+}

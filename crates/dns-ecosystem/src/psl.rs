@@ -1,0 +1,136 @@
+//! Public Suffix List model (paper §3: "zones directly underneath an ICANN
+//! public suffix in the Mozilla Public Suffix List").
+
+use dns_wire::name::Name;
+use std::collections::HashSet;
+
+/// A set of public suffixes.
+#[derive(Debug, Clone, Default)]
+pub struct PublicSuffixList {
+    suffixes: HashSet<Name>,
+}
+
+impl PublicSuffixList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The suffixes the simulated registries operate, mirroring the TLDs
+    /// named in the paper: gTLDs via CZDS, the AXFR ccTLDs (.ch, .li,
+    /// .se, .nu, .ee), privately arranged (.uk incl. co.uk, .sk), the AB
+    /// registries (.swiss, .whoswho), plus CT-log-sampled ccTLDs (.de,
+    /// .nl).
+    pub fn simulated() -> Self {
+        let mut psl = Self::new();
+        for s in [
+            "com", "net", "org", "ch", "li", "se", "nu", "ee", "sk", "swiss", "whoswho", "de",
+            "nl", "uk", "co.uk", "org.uk", "bo", "com.bo", "vip", "io", "gov", "es", "digital", "box",
+        ] {
+            psl.add(Name::parse(s).expect("static suffix"));
+        }
+        psl
+    }
+
+    pub fn add(&mut self, suffix: Name) {
+        self.suffixes.insert(suffix);
+    }
+
+    pub fn contains(&self, name: &Name) -> bool {
+        self.suffixes.contains(name)
+    }
+
+    /// The longest public suffix of `name`, if any.
+    pub fn suffix_of(&self, name: &Name) -> Option<Name> {
+        let mut best: Option<Name> = None;
+        let mut cur = Some(name.clone());
+        while let Some(n) = cur {
+            if self.suffixes.contains(&n) && n != *name {
+                best = Some(n.clone());
+                // keep walking: we want the LONGEST suffix, which appears
+                // first walking up from the name, so first hit wins.
+                break;
+            }
+            if self.suffixes.contains(&n) && best.is_none() && n != *name {
+                best = Some(n.clone());
+            }
+            cur = n.parent();
+        }
+        best
+    }
+
+    /// Whether `name` is *directly* under a public suffix — i.e. a
+    /// registrable domain, the unit of the paper's measurement (they keep
+    /// `example.com` and `example.co.uk`, not `a.example.com`).
+    pub fn is_registrable(&self, name: &Name) -> bool {
+        match name.parent() {
+            Some(parent) => self.suffixes.contains(&parent) && !self.suffixes.contains(name),
+            None => false,
+        }
+    }
+
+    /// The registrable domain containing `name` (itself, or an ancestor).
+    pub fn registrable_part(&self, name: &Name) -> Option<Name> {
+        let mut cur = Some(name.clone());
+        while let Some(n) = cur {
+            if self.is_registrable(&n) {
+                return Some(n);
+            }
+            cur = n.parent();
+        }
+        None
+    }
+
+    /// All suffixes (unordered).
+    pub fn suffixes(&self) -> impl Iterator<Item = &Name> {
+        self.suffixes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name;
+
+    #[test]
+    fn registrable_detection() {
+        let psl = PublicSuffixList::simulated();
+        assert!(psl.is_registrable(&name!("example.com")));
+        assert!(psl.is_registrable(&name!("example.co.uk")));
+        assert!(!psl.is_registrable(&name!("a.example.com")));
+        assert!(!psl.is_registrable(&name!("com")));
+        // co.uk is itself a suffix, not registrable.
+        assert!(!psl.is_registrable(&name!("co.uk")));
+        assert!(!psl.is_registrable(&Name::root()));
+    }
+
+    #[test]
+    fn longest_suffix_wins() {
+        let psl = PublicSuffixList::simulated();
+        assert_eq!(psl.suffix_of(&name!("example.co.uk")), Some(name!("co.uk")));
+        assert_eq!(psl.suffix_of(&name!("example.uk")), Some(name!("uk")));
+        assert_eq!(psl.suffix_of(&name!("example.ch")), Some(name!("ch")));
+        assert_eq!(psl.suffix_of(&name!("example.xyz")), None);
+    }
+
+    #[test]
+    fn registrable_part_walks_up() {
+        let psl = PublicSuffixList::simulated();
+        assert_eq!(
+            psl.registrable_part(&name!("deep.www.example.co.uk")),
+            Some(name!("example.co.uk"))
+        );
+        assert_eq!(
+            psl.registrable_part(&name!("example.com")),
+            Some(name!("example.com"))
+        );
+        assert_eq!(psl.registrable_part(&name!("com")), None);
+    }
+
+    #[test]
+    fn paper_tlds_present() {
+        let psl = PublicSuffixList::simulated();
+        for tld in ["ch", "li", "se", "nu", "ee", "uk", "sk", "swiss", "whoswho"] {
+            assert!(psl.contains(&Name::parse(tld).unwrap()), "{tld}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Ground truth: what the generator planted for each zone.
+//!
+//! The scanner never sees these structs — it must *recover* them from DNS
+//! queries. Integration tests compare recovered classifications against
+//! this table, and the benches compare aggregate counts against the
+//! paper's.
+
+use dns_wire::name::Name;
+
+/// Planted DNSSEC state of a zone (paper §4.1 categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnssecState {
+    /// No DNSKEY, no DS.
+    Unsigned,
+    /// Signed, valid, DS in parent.
+    Secured,
+    /// DS in parent but validation fails (bad signatures, or errant DS
+    /// with no DNSKEY at all).
+    Invalid,
+    /// Signed and internally valid, but no DS in parent (paper: "secure
+    /// island").
+    Island,
+}
+
+/// Planted CDS/CDNSKEY publication state (paper §4.2 categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CdsState {
+    /// No CDS/CDNSKEY RRs.
+    None,
+    /// CDS/CDNSKEY matching the zone's KSK, properly signed (when the
+    /// zone is signed at all).
+    Valid,
+    /// RFC 8078 deletion request (`0 0 0 00`).
+    Delete,
+    /// CDS present but matching no DNSKEY in the zone.
+    MismatchesDnskey,
+    /// CDS present but its RRSIG is invalid.
+    BadSignature,
+    /// NSes return *different* CDS RRsets (multi-operator or intra-
+    /// operator inconsistency).
+    Inconsistent,
+}
+
+/// A defect planted in a zone's AB signal publication (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalDefect {
+    /// Signal RRs correct under every NS.
+    None,
+    /// Signal RRs missing under at least one NS (multi-operator setups,
+    /// Cloudflare NS-mismatch synthesis refusals, spurious NSes).
+    MissingUnderSomeNs,
+    /// Signal RRs exist but their DNSSEC signatures are invalid.
+    BadSignature,
+    /// Signal RRs exist but signatures are expired (the forgotten test
+    /// zone).
+    ExpiredSignature,
+    /// The signal path crosses an (apparent) zone cut — the parked-typo-NS
+    /// case (`ns1.desc.io`).
+    ZoneCut,
+    /// The signal-zone copy differs between the zone's NSes.
+    Inconsistent,
+}
+
+/// Planted AB signal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalTruth {
+    /// Operator publishes no signal records for this zone.
+    NotPublished,
+    /// Signal records published (copies of the zone's CDS, including
+    /// deletion-request copies), with the given defect.
+    Published(SignalDefect),
+}
+
+/// Everything the generator decided about one zone.
+#[derive(Debug, Clone)]
+pub struct ZoneTruth {
+    pub name: Name,
+    /// Index into the ecosystem's operator table (primary operator).
+    pub operator: usize,
+    /// Second operator for multi-operator setups.
+    pub second_operator: Option<usize>,
+    pub dnssec: DnssecState,
+    pub cds: CdsState,
+    pub signal: SignalTruth,
+    /// The zone's NSes error on CDS/CDNSKEY queries (pre-RFC 3597).
+    pub legacy_ns: bool,
+    /// All NSes are inside the zone itself (excluded from scanning per
+    /// §3 — "these could never be bootstrapped").
+    pub in_domain_ns: bool,
+}
+
+impl ZoneTruth {
+    /// Paper §4.3's bootstrappability: a secure island with valid,
+    /// non-delete, consistent in-zone CDS RRs.
+    pub fn traditionally_bootstrappable(&self) -> bool {
+        self.dnssec == DnssecState::Island && self.cds == CdsState::Valid
+    }
+
+    /// Whether signal RRs exist at all (Table 3 row 1).
+    pub fn has_signal(&self) -> bool {
+        matches!(self.signal, SignalTruth::Published(_))
+    }
+
+    /// Paper §4.4's final AB-correct criterion: bootstrappable AND signal
+    /// published with no defect.
+    pub fn ab_correct(&self) -> bool {
+        self.traditionally_bootstrappable()
+            && self.signal == SignalTruth::Published(SignalDefect::None)
+    }
+}
+
+/// Aggregate expectations derived from a truth table (what a perfect
+/// scanner should report).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TruthSummary {
+    pub total: usize,
+    pub unsigned: usize,
+    pub secured: usize,
+    pub invalid: usize,
+    pub islands: usize,
+    pub with_cds: usize,
+    pub islands_with_valid_cds: usize,
+    pub islands_with_delete: usize,
+    pub with_signal: usize,
+    pub ab_correct: usize,
+}
+
+impl TruthSummary {
+    pub fn from_truths(truths: &[ZoneTruth]) -> Self {
+        let mut s = TruthSummary {
+            total: truths.len(),
+            ..Default::default()
+        };
+        for t in truths {
+            match t.dnssec {
+                DnssecState::Unsigned => s.unsigned += 1,
+                DnssecState::Secured => s.secured += 1,
+                DnssecState::Invalid => s.invalid += 1,
+                DnssecState::Island => s.islands += 1,
+            }
+            if t.cds != CdsState::None {
+                s.with_cds += 1;
+            }
+            if t.traditionally_bootstrappable() {
+                s.islands_with_valid_cds += 1;
+            }
+            if t.dnssec == DnssecState::Island && t.cds == CdsState::Delete {
+                s.islands_with_delete += 1;
+            }
+            if t.has_signal() {
+                s.with_signal += 1;
+            }
+            if t.ab_correct() {
+                s.ab_correct += 1;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name;
+
+    fn t(dnssec: DnssecState, cds: CdsState, signal: SignalTruth) -> ZoneTruth {
+        ZoneTruth {
+            name: name!("x.test"),
+            operator: 0,
+            second_operator: None,
+            dnssec,
+            cds,
+            signal,
+            legacy_ns: false,
+            in_domain_ns: false,
+        }
+    }
+
+    #[test]
+    fn bootstrappable_requires_island_and_valid_cds() {
+        assert!(t(DnssecState::Island, CdsState::Valid, SignalTruth::NotPublished)
+            .traditionally_bootstrappable());
+        assert!(!t(DnssecState::Island, CdsState::Delete, SignalTruth::NotPublished)
+            .traditionally_bootstrappable());
+        assert!(!t(DnssecState::Secured, CdsState::Valid, SignalTruth::NotPublished)
+            .traditionally_bootstrappable());
+        assert!(!t(DnssecState::Unsigned, CdsState::Valid, SignalTruth::NotPublished)
+            .traditionally_bootstrappable());
+    }
+
+    #[test]
+    fn ab_correct_requires_defect_free_signal() {
+        assert!(t(
+            DnssecState::Island,
+            CdsState::Valid,
+            SignalTruth::Published(SignalDefect::None)
+        )
+        .ab_correct());
+        assert!(!t(
+            DnssecState::Island,
+            CdsState::Valid,
+            SignalTruth::Published(SignalDefect::ZoneCut)
+        )
+        .ab_correct());
+        assert!(!t(DnssecState::Island, CdsState::Valid, SignalTruth::NotPublished).ab_correct());
+        // A secured zone with perfect signal is still not "AB correct" in
+        // the bootstrappable sense (it's already secured).
+        assert!(!t(
+            DnssecState::Secured,
+            CdsState::Valid,
+            SignalTruth::Published(SignalDefect::None)
+        )
+        .ab_correct());
+    }
+
+    #[test]
+    fn summary_counts() {
+        let truths = vec![
+            t(DnssecState::Unsigned, CdsState::None, SignalTruth::NotPublished),
+            t(DnssecState::Secured, CdsState::Valid, SignalTruth::Published(SignalDefect::None)),
+            t(DnssecState::Island, CdsState::Valid, SignalTruth::Published(SignalDefect::None)),
+            t(DnssecState::Island, CdsState::Delete, SignalTruth::NotPublished),
+            t(DnssecState::Invalid, CdsState::None, SignalTruth::NotPublished),
+        ];
+        let s = TruthSummary::from_truths(&truths);
+        assert_eq!(s.total, 5);
+        assert_eq!(s.unsigned, 1);
+        assert_eq!(s.secured, 1);
+        assert_eq!(s.islands, 2);
+        assert_eq!(s.invalid, 1);
+        assert_eq!(s.with_cds, 3);
+        assert_eq!(s.islands_with_valid_cds, 1);
+        assert_eq!(s.islands_with_delete, 1);
+        assert_eq!(s.with_signal, 2);
+        assert_eq!(s.ab_correct, 1);
+    }
+}

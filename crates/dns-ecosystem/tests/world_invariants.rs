@@ -1,0 +1,185 @@
+//! Structural invariants of the generated world, checked by direct
+//! inspection (not through the scanner): signal-zone contents, DS
+//! correspondence, the paper's deSEC zone-size arithmetic, and seed-list
+//! coverage.
+
+use dns_ecosystem::{build, CdsState, DnssecState, EcosystemConfig, SignalTruth};
+use dns_wire::message::Message;
+use dns_wire::name::Name;
+use dns_wire::record::RecordType;
+use netsim::Transport;
+
+#[test]
+fn desec_signal_volume_matches_paper_arithmetic() {
+    // Paper §4.4: deSEC's signal RRs per zone per NS = 3 (CDS SHA-256,
+    // CDS SHA-384, one CDNSKEY). Verify by querying the live servers for
+    // a deSEC-hosted signal name.
+    let eco = build(paper_small());
+    let desec_idx = eco
+        .operators
+        .iter()
+        .position(|o| o.name == "deSEC")
+        .unwrap();
+    let zone = eco
+        .truth
+        .iter()
+        .find(|t| {
+            t.operator == desec_idx
+                && t.dnssec == DnssecState::Island
+                && t.cds == CdsState::Valid
+                && t.signal == SignalTruth::Published(dns_ecosystem::SignalDefect::None)
+        })
+        .expect("deSEC bootstrappable zone");
+    let ns = &eco.operators[desec_idx].hosts[0]; // ns1.desec.io
+    let signame = dns_zone::signal_name(&zone.name, ns).unwrap();
+    let addr = eco.operators[desec_idx].host_addrs[0][0];
+    let mut signal_rrs = 0;
+    for rtype in [RecordType::Cds, RecordType::Cdnskey] {
+        let q = Message::query(1, signame.clone(), rtype, true);
+        let out = eco.net.query(addr, &q.to_bytes(), Transport::Udp).unwrap();
+        let resp = Message::from_bytes(&out.reply).unwrap();
+        signal_rrs += resp.answers_of(rtype).len();
+    }
+    assert_eq!(signal_rrs, 3, "2×CDS + 1×CDNSKEY per NS (paper §4.4)");
+}
+
+#[test]
+fn glauca_publishes_deletes_in_signal_desec_does_not() {
+    // Paper §4.4: "Such deletion RRs in signal zones are published by
+    // Cloudflare and Glauca Digital, but not by deSec."
+    let eco = build(paper_small());
+    for (op_name, expect_delete_signal) in [("Glauca Digital", true), ("deSEC", false)] {
+        let idx = eco.operators.iter().position(|o| o.name == op_name).unwrap();
+        let Some(zone) = eco.truth.iter().find(|t| {
+            t.operator == idx && t.dnssec == DnssecState::Island && t.cds == CdsState::Delete
+        }) else {
+            assert!(!expect_delete_signal, "{op_name} should have delete islands");
+            continue;
+        };
+        assert_eq!(
+            zone.has_signal(),
+            expect_delete_signal,
+            "{op_name}: delete islands signal-published = {expect_delete_signal}"
+        );
+    }
+}
+
+#[test]
+fn secured_zones_have_matching_ds_in_registry() {
+    let eco = build(EcosystemConfig::tiny(8));
+    let mut checked = 0;
+    for t in eco.truth.iter().filter(|t| t.dnssec == DnssecState::Secured) {
+        let tld = t.name.parent().unwrap();
+        let store = &eco.registry_stores[&tld];
+        let tld_zone = store.get(&tld).unwrap();
+        assert!(
+            tld_zone.rrset(&t.name, RecordType::Ds).is_some(),
+            "{} secured without DS in {}",
+            t.name,
+            tld
+        );
+        checked += 1;
+    }
+    assert!(checked > 5);
+}
+
+#[test]
+fn islands_have_no_ds_in_registry() {
+    let eco = build(EcosystemConfig::tiny(8));
+    for t in eco.truth.iter().filter(|t| t.dnssec == DnssecState::Island) {
+        let tld = t.name.parent().unwrap();
+        let tld_zone = eco.registry_stores[&tld].get(&tld).unwrap();
+        assert!(
+            tld_zone.rrset(&t.name, RecordType::Ds).is_none(),
+            "{} is an island but has DS",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn ct_only_tlds_never_fully_covered() {
+    // §3.1: .de/.nl only via CT logs at 43–80 % coverage.
+    let eco = build(paper_small());
+    let de = Name::parse("de").unwrap();
+    let truth_de = eco
+        .truth
+        .iter()
+        .filter(|t| t.name.parent() == Some(de.clone()))
+        .count();
+    let seeds_de = eco
+        .seeds
+        .ct_logs
+        .get(&de)
+        .map(|v| v.len())
+        .unwrap_or(0);
+    assert!(truth_de > 100, "enough .de zones to sample: {truth_de}");
+    let cov = seeds_de as f64 / truth_de as f64;
+    assert!(
+        (0.35..0.9).contains(&cov),
+        ".de CT coverage {cov:.2} outside the §3.1 band"
+    );
+    assert!(!eco.seeds.zone_files.contains_key(&de));
+}
+
+#[test]
+fn every_operator_base_zone_is_served() {
+    // Each operator NS hostname must resolve within its own server's
+    // store (the base zone carries the address records).
+    let eco = build(EcosystemConfig::tiny(2));
+    for op in &eco.operators {
+        for (host, addrs) in op.hosts.iter().zip(op.host_addrs.iter()) {
+            let q = Message::query(9, host.clone(), RecordType::A, false);
+            let out = eco
+                .net
+                .query(addrs[0], &q.to_bytes(), Transport::Udp)
+                .unwrap_or_else(|e| panic!("{host} via {}: {e}", addrs[0]));
+            let resp = Message::from_bytes(&out.reply).unwrap();
+            assert!(
+                !resp.answers.is_empty(),
+                "{} must serve its own A record",
+                host
+            );
+        }
+    }
+}
+
+/// A smaller paper world for structure checks (scale 1:200 000 keeps the
+/// scaled operators tiny while the unscaled pools stay full-size).
+fn paper_small() -> EcosystemConfig {
+    EcosystemConfig::paper_default(200_000)
+}
+
+#[test]
+fn nsec3_operators_sign_with_nsec3() {
+    // tiny(): CleanCorp signs with NSEC3; SignalSoft with NSEC.
+    let eco = build(EcosystemConfig::tiny(6));
+    let clean_idx = eco
+        .operators
+        .iter()
+        .position(|o| o.name == "CleanCorp")
+        .unwrap();
+    let zone = eco
+        .truth
+        .iter()
+        .find(|t| t.operator == clean_idx && t.dnssec == DnssecState::Secured)
+        .unwrap();
+    // Query an NXDOMAIN under the zone with DO: the denial must be NSEC3
+    // (no NSEC record exists anywhere in the zone).
+    let missing = zone.name.prepend_label(b"nope").unwrap();
+    let addr = eco.operators[clean_idx].host_addrs[0][0];
+    let q = Message::query(4, missing, RecordType::A, true);
+    let out = eco.net.query(addr, &q.to_bytes(), Transport::Udp).unwrap();
+    let resp = Message::from_bytes(&out.reply).unwrap();
+    // The apex carries NSEC3PARAM.
+    let q2 = Message::query(5, zone.name.clone(), RecordType::Nsec3param, true);
+    let out2 = eco.net.query(addr, &q2.to_bytes(), Transport::Udp).unwrap();
+    let resp2 = Message::from_bytes(&out2.reply).unwrap();
+    assert_eq!(resp2.answers_of(RecordType::Nsec3param).len(), 1);
+    // And no NSEC records at the apex.
+    let q3 = Message::query(6, zone.name.clone(), RecordType::Nsec, true);
+    let out3 = eco.net.query(addr, &q3.to_bytes(), Transport::Udp).unwrap();
+    let resp3 = Message::from_bytes(&out3.reply).unwrap();
+    assert!(resp3.answers_of(RecordType::Nsec).is_empty());
+    let _ = resp;
+}

@@ -1,0 +1,179 @@
+//! One authoritative exchange: query a specific server address.
+
+use dns_wire::message::Message;
+use dns_wire::name::Name;
+use dns_wire::record::RecordType;
+use netsim::{Addr, NetError, Network, SimMicros, Transport};
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Arc;
+
+/// The result of one logical query (possibly UDP + TCP retry).
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    pub message: Message,
+    /// Virtual time spent, including retries and the TCP fallback.
+    pub elapsed: SimMicros,
+    /// Datagrams sent (UDP attempts + TCP attempts).
+    pub attempts: u32,
+    /// Whether the final answer arrived over TCP.
+    pub used_tcp: bool,
+}
+
+/// A thin client over the simulated network.
+///
+/// Stateless apart from a query-ID counter; share freely across scanner
+/// workers via `Arc`.
+pub struct DnsClient {
+    net: Arc<Network>,
+    next_id: AtomicU16,
+}
+
+impl DnsClient {
+    pub fn new(net: Arc<Network>) -> Self {
+        DnsClient {
+            net,
+            next_id: AtomicU16::new(1),
+        }
+    }
+
+    /// The underlying network (for stats access).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Send (qname, qtype) to `server`; follow truncation over TCP.
+    pub fn query(
+        &self,
+        server: Addr,
+        qname: &Name,
+        qtype: RecordType,
+        dnssec_ok: bool,
+    ) -> Result<Exchange, NetError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let q = Message::query(id, qname.clone(), qtype, dnssec_ok);
+        let bytes = q.to_bytes();
+        let udp = self.net.query(server, &bytes, Transport::Udp)?;
+        let mut elapsed = udp.elapsed;
+        let mut attempts = udp.attempts;
+        let msg = Message::from_bytes(&udp.reply).map_err(|_| NetError::Timeout)?;
+        if !msg.header.flags.truncated {
+            return Ok(Exchange {
+                message: msg,
+                elapsed,
+                attempts,
+                used_tcp: false,
+            });
+        }
+        // TC=1 → retry the same question over TCP.
+        let tcp = self.net.query(server, &bytes, Transport::Tcp)?;
+        elapsed += tcp.elapsed;
+        attempts += tcp.attempts;
+        let msg = Message::from_bytes(&tcp.reply).map_err(|_| NetError::Timeout)?;
+        Ok(Exchange {
+            message: msg,
+            elapsed,
+            attempts,
+            used_tcp: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_server::{AuthServer, ZoneStore};
+    use dns_wire::name;
+    use dns_wire::rdata::{RData, SoaData};
+    use dns_wire::record::Record;
+    use dns_zone::Zone;
+    use std::net::Ipv4Addr;
+
+    fn setup() -> (Arc<Network>, Addr) {
+        let net = Arc::new(Network::new(1));
+        let apex = name!("t.test");
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Soa(SoaData {
+                mname: name!("ns1.t.test"),
+                rname: name!("h.t.test"),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 300,
+            }),
+        ));
+        for i in 0..15 {
+            z.add(Record::new(
+                apex.clone(),
+                300,
+                RData::Txt(vec![vec![b'a' + i; 180]]),
+            ));
+        }
+        z.add(Record::new(
+            name!("www.t.test"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        let store = Arc::new(ZoneStore::new());
+        store.insert(z);
+        let sid = net.register(AuthServer::new(store));
+        let addr = Addr::V4(Ipv4Addr::new(192, 0, 2, 53));
+        net.bind_simple(addr, sid);
+        (net, addr)
+    }
+
+    #[test]
+    fn simple_query() {
+        let (net, addr) = setup();
+        let c = DnsClient::new(net);
+        let ex = c
+            .query(addr, &name!("www.t.test"), RecordType::A, true)
+            .unwrap();
+        assert!(!ex.used_tcp);
+        assert_eq!(ex.message.answers_of(RecordType::A).len(), 1);
+        assert!(ex.elapsed > 0);
+    }
+
+    #[test]
+    fn truncation_falls_back_to_tcp() {
+        let (net, addr) = setup();
+        let c = DnsClient::new(net);
+        let ex = c
+            .query(addr, &name!("t.test"), RecordType::Txt, true)
+            .unwrap();
+        assert!(ex.used_tcp);
+        assert_eq!(ex.message.answers_of(RecordType::Txt).len(), 15);
+        assert!(ex.attempts >= 2);
+    }
+
+    #[test]
+    fn unreachable_propagates() {
+        let (net, _) = setup();
+        let c = DnsClient::new(net);
+        let err = c
+            .query(
+                Addr::V4(Ipv4Addr::new(203, 0, 113, 1)),
+                &name!("x.test"),
+                RecordType::A,
+                true,
+            )
+            .unwrap_err();
+        assert_eq!(err, NetError::Unreachable);
+    }
+
+    #[test]
+    fn ids_increment() {
+        let (net, addr) = setup();
+        let c = DnsClient::new(net);
+        let a = c
+            .query(addr, &name!("www.t.test"), RecordType::A, false)
+            .unwrap();
+        let b = c
+            .query(addr, &name!("www.t.test"), RecordType::A, false)
+            .unwrap();
+        assert_ne!(a.message.header.id, b.message.header.id);
+    }
+}

@@ -1,0 +1,317 @@
+//! Iterative resolution: walk referrals from the root, recording the
+//! delegation chain for later DNSSEC validation.
+
+use crate::client::DnsClient;
+use dns_wire::message::{Message, Rcode};
+use dns_wire::name::Name;
+use dns_wire::rdata::{DsData, RData};
+use dns_wire::record::{Record, RecordType};
+use netsim::{Addr, SimMicros};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Root server hints: the addresses of the (simulated) root servers.
+#[derive(Debug, Clone)]
+pub struct RootHints {
+    pub addrs: Vec<Addr>,
+}
+
+/// One crossed zone cut, recorded during the walk.
+#[derive(Debug, Clone)]
+pub struct ChainLink {
+    /// Apex of the zone that delegated.
+    pub parent_apex: Name,
+    /// The delegated (child) zone apex.
+    pub child_apex: Name,
+    /// DS RRs seen at the parent side of the cut (`None` = no DS RRs in
+    /// the referral — an insecure delegation).
+    pub ds: Option<Vec<DsData>>,
+    /// RRSIGs over the DS RRset (for validating the DS itself).
+    pub ds_rrsigs: Vec<dns_wire::rdata::RrsigData>,
+    /// NS target names at the cut.
+    pub ns_names: Vec<Name>,
+    /// Server addresses used for the child zone.
+    pub child_servers: Vec<Addr>,
+    /// Server addresses of the parent zone (for re-querying DS).
+    pub parent_servers: Vec<Addr>,
+}
+
+/// A completed resolution.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    pub rcode: Rcode,
+    /// Answer-section records from the final response.
+    pub answers: Vec<Record>,
+    /// Authority-section records from the final response (SOA/NSEC...).
+    pub authorities: Vec<Record>,
+    /// Zone cuts crossed, root-first.
+    pub chain: Vec<ChainLink>,
+    /// Apex of the zone that answered.
+    pub zone_apex: Name,
+    /// Servers of the answering zone.
+    pub zone_servers: Vec<Addr>,
+    /// Virtual time spent.
+    pub elapsed: SimMicros,
+    /// Queries sent (logical, after netsim-level retries are folded in).
+    pub queries: u32,
+}
+
+/// Resolution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolverError {
+    /// No server for a zone could be reached.
+    AllServersFailed(Name),
+    /// Referral loop or excessive depth.
+    TooManyReferrals,
+    /// NS addresses could not be resolved.
+    NoAddresses(Name),
+}
+
+impl fmt::Display for ResolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolverError::AllServersFailed(z) => write!(f, "all servers failed for {z}"),
+            ResolverError::TooManyReferrals => write!(f, "too many referrals"),
+            ResolverError::NoAddresses(n) => write!(f, "no addresses for {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolverError {}
+
+#[derive(Default)]
+struct Cache {
+    /// ns hostname → addresses.
+    addresses: HashMap<Name, Vec<Addr>>,
+}
+
+/// The iterative resolver.
+pub struct Resolver {
+    client: Arc<DnsClient>,
+    roots: RootHints,
+    cache: Mutex<Cache>,
+    max_referrals: usize,
+    max_depth: usize,
+}
+
+impl Resolver {
+    pub fn new(client: Arc<DnsClient>, roots: RootHints) -> Self {
+        Resolver {
+            client,
+            roots,
+            cache: Mutex::new(Cache::default()),
+            max_referrals: 32,
+            max_depth: 6,
+        }
+    }
+
+    /// The underlying client (for direct per-NS queries by the scanner).
+    pub fn client(&self) -> &Arc<DnsClient> {
+        &self.client
+    }
+
+    /// Resolve (name, type) iteratively from the root.
+    pub fn resolve(&self, qname: &Name, qtype: RecordType) -> Result<Resolution, ResolverError> {
+        self.resolve_inner(qname, qtype, 0)
+    }
+
+    fn resolve_inner(
+        &self,
+        qname: &Name,
+        qtype: RecordType,
+        depth: usize,
+    ) -> Result<Resolution, ResolverError> {
+        if depth > self.max_depth {
+            return Err(ResolverError::TooManyReferrals);
+        }
+        let mut servers = self.roots.addrs.clone();
+        let mut zone_apex = Name::root();
+        let mut chain: Vec<ChainLink> = Vec::new();
+        let mut elapsed: SimMicros = 0;
+        let mut queries: u32 = 0;
+
+        for _hop in 0..self.max_referrals {
+            let (msg, ex_elapsed, ex_queries) =
+                self.query_first_responsive(&servers, qname, qtype)?;
+            elapsed += ex_elapsed;
+            queries += ex_queries;
+
+            let msg: Message = msg;
+            if msg.rcode() == Rcode::NxDomain
+                || msg.header.flags.authoritative
+                || msg.rcode().is_error()
+            {
+                return Ok(Resolution {
+                    rcode: msg.rcode(),
+                    answers: msg.answers,
+                    authorities: msg.authorities,
+                    chain,
+                    zone_apex,
+                    zone_servers: servers,
+                    elapsed,
+                    queries,
+                });
+            }
+            // Referral: find the NS RRset in authority.
+            let ns_records: Vec<&Record> = msg
+                .authorities
+                .iter()
+                .filter(|r| r.rtype() == RecordType::Ns)
+                .collect();
+            if ns_records.is_empty() {
+                // Neither authoritative nor a referral — treat as lame.
+                return Ok(Resolution {
+                    rcode: msg.rcode(),
+                    answers: msg.answers,
+                    authorities: msg.authorities,
+                    chain,
+                    zone_apex,
+                    zone_servers: servers,
+                    elapsed,
+                    queries,
+                });
+            }
+            let cut = ns_records[0].name.clone();
+            if !cut.is_strict_subdomain_of(&zone_apex) {
+                // Upward or sideways referral: bogus server, stop.
+                return Err(ResolverError::TooManyReferrals);
+            }
+            let ns_names: Vec<Name> = ns_records
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Ns(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .collect();
+            let ds: Vec<DsData> = msg
+                .authorities
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Ds(d) if r.name == cut => Some(d.clone()),
+                    _ => None,
+                })
+                .collect();
+            let ds_rrsigs: Vec<_> = msg
+                .authorities
+                .iter()
+                .filter_map(|r| match &r.rdata {
+                    RData::Rrsig(s)
+                        if r.name == cut && s.type_covered == RecordType::Ds.code() =>
+                    {
+                        Some(s.clone())
+                    }
+                    _ => None,
+                })
+                .collect();
+            // Addresses: glue first, then recursive resolution.
+            let mut addrs: Vec<Addr> = Vec::new();
+            for rec in &msg.additionals {
+                match &rec.rdata {
+                    RData::A(a) if ns_names.contains(&rec.name) => addrs.push(Addr::V4(*a)),
+                    RData::Aaaa(a) if ns_names.contains(&rec.name) => addrs.push(Addr::V6(*a)),
+                    _ => {}
+                }
+            }
+            if addrs.is_empty() {
+                for ns in &ns_names {
+                    addrs.extend(self.addresses_of_inner(ns, depth + 1)?);
+                    if !addrs.is_empty() {
+                        break;
+                    }
+                }
+            }
+            if addrs.is_empty() {
+                return Err(ResolverError::NoAddresses(cut));
+            }
+            chain.push(ChainLink {
+                parent_apex: zone_apex.clone(),
+                child_apex: cut.clone(),
+                ds: if ds.is_empty() { None } else { Some(ds) },
+                ds_rrsigs,
+                ns_names,
+                child_servers: addrs.clone(),
+                parent_servers: servers.clone(),
+            });
+            zone_apex = cut;
+            servers = addrs;
+        }
+        Err(ResolverError::TooManyReferrals)
+    }
+
+    /// Resolve the addresses of a nameserver hostname (cached).
+    pub fn addresses_of(&self, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
+        self.addresses_of_inner(ns, 0)
+    }
+
+    fn addresses_of_inner(&self, ns: &Name, depth: usize) -> Result<Vec<Addr>, ResolverError> {
+        if let Some(a) = self.cache.lock().addresses.get(ns) {
+            return Ok(a.clone());
+        }
+        let mut addrs = Vec::new();
+        for qtype in [RecordType::A, RecordType::Aaaa] {
+            if let Ok(res) = self.resolve_inner(ns, qtype, depth) {
+                for rec in &res.answers {
+                    match &rec.rdata {
+                        RData::A(a) if rec.name == *ns => addrs.push(Addr::V4(*a)),
+                        RData::Aaaa(a) if rec.name == *ns => addrs.push(Addr::V6(*a)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.cache.lock().addresses.insert(ns.clone(), addrs.clone());
+        Ok(addrs)
+    }
+
+    /// Pre-seed the address cache (the ecosystem does this for operator
+    /// NS hostnames whose addresses are part of the ground truth).
+    pub fn seed_address(&self, ns: Name, addrs: Vec<Addr>) {
+        self.cache.lock().addresses.insert(ns, addrs);
+    }
+
+    fn query_first_responsive(
+        &self,
+        servers: &[Addr],
+        qname: &Name,
+        qtype: RecordType,
+    ) -> Result<(Message, SimMicros, u32), ResolverError> {
+        let mut elapsed = 0;
+        let mut queries = 0;
+        for &addr in servers {
+            queries += 1;
+            match self.client.query(addr, qname, qtype, true) {
+                Ok(ex) => {
+                    elapsed += ex.elapsed;
+                    // SERVFAIL → try the next server, as real resolvers do.
+                    if ex.message.rcode() == Rcode::ServFail {
+                        continue;
+                    }
+                    return Ok((ex.message, elapsed, queries));
+                }
+                Err(_) => {
+                    elapsed += 2_000_000;
+                }
+            }
+        }
+        Err(ResolverError::AllServersFailed(qname.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // Integration-style resolver tests live in `validate.rs` and the
+    // workspace `tests/` directory where a full root→TLD→zone tree is
+    // built; here we only exercise error paths that need no network.
+
+    #[test]
+    fn error_display() {
+        let e = ResolverError::AllServersFailed(Name::parse("x.test").unwrap());
+        assert!(e.to_string().contains("x.test"));
+        assert!(ResolverError::TooManyReferrals.to_string().contains("referrals"));
+        let e = ResolverError::NoAddresses(Name::parse("ns.test").unwrap());
+        assert!(e.to_string().contains("ns.test"));
+    }
+}

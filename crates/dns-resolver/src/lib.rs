@@ -1,0 +1,23 @@
+//! # dns-resolver — iterative resolution with DNSSEC validation
+//!
+//! The measurement stack's view of the DNS tree:
+//!
+//! * [`DnsClient`] — one authoritative exchange: EDNS+DO query, virtual
+//!   timing, truncation → TCP retry.
+//! * [`Resolver`] — iterative walk from the root hints: referrals chased,
+//!   glue used, out-of-bailiwick NS addresses resolved recursively, and
+//!   the full delegation chain recorded ([`ChainLink`] per zone cut).
+//! * [`validate`] — RFC 4035 chain validation over the recorded chain:
+//!   trust anchor → DS → DNSKEY → RRSIG, producing
+//!   [`Security::Secure`] / [`Security::Insecure`] / [`Security::Bogus`] /
+//!   [`Security::Indeterminate`] exactly as the paper's classification
+//!   needs (signed, unsigned, invalid, island are derived from these plus
+//!   the DS/DNSKEY presence data).
+
+pub mod client;
+pub mod iterate;
+pub mod validate;
+
+pub use client::{DnsClient, Exchange};
+pub use iterate::{ChainLink, Resolution, Resolver, ResolverError, RootHints};
+pub use validate::{validate_resolution, Security};

@@ -1,0 +1,111 @@
+//! Domain-parking servers (Afternic/namefind style).
+//!
+//! Paper §4.4: *"The Afternic NSes respond to all queries identically
+//! (e.g., responding to NS queries with ns1.namefind.com. and
+//! ns2.namefind.com.), thus creating the illusion of a zone cut at every
+//! level of the DNS tree."* One such server, reached through a typo'd NS
+//! name (`ns1.desc.io.`), was enough to disqualify a zone from
+//! Authenticated Bootstrapping because the signal-zone path appeared to
+//! contain a zone cut.
+
+use dns_wire::message::{Message, Rcode};
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::{Record, RecordType};
+use netsim::{Addr, ServerHandler, ServerResponse, Transport};
+use std::net::Ipv4Addr;
+
+/// A parking responder: answers every A query with the parking address and
+/// every NS query (for *any* name) with the configured parking NS names.
+pub struct ParkingServer {
+    /// NS names returned for every NS query (e.g. `ns1.namefind.com`).
+    pub parking_ns: Vec<Name>,
+    /// Address returned for every A query (the parking web page).
+    pub parking_addr: Ipv4Addr,
+}
+
+impl ParkingServer {
+    pub fn namefind() -> Self {
+        ParkingServer {
+            parking_ns: vec![
+                Name::parse("ns1.namefind.com").unwrap(),
+                Name::parse("ns2.namefind.com").unwrap(),
+            ],
+            parking_addr: Ipv4Addr::new(198, 51, 100, 1),
+        }
+    }
+}
+
+impl ServerHandler for ParkingServer {
+    fn handle(&self, query: &[u8], _dst: Addr, _t: Transport, _b: u32) -> ServerResponse {
+        let Ok(parsed) = Message::from_bytes(query) else {
+            return ServerResponse::Drop;
+        };
+        let Some(q) = parsed.questions.first() else {
+            return ServerResponse::Reply(Message::response_to(&parsed, Rcode::FormErr).to_bytes());
+        };
+        let mut resp = Message::response_to(&parsed, Rcode::NoError);
+        resp.header.flags.authoritative = true;
+        match q.rtype {
+            RecordType::Ns => {
+                for ns in &self.parking_ns {
+                    resp.answers
+                        .push(Record::new(q.name.clone(), 300, RData::Ns(ns.clone())));
+                }
+            }
+            RecordType::A => {
+                resp.answers
+                    .push(Record::new(q.name.clone(), 300, RData::A(self.parking_addr)));
+            }
+            // Anything else: NODATA with no SOA — parked zones are sloppy.
+            _ => {}
+        }
+        ServerResponse::Reply(resp.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ask(rtype: RecordType, name: &str) -> Message {
+        let s = ParkingServer::namefind();
+        let q = Message::query(1, Name::parse(name).unwrap(), rtype, true);
+        match s.handle(&q.to_bytes(), Addr::V4(Ipv4Addr::new(1, 1, 1, 1)), Transport::Udp, 0) {
+            ServerResponse::Reply(b) => Message::from_bytes(&b).unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn ns_answered_for_any_name_identically() {
+        // The "zone cut at every level" illusion: NS exists everywhere.
+        let a = ask(RecordType::Ns, "anything.example");
+        let b = ask(RecordType::Ns, "deep.below.anything.example");
+        let c = ask(RecordType::Ns, "_signal.ns1.desc.io");
+        for resp in [&a, &b, &c] {
+            assert_eq!(resp.answers_of(RecordType::Ns).len(), 2);
+            assert!(resp.header.flags.authoritative);
+        }
+        let names: Vec<String> = a
+            .answers
+            .iter()
+            .map(|r| r.rdata.presentation())
+            .collect();
+        assert!(names.contains(&"ns1.namefind.com.".to_string()));
+    }
+
+    #[test]
+    fn a_query_gets_parking_address() {
+        let resp = ask(RecordType::A, "whatever.example");
+        assert_eq!(resp.answers_of(RecordType::A).len(), 1);
+    }
+
+    #[test]
+    fn cds_query_gets_empty_noerror() {
+        let resp = ask(RecordType::Cds, "x.example");
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert!(resp.answers.is_empty());
+        assert!(resp.authorities.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Canonical form and ordering of RRs (RFC 4034 §6) — the input to DNSSEC
+//! signing and verification.
+//!
+//! Canonical form of an RR: owner name lowercased and uncompressed, TTL set
+//! to the RRSIG's Original TTL, names inside RDATA (for the RFC 3597 §4
+//! "well-known" types) lowercased and uncompressed. Canonical ordering of an
+//! RRset sorts RRs by their canonical RDATA treated as an octet string.
+
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::record::{Record, RecordClass};
+use crate::wire::WireWriter;
+use std::cmp::Ordering;
+
+/// A record rendered into canonical wire form, ready for hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalRecord {
+    /// Owner name, lowercased (names are stored lowercase already).
+    pub owner: Name,
+    pub rtype: u16,
+    pub class: u16,
+    /// TTL to embed — callers pass the RRSIG "original TTL".
+    pub ttl: u32,
+    /// Canonical RDATA octets.
+    pub rdata: Vec<u8>,
+}
+
+impl CanonicalRecord {
+    /// Render a record into canonical form with the given TTL override.
+    pub fn from_record(rec: &Record, original_ttl: u32) -> Self {
+        CanonicalRecord {
+            owner: rec.name.clone(),
+            rtype: rec.rtype().code(),
+            class: rec.class.code(),
+            ttl: original_ttl,
+            rdata: canonical_rdata(&rec.rdata),
+        }
+    }
+
+    /// Serialise: owner | type | class | TTL | RDLENGTH | RDATA.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.owner.wire_len() + 10 + self.rdata.len());
+        self.owner.write_uncompressed(&mut out);
+        out.extend_from_slice(&self.rtype.to_be_bytes());
+        out.extend_from_slice(&self.class.to_be_bytes());
+        out.extend_from_slice(&self.ttl.to_be_bytes());
+        out.extend_from_slice(&(self.rdata.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.rdata);
+        out
+    }
+}
+
+/// Canonical RDATA octets for an RDATA value: uncompressed, names already
+/// lowercase (enforced by [`Name`]'s construction).
+pub fn canonical_rdata(rdata: &RData) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    // Compression never applies outside a full message; `WireWriter` only
+    // compresses against names previously written to the *same* buffer, and
+    // each RDATA is rendered into a fresh writer, so the output here is
+    // uncompressed as required.
+    w.without_compression(|w| rdata.write(w));
+    w.into_bytes()
+}
+
+/// RFC 4034 §6.3 comparison of two RDATA values as canonical octet strings.
+pub fn canonical_rdata_cmp(a: &RData, b: &RData) -> Ordering {
+    canonical_rdata(a).cmp(&canonical_rdata(b))
+}
+
+/// Serialise a full RRset in canonical order with the RRSIG original TTL,
+/// concatenating the canonical wire form of each RR. This is the exact byte
+/// string that RFC 4034 §3.1.8.1 appends after the RRSIG RDATA prefix when
+/// computing a signature.
+pub fn canonical_rrset_wire(
+    owner: &Name,
+    class: RecordClass,
+    original_ttl: u32,
+    rdatas: &[RData],
+) -> Vec<u8> {
+    let mut sorted: Vec<&RData> = rdatas.iter().collect();
+    sorted.sort_by(|a, b| canonical_rdata_cmp(a, b));
+    sorted.dedup_by(|a, b| canonical_rdata_cmp(a, b) == Ordering::Equal);
+    let mut out = Vec::new();
+    for rd in sorted {
+        let rec = Record {
+            name: owner.clone(),
+            class,
+            ttl: original_ttl,
+            rdata: (*rd).clone(),
+        };
+        out.extend_from_slice(&CanonicalRecord::from_record(&rec, original_ttl).to_wire());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn canonical_wire_is_order_independent() {
+        let owner = name!("example.com");
+        let a = RData::A(Ipv4Addr::new(192, 0, 2, 1));
+        let b = RData::A(Ipv4Addr::new(192, 0, 2, 2));
+        let w1 = canonical_rrset_wire(&owner, RecordClass::In, 300, &[a.clone(), b.clone()]);
+        let w2 = canonical_rrset_wire(&owner, RecordClass::In, 300, &[b, a]);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn canonical_wire_dedupes() {
+        let owner = name!("example.com");
+        let a = RData::A(Ipv4Addr::new(192, 0, 2, 1));
+        let w1 = canonical_rrset_wire(&owner, RecordClass::In, 300, &[a.clone(), a.clone()]);
+        let w2 = canonical_rrset_wire(&owner, RecordClass::In, 300, &[a]);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn ttl_override_changes_bytes() {
+        let owner = name!("example.com");
+        let a = RData::A(Ipv4Addr::new(192, 0, 2, 1));
+        let w1 = canonical_rrset_wire(&owner, RecordClass::In, 300, std::slice::from_ref(&a));
+        let w2 = canonical_rrset_wire(&owner, RecordClass::In, 600, &[a]);
+        assert_ne!(w1, w2);
+    }
+
+    #[test]
+    fn rdata_names_uncompressed_and_lowercase() {
+        let rd = RData::Ns(name!("NS1.Example.COM"));
+        let bytes = canonical_rdata(&rd);
+        assert_eq!(bytes, b"\x03ns1\x07example\x03com\x00".to_vec());
+    }
+
+    #[test]
+    fn rdata_ordering_is_bytewise() {
+        let a = RData::A(Ipv4Addr::new(10, 0, 0, 1));
+        let b = RData::A(Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(canonical_rdata_cmp(&a, &b), Ordering::Less);
+        assert_eq!(canonical_rdata_cmp(&b, &a), Ordering::Greater);
+        assert_eq!(canonical_rdata_cmp(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn canonical_record_layout() {
+        let rec = Record::new(
+            name!("a.example"),
+            999,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        );
+        let c = CanonicalRecord::from_record(&rec, 300);
+        let w = c.to_wire();
+        // owner (11) + type(2)+class(2)+ttl(4)+rdlen(2)+rdata(4)
+        assert_eq!(w.len(), 11 + 10 + 4);
+        // TTL replaced by original TTL 300.
+        assert_eq!(&w[15..19], &300u32.to_be_bytes());
+        // RDLENGTH = 4.
+        assert_eq!(&w[19..21], &4u16.to_be_bytes());
+    }
+}

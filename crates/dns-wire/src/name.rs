@@ -1,0 +1,480 @@
+//! Domain names (RFC 1035 §3.1) with the semantics DNSSEC needs.
+//!
+//! A [`Name`] is a sequence of labels stored lowercase (DNS names compare
+//! case-insensitively; RFC 4034 §6.2 canonical form lowercases them anyway,
+//! and this crate is a measurement stack, not a 0x20-randomising resolver).
+//! The root name has zero labels.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of a single label in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a whole name in wire octets, including the root byte
+/// (RFC 1035 §2.3.4). The paper's §2 notes that Authenticated Bootstrapping
+/// signal names can exceed this for unusually long child/NS names.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Errors produced while parsing or constructing a [`Name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty (e.g. `a..b`) in a context where that is invalid.
+    EmptyLabel,
+    /// A label exceeded [`MAX_LABEL_LEN`] octets.
+    LabelTooLong(usize),
+    /// The whole name would exceed [`MAX_NAME_LEN`] wire octets.
+    NameTooLong(usize),
+    /// An escape sequence in presentation format was malformed.
+    BadEscape,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            NameError::NameTooLong(n) => write!(f, "name of {n} wire octets exceeds 255"),
+            NameError::BadEscape => write!(f, "malformed escape sequence"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// A fully-qualified domain name.
+///
+/// Internally a vector of lowercase label byte-strings, most significant
+/// label last (i.e. `["www", "example", "com"]`). Equality and ordering are
+/// case-insensitive by construction.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Name {
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Build a name from raw label byte-strings (first = leftmost).
+    ///
+    /// Labels are lowercased. Returns an error on empty or oversized labels
+    /// or an oversized total name.
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, NameError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(NameError::EmptyLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(NameError::LabelTooLong(l.len()));
+            }
+            out.push(l.iter().map(|b| b.to_ascii_lowercase()).collect());
+        }
+        let name = Name { labels: out };
+        let wl = name.wire_len();
+        if wl > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong(wl));
+        }
+        Ok(name)
+    }
+
+    /// Parse presentation format (`www.example.com.` or `www.example.com`).
+    ///
+    /// A single `.` (or empty string) is the root. Supports `\.`-style and
+    /// `\DDD` decimal escapes per RFC 1035 §5.1.
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        if s.is_empty() || s == "." {
+            return Ok(Name::root());
+        }
+        let bytes = s.as_bytes();
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => {
+                    if i + 1 >= bytes.len() {
+                        return Err(NameError::BadEscape);
+                    }
+                    let c = bytes[i + 1];
+                    if c.is_ascii_digit() {
+                        if i + 3 >= bytes.len()
+                            || !bytes[i + 2].is_ascii_digit()
+                            || !bytes[i + 3].is_ascii_digit()
+                        {
+                            return Err(NameError::BadEscape);
+                        }
+                        let v = (bytes[i + 1] - b'0') as u32 * 100
+                            + (bytes[i + 2] - b'0') as u32 * 10
+                            + (bytes[i + 3] - b'0') as u32;
+                        if v > 255 {
+                            return Err(NameError::BadEscape);
+                        }
+                        cur.push(v as u8);
+                        i += 4;
+                    } else {
+                        cur.push(c);
+                        i += 2;
+                    }
+                }
+                b'.' => {
+                    if cur.is_empty() {
+                        return Err(NameError::EmptyLabel);
+                    }
+                    labels.push(std::mem::take(&mut cur));
+                    i += 1;
+                }
+                b => {
+                    cur.push(b);
+                    i += 1;
+                }
+            }
+        }
+        if !cur.is_empty() {
+            labels.push(cur);
+        }
+        Name::from_labels(labels)
+    }
+
+    /// Number of labels (the root has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterate over labels, leftmost first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_slice())
+    }
+
+    /// The leftmost label, if any.
+    pub fn first_label(&self) -> Option<&[u8]> {
+        self.labels.first().map(|l| l.as_slice())
+    }
+
+    /// Length of the uncompressed wire encoding, including the root byte.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// Parent name (one label stripped from the left); `None` at the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// True if `self` equals `ancestor` or is underneath it.
+    ///
+    /// Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        let skip = self.labels.len() - ancestor.labels.len();
+        self.labels[skip..] == ancestor.labels[..]
+    }
+
+    /// Strictly below `ancestor` (subdomain but not equal).
+    pub fn is_strict_subdomain_of(&self, ancestor: &Name) -> bool {
+        self != ancestor && self.is_subdomain_of(ancestor)
+    }
+
+    /// Prepend a single label, e.g. `"_dsboot"` in front of a child name.
+    pub fn prepend_label(&self, label: &[u8]) -> Result<Name, NameError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_vec());
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Concatenate: `self` + `suffix` (self's labels first).
+    pub fn concat(&self, suffix: &Name) -> Result<Name, NameError> {
+        let labels = self
+            .labels
+            .iter()
+            .chain(suffix.labels.iter())
+            .cloned()
+            .collect::<Vec<_>>();
+        Name::from_labels(labels)
+    }
+
+    /// Strip `suffix` from the right, returning the remaining prefix labels
+    /// as a relative stub. `None` when `self` is not under `suffix`.
+    pub fn strip_suffix(&self, suffix: &Name) -> Option<Vec<Vec<u8>>> {
+        if !self.is_subdomain_of(suffix) {
+            return None;
+        }
+        Some(self.labels[..self.labels.len() - suffix.labels.len()].to_vec())
+    }
+
+    /// Canonical DNSSEC ordering (RFC 4034 §6.1): compare label-by-label
+    /// from the *right* (most significant first), each label as a
+    /// lowercase octet string; absent labels sort first.
+    pub fn canonical_cmp(&self, other: &Name) -> std::cmp::Ordering {
+        let a = &self.labels;
+        let b = &other.labels;
+        let n = a.len().min(b.len());
+        for i in 1..=n {
+            let la = &a[a.len() - i];
+            let lb = &b[b.len() - i];
+            match la.cmp(lb) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        a.len().cmp(&b.len())
+    }
+
+    /// Encode without compression into `out`.
+    pub fn write_uncompressed(&self, out: &mut Vec<u8>) {
+        for l in &self.labels {
+            out.push(l.len() as u8);
+            out.extend_from_slice(l);
+        }
+        out.push(0);
+    }
+
+    /// The uncompressed wire encoding as a fresh vector.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.wire_len());
+        self.write_uncompressed(&mut v);
+        v
+    }
+
+    /// Presentation format with a trailing dot; the root is `"."`.
+    pub fn to_string_fqdn(&self) -> String {
+        if self.labels.is_empty() {
+            return ".".to_string();
+        }
+        let mut s = String::new();
+        for l in &self.labels {
+            for &b in l {
+                match b {
+                    // Master-file metacharacters must be escaped so the
+                    // presentation form survives a zone-file round trip
+                    // (RFC 1035 §5.1).
+                    b'.' | b'\\' | b';' | b'"' | b'(' | b')' | b'@' | b'$' => {
+                        s.push('\\');
+                        s.push(b as char);
+                    }
+                    0x21..=0x7e => s.push(b as char),
+                    _ => s.push_str(&format!("\\{:03}", b)),
+                }
+            }
+            s.push('.');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_fqdn())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self.to_string_fqdn())
+    }
+}
+
+impl FromStr for Name {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+/// Convenience: `name!("example.com")`-style construction in tests and
+/// examples; panics on invalid input.
+#[macro_export]
+macro_rules! name {
+    ($s:expr) => {
+        $crate::name::Name::parse($s).expect("invalid name literal")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_properties() {
+        let r = Name::root();
+        assert!(r.is_root());
+        assert_eq!(r.label_count(), 0);
+        assert_eq!(r.wire_len(), 1);
+        assert_eq!(r.to_string_fqdn(), ".");
+        assert_eq!(Name::parse(".").unwrap(), r);
+        assert_eq!(Name::parse("").unwrap(), r);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let n = Name::parse("www.Example.COM.").unwrap();
+        assert_eq!(n.to_string_fqdn(), "www.example.com.");
+        assert_eq!(n.label_count(), 3);
+        let again = Name::parse(&n.to_string_fqdn()).unwrap();
+        assert_eq!(n, again);
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(name!("ExAmPlE.Com"), name!("example.com"));
+    }
+
+    #[test]
+    fn trailing_dot_optional() {
+        assert_eq!(name!("example.com"), name!("example.com."));
+    }
+
+    #[test]
+    fn empty_label_rejected() {
+        assert_eq!(Name::parse("a..b"), Err(NameError::EmptyLabel));
+    }
+
+    #[test]
+    fn label_too_long_rejected() {
+        let l = "a".repeat(64);
+        assert!(matches!(
+            Name::parse(&l),
+            Err(NameError::LabelTooLong(64))
+        ));
+        assert!(Name::parse(&"a".repeat(63)).is_ok());
+    }
+
+    #[test]
+    fn name_too_long_rejected() {
+        // Four 63-byte labels: 4*64 + 1 = 257 > 255.
+        let l = "a".repeat(63);
+        let s = format!("{l}.{l}.{l}.{l}");
+        assert!(matches!(Name::parse(&s), Err(NameError::NameTooLong(_))));
+        // Three labels: 3*64 + 1 = 193, fine.
+        let s = format!("{l}.{l}.{l}");
+        assert!(Name::parse(&s).is_ok());
+    }
+
+    #[test]
+    fn signal_names_can_exceed_255_as_paper_notes() {
+        // Section 2 of the paper: _dsboot.<long child>._signal.<long ns>
+        // can exceed 255 octets — our constructor must reject it so the
+        // ecosystem can model the "cannot be bootstrapped" case.
+        let l = "a".repeat(63);
+        let child = Name::parse(&format!("{l}.{l}.example")).unwrap();
+        let ns = Name::parse(&format!("{l}.{l}.ns.example")).unwrap();
+        let sig = ns.prepend_label(b"_signal").unwrap();
+        let dsboot = child.prepend_label(b"_dsboot").unwrap();
+        assert!(matches!(
+            dsboot.concat(&sig),
+            Err(NameError::NameTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn escapes() {
+        let n = Name::parse(r"a\.b.c").unwrap();
+        assert_eq!(n.label_count(), 2);
+        assert_eq!(n.first_label().unwrap(), b"a.b");
+        assert_eq!(n.to_string_fqdn(), r"a\.b.c.");
+        let n = Name::parse(r"a\032b.c").unwrap();
+        assert_eq!(n.first_label().unwrap(), b"a b");
+        assert!(Name::parse(r"a\").is_err());
+        assert!(Name::parse(r"a\25").is_err());
+        assert!(Name::parse(r"a\999").is_err());
+    }
+
+    #[test]
+    fn subdomain_relations() {
+        let apex = name!("example.com");
+        let www = name!("www.example.com");
+        let other = name!("example.org");
+        assert!(www.is_subdomain_of(&apex));
+        assert!(www.is_strict_subdomain_of(&apex));
+        assert!(apex.is_subdomain_of(&apex));
+        assert!(!apex.is_strict_subdomain_of(&apex));
+        assert!(!other.is_subdomain_of(&apex));
+        assert!(www.is_subdomain_of(&Name::root()));
+        // "badexample.com" must not match "example.com" (label, not string
+        // suffix, comparison).
+        assert!(!name!("badexample.com").is_subdomain_of(&apex));
+    }
+
+    #[test]
+    fn parent_chain() {
+        let n = name!("a.b.c");
+        let p = n.parent().unwrap();
+        assert_eq!(p, name!("b.c"));
+        assert_eq!(p.parent().unwrap(), name!("c"));
+        assert_eq!(p.parent().unwrap().parent().unwrap(), Name::root());
+        assert_eq!(Name::root().parent(), None);
+    }
+
+    #[test]
+    fn canonical_ordering_rfc4034_example() {
+        // RFC 4034 §6.1 gives this sorted sequence.
+        let sorted = [
+            "example.",
+            "a.example.",
+            "yljkjljk.a.example.",
+            "Z.a.example.",
+            "zABC.a.EXAMPLE.",
+            "z.example.",
+            r"\001.z.example.",
+            "*.z.example.",
+            r"\200.z.example.",
+        ];
+        let names: Vec<Name> = sorted.iter().map(|s| Name::parse(s).unwrap()).collect();
+        for w in names.windows(2) {
+            assert_eq!(
+                w[0].canonical_cmp(&w[1]),
+                std::cmp::Ordering::Less,
+                "{} should sort before {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn strip_suffix_and_concat() {
+        let n = name!("_dsboot.example.co.uk._signal.ns1.example.net");
+        let suffix = name!("_signal.ns1.example.net");
+        let stub = n.strip_suffix(&suffix).unwrap();
+        assert_eq!(stub.len(), 4);
+        assert_eq!(stub[0], b"_dsboot");
+        let rebuilt = Name::from_labels(stub)
+            .unwrap()
+            .concat(&suffix)
+            .unwrap();
+        assert_eq!(rebuilt, n);
+        assert!(n.strip_suffix(&name!("example.org")).is_none());
+    }
+
+    #[test]
+    fn wire_roundtrip_uncompressed() {
+        let n = name!("www.example.com");
+        let w = n.to_wire();
+        assert_eq!(
+            w,
+            b"\x03www\x07example\x03com\x00".to_vec()
+        );
+        assert_eq!(w.len(), n.wire_len());
+    }
+}

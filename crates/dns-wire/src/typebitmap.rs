@@ -1,0 +1,195 @@
+//! NSEC / NSEC3 type bitmaps (RFC 4034 §4.1.2).
+//!
+//! A bitmap is a list of (window, length, bits) blocks; type `t` lives in
+//! window `t >> 8`, bit `t & 0xff`. Windows with no set bits are omitted,
+//! and each window's bitmap is truncated to its last non-zero byte.
+
+use crate::record::RecordType;
+use crate::wire::WireError;
+use std::collections::BTreeSet;
+
+/// An ordered set of record types as used in NSEC-family records.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeBitmap {
+    types: BTreeSet<u16>,
+}
+
+impl TypeBitmap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of record types.
+    pub fn from_types<I: IntoIterator<Item = RecordType>>(types: I) -> Self {
+        TypeBitmap {
+            types: types.into_iter().map(|t| t.code()).collect(),
+        }
+    }
+
+    pub fn insert(&mut self, t: RecordType) {
+        self.types.insert(t.code());
+    }
+
+    pub fn contains(&self, t: RecordType) -> bool {
+        self.types.contains(&t.code())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Types in ascending code order.
+    pub fn iter(&self) -> impl Iterator<Item = RecordType> + '_ {
+        self.types.iter().map(|&c| RecordType::from_code(c))
+    }
+
+    /// Encode to wire format, appending to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let mut window: Option<u8> = None;
+        let mut bits = [0u8; 32];
+        let flush = |w: u8, bits: &mut [u8; 32], out: &mut Vec<u8>| {
+            let last = bits.iter().rposition(|&b| b != 0);
+            if let Some(last) = last {
+                out.push(w);
+                out.push((last + 1) as u8);
+                out.extend_from_slice(&bits[..=last]);
+            }
+            *bits = [0u8; 32];
+        };
+        for &t in &self.types {
+            let w = (t >> 8) as u8;
+            if window != Some(w) {
+                if let Some(prev) = window {
+                    flush(prev, &mut bits, out);
+                }
+                window = Some(w);
+            }
+            let lo = (t & 0xff) as usize;
+            bits[lo / 8] |= 0x80 >> (lo % 8);
+        }
+        if let Some(w) = window {
+            flush(w, &mut bits, out);
+        }
+    }
+
+    /// Decode from a complete RDATA tail.
+    pub fn read(buf: &[u8]) -> Result<Self, WireError> {
+        let mut types = BTreeSet::new();
+        let mut i = 0;
+        let mut prev_window: Option<u8> = None;
+        while i < buf.len() {
+            if i + 2 > buf.len() {
+                return Err(WireError::Truncated);
+            }
+            let window = buf[i];
+            let len = buf[i + 1] as usize;
+            if len == 0 || len > 32 {
+                return Err(WireError::BadValue("type bitmap window length"));
+            }
+            if let Some(p) = prev_window {
+                if window <= p {
+                    return Err(WireError::BadValue("type bitmap window order"));
+                }
+            }
+            prev_window = Some(window);
+            i += 2;
+            if i + len > buf.len() {
+                return Err(WireError::Truncated);
+            }
+            for (byte_idx, &b) in buf[i..i + len].iter().enumerate() {
+                for bit in 0..8 {
+                    if b & (0x80 >> bit) != 0 {
+                        types.insert((window as u16) << 8 | (byte_idx as u16 * 8 + bit as u16));
+                    }
+                }
+            }
+            i += len;
+        }
+        Ok(TypeBitmap { types })
+    }
+
+    /// Presentation format: space-separated mnemonics in code order.
+    pub fn presentation(&self) -> String {
+        self.iter()
+            .map(|t| t.mnemonic())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let bm = TypeBitmap::from_types([
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Soa,
+            RecordType::Rrsig,
+            RecordType::Nsec,
+            RecordType::Dnskey,
+        ]);
+        let mut out = Vec::new();
+        bm.write(&mut out);
+        let back = TypeBitmap::read(&out).unwrap();
+        assert_eq!(back, bm);
+        assert!(back.contains(RecordType::Dnskey));
+        assert!(!back.contains(RecordType::Cds));
+    }
+
+    #[test]
+    fn multiple_windows() {
+        // Type 1 (window 0) and an unknown type 0x1234 (window 0x12).
+        let bm = TypeBitmap::from_types([RecordType::A, RecordType::Unknown(0x1234)]);
+        let mut out = Vec::new();
+        bm.write(&mut out);
+        let back = TypeBitmap::read(&out).unwrap();
+        assert_eq!(back, bm);
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn empty_bitmap_is_zero_bytes() {
+        let bm = TypeBitmap::new();
+        let mut out = Vec::new();
+        bm.write(&mut out);
+        assert!(out.is_empty());
+        assert!(TypeBitmap::read(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wire_is_minimal() {
+        // Only type A (bit 1 of window 0): window 0, length 1, one byte.
+        let bm = TypeBitmap::from_types([RecordType::A]);
+        let mut out = Vec::new();
+        bm.write(&mut out);
+        assert_eq!(out, vec![0x00, 0x01, 0x40]);
+    }
+
+    #[test]
+    fn bad_window_length_rejected() {
+        assert!(TypeBitmap::read(&[0x00, 0x00]).is_err());
+        assert!(TypeBitmap::read(&[0x00, 33]).is_err());
+    }
+
+    #[test]
+    fn out_of_order_windows_rejected() {
+        // Window 1 then window 0.
+        let mut out = Vec::new();
+        TypeBitmap::from_types([RecordType::Unknown(0x0100)]).write(&mut out);
+        TypeBitmap::from_types([RecordType::A]).write(&mut out);
+        assert!(TypeBitmap::read(&out).is_err());
+    }
+
+    #[test]
+    fn presentation_order() {
+        let bm = TypeBitmap::from_types([RecordType::Rrsig, RecordType::A, RecordType::Ns]);
+        assert_eq!(bm.presentation(), "A NS RRSIG");
+    }
+}

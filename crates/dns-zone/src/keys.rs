@@ -1,0 +1,300 @@
+//! Zone key sets and the records derived from them: DNSKEY, DS, CDS and
+//! CDNSKEY.
+
+use dns_crypto::{ds_digest, Algorithm, DigestType, KeyPair};
+use dns_wire::name::Name;
+use dns_wire::rdata::{CsyncData, DnskeyData, DsData, RData};
+use dns_wire::record::{Record, RecordType};
+use dns_wire::typebitmap::TypeBitmap;
+use rand::RngCore;
+
+/// Build the RFC 7477 CSYNC record a child publishes to ask its parent to
+/// copy the NS (and glue) RRsets — the other child→parent synchronisation
+/// channel the paper's conclusion points to as future work.
+pub fn csync_record(apex: &Name, ttl: u32, serial: u32, immediate: bool) -> Record {
+    Record::new(
+        apex.clone(),
+        ttl,
+        RData::Csync(CsyncData {
+            serial,
+            flags: if immediate {
+                CsyncData::FLAG_IMMEDIATE
+            } else {
+                CsyncData::FLAG_SOAMINIMUM
+            },
+            types: TypeBitmap::from_types([RecordType::Ns, RecordType::A, RecordType::Aaaa]),
+        }),
+    )
+}
+
+/// How a zone publishes its CDS/CDNSKEY RRsets.
+///
+/// RFC 7344 says publishers of one SHOULD publish both; the paper observes
+/// real operators differ (deSEC publishes CDS at SHA-256 *and* SHA-384 plus
+/// CDNSKEY; others publish only CDS), so the policy is explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdsPublication {
+    /// Publish CDS records with these digest types.
+    pub cds_digests: &'static [DigestType],
+    /// Publish a CDNSKEY record.
+    pub cdnskey: bool,
+}
+
+impl CdsPublication {
+    /// The common setup: CDS (SHA-256) + CDNSKEY.
+    pub const STANDARD: CdsPublication = CdsPublication {
+        cds_digests: &[DigestType::Sha256],
+        cdnskey: true,
+    };
+
+    /// deSEC-style: CDS at SHA-256 and SHA-384, plus CDNSKEY (three signal
+    /// RRs per NS, as the paper's §4.4 size estimate counts).
+    pub const DESEC: CdsPublication = CdsPublication {
+        cds_digests: &[DigestType::Sha256, DigestType::Sha384],
+        cdnskey: true,
+    };
+
+    /// CDS only, SHA-256.
+    pub const CDS_ONLY: CdsPublication = CdsPublication {
+        cds_digests: &[DigestType::Sha256],
+        cdnskey: false,
+    };
+}
+
+/// The signing keys of one zone: a KSK (SEP) and a ZSK.
+#[derive(Debug, Clone)]
+pub struct ZoneKeys {
+    pub ksk: KeyPair,
+    pub zsk: KeyPair,
+}
+
+impl ZoneKeys {
+    /// Generate a fresh KSK/ZSK pair with `algorithm`.
+    pub fn generate<R: RngCore>(rng: &mut R, algorithm: Algorithm) -> Self {
+        ZoneKeys {
+            ksk: KeyPair::generate(rng, algorithm, 257),
+            zsk: KeyPair::generate(rng, algorithm, 256),
+        }
+    }
+
+    /// The DNSKEY records to publish at `apex`.
+    pub fn dnskey_records(&self, apex: &Name, ttl: u32) -> Vec<Record> {
+        [&self.ksk, &self.zsk]
+            .iter()
+            .map(|k| {
+                Record::new(
+                    apex.clone(),
+                    ttl,
+                    RData::Dnskey(DnskeyData {
+                        flags: k.flags,
+                        protocol: 3,
+                        algorithm: k.algorithm.code(),
+                        public_key: k.public_key().to_vec(),
+                    }),
+                )
+            })
+            .collect()
+    }
+
+    /// DS data for the KSK at `apex` with `digest_type`.
+    pub fn ds_data(&self, apex: &Name, digest_type: DigestType) -> DsData {
+        let digest = ds_digest(digest_type, &apex.to_wire(), &self.ksk.dnskey_rdata())
+            .expect("supported digest type");
+        DsData {
+            key_tag: self.ksk.key_tag(),
+            algorithm: self.ksk.algorithm.code(),
+            digest_type: digest_type.code(),
+            digest,
+        }
+    }
+
+    /// The DS record(s) the *parent* should hold for this zone.
+    pub fn ds_records(&self, apex: &Name, ttl: u32, digest_type: DigestType) -> Vec<Record> {
+        vec![Record::new(
+            apex.clone(),
+            ttl,
+            RData::Ds(self.ds_data(apex, digest_type)),
+        )]
+    }
+
+    /// The CDS/CDNSKEY records to publish at `apex` per `policy`.
+    pub fn cds_records(&self, apex: &Name, ttl: u32, policy: CdsPublication) -> Vec<Record> {
+        let mut out = Vec::new();
+        for &dt in policy.cds_digests {
+            out.push(Record::new(
+                apex.clone(),
+                ttl,
+                RData::Cds(self.ds_data(apex, dt)),
+            ));
+        }
+        if policy.cdnskey {
+            out.push(Record::new(
+                apex.clone(),
+                ttl,
+                RData::Cdnskey(DnskeyData {
+                    flags: self.ksk.flags,
+                    protocol: 3,
+                    algorithm: self.ksk.algorithm.code(),
+                    public_key: self.ksk.public_key().to_vec(),
+                }),
+            ));
+        }
+        out
+    }
+
+    /// RFC 8078 deletion-request records (CDS `0 0 0 00` / CDNSKEY
+    /// `0 3 0 0`).
+    pub fn delete_records(apex: &Name, ttl: u32, policy: CdsPublication) -> Vec<Record> {
+        let mut out = vec![Record::new(
+            apex.clone(),
+            ttl,
+            RData::Cds(DsData::delete_sentinel()),
+        )];
+        if policy.cdnskey {
+            out.push(Record::new(
+                apex.clone(),
+                ttl,
+                RData::Cdnskey(DnskeyData::delete_sentinel()),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> ZoneKeys {
+        let mut rng = StdRng::seed_from_u64(42);
+        ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256)
+    }
+
+    #[test]
+    fn ksk_zsk_flags() {
+        let k = keys();
+        assert!(k.ksk.is_ksk());
+        assert!(!k.zsk.is_ksk());
+        assert_eq!(k.ksk.flags, 257);
+        assert_eq!(k.zsk.flags, 256);
+    }
+
+    #[test]
+    fn dnskey_records_publish_both_keys() {
+        let k = keys();
+        let recs = k.dnskey_records(&name!("example.ch"), 3600);
+        assert_eq!(recs.len(), 2);
+        let flags: Vec<u16> = recs
+            .iter()
+            .map(|r| match &r.rdata {
+                RData::Dnskey(d) => d.flags,
+                _ => panic!(),
+            })
+            .collect();
+        assert!(flags.contains(&257) && flags.contains(&256));
+    }
+
+    #[test]
+    fn ds_matches_ksk() {
+        let k = keys();
+        let apex = name!("example.ch");
+        let ds = k.ds_data(&apex, DigestType::Sha256);
+        assert_eq!(ds.key_tag, k.ksk.key_tag());
+        assert_eq!(ds.algorithm, 13);
+        assert_eq!(ds.digest_type, 2);
+        // Digest recomputes identically.
+        let expect = ds_digest(DigestType::Sha256, &apex.to_wire(), &k.ksk.dnskey_rdata()).unwrap();
+        assert_eq!(ds.digest, expect);
+    }
+
+    #[test]
+    fn ds_differs_per_owner() {
+        let k = keys();
+        let a = k.ds_data(&name!("a.ch"), DigestType::Sha256);
+        let b = k.ds_data(&name!("b.ch"), DigestType::Sha256);
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn standard_cds_policy() {
+        let k = keys();
+        let recs = k.cds_records(&name!("example.ch"), 300, CdsPublication::STANDARD);
+        assert_eq!(recs.len(), 2); // CDS sha256 + CDNSKEY
+        assert!(matches!(recs[0].rdata, RData::Cds(_)));
+        assert!(matches!(recs[1].rdata, RData::Cdnskey(_)));
+    }
+
+    #[test]
+    fn desec_cds_policy_has_three_records() {
+        // The paper: "times three, one each for the CDS SHA-256 and
+        // SHA-384 RRs and one CDNSKEY RR."
+        let k = keys();
+        let recs = k.cds_records(&name!("example.ch"), 300, CdsPublication::DESEC);
+        assert_eq!(recs.len(), 3);
+        let digest_types: Vec<u8> = recs
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Cds(d) => Some(d.digest_type),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(digest_types, vec![2, 4]);
+    }
+
+    #[test]
+    fn cds_only_policy() {
+        let k = keys();
+        let recs = k.cds_records(&name!("example.ch"), 300, CdsPublication::CDS_ONLY);
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs[0].rdata, RData::Cds(_)));
+    }
+
+    #[test]
+    fn delete_records_are_sentinels() {
+        let recs = ZoneKeys::delete_records(&name!("x.ch"), 300, CdsPublication::STANDARD);
+        assert_eq!(recs.len(), 2);
+        match &recs[0].rdata {
+            RData::Cds(d) => assert!(d.is_delete()),
+            _ => panic!(),
+        }
+        match &recs[1].rdata {
+            RData::Cdnskey(d) => assert!(d.is_delete()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn csync_record_shape() {
+        let r = csync_record(&name!("x.ch"), 300, 42, true);
+        match &r.rdata {
+            RData::Csync(c) => {
+                assert_eq!(c.serial, 42);
+                assert!(c.immediate());
+                assert!(c.types.contains(RecordType::Ns));
+                assert!(c.types.contains(RecordType::A));
+            }
+            _ => panic!(),
+        }
+        let r = csync_record(&name!("x.ch"), 300, 7, false);
+        match &r.rdata {
+            RData::Csync(c) => assert!(c.soa_minimum() && !c.immediate()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn cdnskey_matches_ksk_public_key() {
+        let k = keys();
+        let recs = k.cds_records(&name!("example.ch"), 300, CdsPublication::STANDARD);
+        match &recs[1].rdata {
+            RData::Cdnskey(d) => {
+                assert_eq!(d.public_key, k.ksk.public_key());
+                assert_eq!(d.flags, 257);
+            }
+            _ => panic!(),
+        }
+    }
+}

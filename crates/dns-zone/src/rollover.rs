@@ -1,0 +1,310 @@
+//! CDS-driven KSK rollover (RFC 7344 §4).
+//!
+//! The paper's §4.3: zones that are already secured "manage key rollovers
+//! with in-zone CDS RRs only". The choreography:
+//!
+//! 1. **Introduce** (operator): publish the new KSK next to the old one,
+//!    sign the DNSKEY RRset with *both* KSKs (so validators chaining from
+//!    either DS succeed), and point CDS/CDNSKEY at the new key. The CDS
+//!    RRs are signed with the extant keys — this is why plain RFC 7344
+//!    cannot *bootstrap*, only roll (paper §2).
+//! 2. **Swap** (registry): observe the CDS, verify it against the current
+//!    chain, replace the DS RRset.
+//! 3. **Retire** (operator): once the new DS has propagated, drop the old
+//!    KSK and its signature.
+
+use crate::keys::{CdsPublication, ZoneKeys};
+use crate::signer::ZoneSigner;
+use crate::zone::Zone;
+use dns_crypto::sign::sign_rrset;
+use dns_crypto::{KeyPair, UnixTime};
+use dns_wire::canonical::canonical_rrset_wire;
+use dns_wire::name::Name;
+use dns_wire::rdata::{DnskeyData, RData, RrsigData};
+use dns_wire::record::{Record, RecordType, RrSet};
+
+/// Remove the RRSIGs at `name` covering `covered`, keeping the rest.
+fn drop_sigs_covering(zone: &mut Zone, name: &Name, covered: &[RecordType]) {
+    if let Some(set) = zone.remove_rrset(name, RecordType::Rrsig) {
+        for rec in set.records() {
+            let keep = match &rec.rdata {
+                RData::Rrsig(s) => !covered.iter().any(|t| t.code() == s.type_covered),
+                _ => true,
+            };
+            if keep {
+                zone.add(rec);
+            }
+        }
+    }
+}
+
+/// Sign `set` with `key` and add the RRSIG to the zone.
+fn add_sig(zone: &mut Zone, set: &RrSet, key: &KeyPair, apex: &Name, now: UnixTime) {
+    let signer = ZoneSigner::new(now);
+    let mut rrsig = RrsigData {
+        type_covered: set.rtype.code(),
+        algorithm: key.algorithm.code(),
+        labels: set.name.label_count() as u8,
+        original_ttl: set.ttl,
+        expiration: signer.window.expiration,
+        inception: signer.window.inception,
+        key_tag: key.key_tag(),
+        signer_name: apex.clone(),
+        signature: Vec::new(),
+    };
+    let mut message = rrsig.signed_prefix();
+    message.extend_from_slice(&canonical_rrset_wire(
+        &set.name, set.class, set.ttl, &set.rdatas,
+    ));
+    rrsig.signature = sign_rrset(key, &message);
+    zone.add(Record::new(set.name.clone(), set.ttl, RData::Rrsig(rrsig)));
+}
+
+/// Phase 1: introduce `new` KSK alongside `old` in a zone previously
+/// signed with `old`. Returns the combined key view (`old` ZSK retained).
+///
+/// After this call:
+/// * the apex DNSKEY RRset holds {old KSK, new KSK, ZSK} and carries one
+///   RRSIG from *each* KSK,
+/// * the CDS/CDNSKEY RRsets advertise the **new** KSK and are re-signed
+///   by the ZSK (the extant chain — the registry validates them against
+///   the *old* DS).
+pub fn introduce_new_ksk(
+    zone: &mut Zone,
+    old: &ZoneKeys,
+    new_ksk: &KeyPair,
+    policy: CdsPublication,
+    now: UnixTime,
+) {
+    assert!(new_ksk.is_ksk(), "replacement key must carry the SEP flag");
+    let apex = zone.apex().clone();
+    // Rebuild the DNSKEY RRset.
+    zone.remove_rrset(&apex, RecordType::Dnskey);
+    drop_sigs_covering(zone, &apex, &[RecordType::Dnskey, RecordType::Cds, RecordType::Cdnskey]);
+    let dnskeys: Vec<DnskeyData> = [&old.ksk, new_ksk, &old.zsk]
+        .iter()
+        .map(|k| DnskeyData {
+            flags: k.flags,
+            protocol: 3,
+            algorithm: k.algorithm.code(),
+            public_key: k.public_key().to_vec(),
+        })
+        .collect();
+    for d in &dnskeys {
+        zone.add(Record::new(apex.clone(), 3600, RData::Dnskey(d.clone())));
+    }
+    let dnskey_set = zone
+        .rrset(&apex, RecordType::Dnskey)
+        .expect("just added")
+        .clone();
+    add_sig(zone, &dnskey_set, &old.ksk, &apex, now);
+    add_sig(zone, &dnskey_set, new_ksk, &apex, now);
+
+    // CDS/CDNSKEY now advertise the new key; signed by the extant ZSK.
+    zone.remove_rrset(&apex, RecordType::Cds);
+    zone.remove_rrset(&apex, RecordType::Cdnskey);
+    let new_keys = ZoneKeys {
+        ksk: new_ksk.clone(),
+        zsk: old.zsk.clone(),
+    };
+    for r in new_keys.cds_records(&apex, 300, policy) {
+        zone.add(r);
+    }
+    for t in [RecordType::Cds, RecordType::Cdnskey] {
+        if let Some(set) = zone.rrset(&apex, t).cloned() {
+            add_sig(zone, &set, &old.zsk, &apex, now);
+        }
+    }
+}
+
+/// Phase 3: retire the old KSK once the new DS is live.
+pub fn retire_old_ksk(zone: &mut Zone, old: &ZoneKeys, new_ksk: &KeyPair, now: UnixTime) {
+    let apex = zone.apex().clone();
+    zone.remove_rrset(&apex, RecordType::Dnskey);
+    drop_sigs_covering(zone, &apex, &[RecordType::Dnskey]);
+    for k in [new_ksk, &old.zsk] {
+        zone.add(Record::new(
+            apex.clone(),
+            3600,
+            RData::Dnskey(DnskeyData {
+                flags: k.flags,
+                protocol: 3,
+                algorithm: k.algorithm.code(),
+                public_key: k.public_key().to_vec(),
+            }),
+        ));
+    }
+    let dnskey_set = zone
+        .rrset(&apex, RecordType::Dnskey)
+        .expect("just added")
+        .clone();
+    add_sig(zone, &dnskey_set, new_ksk, &apex, now);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signer::verify_rrset_with_keys;
+    use dns_crypto::{Algorithm, DigestType};
+    use dns_wire::name;
+    use dns_wire::rdata::SoaData;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const NOW: UnixTime = 1_000_000;
+
+    fn signed_zone() -> (Zone, ZoneKeys) {
+        let apex = name!("roll.ch");
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Soa(SoaData {
+                mname: name!("ns1.roll.ch"),
+                rname: name!("h.roll.ch"),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 300,
+            }),
+        ));
+        z.add(Record::new(apex.clone(), 300, RData::Ns(name!("ns1.op.net"))));
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
+        for r in keys.cds_records(&apex, 300, CdsPublication::STANDARD) {
+            z.add(r);
+        }
+        ZoneSigner::new(NOW).sign(&mut z, &keys);
+        (z, keys)
+    }
+
+    fn dnskeys(zone: &Zone) -> Vec<DnskeyData> {
+        zone.rrset(zone.apex(), RecordType::Dnskey)
+            .unwrap()
+            .rdatas
+            .iter()
+            .map(|rd| match rd {
+                RData::Dnskey(d) => d.clone(),
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    fn rrsigs(zone: &Zone, covered: RecordType) -> Vec<RrsigData> {
+        zone.rrset(zone.apex(), RecordType::Rrsig)
+            .map(|s| {
+                s.rdatas
+                    .iter()
+                    .filter_map(|rd| match rd {
+                        RData::Rrsig(sig) if sig.type_covered == covered.code() => {
+                            Some(sig.clone())
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn new_ksk(seed: u64) -> KeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KeyPair::generate(&mut rng, Algorithm::EcdsaP256Sha256, 257)
+    }
+
+    #[test]
+    fn introduce_publishes_both_ksks_with_double_signature() {
+        let (mut z, old) = signed_zone();
+        let nk = new_ksk(99);
+        introduce_new_ksk(&mut z, &old, &nk, CdsPublication::STANDARD, NOW);
+        let keys = dnskeys(&z);
+        assert_eq!(keys.len(), 3);
+        let sigs = rrsigs(&z, RecordType::Dnskey);
+        assert_eq!(sigs.len(), 2, "one RRSIG per KSK");
+        // The DNSKEY RRset must verify via the OLD key alone (old DS
+        // chain) and via the NEW key alone (future DS chain).
+        let set = z.rrset(z.apex(), RecordType::Dnskey).unwrap().clone();
+        let old_only: Vec<DnskeyData> = keys
+            .iter()
+            .filter(|k| k.public_key == old.ksk.public_key() || !k.is_ksk())
+            .cloned()
+            .collect();
+        let new_only: Vec<DnskeyData> = keys
+            .iter()
+            .filter(|k| k.public_key == nk.public_key() || !k.is_ksk())
+            .cloned()
+            .collect();
+        assert!(verify_rrset_with_keys(&set, &sigs, &old_only, NOW).is_ok());
+        assert!(verify_rrset_with_keys(&set, &sigs, &new_only, NOW).is_ok());
+    }
+
+    #[test]
+    fn cds_points_at_new_key_and_is_signed_by_extant_zsk() {
+        let (mut z, old) = signed_zone();
+        let nk = new_ksk(99);
+        introduce_new_ksk(&mut z, &old, &nk, CdsPublication::STANDARD, NOW);
+        let apex = z.apex().clone();
+        let cds = z.rrset(&apex, RecordType::Cds).unwrap().clone();
+        match &cds.rdatas[0] {
+            RData::Cds(d) => {
+                assert_eq!(d.key_tag, nk.key_tag(), "CDS advertises the NEW key");
+                // And the digest matches the new key's DNSKEY.
+                let expect = dns_crypto::ds_digest(
+                    DigestType::Sha256,
+                    &apex.to_wire(),
+                    &nk.dnskey_rdata(),
+                )
+                .unwrap();
+                assert_eq!(d.digest, expect);
+            }
+            _ => panic!(),
+        }
+        // Signed by the extant ZSK (part of the current chain).
+        let sigs = rrsigs(&z, RecordType::Cds);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].key_tag, old.zsk.key_tag());
+        assert!(verify_rrset_with_keys(&cds, &sigs, &dnskeys(&z), NOW).is_ok());
+    }
+
+    #[test]
+    fn retire_leaves_only_new_ksk() {
+        let (mut z, old) = signed_zone();
+        let nk = new_ksk(99);
+        introduce_new_ksk(&mut z, &old, &nk, CdsPublication::STANDARD, NOW);
+        retire_old_ksk(&mut z, &old, &nk, NOW);
+        let keys = dnskeys(&z);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.iter().any(|k| k.public_key == nk.public_key()));
+        assert!(!keys.iter().any(|k| k.public_key == old.ksk.public_key()));
+        let sigs = rrsigs(&z, RecordType::Dnskey);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].key_tag, nk.key_tag());
+        let set = z.rrset(z.apex(), RecordType::Dnskey).unwrap().clone();
+        assert!(verify_rrset_with_keys(&set, &sigs, &keys, NOW).is_ok());
+    }
+
+    #[test]
+    fn non_apex_rrsets_untouched_by_rollover() {
+        let (mut z, old) = signed_zone();
+        let before = z
+            .rrset(z.apex(), RecordType::Soa)
+            .unwrap()
+            .clone();
+        let soa_sigs_before = rrsigs(&z, RecordType::Soa);
+        let nk = new_ksk(7);
+        introduce_new_ksk(&mut z, &old, &nk, CdsPublication::STANDARD, NOW);
+        assert_eq!(z.rrset(z.apex(), RecordType::Soa).unwrap(), &before);
+        assert_eq!(rrsigs(&z, RecordType::Soa), soa_sigs_before);
+        // SOA still verifies with the (unchanged) ZSK.
+        assert!(verify_rrset_with_keys(&before, &soa_sigs_before, &dnskeys(&z), NOW).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "SEP")]
+    fn zsk_cannot_be_introduced_as_ksk() {
+        let (mut z, old) = signed_zone();
+        let mut rng = StdRng::seed_from_u64(3);
+        let not_a_ksk = KeyPair::generate(&mut rng, Algorithm::EcdsaP256Sha256, 256);
+        introduce_new_ksk(&mut z, &old, &not_a_ksk, CdsPublication::STANDARD, NOW);
+    }
+}

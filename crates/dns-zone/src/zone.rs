@@ -1,0 +1,561 @@
+//! The authoritative zone model.
+
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::{Record, RecordClass, RecordType, RrSet};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Wrapper giving [`Name`] the RFC 4034 §6.1 canonical ordering, so the
+/// zone's node map iterates in NSEC-chain order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalName(pub Name);
+
+impl PartialOrd for CanonicalName {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CanonicalName {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.canonical_cmp(&other.0)
+    }
+}
+
+/// One node: the RRsets present at a single owner name.
+#[derive(Debug, Clone, Default)]
+pub struct Node {
+    /// RRsets keyed by type code.
+    pub rrsets: BTreeMap<u16, RrSet>,
+}
+
+impl Node {
+    /// The RRset of `rtype`, if present.
+    pub fn rrset(&self, rtype: RecordType) -> Option<&RrSet> {
+        self.rrsets.get(&rtype.code())
+    }
+
+    /// Types present at this node.
+    pub fn types(&self) -> impl Iterator<Item = RecordType> + '_ {
+        self.rrsets.keys().map(|&c| RecordType::from_code(c))
+    }
+}
+
+/// An authoritative zone: an apex name plus all in-zone records.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    apex: Name,
+    nodes: BTreeMap<CanonicalName, Node>,
+}
+
+/// The result of looking a (name, type) pair up inside a zone, mirroring
+/// RFC 1034 §4.3.2's algorithm outcomes. The server layer translates these
+/// into complete responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneLookup {
+    /// The RRset exists; answer with it.
+    Answer(RrSet),
+    /// The name exists at a CNAME; chase or return it.
+    Cname(RrSet),
+    /// The name exists but has no RRset of this type.
+    NoData,
+    /// The name does not exist in the zone.
+    NxDomain,
+    /// The lookup crossed a zone cut: refer to the child zone.
+    Delegation {
+        /// Owner of the delegation point.
+        cut: Name,
+        /// The NS RRset at the cut.
+        ns: RrSet,
+        /// DS RRset at the cut, if the delegation is signed.
+        ds: Option<RrSet>,
+        /// Glue address records for in-bailiwick NS targets.
+        glue: Vec<Record>,
+    },
+    /// The name is outside this zone entirely.
+    OutOfZone,
+}
+
+impl Zone {
+    /// An empty zone rooted at `apex`.
+    pub fn new(apex: Name) -> Self {
+        Zone {
+            apex,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// The zone's apex (origin) name.
+    pub fn apex(&self) -> &Name {
+        &self.apex
+    }
+
+    /// Add one record. Records outside the apex are rejected with `false`.
+    pub fn add(&mut self, record: Record) -> bool {
+        if !record.name.is_subdomain_of(&self.apex) {
+            return false;
+        }
+        let node = self
+            .nodes
+            .entry(CanonicalName(record.name.clone()))
+            .or_default();
+        let set = node
+            .rrsets
+            .entry(record.rtype().code())
+            .or_insert_with(|| RrSet {
+                name: record.name.clone(),
+                class: record.class,
+                rtype: record.rtype(),
+                ttl: record.ttl,
+                rdatas: Vec::new(),
+            });
+        set.ttl = set.ttl.min(record.ttl);
+        if !set.rdatas.contains(&record.rdata) {
+            set.rdatas.push(record.rdata);
+        }
+        true
+    }
+
+    /// Add many records; returns how many were in-zone and added.
+    pub fn add_all<I: IntoIterator<Item = Record>>(&mut self, records: I) -> usize {
+        records.into_iter().filter(|r| self.add(r.clone())).count()
+    }
+
+    /// Remove an entire RRset; returns it if present.
+    pub fn remove_rrset(&mut self, name: &Name, rtype: RecordType) -> Option<RrSet> {
+        let key = CanonicalName(name.clone());
+        let node = self.nodes.get_mut(&key)?;
+        let set = node.rrsets.remove(&rtype.code());
+        if node.rrsets.is_empty() {
+            self.nodes.remove(&key);
+        }
+        set
+    }
+
+    /// Exact-match RRset lookup (no delegation logic).
+    pub fn rrset(&self, name: &Name, rtype: RecordType) -> Option<&RrSet> {
+        self.nodes
+            .get(&CanonicalName(name.clone()))
+            .and_then(|n| n.rrsets.get(&rtype.code()))
+    }
+
+    /// Whether any RRset exists at `name`.
+    pub fn node_exists(&self, name: &Name) -> bool {
+        self.nodes.contains_key(&CanonicalName(name.clone()))
+    }
+
+    /// Owner names in canonical order.
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.nodes.keys().map(|k| &k.0)
+    }
+
+    /// All nodes in canonical order.
+    pub fn nodes(&self) -> impl Iterator<Item = (&Name, &Node)> {
+        self.nodes.iter().map(|(k, n)| (&k.0, n))
+    }
+
+    /// All records, flattened, canonical owner order.
+    pub fn records(&self) -> Vec<Record> {
+        let mut out = Vec::new();
+        for node in self.nodes.values() {
+            for set in node.rrsets.values() {
+                out.extend(set.records());
+            }
+        }
+        out
+    }
+
+    /// Total record count.
+    pub fn record_count(&self) -> usize {
+        self.nodes
+            .values()
+            .flat_map(|n| n.rrsets.values())
+            .map(|s| s.rdatas.len())
+            .sum()
+    }
+
+    /// The nearest delegation point strictly *above* `name` (and at or
+    /// below the apex, exclusive): the zone cut that occludes `name`, if
+    /// any. A NS RRset at a non-apex node is a cut; `name` itself being a
+    /// cut counts only for types other than DS lookups (handled by caller).
+    pub fn covering_cut(&self, name: &Name) -> Option<Name> {
+        let mut cur = name.clone();
+        // Walk ancestors of `name` from just below the apex downward is
+        // equivalent to walking up and keeping the highest cut; a single
+        // upward walk stopping at the first cut from the top is what RFC
+        // 1034's label-by-label descent does. We walk downward from apex.
+        let mut ancestors = Vec::new();
+        while cur != self.apex {
+            ancestors.push(cur.clone());
+            cur = cur.parent()?;
+            if !cur.is_subdomain_of(&self.apex) {
+                return None;
+            }
+        }
+        // ancestors: name ... (child of apex); reverse to descend.
+        for anc in ancestors.iter().rev() {
+            if anc == name {
+                break; // cuts *at* the name are not occlusions of it here
+            }
+            if self
+                .nodes
+                .get(&CanonicalName(anc.clone()))
+                .map(|n| n.rrsets.contains_key(&RecordType::Ns.code()))
+                .unwrap_or(false)
+            {
+                return Some(anc.clone());
+            }
+        }
+        None
+    }
+
+    /// Whether `name` is a delegation point (non-apex node with NS).
+    pub fn is_delegation(&self, name: &Name) -> bool {
+        name != &self.apex
+            && self
+                .nodes
+                .get(&CanonicalName(name.clone()))
+                .map(|n| n.rrsets.contains_key(&RecordType::Ns.code()))
+                .unwrap_or(false)
+    }
+
+    /// Whether `name` is authoritative data of this zone: inside the zone
+    /// and not strictly below a delegation point.
+    pub fn is_authoritative(&self, name: &Name) -> bool {
+        name.is_subdomain_of(&self.apex) && self.covering_cut(name).is_none()
+    }
+
+    /// Full RFC 1034 §4.3.2-style lookup.
+    ///
+    /// `qtype` = DS is special: the DS RRset lives at the *parent* side of
+    /// a cut, so a DS query for a delegation point is answered, not
+    /// referred.
+    pub fn lookup(&self, name: &Name, qtype: RecordType) -> ZoneLookup {
+        if !name.is_subdomain_of(&self.apex) {
+            return ZoneLookup::OutOfZone;
+        }
+        // Check for an occluding cut above the name.
+        if let Some(cut) = self.covering_cut(name) {
+            return self.referral(cut);
+        }
+        // A query *at* a delegation point: DS (and the NS set itself in
+        // referral form) belongs to the parent; everything else referred.
+        if self.is_delegation(name) && qtype != RecordType::Ds {
+            return self.referral(name.clone());
+        }
+        match self.nodes.get(&CanonicalName(name.clone())) {
+            None => ZoneLookup::NxDomain,
+            Some(node) => {
+                if let Some(set) = node.rrset(qtype) {
+                    ZoneLookup::Answer(set.clone())
+                } else if let Some(cname) = node.rrset(RecordType::Cname) {
+                    ZoneLookup::Cname(cname.clone())
+                } else {
+                    ZoneLookup::NoData
+                }
+            }
+        }
+    }
+
+    fn referral(&self, cut: Name) -> ZoneLookup {
+        let node = &self.nodes[&CanonicalName(cut.clone())];
+        let ns = node.rrset(RecordType::Ns).expect("cut has NS").clone();
+        let ds = node.rrset(RecordType::Ds).cloned();
+        // Collect glue for NS targets inside this zone.
+        let mut glue = Vec::new();
+        for rd in &ns.rdatas {
+            if let RData::Ns(target) = rd {
+                if target.is_subdomain_of(&self.apex) {
+                    if let Some(n) = self.nodes.get(&CanonicalName(target.clone())) {
+                        for t in [RecordType::A, RecordType::Aaaa] {
+                            if let Some(set) = n.rrset(t) {
+                                glue.extend(set.records());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ZoneLookup::Delegation { cut, ns, ds, glue }
+    }
+
+    /// The NSEC "previous name" for denial: the last authoritative owner
+    /// canonically ≤ `name`, wrapping to the zone's last name when `name`
+    /// sorts before the apex. Used by the server layer to pick the
+    /// covering NSEC record.
+    pub fn nsec_predecessor(&self, name: &Name) -> Option<&Name> {
+        let key = CanonicalName(name.clone());
+        self.nodes
+            .range(..=key)
+            .next_back()
+            .map(|(k, _)| &k.0)
+            .or_else(|| self.nodes.keys().next_back().map(|k| &k.0))
+    }
+
+    /// Render the zone as master-file text.
+    pub fn to_zone_file(&self) -> String {
+        dns_wire::presentation::to_zone_file(&self.apex, &self.records())
+    }
+
+    /// Parse a zone from master-file text rooted at `apex`.
+    pub fn from_zone_file(apex: Name, text: &str) -> Result<Zone, dns_wire::presentation::ParseError> {
+        let records = dns_wire::presentation::parse_zone_file(text, &apex)?;
+        let mut z = Zone::new(apex);
+        z.add_all(records);
+        Ok(z)
+    }
+
+    /// Class of the zone's records (IN for everything we build).
+    pub fn class(&self) -> RecordClass {
+        RecordClass::In
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name;
+    use dns_wire::rdata::SoaData;
+    use std::net::Ipv4Addr;
+
+    fn soa(apex: &Name) -> Record {
+        Record::new(
+            apex.clone(),
+            300,
+            RData::Soa(SoaData {
+                mname: name!("ns1.example.ch"),
+                rname: name!("hostmaster.example.ch"),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        )
+    }
+
+    fn test_zone() -> Zone {
+        let apex = name!("example.ch");
+        let mut z = Zone::new(apex.clone());
+        z.add(soa(&apex));
+        z.add(Record::new(apex.clone(), 300, RData::Ns(name!("ns1.example.ch"))));
+        z.add(Record::new(
+            name!("ns1.example.ch"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        ));
+        z.add(Record::new(
+            name!("www.example.ch"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        ));
+        // Delegation: sub.example.ch → ns1.sub.example.ch (with glue).
+        z.add(Record::new(
+            name!("sub.example.ch"),
+            300,
+            RData::Ns(name!("ns1.sub.example.ch")),
+        ));
+        z.add(Record::new(
+            name!("ns1.sub.example.ch"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 54)),
+        ));
+        z
+    }
+
+    #[test]
+    fn exact_answer() {
+        let z = test_zone();
+        match z.lookup(&name!("www.example.ch"), RecordType::A) {
+            ZoneLookup::Answer(set) => assert_eq!(set.rdatas.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodata_at_existing_name() {
+        let z = test_zone();
+        assert_eq!(
+            z.lookup(&name!("www.example.ch"), RecordType::Mx),
+            ZoneLookup::NoData
+        );
+    }
+
+    #[test]
+    fn nxdomain_for_missing_name() {
+        let z = test_zone();
+        assert_eq!(
+            z.lookup(&name!("missing.example.ch"), RecordType::A),
+            ZoneLookup::NxDomain
+        );
+    }
+
+    #[test]
+    fn out_of_zone() {
+        let z = test_zone();
+        assert_eq!(
+            z.lookup(&name!("example.org"), RecordType::A),
+            ZoneLookup::OutOfZone
+        );
+    }
+
+    #[test]
+    fn referral_below_cut_with_glue() {
+        let z = test_zone();
+        match z.lookup(&name!("deep.sub.example.ch"), RecordType::A) {
+            ZoneLookup::Delegation { cut, ns, glue, .. } => {
+                assert_eq!(cut, name!("sub.example.ch"));
+                assert_eq!(ns.rdatas.len(), 1);
+                assert_eq!(glue.len(), 1);
+                assert_eq!(glue[0].name, name!("ns1.sub.example.ch"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn referral_at_cut_for_non_ds() {
+        let z = test_zone();
+        assert!(matches!(
+            z.lookup(&name!("sub.example.ch"), RecordType::A),
+            ZoneLookup::Delegation { .. }
+        ));
+        assert!(matches!(
+            z.lookup(&name!("sub.example.ch"), RecordType::Ns),
+            ZoneLookup::Delegation { .. }
+        ));
+    }
+
+    #[test]
+    fn ds_at_cut_answered_from_parent() {
+        let mut z = test_zone();
+        // Unsigned delegation: DS query → NoData (proving insecurity).
+        assert_eq!(
+            z.lookup(&name!("sub.example.ch"), RecordType::Ds),
+            ZoneLookup::NoData
+        );
+        z.add(Record::new(
+            name!("sub.example.ch"),
+            300,
+            RData::Ds(dns_wire::rdata::DsData {
+                key_tag: 1,
+                algorithm: 13,
+                digest_type: 2,
+                digest: vec![0xaa; 32],
+            }),
+        ));
+        assert!(matches!(
+            z.lookup(&name!("sub.example.ch"), RecordType::Ds),
+            ZoneLookup::Answer(_)
+        ));
+    }
+
+    #[test]
+    fn apex_ns_is_not_a_delegation() {
+        let z = test_zone();
+        assert!(!z.is_delegation(&name!("example.ch")));
+        assert!(z.is_delegation(&name!("sub.example.ch")));
+        assert!(matches!(
+            z.lookup(&name!("example.ch"), RecordType::Ns),
+            ZoneLookup::Answer(_)
+        ));
+    }
+
+    #[test]
+    fn authoritative_excludes_below_cut() {
+        let z = test_zone();
+        assert!(z.is_authoritative(&name!("www.example.ch")));
+        assert!(z.is_authoritative(&name!("sub.example.ch"))); // the cut itself
+        assert!(!z.is_authoritative(&name!("ns1.sub.example.ch"))); // glue
+        assert!(!z.is_authoritative(&name!("example.org")));
+    }
+
+    #[test]
+    fn cname_lookup() {
+        let mut z = test_zone();
+        z.add(Record::new(
+            name!("alias.example.ch"),
+            300,
+            RData::Cname(name!("www.example.ch")),
+        ));
+        assert!(matches!(
+            z.lookup(&name!("alias.example.ch"), RecordType::A),
+            ZoneLookup::Cname(_)
+        ));
+        // Query for the CNAME type itself answers it.
+        assert!(matches!(
+            z.lookup(&name!("alias.example.ch"), RecordType::Cname),
+            ZoneLookup::Answer(_)
+        ));
+    }
+
+    #[test]
+    fn out_of_zone_records_rejected() {
+        let mut z = test_zone();
+        assert!(!z.add(Record::new(
+            name!("other.org"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        )));
+    }
+
+    #[test]
+    fn names_iterate_in_canonical_order() {
+        let z = test_zone();
+        let names: Vec<String> = z.names().map(|n| n.to_string()).collect();
+        let mut sorted = names.clone();
+        // Canonical order via canonical_cmp.
+        let mut named: Vec<Name> = z.names().cloned().collect();
+        named.sort_by(|a, b| a.canonical_cmp(b));
+        let expect: Vec<String> = named.iter().map(|n| n.to_string()).collect();
+        sorted.clone_from(&expect);
+        assert_eq!(names, sorted);
+        // Apex sorts first.
+        assert_eq!(names[0], "example.ch.");
+    }
+
+    #[test]
+    fn nsec_predecessor_wraps() {
+        let z = test_zone();
+        // A name canonically before the apex ("example.ca" < "example.ch")
+        // wraps to the last zone name.
+        let prev = z.nsec_predecessor(&name!("example.ca")).unwrap();
+        let mut named: Vec<Name> = z.names().cloned().collect();
+        named.sort_by(|a, b| a.canonical_cmp(b));
+        assert_eq!(prev, named.last().unwrap());
+        // A mid-zone miss gets its canonical predecessor: everything under
+        // sub.example.ch sorts before t.example.ch, so the glue node
+        // ns1.sub.example.ch is the closest preceding name.
+        let prev = z.nsec_predecessor(&name!("t.example.ch")).unwrap();
+        assert_eq!(prev, &name!("ns1.sub.example.ch"));
+    }
+
+    #[test]
+    fn zone_file_roundtrip() {
+        let z = test_zone();
+        let text = z.to_zone_file();
+        let back = Zone::from_zone_file(z.apex().clone(), &text).unwrap();
+        assert_eq!(back.record_count(), z.record_count());
+        assert_eq!(
+            back.rrset(&name!("www.example.ch"), RecordType::A),
+            z.rrset(&name!("www.example.ch"), RecordType::A)
+        );
+    }
+
+    #[test]
+    fn remove_rrset() {
+        let mut z = test_zone();
+        assert!(z.remove_rrset(&name!("www.example.ch"), RecordType::A).is_some());
+        assert!(!z.node_exists(&name!("www.example.ch")));
+        assert!(z.remove_rrset(&name!("www.example.ch"), RecordType::A).is_none());
+    }
+
+    #[test]
+    fn min_ttl_kept_on_merge() {
+        let mut z = Zone::new(name!("t"));
+        z.add(Record::new(name!("a.t"), 900, RData::A(Ipv4Addr::new(1, 2, 3, 4))));
+        z.add(Record::new(name!("a.t"), 300, RData::A(Ipv4Addr::new(1, 2, 3, 5))));
+        assert_eq!(z.rrset(&name!("a.t"), RecordType::A).unwrap().ttl, 300);
+    }
+}

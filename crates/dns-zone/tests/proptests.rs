@@ -1,0 +1,183 @@
+//! Property-based tests over zone signing: every signed RRset verifies,
+//! NSEC chains are closed loops over exactly the authoritative names, and
+//! signed zones survive a zone-file round trip.
+
+use dns_crypto::Algorithm;
+use dns_wire::name::Name;
+use dns_wire::rdata::{RData, SoaData};
+use dns_wire::record::{Record, RecordType};
+use dns_zone::signer::verify_rrset_with_keys;
+use dns_zone::{Zone, ZoneKeys, ZoneSigner};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+const NOW: u32 = 1_000_000;
+
+/// Strategy: a short alphanumeric label.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,12}"
+}
+
+/// Build a zone with arbitrary host names under the apex.
+fn arb_zone() -> impl Strategy<Value = Zone> {
+    proptest::collection::btree_set(label(), 0..=12).prop_map(|hosts| {
+        let apex = Name::parse("example.ch").unwrap();
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Soa(SoaData {
+                mname: Name::parse("ns1.example.ch").unwrap(),
+                rname: Name::parse("h.example.ch").unwrap(),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        ));
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Ns(Name::parse("ns1.example.ch").unwrap()),
+        ));
+        for (i, h) in hosts.iter().enumerate() {
+            z.add(Record::new(
+                Name::parse(&format!("{h}.example.ch")).unwrap(),
+                300,
+                RData::A(Ipv4Addr::new(192, 0, 2, (i % 250) as u8)),
+            ));
+        }
+        z
+    })
+}
+
+fn dnskeys_of(zone: &Zone) -> Vec<dns_wire::rdata::DnskeyData> {
+    zone.rrset(zone.apex(), RecordType::Dnskey)
+        .unwrap()
+        .rdatas
+        .iter()
+        .map(|rd| match rd {
+            RData::Dnskey(d) => d.clone(),
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After signing, every authoritative RRset has a verifying RRSIG.
+    #[test]
+    fn all_rrsets_verify_after_signing(zone in arb_zone(), seed in any::<u64>()) {
+        let mut zone = zone;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
+        ZoneSigner::new(NOW).sign(&mut zone, &keys);
+        let dnskeys = dnskeys_of(&zone);
+        let mut verified = 0;
+        let nodes: Vec<(Name, Vec<RecordType>)> = zone
+            .nodes()
+            .map(|(n, node)| (n.clone(), node.types().collect()))
+            .collect();
+        for (name, types) in nodes {
+            let rrsigs: Vec<_> = zone
+                .rrset(&name, RecordType::Rrsig)
+                .map(|s| {
+                    s.rdatas
+                        .iter()
+                        .filter_map(|rd| match rd {
+                            RData::Rrsig(sig) => Some(sig.clone()),
+                            _ => None,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            for t in types {
+                if t == RecordType::Rrsig {
+                    continue;
+                }
+                let set = zone.rrset(&name, t).unwrap().clone();
+                verify_rrset_with_keys(&set, &rrsigs, &dnskeys, NOW)
+                    .unwrap_or_else(|e| panic!("{name} {t:?}: {e}"));
+                verified += 1;
+            }
+        }
+        prop_assert!(verified >= 3);
+    }
+
+    /// The NSEC chain visits every authoritative name exactly once and
+    /// returns to the apex.
+    #[test]
+    fn nsec_chain_is_a_closed_loop(zone in arb_zone(), seed in any::<u64>()) {
+        let mut zone = zone;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
+        ZoneSigner::new(NOW).sign(&mut zone, &keys);
+        let auth_count = zone.names().filter(|n| zone.is_authoritative(n)).count();
+        let apex = zone.apex().clone();
+        let mut cur = apex.clone();
+        let mut visited = std::collections::HashSet::new();
+        loop {
+            prop_assert!(visited.insert(cur.clone()), "revisited {cur}");
+            let set = zone.rrset(&cur, RecordType::Nsec).expect("NSEC at every auth name");
+            let next = match &set.rdatas[0] {
+                RData::Nsec(n) => n.next_name.clone(),
+                _ => unreachable!(),
+            };
+            if next == apex {
+                break;
+            }
+            cur = next;
+            prop_assert!(visited.len() <= auth_count, "chain longer than zone");
+        }
+        prop_assert_eq!(visited.len(), auth_count);
+    }
+
+    /// Signing is idempotent on record count for the same key set.
+    #[test]
+    fn signed_zone_roundtrips_through_zone_file(zone in arb_zone(), seed in any::<u64>()) {
+        let mut zone = zone;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
+        ZoneSigner::new(NOW).sign(&mut zone, &keys);
+        let text = zone.to_zone_file();
+        let back = Zone::from_zone_file(zone.apex().clone(), &text).unwrap();
+        prop_assert_eq!(back.record_count(), zone.record_count());
+        // And the reparsed zone still verifies.
+        let dnskeys = dnskeys_of(&back);
+        let set = back.rrset(back.apex(), RecordType::Soa).unwrap().clone();
+        let rrsigs: Vec<_> = back
+            .rrset(back.apex(), RecordType::Rrsig)
+            .unwrap()
+            .rdatas
+            .iter()
+            .filter_map(|rd| match rd {
+                RData::Rrsig(sig) => Some(sig.clone()),
+                _ => None,
+            })
+            .collect();
+        prop_assert!(verify_rrset_with_keys(&set, &rrsigs, &dnskeys, NOW).is_ok());
+    }
+
+    /// The DS digest of the zone's KSK always matches a published DNSKEY
+    /// (CDS↔DNSKEY correspondence used by bootstrap decisions).
+    #[test]
+    fn cds_always_matches_a_dnskey(seed in any::<u64>()) {
+        let apex = Name::parse("x.ch").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
+        let cds = keys.ds_data(&apex, dns_crypto::DigestType::Sha256);
+        let dnskey_rdata = keys.ksk.dnskey_rdata();
+        let digest = dns_crypto::ds_digest(
+            dns_crypto::DigestType::Sha256,
+            &apex.to_wire(),
+            &dnskey_rdata,
+        )
+        .unwrap();
+        prop_assert_eq!(cds.digest, digest);
+        prop_assert_eq!(cds.key_tag, keys.ksk.key_tag());
+    }
+}

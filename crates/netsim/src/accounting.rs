@@ -1,0 +1,125 @@
+//! Query/byte accounting — the raw material for the paper's Appendix D
+//! ("our scans generated 6.5 TiB of data … approximately 20 queries to
+//! each nameserver").
+
+use crate::network::Addr;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters; cheap on the hot path (atomics for totals, a
+/// mutex only for the per-destination map).
+#[derive(Default)]
+pub struct NetStats {
+    queries: AtomicU64,
+    replies: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    per_dest: Mutex<HashMap<Addr, u64>>,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub queries: u64,
+    pub replies: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub per_dest: HashMap<Addr, u64>,
+}
+
+impl NetStats {
+    pub(crate) fn record_query(&self, dst: Addr, bytes: usize) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        *self.per_dest.lock().entry(dst).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_reply(&self, _dst: Addr, bytes: usize) {
+        self.replies.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            replies: self.replies.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            per_dest: self.per_dest.lock().clone(),
+        }
+    }
+
+    /// Reset everything to zero (between benchmark runs).
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.replies.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.per_dest.lock().clear();
+    }
+}
+
+impl StatsSnapshot {
+    /// Mean queries per distinct destination.
+    pub fn mean_queries_per_dest(&self) -> f64 {
+        if self.per_dest.is_empty() {
+            return 0.0;
+        }
+        self.queries as f64 / self.per_dest.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn addr(n: u8) -> Addr {
+        Addr::V4(Ipv4Addr::new(10, 0, 0, n))
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = NetStats::default();
+        s.record_query(addr(1), 100);
+        s.record_query(addr(1), 50);
+        s.record_query(addr(2), 25);
+        s.record_reply(addr(1), 500);
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.replies, 1);
+        assert_eq!(snap.bytes_sent, 175);
+        assert_eq!(snap.bytes_received, 500);
+        assert_eq!(snap.per_dest[&addr(1)], 2);
+        assert_eq!(snap.mean_queries_per_dest(), 1.5);
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 0);
+        assert!(snap.per_dest.is_empty());
+        assert_eq!(snap.mean_queries_per_dest(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let s = std::sync::Arc::new(NetStats::default());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_query(addr(t), 10);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 4000);
+        assert_eq!(snap.bytes_sent, 40_000);
+        assert_eq!(snap.per_dest.len(), 4);
+    }
+}

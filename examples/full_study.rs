@@ -1,0 +1,147 @@
+//! The full study: regenerate every table and figure of the paper against
+//! the calibrated synthetic Internet.
+//!
+//! ```sh
+//! # default 1:1000 scale (≈300 k zones, a few minutes single-threaded):
+//! cargo run --release --example full_study
+//! # faster, coarser:
+//! BOOTSCAN_SCALE=20000 cargo run --release --example full_study
+//! ```
+//!
+//! Prints Figure 1, Tables 1–3, the §4.2 CDS census, the §4.3 potential
+//! summary, the scan-cost/feasibility numbers (Appendix D), and the
+//! paper's values next to ours.
+
+use bootscan::{budget, policy, report, ScanPolicy};
+use dns_ecosystem::EcosystemConfig;
+use dnssec_bootstrap::run_study;
+
+fn main() {
+    let scale: u64 = std::env::var("BOOTSCAN_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let parallelism: usize = std::env::var("BOOTSCAN_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    eprintln!("building ecosystem at 1:{scale} …");
+    let t0 = std::time::Instant::now();
+    let (eco, results) = run_study(
+        EcosystemConfig::paper_default(scale),
+        ScanPolicy {
+            parallelism,
+            ..ScanPolicy::default()
+        },
+    );
+    eprintln!(
+        "built + scanned {} zones in {:.1}s (real time)",
+        results.zones.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let swiss: Vec<String> = eco
+        .operators
+        .iter()
+        .filter(|o| o.swiss)
+        .map(|o| o.name.clone())
+        .collect();
+
+    println!("================================================================");
+    println!("E1 — Figure 1 (paper: 93.2 % unsigned, 5.5 % secured, 0.2 % invalid,");
+    println!("     1.1 % islands; 303.0 k bootstrappable of 3.12 M islands)");
+    println!("================================================================");
+    let fig1 = report::figure1(&results);
+    println!("{}", fig1.render());
+
+    println!("================================================================");
+    println!("E2 — Table 1 (top 20 operators by domains; shape: GoDaddy first,");
+    println!("     Google/OVH high secured %, WIX 15.7 % islands)");
+    println!("================================================================");
+    let t1 = report::table1(&results, 20);
+    println!("{}", report::render_table1(&t1));
+
+    println!("================================================================");
+    println!("E3 — Table 2 (top 20 CDS publishers; shape: Google/WIX/Cloudflare");
+    println!("     lead, 6 Swiss operators in the list)");
+    println!("================================================================");
+    let t2 = report::table2(&results, 20, &swiss);
+    println!("{}", report::render_table2(&t2));
+    let swiss_in_top = t2.iter().filter(|r| r.swiss).count();
+    println!("Swiss operators in top 20: {swiss_in_top} (paper: 6)\n");
+
+    println!("================================================================");
+    println!("E4 — CDS census (paper §4.2: 10.5 M with CDS / 2 854 in unsigned /");
+    println!("     16 delete-in-unsigned / 3 289 delete-but-signed / 165.5 k");
+    println!("     island-deletes / 5 333 inconsistent, 86.9 % multi-operator)");
+    println!("================================================================");
+    println!("{}", report::cds_census(&results).render());
+
+    println!("================================================================");
+    println!("E5 — AB potential (paper §4.3: 271.6 M cannot benefit; 303 k can)");
+    println!("================================================================");
+    println!("{}", report::ab_potential(&results).render());
+
+    println!("================================================================");
+    println!("E6 — Table 3 (paper: Cloudflare 1.23 M / deSEC 7 314 / Glauca 290");
+    println!("     signal publishers; 99.9 % of bootstrappable signal setups correct)");
+    println!("================================================================");
+    let t3 = report::table3(&results, &["Cloudflare", "deSEC", "Glauca Digital"]);
+    println!("{}", t3.render());
+    let (pot, correct): (u64, u64) = t3
+        .columns
+        .iter()
+        .fold((0, 0), |(p, c), (_, col)| (p + col.potential, c + col.signal_correct));
+    if pot > 0 {
+        println!(
+            "signal correctness among bootstrappable: {:.2} % (paper: 99.9 %)",
+            100.0 * correct as f64 / pot as f64
+        );
+        // The paper's 99.9 % is dominated by Cloudflare's 1.23 M zones;
+        // here Cloudflare is scaled 1:N while deSEC/Glauca are generated
+        // at full size. Re-weighting Cloudflare by the scale factor
+        // recovers the comparable mix.
+        if let Some((_, cf)) = t3.columns.iter().find(|(n, _)| n == "Cloudflare") {
+            let adj_pot = (pot - cf.potential) + cf.potential * scale;
+            let adj_cor = (correct - cf.signal_correct) + cf.signal_correct * scale;
+            println!(
+                "scale-adjusted signal correctness: {:.2} % (paper: 99.9 %)\n",
+                100.0 * adj_cor as f64 / adj_pot.max(1) as f64
+            );
+        }
+    }
+
+    println!("================================================================");
+    println!("Appendix C — bootstrap-policy comparison (what each pre-RFC 9615");
+    println!("     policy would have secured, and at what residual risk)");
+    println!("================================================================");
+    let outcomes: Vec<policy::PolicyOutcome> = policy::default_panel()
+        .into_iter()
+        .map(|p| policy::evaluate(p, &results, 0xc0de))
+        .collect();
+    println!("{}", policy::render_comparison(&outcomes));
+
+    println!("================================================================");
+    println!("E7 — scan cost & registry feasibility (paper §3 + Appendix D:");
+    println!("     ~20 queries/NS, month-long scan, 1.2 M of 287.6 M need full work)");
+    println!("================================================================");
+    let cost = budget::scan_cost(&results, &eco.net.stats().snapshot());
+    println!("{}", cost.render());
+    println!("{}", budget::registry_feasibility(&results).render());
+
+    // Machine-readable dump for EXPERIMENTS.md bookkeeping.
+    if std::env::var("BOOTSCAN_JSON").is_ok() {
+        let blob = serde_json::json!({
+            "scale": scale,
+            "figure1": fig1,
+            "table1": t1,
+            "table2": t2,
+            "table3": t3,
+            "cds_census": report::cds_census(&results),
+            "ab_potential": report::ab_potential(&results),
+            "scan_cost": cost,
+        });
+        println!("{}", serde_json::to_string_pretty(&blob).unwrap());
+    }
+}

@@ -1,0 +1,68 @@
+//! # dnssec-bootstrap — umbrella crate
+//!
+//! Re-exports the whole reproduction stack of *"Measuring the Deployment
+//! of DNSSEC Bootstrapping Using Authenticated Signals"* (IMC 2025) under
+//! one roof, and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! Layer map (bottom-up):
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`dns_wire`] | wire & presentation format |
+//! | [`dns_crypto`] | hashing, key tags, DS digests, simulated signatures |
+//! | [`dns_zone`] | zones, signing, NSEC/NSEC3, CDS, RFC 9615 signal names |
+//! | [`netsim`] | deterministic network: anycast, loss, latency, rate limits |
+//! | [`dns_server`] | authoritative servers + operator misbehaviours |
+//! | [`dns_resolver`] | iterative resolution + RFC 4035 validation |
+//! | [`dns_ecosystem`] | the synthetic Internet, calibrated to the paper |
+//! | [`bootscan`] | the scanner + classification + reports (the paper's system) |
+
+pub use bootscan;
+pub use dns_crypto;
+pub use dns_ecosystem;
+pub use dns_resolver;
+pub use dns_server;
+pub use dns_wire;
+pub use dns_zone;
+pub use netsim;
+
+/// Convenience: build a world, scan it, and return (ecosystem, results).
+///
+/// This is the whole paper pipeline in one call; the examples and benches
+/// use it as their entry point.
+pub fn run_study(
+    config: dns_ecosystem::EcosystemConfig,
+    policy: bootscan::ScanPolicy,
+) -> (dns_ecosystem::Ecosystem, bootscan::ScanResults) {
+    let eco = dns_ecosystem::build(config);
+    let table = bootscan::OperatorTable::from_operators(
+        eco.operators
+            .iter()
+            .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+    );
+    let scanner = std::sync::Arc::new(bootscan::Scanner::new(
+        std::sync::Arc::clone(&eco.net),
+        eco.roots.clone(),
+        eco.anchors.clone(),
+        table,
+        eco.now,
+        policy,
+    ));
+    let seeds = eco.seeds.compile(&eco.psl);
+    let results = scanner.scan_all(&seeds);
+    (eco, results)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn run_study_smoke() {
+        let (eco, results) = super::run_study(
+            dns_ecosystem::EcosystemConfig::tiny(3),
+            bootscan::ScanPolicy::default(),
+        );
+        assert!(!results.zones.is_empty());
+        assert!(results.zones.len() <= eco.truth.len());
+    }
+}

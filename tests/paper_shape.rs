@@ -1,0 +1,138 @@
+//! Paper-shape assertions at a moderate ecosystem scale.
+//!
+//! These run the calibrated `paper_default` world at 1:20 000 (≈25 k
+//! zones) and assert the qualitative claims of the paper's §4 hold in the
+//! regenerated reports. They take ~1–2 minutes in release mode and are
+//! `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test paper_shape -- --ignored
+//! ```
+
+use bootscan::{report, AbClass, ScanPolicy};
+use dns_ecosystem::EcosystemConfig;
+use dnssec_bootstrap::run_study;
+
+const SCALE: u64 = 20_000;
+
+#[test]
+#[ignore = "moderate-scale world; run in release mode"]
+fn headline_shapes_hold() {
+    let (eco, results) = run_study(
+        EcosystemConfig::paper_default(SCALE),
+        ScanPolicy::default(),
+    );
+
+    // §4.1 — unsigned dominates everything else by an order of magnitude.
+    let f = report::figure1(&results);
+    assert!(f.unsigned > 5 * (f.secured + f.invalid + f.islands), "{f:?}");
+    // Invalid is the rarest headline class.
+    assert!(f.invalid < f.secured && f.invalid < f.islands, "{f:?}");
+
+    // §4.3 — the AB-potential takeaway: cannot-benefit ≫ bootstrappable.
+    let p = report::ab_potential(&results);
+    assert!(p.cannot_benefit > 20 * p.bootstrappable, "{p:?}");
+
+    // §4.4 / Table 3 — exactly the planted operators publish signal RRs
+    // at portfolio scale; 99+ % of deSEC/Glauca bootstrappable setups are
+    // correct after excluding the planted defects.
+    let t3 = report::table3(&results, &["Cloudflare", "deSEC", "Glauca Digital"]);
+    let names: Vec<&str> = t3.columns.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"Cloudflare"));
+    assert!(names.contains(&"deSEC"));
+    assert!(names.contains(&"Glauca Digital"));
+    for (name, col) in &t3.columns {
+        if name == "deSEC" || name == "Glauca Digital" {
+            assert!(
+                col.signal_correct * 100 >= col.potential * 85,
+                "{name}: {col:?}"
+            );
+        }
+    }
+
+    // §4.2 — CDS inconsistencies are predominantly multi-operator.
+    let census = report::cds_census(&results);
+    assert!(
+        census.inconsistent_multi_operator * 2 > census.inconsistent,
+        "{census:?}"
+    );
+    // The rare-event plants are visible.
+    assert!(census.delete_in_unsigned >= 1);
+    assert!(census.cds_without_matching_dnskey >= 1);
+
+    // Table 1 shape — GoDaddy is the biggest single operator and is
+    // essentially unsigned; a DNSSEC-by-default operator exists with
+    // >40 % secured.
+    let t1 = report::table1(&results, 20);
+    assert_eq!(t1[0].operator, "GoDaddy");
+    assert!(t1[0].unsigned * 100 >= t1[0].domains * 99);
+    assert!(t1
+        .iter()
+        .any(|r| r.secured * 100 >= r.domains * 40), "no DNSSEC-by-default operator in top 20");
+
+    // Every zone the scanner saw exists in the ground truth.
+    for z in &results.zones {
+        assert!(eco.truth_of(&z.name).is_some(), "{}", z.name);
+    }
+
+    // The AB violation taxonomy is populated (zone cut, missing, invalid).
+    let mut seen = std::collections::HashSet::new();
+    for z in results.resolved() {
+        if let AbClass::SignalIncorrect(v) = z.ab {
+            seen.insert(format!("{v:?}"));
+        }
+    }
+    assert!(seen.contains("ZoneCut"), "{seen:?}");
+    assert!(seen.contains("NotUnderEveryNs"), "{seen:?}");
+}
+
+#[test]
+#[ignore = "moderate-scale world; run in release mode"]
+fn sampled_scan_is_cheaper_than_exhaustive_on_cloudflare() {
+    // Appendix D / §3: the sampling policy is what made the scan feasible.
+    let eco = dns_ecosystem::build(EcosystemConfig::paper_default(SCALE));
+    let cf_zones: Vec<_> = eco
+        .seeds
+        .compile(&eco.psl)
+        .into_iter()
+        .filter(|n| {
+            eco.truth_of(n)
+                .map(|t| eco.operators[t.operator].name == "Cloudflare")
+                .unwrap_or(false)
+        })
+        .collect();
+    assert!(cf_zones.len() > 100);
+
+    let table = bootscan::OperatorTable::from_operators(
+        eco.operators
+            .iter()
+            .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+    );
+    let make = |fraction: f64| {
+        std::sync::Arc::new(bootscan::Scanner::new(
+            std::sync::Arc::clone(&eco.net),
+            eco.roots.clone(),
+            eco.anchors.clone(),
+            table.clone(),
+            eco.now,
+            ScanPolicy {
+                sample_fraction: fraction,
+                ..ScanPolicy::default()
+            },
+        ))
+    };
+    let sampled = make(0.95).scan_all(&cf_zones);
+    let full = make(0.0).scan_all(&cf_zones);
+    assert!(
+        sampled.total_queries * 2 < full.total_queries,
+        "sampling must at least halve the Cloudflare query load: {} vs {}",
+        sampled.total_queries,
+        full.total_queries
+    );
+    // …without changing a single classification (the Tranco-1M check).
+    for (a, b) in sampled.zones.iter().zip(full.zones.iter()) {
+        assert_eq!(a.dnssec, b.dnssec, "{}", a.name);
+        assert_eq!(a.cds, b.cds, "{}", a.name);
+        assert_eq!(a.ab, b.ab, "{}", a.name);
+    }
+}
