@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dns_crypto::sha1::nsec3_hash;
 use dns_crypto::sha2::{sha256, sha384};
-use dns_crypto::{ds_digest, sign_rrset, verify_rrset, Algorithm, DigestType, KeyPair, ValidityWindow};
+use dns_crypto::{
+    ds_digest, sign_rrset, verify_rrset, Algorithm, DigestType, KeyPair, ValidityWindow,
+};
 use dns_wire::canonical::canonical_rrset_wire;
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
@@ -17,9 +19,15 @@ use std::net::Ipv4Addr;
 fn bench(c: &mut Criterion) {
     let data_small = vec![0xabu8; 64];
     let data_large = vec![0xabu8; 4096];
-    c.bench_function("crypto/sha256_64B", |b| b.iter(|| black_box(sha256(&data_small))));
-    c.bench_function("crypto/sha256_4KiB", |b| b.iter(|| black_box(sha256(&data_large))));
-    c.bench_function("crypto/sha384_4KiB", |b| b.iter(|| black_box(sha384(&data_large))));
+    c.bench_function("crypto/sha256_64B", |b| {
+        b.iter(|| black_box(sha256(&data_small)))
+    });
+    c.bench_function("crypto/sha256_4KiB", |b| {
+        b.iter(|| black_box(sha256(&data_large)))
+    });
+    c.bench_function("crypto/sha384_4KiB", |b| {
+        b.iter(|| black_box(sha384(&data_large)))
+    });
 
     let owner = Name::parse("example.ch").unwrap().to_wire();
     c.bench_function("crypto/nsec3_hash_0iter", |b| {

@@ -19,12 +19,9 @@ fn print_artifact() {
     banner("E6 — Table 3 (regenerated)", "Table 3 + §4.4");
     let t3 = report::table3(&w.results, &["Cloudflare", "deSEC", "Glauca Digital"]);
     println!("{}", t3.render());
-    let (pot, correct) = t3
-        .columns
-        .iter()
-        .fold((0u64, 0u64), |(p, c), (_, col)| {
-            (p + col.potential, c + col.signal_correct)
-        });
+    let (pot, correct) = t3.columns.iter().fold((0u64, 0u64), |(p, c), (_, col)| {
+        (p + col.potential, c + col.signal_correct)
+    });
     if pot > 0 {
         println!(
             "signal correctness among bootstrappable: {:.2} % (paper 99.9 %)",
@@ -57,7 +54,12 @@ fn bench(c: &mut Criterion) {
     print_artifact();
     let w = world();
     c.bench_function("e6/table3_aggregation", |b| {
-        b.iter(|| black_box(report::table3(&w.results, &["Cloudflare", "deSEC", "Glauca Digital"])))
+        b.iter(|| {
+            black_box(report::table3(
+                &w.results,
+                &["Cloudflare", "deSEC", "Glauca Digital"],
+            ))
+        })
     });
     // Full re-scan of one signal-bearing zone (the expensive per-zone
     // path: delegation + per-NS + signal probes + validation).

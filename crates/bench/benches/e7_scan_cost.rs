@@ -14,7 +14,10 @@ use std::hint::black_box;
 
 fn print_artifact() {
     let w = world();
-    banner("E7 — scan cost & feasibility (regenerated)", "§3 + Appendix D");
+    banner(
+        "E7 — scan cost & feasibility (regenerated)",
+        "§3 + Appendix D",
+    );
     let cost = budget::scan_cost(&w.results, &w.eco.net.stats().snapshot());
     println!("{}", cost.render());
     println!("{}", budget::registry_feasibility(&w.results).render());

@@ -103,7 +103,11 @@ fn bench(c: &mut Criterion) {
     let keys = dns_zone::ZoneKeys::generate(&mut rng, dns_crypto::Algorithm::EcdsaP256Sha256);
     dns_zone::ZoneSigner::new(1_000_000).sign(&mut zone, &keys);
     let text = zone.to_zone_file();
-    println!("signed test zone: {} records, {} bytes of zone file", zone.record_count(), text.len());
+    println!(
+        "signed test zone: {} records, {} bytes of zone file",
+        zone.record_count(),
+        text.len()
+    );
     c.bench_function("wire/zonefile_parse_signed_zone", |b| {
         b.iter(|| {
             black_box(

@@ -49,10 +49,22 @@ impl ScanCost {
         let _ = writeln!(s, "Scan cost (paper §3 / Appendix D)");
         let _ = writeln!(s, "  zones scanned            {:>12}", self.zones);
         let _ = writeln!(s, "  logical queries          {:>12}", self.total_queries);
-        let _ = writeln!(s, "  mean queries / zone      {:>12.1}", self.mean_queries_per_zone);
-        let _ = writeln!(s, "  simulated duration       {:>12.1} s", self.simulated_seconds);
+        let _ = writeln!(
+            s,
+            "  mean queries / zone      {:>12.1}",
+            self.mean_queries_per_zone
+        );
+        let _ = writeln!(
+            s,
+            "  simulated duration       {:>12.1} s",
+            self.simulated_seconds
+        );
         let _ = writeln!(s, "  datagrams on the wire    {:>12}", self.datagrams);
-        let _ = writeln!(s, "  bytes sent / received    {:>12} / {}", self.bytes_sent, self.bytes_received);
+        let _ = writeln!(
+            s,
+            "  bytes sent / received    {:>12} / {}",
+            self.bytes_sent, self.bytes_received
+        );
         let _ = writeln!(s, "  zones sampled (2-of-12)  {:>12}", self.sampled_zones);
         s
     }
@@ -87,7 +99,7 @@ pub fn registry_feasibility(results: &ScanResults) -> RegistryFeasibility {
                     f.short_circuit_unsigned += 1;
                 }
             }
-            DnssecClass::Unresolvable => {}
+            DnssecClass::Unresolvable | DnssecClass::Indeterminate => {}
         }
     }
     f
@@ -98,9 +110,21 @@ impl RegistryFeasibility {
         let mut s = String::new();
         let _ = writeln!(s, "Registry AB feasibility (paper Appendix D)");
         let _ = writeln!(s, "  zones in dataset              {:>10}", self.all_zones);
-        let _ = writeln!(s, "  skipped via extant DS         {:>10}", self.skip_extant_ds);
-        let _ = writeln!(s, "  short-circuited (no DNSSEC)   {:>10}", self.short_circuit_unsigned);
-        let _ = writeln!(s, "  needing full AB evaluation    {:>10}", self.full_evaluation);
+        let _ = writeln!(
+            s,
+            "  skipped via extant DS         {:>10}",
+            self.skip_extant_ds
+        );
+        let _ = writeln!(
+            s,
+            "  short-circuited (no DNSSEC)   {:>10}",
+            self.short_circuit_unsigned
+        );
+        let _ = writeln!(
+            s,
+            "  needing full AB evaluation    {:>10}",
+            self.full_evaluation
+        );
         let _ = writeln!(
             s,
             "  fraction needing full work    {:>10.3} %",
@@ -131,6 +155,8 @@ mod tests {
             queries,
             elapsed: 500_000,
             sampled,
+            retry_stats: crate::error::RetryStats::default(),
+            degraded: false,
         }
     }
 
@@ -138,8 +164,20 @@ mod tests {
         ScanResults {
             zones: vec![
                 zone("a.com", DnssecClass::Unsigned, AbClass::NoSignal, false, 10),
-                zone("b.com", DnssecClass::Secured, AbClass::AlreadySecured, true, 30),
-                zone("c.com", DnssecClass::Island, AbClass::SignalCorrect, false, 40),
+                zone(
+                    "b.com",
+                    DnssecClass::Secured,
+                    AbClass::AlreadySecured,
+                    true,
+                    30,
+                ),
+                zone(
+                    "c.com",
+                    DnssecClass::Island,
+                    AbClass::SignalCorrect,
+                    false,
+                    40,
+                ),
                 zone("d.com", DnssecClass::Island, AbClass::NoSignal, false, 20),
             ],
             simulated_duration: 3_000_000,

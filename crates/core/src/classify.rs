@@ -31,7 +31,9 @@ pub fn dnssec_class(
             }
         }
         ChainStatus::Bogus => DnssecClass::Invalid,
-        ChainStatus::Indeterminate => DnssecClass::Unresolvable,
+        // Chain evidence could not be gathered (unreachable/erroring
+        // servers): degrade explicitly rather than guess.
+        ChainStatus::Indeterminate => DnssecClass::Indeterminate,
     }
 }
 
@@ -74,10 +76,7 @@ pub fn cds_class(
     }
     // Signature validity, when the zone is signed.
     if matches!(dnssec, DnssecClass::Secured | DnssecClass::Island) {
-        if answering
-            .iter()
-            .any(|o| o.cds_sig_valid == Some(false))
-        {
+        if answering.iter().any(|o| o.cds_sig_valid == Some(false)) {
             return CdsClass::BadSignature;
         }
         // DNSKEY correspondence.
@@ -101,9 +100,9 @@ pub fn cds_class(
 ///
 /// For CDNSKEY the public key must match exactly; for CDS the key tag and
 /// algorithm must match a key (digest comparison needs the owner name,
-/// which `cds_digest_matches` provides for callers that have it — the tag
-/// + algorithm check is sufficient to separate the planted mismatch cases
-/// and mirrors what a registry checks first).
+/// which `cds_digest_matches` provides for callers that have it — the
+/// tag + algorithm check is sufficient to separate the planted mismatch
+/// cases and mirrors what a registry checks first).
 fn union_matches_keys(union: &[CdsSeen], keys: &[DnskeyData]) -> bool {
     union.iter().any(|c| match c {
         CdsSeen::Cdnskey {
@@ -153,9 +152,13 @@ pub fn cds_digest_matches(owner: &Name, cds: &CdsSeen, key: &DnskeyData) -> bool
             rdata.push(key.protocol);
             rdata.push(key.algorithm);
             rdata.extend_from_slice(&key.public_key);
-            ds_digest(DigestType::from_code(*digest_type), &owner.to_wire(), &rdata)
-                .map(|d| &d == digest)
-                .unwrap_or(false)
+            ds_digest(
+                DigestType::from_code(*digest_type),
+                &owner.to_wire(),
+                &rdata,
+            )
+            .map(|d| &d == digest)
+            .unwrap_or(false)
         }
     }
 }
@@ -298,7 +301,11 @@ mod tests {
         let with_key = vec![obs(vec![], vec![k.clone()], None)];
         let without = vec![obs(vec![], vec![], None)];
         assert_eq!(
-            dnssec_class(&ChainStatus::DsPresent(vec![]), &with_key, Some(&[k.clone()])),
+            dnssec_class(
+                &ChainStatus::DsPresent(vec![]),
+                &with_key,
+                Some(std::slice::from_ref(&k))
+            ),
             DnssecClass::Secured
         );
         assert_eq!(
@@ -319,7 +326,7 @@ mod tests {
         );
         assert_eq!(
             dnssec_class(&ChainStatus::Indeterminate, &without, None),
-            DnssecClass::Unresolvable
+            DnssecClass::Indeterminate
         );
     }
 
@@ -328,13 +335,17 @@ mod tests {
         let k = key(1);
         let c = cds_for(&k);
         assert_eq!(
-            cds_class(&[obs(vec![], vec![k.clone()], None)], Some(&[k.clone()]), DnssecClass::Island),
+            cds_class(
+                &[obs(vec![], vec![k.clone()], None)],
+                Some(std::slice::from_ref(&k)),
+                DnssecClass::Island
+            ),
             CdsClass::Absent
         );
         assert_eq!(
             cds_class(
                 &[obs(vec![c.clone()], vec![k.clone()], Some(true))],
-                Some(&[k.clone()]),
+                Some(std::slice::from_ref(&k)),
                 DnssecClass::Island
             ),
             CdsClass::Valid
@@ -379,7 +390,7 @@ mod tests {
         assert_eq!(
             cds_class(
                 &[obs(vec![del], vec![k.clone()], Some(true))],
-                Some(&[k.clone()]),
+                Some(std::slice::from_ref(&k)),
                 DnssecClass::Island
             ),
             CdsClass::Delete
@@ -388,7 +399,7 @@ mod tests {
         assert_eq!(
             cds_class(
                 &[obs(vec![c.clone()], vec![k.clone()], Some(false))],
-                Some(&[k.clone()]),
+                Some(std::slice::from_ref(&k)),
                 DnssecClass::Island
             ),
             CdsClass::BadSignature
@@ -423,7 +434,12 @@ mod tests {
 
         // No signal.
         assert_eq!(
-            ab_class(DnssecClass::Island, CdsClass::Valid, &[sig(vec![], None, false)], &zone_obs),
+            ab_class(
+                DnssecClass::Island,
+                CdsClass::Valid,
+                &[sig(vec![], None, false)],
+                &zone_obs
+            ),
             AbClass::NoSignal
         );
         // Already secured.
@@ -481,7 +497,10 @@ mod tests {
             ab_class(
                 DnssecClass::Island,
                 CdsClass::Valid,
-                &[sig(vec![c.clone()], Some(true), true), sig(vec![], None, false)],
+                &[
+                    sig(vec![c.clone()], Some(true), true),
+                    sig(vec![], None, false)
+                ],
                 &zone_obs
             ),
             AbClass::SignalIncorrect(SignalViolation::ZoneCut)
@@ -491,7 +510,10 @@ mod tests {
             ab_class(
                 DnssecClass::Island,
                 CdsClass::Valid,
-                &[sig(vec![c.clone()], Some(true), false), sig(vec![], None, false)],
+                &[
+                    sig(vec![c.clone()], Some(true), false),
+                    sig(vec![], None, false)
+                ],
                 &zone_obs
             ),
             AbClass::SignalIncorrect(SignalViolation::NotUnderEveryNs)

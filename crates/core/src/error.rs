@@ -1,0 +1,144 @@
+//! Structured failure taxonomy and degradation accounting.
+//!
+//! Under fault injection the scanner must never silently fold a network
+//! failure into a substantive classification: every failed query is
+//! recorded here, per zone, and zones whose evidence is incomplete are
+//! reported as [`DnssecClass::Indeterminate`](crate::types::DnssecClass)
+//! with these statistics attached.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Why one scanner-level query (or whole resolution) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ScanError {
+    /// No server bound at the address; the query cost nothing.
+    Unreachable,
+    /// Every datagram attempt (and every client retry) timed out.
+    Timeout,
+    /// A reply arrived but did not parse as a DNS message.
+    Malformed,
+    /// The circuit breaker skipped the query without sending it.
+    BreakerOpen,
+    /// Iterative resolution failed because every server of some zone
+    /// failed (the resolver-level analogue of a timeout).
+    ResolutionFailed,
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScanError::Unreachable => "unreachable",
+            ScanError::Timeout => "timeout",
+            ScanError::Malformed => "malformed reply",
+            ScanError::BreakerOpen => "circuit breaker open",
+            ScanError::ResolutionFailed => "resolution failed",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Per-zone retry and failure statistics, serialized into reports so
+/// degraded classifications are auditable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RetryStats {
+    /// Failed logical queries (after client-level retries).
+    pub failures: u32,
+    /// ... of which exhausted their timeout budget.
+    pub timeouts: u32,
+    /// ... of which hit an unbound address.
+    pub unreachable: u32,
+    /// ... of which got an unparsable reply.
+    pub malformed: u32,
+    /// Logical queries answered with SERVFAIL.
+    pub servfails: u32,
+    /// Client-level whole-exchange retries spent (successful or not).
+    pub retries: u32,
+    /// Queries skipped because a per-address circuit breaker was open.
+    pub breaker_skips: u32,
+    /// Whole-resolution failures (all servers of some zone failed).
+    pub resolution_failures: u32,
+    /// Re-scan passes this zone went through before its final result.
+    pub rescans: u32,
+}
+
+impl RetryStats {
+    /// Record one failed query.
+    pub fn record(&mut self, e: ScanError) {
+        match e {
+            ScanError::BreakerOpen => {
+                self.breaker_skips += 1;
+                return;
+            }
+            ScanError::Timeout => self.timeouts += 1,
+            ScanError::Unreachable => self.unreachable += 1,
+            ScanError::Malformed => self.malformed += 1,
+            ScanError::ResolutionFailed => self.resolution_failures += 1,
+        }
+        self.failures += 1;
+    }
+
+    /// Whether any evidence-reducing event occurred. `Unreachable` does
+    /// not count: an unbound address is a property of the world (a stale
+    /// glue record), not a transient impairment.
+    pub fn degraded(&self) -> bool {
+        self.timeouts > 0
+            || self.malformed > 0
+            || self.breaker_skips > 0
+            || self.resolution_failures > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tallies_by_kind() {
+        let mut s = RetryStats::default();
+        s.record(ScanError::Timeout);
+        s.record(ScanError::Timeout);
+        s.record(ScanError::Malformed);
+        s.record(ScanError::Unreachable);
+        s.record(ScanError::BreakerOpen);
+        s.record(ScanError::ResolutionFailed);
+        assert_eq!(s.timeouts, 2);
+        assert_eq!(s.malformed, 1);
+        assert_eq!(s.unreachable, 1);
+        assert_eq!(s.breaker_skips, 1);
+        assert_eq!(s.resolution_failures, 1);
+        // Breaker skips are not query failures.
+        assert_eq!(s.failures, 5);
+    }
+
+    #[test]
+    fn unreachable_alone_is_not_degradation() {
+        let mut s = RetryStats::default();
+        assert!(!s.degraded());
+        s.record(ScanError::Unreachable);
+        assert!(!s.degraded());
+        s.record(ScanError::Timeout);
+        assert!(s.degraded());
+    }
+
+    #[test]
+    fn breaker_skip_alone_is_degradation() {
+        let mut s = RetryStats::default();
+        s.record(ScanError::BreakerOpen);
+        assert!(s.degraded());
+        assert_eq!(s.failures, 0);
+    }
+
+    #[test]
+    fn stats_serialize() {
+        let s = RetryStats {
+            timeouts: 3,
+            failures: 3,
+            ..RetryStats::default()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"timeouts\":3"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-nameserver health tracking and circuit breaking.
+//!
+//! Two layers with deliberately different scopes:
+//!
+//! * [`CircuitBreaker`] — *per zone scan*, keyed on the scan's own virtual
+//!   clock. After `threshold` consecutive failures against one address,
+//!   further queries to it are skipped for `cooldown` µs of scan-local
+//!   virtual time, then one probe is let through (half-open). Because the
+//!   breaker's state never leaves the zone scan, results stay independent
+//!   of the order in which zones are scanned — byte-identical reports
+//!   regardless of worker interleaving.
+//! * [`HealthTracker`] — *global*, pure observation. Aggregates
+//!   per-address success/failure counts across the whole scan for the
+//!   degradation report. It feeds no decision, so sharing it across
+//!   threads cannot perturb determinism.
+
+use netsim::{Addr, SimMicros};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open_until: Option<SimMicros>,
+}
+
+/// A deterministic per-scan circuit breaker over server addresses.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    /// Consecutive failures that open the breaker (0 = disabled).
+    threshold: u32,
+    /// Virtual µs the breaker stays open before a half-open probe.
+    cooldown: SimMicros,
+    state: HashMap<Addr, BreakerState>,
+}
+
+impl CircuitBreaker {
+    pub fn new(threshold: u32, cooldown: SimMicros) -> Self {
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            state: HashMap::new(),
+        }
+    }
+
+    /// May we query `addr` at scan-local time `now`? `false` = skip (the
+    /// breaker is open and still cooling down).
+    pub fn allows(&mut self, addr: Addr, now: SimMicros) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        match self.state.get(&addr).and_then(|s| s.open_until) {
+            Some(until) if now < until => false,
+            // Past the cooldown: half-open, let one probe through. The
+            // deadline is cleared so only a fresh failure re-opens it.
+            Some(_) => {
+                self.state.get_mut(&addr).unwrap().open_until = None;
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Record a successful exchange with `addr`: close the breaker.
+    pub fn record_success(&mut self, addr: Addr) {
+        if let Some(s) = self.state.get_mut(&addr) {
+            *s = BreakerState::default();
+        }
+    }
+
+    /// Record a failed exchange with `addr` at scan-local time `now`.
+    pub fn record_failure(&mut self, addr: Addr, now: SimMicros) {
+        if self.threshold == 0 {
+            return;
+        }
+        let s = self.state.entry(addr).or_default();
+        s.consecutive_failures += 1;
+        if s.consecutive_failures >= self.threshold {
+            s.open_until = Some(now + self.cooldown);
+        }
+    }
+}
+
+/// Aggregate health of one server address over the whole scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct AddrHealth {
+    pub successes: u64,
+    pub failures: u64,
+    pub breaker_skips: u64,
+}
+
+/// Global, observation-only per-address health statistics.
+#[derive(Debug, Default)]
+pub struct HealthTracker {
+    map: Mutex<HashMap<Addr, AddrHealth>>,
+}
+
+impl HealthTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_success(&self, addr: Addr) {
+        self.map.lock().entry(addr).or_default().successes += 1;
+    }
+
+    pub fn record_failure(&self, addr: Addr) {
+        self.map.lock().entry(addr).or_default().failures += 1;
+    }
+
+    pub fn record_skip(&self, addr: Addr) {
+        self.map.lock().entry(addr).or_default().breaker_skips += 1;
+    }
+
+    /// Sorted snapshot (deterministic order for reports).
+    pub fn snapshot(&self) -> Vec<(Addr, AddrHealth)> {
+        let mut v: Vec<(Addr, AddrHealth)> =
+            self.map.lock().iter().map(|(a, h)| (*a, *h)).collect();
+        v.sort_by_key(|(a, _)| *a);
+        v
+    }
+
+    /// Addresses that failed at least once, sorted.
+    pub fn unhealthy(&self) -> Vec<(Addr, AddrHealth)> {
+        self.snapshot()
+            .into_iter()
+            .filter(|(_, h)| h.failures > 0 || h.breaker_skips > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn addr(x: u8) -> Addr {
+        Addr::V4(Ipv4Addr::new(192, 0, 2, x))
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold() {
+        let mut b = CircuitBreaker::new(3, 1_000_000);
+        let a = addr(1);
+        for now in [0, 10, 20] {
+            assert!(b.allows(a, now));
+            b.record_failure(a, now);
+        }
+        assert!(!b.allows(a, 30), "open after 3 consecutive failures");
+        assert!(!b.allows(a, 1_000_019), "still inside cooldown");
+        assert!(b.allows(a, 1_000_020), "half-open after cooldown");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(3, 1_000_000);
+        let a = addr(1);
+        b.record_failure(a, 0);
+        b.record_failure(a, 1);
+        b.record_success(a);
+        b.record_failure(a, 2);
+        b.record_failure(a, 3);
+        assert!(b.allows(a, 4), "streak was reset by the success");
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let mut b = CircuitBreaker::new(2, 1_000);
+        let a = addr(1);
+        b.record_failure(a, 0);
+        b.record_failure(a, 0);
+        assert!(!b.allows(a, 500));
+        assert!(b.allows(a, 2_000), "half-open probe allowed");
+        // The probe fails: the streak is still ≥ threshold, so one more
+        // failure re-opens without needing `threshold` fresh ones.
+        b.record_failure(a, 2_000);
+        assert!(!b.allows(a, 2_500));
+    }
+
+    #[test]
+    fn zero_threshold_disables_breaking() {
+        let mut b = CircuitBreaker::new(0, 1_000_000);
+        let a = addr(1);
+        for i in 0..50 {
+            b.record_failure(a, i);
+            assert!(b.allows(a, i));
+        }
+    }
+
+    #[test]
+    fn breakers_are_per_address() {
+        let mut b = CircuitBreaker::new(1, 1_000);
+        b.record_failure(addr(1), 0);
+        assert!(!b.allows(addr(1), 10));
+        assert!(b.allows(addr(2), 10));
+    }
+
+    #[test]
+    fn tracker_snapshots_sorted_and_filters_unhealthy() {
+        let t = HealthTracker::new();
+        t.record_success(addr(9));
+        t.record_failure(addr(3));
+        t.record_skip(addr(5));
+        t.record_success(addr(3));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+        let bad = t.unhealthy();
+        assert_eq!(bad.len(), 2);
+        assert_eq!(
+            bad[0].1,
+            AddrHealth {
+                successes: 1,
+                failures: 1,
+                breaker_skips: 0
+            }
+        );
+    }
+}

@@ -44,12 +44,16 @@
 
 pub mod budget;
 pub mod classify;
+pub mod error;
+pub mod health;
 pub mod operator;
 pub mod policy;
 pub mod report;
 pub mod scanner;
 pub mod types;
 
+pub use error::{RetryStats, ScanError};
+pub use health::{AddrHealth, CircuitBreaker, HealthTracker};
 pub use operator::{Identified, OperatorTable};
 pub use scanner::{ScanPolicy, ScanResults, Scanner};
 pub use types::{AbClass, CannotReason, CdsClass, DnssecClass, SignalViolation, ZoneScan};

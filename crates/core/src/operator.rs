@@ -43,7 +43,8 @@ impl OperatorTable {
     /// Register a white-label suffix that fronts `operator` (the paper's
     /// `seized.gov` → Cloudflare case).
     pub fn add_white_label(&mut self, suffix: &Name, operator: &str) {
-        self.white_label.push((suffix.clone(), operator.to_string()));
+        self.white_label
+            .push((suffix.clone(), operator.to_string()));
     }
 
     /// Build from the generated ecosystem's operator table, adding every
@@ -121,7 +122,10 @@ mod tests {
     #[test]
     fn single_operator() {
         let t = table();
-        let id = t.identify(&[name!("ns1.domaincontrol.com"), name!("ns2.domaincontrol.com")]);
+        let id = t.identify(&[
+            name!("ns1.domaincontrol.com"),
+            name!("ns2.domaincontrol.com"),
+        ]);
         assert_eq!(id, Identified::Single("GoDaddy".into()));
     }
 
@@ -137,7 +141,10 @@ mod tests {
         let t = table();
         assert_eq!(t.of_ns(&name!("asa.ns.cloudflare.com")), Some("Cloudflare"));
         assert_eq!(
-            t.identify(&[name!("asa.ns.cloudflare.com"), name!("elliot.ns.cloudflare.com")]),
+            t.identify(&[
+                name!("asa.ns.cloudflare.com"),
+                name!("elliot.ns.cloudflare.com")
+            ]),
             Identified::Single("Cloudflare".into())
         );
     }
@@ -172,7 +179,10 @@ mod tests {
     #[test]
     fn unknown_and_ambiguous() {
         let t = table();
-        assert_eq!(t.identify(&[name!("ns1.nowhere.example")]), Identified::Unknown);
+        assert_eq!(
+            t.identify(&[name!("ns1.nowhere.example")]),
+            Identified::Unknown
+        );
         // Known + unknown = unknown (the paper's conservative tagging).
         assert_eq!(
             t.identify(&[name!("ns1.domaincontrol.com"), name!("ns1.nowhere.example")]),
@@ -190,6 +200,9 @@ mod tests {
             ("Cloudflare", &hosts_b[..]),
         ]);
         assert_eq!(t.of_ns(&name!("ns1.cleancorp.net")), Some("CleanCorp"));
-        assert_eq!(t.of_ns(&name!("elliot.ns.cloudflare.com")), Some("Cloudflare"));
+        assert_eq!(
+            t.of_ns(&name!("elliot.ns.cloudflare.com")),
+            Some("Cloudflare")
+        );
     }
 }

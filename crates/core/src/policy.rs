@@ -77,9 +77,7 @@ impl BootstrapPolicy {
             BootstrapPolicy::AuthenticatedChannel { .. } => {
                 "no standardized backchannel; per-operator integration"
             }
-            BootstrapPolicy::ExtraChecks { .. } => {
-                "customers rarely understand the notification"
-            }
+            BootstrapPolicy::ExtraChecks { .. } => "customers rarely understand the notification",
             BootstrapPolicy::AcceptAfterDelay { .. } => {
                 "heuristic only; hijack window during the delay"
             }
@@ -224,6 +222,8 @@ mod tests {
             queries: 0,
             elapsed: 0,
             sampled: false,
+            retry_stats: crate::error::RetryStats::default(),
+            degraded: false,
         }
     }
 
@@ -243,7 +243,12 @@ mod tests {
                 },
             ));
         }
-        zones.push(zone("u.com", DnssecClass::Unsigned, CdsClass::Absent, AbClass::NoSignal));
+        zones.push(zone(
+            "u.com",
+            DnssecClass::Unsigned,
+            CdsClass::Absent,
+            AbClass::NoSignal,
+        ));
         zones.push(zone(
             "d.com",
             DnssecClass::Island,
@@ -259,7 +264,11 @@ mod tests {
 
     #[test]
     fn candidates_are_bootstrappable_islands_only() {
-        let o = evaluate(BootstrapPolicy::AcceptAfterDelay { hold_days: 7 }, &results(), 1);
+        let o = evaluate(
+            BootstrapPolicy::AcceptAfterDelay { hold_days: 7 },
+            &results(),
+            1,
+        );
         assert_eq!(o.candidates, 100);
         assert_eq!(o.secured, 100); // delay always converges
         assert_eq!(o.secured_unauthenticated, 100); // but unauthenticated
@@ -319,8 +328,20 @@ mod tests {
 
     #[test]
     fn evaluation_is_deterministic() {
-        let a = evaluate(BootstrapPolicy::ExtraChecks { confirmation_rate: 0.5 }, &results(), 7);
-        let b = evaluate(BootstrapPolicy::ExtraChecks { confirmation_rate: 0.5 }, &results(), 7);
+        let a = evaluate(
+            BootstrapPolicy::ExtraChecks {
+                confirmation_rate: 0.5,
+            },
+            &results(),
+            7,
+        );
+        let b = evaluate(
+            BootstrapPolicy::ExtraChecks {
+                confirmation_rate: 0.5,
+            },
+            &results(),
+            7,
+        );
         assert_eq!(a.secured, b.secured);
     }
 
@@ -336,7 +357,10 @@ mod tests {
         // Only the two authenticated policies have zero unauthenticated
         // installs.
         assert_eq!(
-            outcomes.iter().filter(|o| o.secured_unauthenticated == 0).count(),
+            outcomes
+                .iter()
+                .filter(|o| o.secured_unauthenticated == 0)
+                .count(),
             2
         );
     }

@@ -1,6 +1,7 @@
 //! Report generation: every table and figure of the paper, regenerated
 //! from scan results.
 
+use crate::error::RetryStats;
 use crate::operator::Identified;
 use crate::scanner::ScanResults;
 use crate::types::*;
@@ -20,11 +21,21 @@ pub struct Figure1 {
     pub island_cds_delete: u64,
     pub island_invalid_cds: u64,
     pub island_bootstrappable: u64,
+    /// Zones excluded because transient failures left their evidence
+    /// incomplete (not part of `resolved`).
+    pub indeterminate: u64,
 }
 
 /// Build Figure 1 from scan results.
 pub fn figure1(results: &ScanResults) -> Figure1 {
-    let mut f = Figure1::default();
+    let mut f = Figure1 {
+        indeterminate: results
+            .zones
+            .iter()
+            .filter(|z| z.dnssec == DnssecClass::Indeterminate)
+            .count() as u64,
+        ..Figure1::default()
+    };
     for z in results.resolved() {
         f.resolved += 1;
         match z.dnssec {
@@ -44,7 +55,7 @@ pub fn figure1(results: &ScanResults) -> Figure1 {
                     CdsClass::Inconsistent => f.island_invalid_cds += 1,
                 }
             }
-            DnssecClass::Unresolvable => {}
+            DnssecClass::Unresolvable | DnssecClass::Indeterminate => {}
         }
     }
     f
@@ -62,14 +73,57 @@ impl Figure1 {
         let mut s = String::new();
         let _ = writeln!(s, "Figure 1 — DNSSEC status and bootstrapping possibility");
         let _ = writeln!(s, "  resolved zones          {:>10}", self.resolved);
-        let _ = writeln!(s, "  without DNSSEC          {:>10}  ({:5.1} %)", self.unsigned, pct(self.unsigned));
-        let _ = writeln!(s, "  already secured         {:>10}  ({:5.1} %)", self.secured, pct(self.secured));
-        let _ = writeln!(s, "  invalid DNSSEC          {:>10}  ({:5.1} %)", self.invalid, pct(self.invalid));
-        let _ = writeln!(s, "  secure islands          {:>10}  ({:5.1} %)", self.islands, pct(self.islands));
-        let _ = writeln!(s, "    without CDS           {:>10}", self.island_without_cds);
-        let _ = writeln!(s, "    CDS delete            {:>10}", self.island_cds_delete);
-        let _ = writeln!(s, "    invalid CDS           {:>10}", self.island_invalid_cds);
-        let _ = writeln!(s, "    possible to bootstrap {:>10}", self.island_bootstrappable);
+        let _ = writeln!(
+            s,
+            "  without DNSSEC          {:>10}  ({:5.1} %)",
+            self.unsigned,
+            pct(self.unsigned)
+        );
+        let _ = writeln!(
+            s,
+            "  already secured         {:>10}  ({:5.1} %)",
+            self.secured,
+            pct(self.secured)
+        );
+        let _ = writeln!(
+            s,
+            "  invalid DNSSEC          {:>10}  ({:5.1} %)",
+            self.invalid,
+            pct(self.invalid)
+        );
+        let _ = writeln!(
+            s,
+            "  secure islands          {:>10}  ({:5.1} %)",
+            self.islands,
+            pct(self.islands)
+        );
+        let _ = writeln!(
+            s,
+            "    without CDS           {:>10}",
+            self.island_without_cds
+        );
+        let _ = writeln!(
+            s,
+            "    CDS delete            {:>10}",
+            self.island_cds_delete
+        );
+        let _ = writeln!(
+            s,
+            "    invalid CDS           {:>10}",
+            self.island_invalid_cds
+        );
+        let _ = writeln!(
+            s,
+            "    possible to bootstrap {:>10}",
+            self.island_bootstrappable
+        );
+        if self.indeterminate > 0 {
+            let _ = writeln!(
+                s,
+                "  indeterminate (degraded){:>10}  (excluded)",
+                self.indeterminate
+            );
+        }
         s
     }
 }
@@ -106,7 +160,7 @@ pub fn table1(results: &ScanResults, top_n: usize) -> Vec<Table1Row> {
             DnssecClass::Secured => row.secured += 1,
             DnssecClass::Invalid => row.invalid += 1,
             DnssecClass::Island => row.islands += 1,
-            DnssecClass::Unresolvable => {}
+            DnssecClass::Unresolvable | DnssecClass::Indeterminate => {}
         }
     }
     let mut rows: Vec<Table1Row> = map.into_values().collect();
@@ -201,7 +255,11 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
         "Table 2 — top {} DNS operators publishing CDS RRs",
         rows.len()
     );
-    let _ = writeln!(s, "{:<4} {:<22} {:>10} {:>7}", "#", "DNS Operator", "Dom.w.CDS", "%");
+    let _ = writeln!(
+        s,
+        "{:<4} {:<22} {:>10} {:>7}",
+        "#", "DNS Operator", "Dom.w.CDS", "%"
+    );
     for (i, r) in rows.iter().enumerate() {
         let mark = if r.swiss { " [CH]" } else { "" };
         let _ = writeln!(
@@ -283,22 +341,28 @@ pub fn table3(results: &ScanResults, named: &[&str]) -> Table3 {
 impl Table3 {
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Table 3 — DNS operators publishing CDS RRs in signal zones");
+        let _ = writeln!(
+            s,
+            "Table 3 — DNS operators publishing CDS RRs in signal zones"
+        );
         let _ = write!(s, "{:<28}", "");
         for (name, _) in &self.columns {
             let _ = write!(s, "{:>14}", name);
         }
-        let total: Table3Col = self.columns.iter().fold(Table3Col::default(), |mut a, (_, c)| {
-            a.with_signal_cds += c.with_signal_cds;
-            a.already_secured += c.already_secured;
-            a.cannot_bootstrap += c.cannot_bootstrap;
-            a.cannot_deletion += c.cannot_deletion;
-            a.cannot_invalid_dnssec += c.cannot_invalid_dnssec;
-            a.potential += c.potential;
-            a.signal_incorrect += c.signal_incorrect;
-            a.signal_correct += c.signal_correct;
-            a
-        });
+        let total: Table3Col = self
+            .columns
+            .iter()
+            .fold(Table3Col::default(), |mut a, (_, c)| {
+                a.with_signal_cds += c.with_signal_cds;
+                a.already_secured += c.already_secured;
+                a.cannot_bootstrap += c.cannot_bootstrap;
+                a.cannot_deletion += c.cannot_deletion;
+                a.cannot_invalid_dnssec += c.cannot_invalid_dnssec;
+                a.potential += c.potential;
+                a.signal_incorrect += c.signal_incorrect;
+                a.signal_correct += c.signal_correct;
+                a
+            });
         let _ = writeln!(s, "{:>14}", "Total");
         let row = |s: &mut String, label: &str, f: &dyn Fn(&Table3Col) -> u64| {
             let _ = write!(s, "{:<28}", label);
@@ -393,19 +457,73 @@ impl CdsCensus {
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "CDS deployment census (paper §4.2)");
-        let _ = writeln!(s, "  zones with CDS                    {:>9}  ({:4.1} % of {})", self.with_cds, 100.0 * self.with_cds as f64 / self.resolved.max(1) as f64, self.resolved);
-        let _ = writeln!(s, "  CDS in unsigned zones             {:>9}", self.cds_in_unsigned);
-        let _ = writeln!(s, "  CDS delete in unsigned zones      {:>9}", self.delete_in_unsigned);
-        let _ = writeln!(s, "  CDS delete but still signed       {:>9}", self.delete_but_signed);
-        let _ = writeln!(s, "  islands with CDS delete           {:>9}", self.islands_with_delete);
-        let _ = writeln!(s, "  islands with CDS                  {:>9}", self.islands_with_cds);
-        let _ = writeln!(s, "  islands with consistent CDS       {:>9}", self.islands_consistent);
-        let _ = writeln!(s, "  inconsistent CDS (between NSes)   {:>9}", self.inconsistent);
-        let _ = writeln!(s, "    of which multi-operator         {:>9}", self.inconsistent_multi_operator);
-        let _ = writeln!(s, "  CDS matching no DNSKEY            {:>9}", self.cds_without_matching_dnskey);
-        let _ = writeln!(s, "  CDS with invalid RRSIG            {:>9}", self.cds_invalid_signature);
-        let _ = writeln!(s, "  NSes failing CDS-type queries     {:>9}", self.cds_query_failures);
-        let _ = writeln!(s, "  zones with CSYNC (RFC 7477)       {:>9}", self.with_csync);
+        let _ = writeln!(
+            s,
+            "  zones with CDS                    {:>9}  ({:4.1} % of {})",
+            self.with_cds,
+            100.0 * self.with_cds as f64 / self.resolved.max(1) as f64,
+            self.resolved
+        );
+        let _ = writeln!(
+            s,
+            "  CDS in unsigned zones             {:>9}",
+            self.cds_in_unsigned
+        );
+        let _ = writeln!(
+            s,
+            "  CDS delete in unsigned zones      {:>9}",
+            self.delete_in_unsigned
+        );
+        let _ = writeln!(
+            s,
+            "  CDS delete but still signed       {:>9}",
+            self.delete_but_signed
+        );
+        let _ = writeln!(
+            s,
+            "  islands with CDS delete           {:>9}",
+            self.islands_with_delete
+        );
+        let _ = writeln!(
+            s,
+            "  islands with CDS                  {:>9}",
+            self.islands_with_cds
+        );
+        let _ = writeln!(
+            s,
+            "  islands with consistent CDS       {:>9}",
+            self.islands_consistent
+        );
+        let _ = writeln!(
+            s,
+            "  inconsistent CDS (between NSes)   {:>9}",
+            self.inconsistent
+        );
+        let _ = writeln!(
+            s,
+            "    of which multi-operator         {:>9}",
+            self.inconsistent_multi_operator
+        );
+        let _ = writeln!(
+            s,
+            "  CDS matching no DNSKEY            {:>9}",
+            self.cds_without_matching_dnskey
+        );
+        let _ = writeln!(
+            s,
+            "  CDS with invalid RRSIG            {:>9}",
+            self.cds_invalid_signature
+        );
+        let _ = writeln!(
+            s,
+            "  NSes failing CDS-type queries     {:>9}",
+            self.cds_query_failures
+        );
+        let _ = writeln!(
+            s,
+            "  zones with CSYNC (RFC 7477)       {:>9}",
+            self.with_csync
+        );
         s
     }
 }
@@ -449,7 +567,7 @@ pub fn ab_potential(results: &ScanResults) -> AbPotential {
                 p.cannot_benefit += 1;
                 p.cannot_island_bad_cds += 1;
             }
-            (DnssecClass::Unresolvable, _) => {}
+            (DnssecClass::Unresolvable | DnssecClass::Indeterminate, _) => {}
         }
     }
     p
@@ -459,14 +577,157 @@ impl AbPotential {
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "Authenticated Bootstrapping potential (paper §4.3)");
-        let _ = writeln!(s, "  cannot benefit from AB       {:>10}", self.cannot_benefit);
-        let _ = writeln!(s, "    unsigned                   {:>10}", self.cannot_unsigned);
-        let _ = writeln!(s, "    invalid DNSSEC             {:>10}", self.cannot_invalid);
-        let _ = writeln!(s, "    islands without CDS        {:>10}", self.cannot_island_no_cds);
-        let _ = writeln!(s, "    islands with CDS delete    {:>10}", self.cannot_island_delete);
-        let _ = writeln!(s, "    islands with broken CDS    {:>10}", self.cannot_island_bad_cds);
-        let _ = writeln!(s, "  already secured              {:>10}", self.already_secured);
-        let _ = writeln!(s, "  could benefit (bootstrappable){:>9}", self.bootstrappable);
+        let _ = writeln!(
+            s,
+            "  cannot benefit from AB       {:>10}",
+            self.cannot_benefit
+        );
+        let _ = writeln!(
+            s,
+            "    unsigned                   {:>10}",
+            self.cannot_unsigned
+        );
+        let _ = writeln!(
+            s,
+            "    invalid DNSSEC             {:>10}",
+            self.cannot_invalid
+        );
+        let _ = writeln!(
+            s,
+            "    islands without CDS        {:>10}",
+            self.cannot_island_no_cds
+        );
+        let _ = writeln!(
+            s,
+            "    islands with CDS delete    {:>10}",
+            self.cannot_island_delete
+        );
+        let _ = writeln!(
+            s,
+            "    islands with broken CDS    {:>10}",
+            self.cannot_island_bad_cds
+        );
+        let _ = writeln!(
+            s,
+            "  already secured              {:>10}",
+            self.already_secured
+        );
+        let _ = writeln!(
+            s,
+            "  could benefit (bootstrappable){:>9}",
+            self.bootstrappable
+        );
+        s
+    }
+}
+
+/// One degraded zone in the [`DegradationReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DegradedZone {
+    pub name: String,
+    pub class: DnssecClass,
+    pub stats: RetryStats,
+}
+
+/// Explicit degradation semantics: which zones the scan could *not*
+/// classify cleanly, and the failure statistics behind each. Nothing in
+/// here is folded into the substantive classes — this report is the
+/// honest remainder.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct DegradationReport {
+    pub total_zones: u64,
+    /// Zones that saw transient failures (including recovered ones).
+    pub degraded_zones: u64,
+    /// Zones left entirely unclassified.
+    pub indeterminate_zones: u64,
+    pub total_failures: u64,
+    pub total_timeouts: u64,
+    pub total_malformed: u64,
+    pub total_servfails: u64,
+    pub total_retries: u64,
+    pub total_breaker_skips: u64,
+    pub total_rescans: u64,
+    /// Degraded zones in name order (deterministic).
+    pub zones: Vec<DegradedZone>,
+}
+
+pub fn degradation(results: &ScanResults) -> DegradationReport {
+    let mut r = DegradationReport {
+        total_zones: results.zones.len() as u64,
+        ..DegradationReport::default()
+    };
+    for z in &results.zones {
+        let s = &z.retry_stats;
+        r.total_failures += s.failures as u64;
+        r.total_timeouts += s.timeouts as u64;
+        r.total_malformed += s.malformed as u64;
+        r.total_servfails += s.servfails as u64;
+        r.total_retries += s.retries as u64;
+        r.total_breaker_skips += s.breaker_skips as u64;
+        r.total_rescans += s.rescans as u64;
+        if z.dnssec == DnssecClass::Indeterminate {
+            r.indeterminate_zones += 1;
+        }
+        if z.degraded || z.dnssec == DnssecClass::Indeterminate {
+            r.degraded_zones += 1;
+            r.zones.push(DegradedZone {
+                name: z.name.to_string_fqdn(),
+                class: z.dnssec,
+                stats: *s,
+            });
+        }
+    }
+    // zones already arrive name-sorted from scan_all; sort again so the
+    // report is deterministic regardless of how results were assembled.
+    r.zones.sort_by(|a, b| a.name.cmp(&b.name));
+    r
+}
+
+impl DegradationReport {
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Degradation report — transient failures and their effect"
+        );
+        let _ = writeln!(s, "  zones scanned              {:>9}", self.total_zones);
+        let _ = writeln!(s, "  degraded (saw failures)    {:>9}", self.degraded_zones);
+        let _ = writeln!(
+            s,
+            "  indeterminate (unclassified){:>8}",
+            self.indeterminate_zones
+        );
+        let _ = writeln!(s, "  query failures             {:>9}", self.total_failures);
+        let _ = writeln!(s, "    timeouts                 {:>9}", self.total_timeouts);
+        let _ = writeln!(
+            s,
+            "    malformed replies        {:>9}",
+            self.total_malformed
+        );
+        let _ = writeln!(
+            s,
+            "  SERVFAIL answers           {:>9}",
+            self.total_servfails
+        );
+        let _ = writeln!(s, "  retries spent              {:>9}", self.total_retries);
+        let _ = writeln!(
+            s,
+            "  breaker skips              {:>9}",
+            self.total_breaker_skips
+        );
+        let _ = writeln!(s, "  re-scan passes             {:>9}", self.total_rescans);
+        for z in &self.zones {
+            let _ = writeln!(
+                s,
+                "    {:<40} {:>14} failures={} timeouts={} retries={} rescans={}",
+                z.name,
+                format!("{:?}", z.class),
+                z.stats.failures,
+                z.stats.timeouts,
+                z.stats.retries,
+                z.stats.rescans,
+            );
+        }
         s
     }
 }
@@ -477,13 +738,7 @@ mod tests {
     use crate::scanner::ScanResults;
     use dns_wire::name;
 
-    fn zone(
-        n: &str,
-        op: Identified,
-        dnssec: DnssecClass,
-        cds: CdsClass,
-        ab: AbClass,
-    ) -> ZoneScan {
+    fn zone(n: &str, op: Identified, dnssec: DnssecClass, cds: CdsClass, ab: AbClass) -> ZoneScan {
         ZoneScan {
             name: name!(n),
             ns_names: vec![],
@@ -497,6 +752,8 @@ mod tests {
             queries: 10,
             elapsed: 100,
             sampled: false,
+            retry_stats: RetryStats::default(),
+            degraded: false,
         }
     }
 
@@ -507,14 +764,62 @@ mod tests {
     fn sample_results() -> ScanResults {
         ScanResults {
             zones: vec![
-                zone("a.com", single("OpA"), DnssecClass::Unsigned, CdsClass::Absent, AbClass::NoSignal),
-                zone("b.com", single("OpA"), DnssecClass::Secured, CdsClass::Valid, AbClass::AlreadySecured),
-                zone("c.com", single("OpA"), DnssecClass::Island, CdsClass::Valid, AbClass::SignalCorrect),
-                zone("d.com", single("OpB"), DnssecClass::Island, CdsClass::Delete, AbClass::CannotBootstrap(CannotReason::DeletionRequest)),
-                zone("e.com", single("OpB"), DnssecClass::Invalid, CdsClass::Absent, AbClass::NoSignal),
-                zone("f.com", Identified::Multi(vec!["OpA".into(), "OpB".into()]), DnssecClass::Island, CdsClass::Inconsistent, AbClass::NoSignal),
-                zone("g.com", single("OpB"), DnssecClass::Unresolvable, CdsClass::Absent, AbClass::NoSignal),
-                zone("h.com", single("OpC"), DnssecClass::Island, CdsClass::Valid, AbClass::SignalIncorrect(SignalViolation::ZoneCut)),
+                zone(
+                    "a.com",
+                    single("OpA"),
+                    DnssecClass::Unsigned,
+                    CdsClass::Absent,
+                    AbClass::NoSignal,
+                ),
+                zone(
+                    "b.com",
+                    single("OpA"),
+                    DnssecClass::Secured,
+                    CdsClass::Valid,
+                    AbClass::AlreadySecured,
+                ),
+                zone(
+                    "c.com",
+                    single("OpA"),
+                    DnssecClass::Island,
+                    CdsClass::Valid,
+                    AbClass::SignalCorrect,
+                ),
+                zone(
+                    "d.com",
+                    single("OpB"),
+                    DnssecClass::Island,
+                    CdsClass::Delete,
+                    AbClass::CannotBootstrap(CannotReason::DeletionRequest),
+                ),
+                zone(
+                    "e.com",
+                    single("OpB"),
+                    DnssecClass::Invalid,
+                    CdsClass::Absent,
+                    AbClass::NoSignal,
+                ),
+                zone(
+                    "f.com",
+                    Identified::Multi(vec!["OpA".into(), "OpB".into()]),
+                    DnssecClass::Island,
+                    CdsClass::Inconsistent,
+                    AbClass::NoSignal,
+                ),
+                zone(
+                    "g.com",
+                    single("OpB"),
+                    DnssecClass::Unresolvable,
+                    CdsClass::Absent,
+                    AbClass::NoSignal,
+                ),
+                zone(
+                    "h.com",
+                    single("OpC"),
+                    DnssecClass::Island,
+                    CdsClass::Valid,
+                    AbClass::SignalIncorrect(SignalViolation::ZoneCut),
+                ),
             ],
             simulated_duration: 1000,
             total_queries: 80,
@@ -609,12 +914,43 @@ mod tests {
     }
 
     #[test]
+    fn degradation_report_lists_only_degraded_zones_sorted() {
+        let mut r = sample_results();
+        // Mark two zones degraded, one of them fully indeterminate.
+        r.zones[4].degraded = true;
+        r.zones[4].retry_stats.timeouts = 3;
+        r.zones[4].retry_stats.failures = 3;
+        r.zones[4].retry_stats.rescans = 1;
+        r.zones[1].dnssec = DnssecClass::Indeterminate;
+        r.zones[1].retry_stats.breaker_skips = 2;
+        let d = degradation(&r);
+        assert_eq!(d.total_zones, 8);
+        assert_eq!(d.degraded_zones, 2);
+        assert_eq!(d.indeterminate_zones, 1);
+        assert_eq!(d.total_timeouts, 3);
+        assert_eq!(d.total_breaker_skips, 2);
+        assert_eq!(d.total_rescans, 1);
+        assert_eq!(d.zones.len(), 2);
+        assert!(d.zones[0].name < d.zones[1].name);
+        let text = d.render();
+        assert!(text.contains("indeterminate"));
+        assert!(text.contains("e.com."));
+        // The indeterminate zone no longer counts as resolved anywhere.
+        let f = figure1(&r);
+        assert_eq!(f.resolved, 6);
+        assert_eq!(f.indeterminate, 1);
+        assert!(serde_json::to_string(&d).unwrap().contains("breaker_skips"));
+    }
+
+    #[test]
     fn reports_serialize_to_json() {
         let r = sample_results();
         let f = figure1(&r);
         let json = serde_json::to_string(&f).unwrap();
         assert!(json.contains("island_bootstrappable"));
         let t3 = table3(&r, &["OpA"]);
-        assert!(serde_json::to_string(&t3).unwrap().contains("with_signal_cds"));
+        assert!(serde_json::to_string(&t3)
+            .unwrap()
+            .contains("with_signal_cds"));
     }
 }

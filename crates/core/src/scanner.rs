@@ -13,11 +13,15 @@
 //! 5. classifies DNSSEC / CDS / AB status.
 
 use crate::classify;
+use crate::error::{RetryStats, ScanError};
+use crate::health::{CircuitBreaker, HealthTracker};
 use crate::operator::OperatorTable;
 use crate::types::*;
 use dns_crypto::UnixTime;
 use dns_resolver::validate::key_matches_any_ds;
-use dns_resolver::{DnsClient, Resolution, Resolver, RootHints};
+use dns_resolver::{
+    ClientErrorKind, DnsClient, Resolution, Resolver, ResolverError, RetryPolicy, RootHints,
+};
 use dns_wire::message::Rcode;
 use dns_wire::name::Name;
 use dns_wire::rdata::{DnskeyData, DsData, RData, RrsigData};
@@ -43,6 +47,19 @@ pub struct ScanPolicy {
     pub probe_signal: bool,
     /// Worker threads for `scan_all`.
     pub parallelism: usize,
+    /// Whole-exchange retries per query on timeout/malformed replies.
+    pub retries: u32,
+    /// Base backoff before the first retry (virtual µs, doubles each
+    /// retry, deterministic jitter on top).
+    pub backoff_base: SimMicros,
+    /// Consecutive failures that open a per-address circuit breaker
+    /// within one zone scan (0 = disabled).
+    pub breaker_threshold: u32,
+    /// Virtual µs an open breaker waits before a half-open probe.
+    pub breaker_cooldown: SimMicros,
+    /// Extra sequential passes over zones whose evidence came back
+    /// incomplete (degraded or `Indeterminate`).
+    pub rescan_passes: u32,
 }
 
 impl Default for ScanPolicy {
@@ -53,18 +70,33 @@ impl Default for ScanPolicy {
             rate_per_sec: 50.0,
             probe_signal: true,
             parallelism: 1,
+            retries: 2,
+            backoff_base: 250_000,
+            breaker_threshold: 4,
+            breaker_cooldown: 30_000_000,
+            rescan_passes: 1,
         }
     }
 }
 
 /// Aggregated scan output.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ScanResults {
     pub zones: Vec<ZoneScan>,
     /// Simulated wall-clock of the scan: the maximum worker virtual time.
     pub simulated_duration: SimMicros,
     /// Total logical queries issued.
     pub total_queries: u64,
+}
+
+/// Per-zone-scan probing context: the scan-local virtual clock, query and
+/// failure accounting, and the per-address circuit breaker. Never shared
+/// between zones, so results are independent of scan order.
+struct Probe {
+    clock: SimMicros,
+    queries: u32,
+    stats: RetryStats,
+    breaker: CircuitBreaker,
 }
 
 /// The scanner. Thread-safe: share via `Arc` across workers.
@@ -77,10 +109,15 @@ pub struct Scanner {
     policy: ScanPolicy,
     now: UnixTime,
     /// Validated DNSKEY sets per zone apex (root, TLDs — hot in every
-    /// chain validation).
-    key_cache: Mutex<HashMap<Name, Option<Vec<DnskeyData>>>>,
+    /// chain validation). Only *successful* validations are cached: a
+    /// transient failure against one zone must not poison every later
+    /// chain that crosses it.
+    key_cache: Mutex<HashMap<Name, Vec<DnskeyData>>>,
     /// Per-address politeness limiters.
     limiters: Mutex<HashMap<Addr, Arc<RateLimiter>>>,
+    /// Global per-address health statistics (observation only — feeds no
+    /// decision, so it cannot perturb determinism).
+    health: HealthTracker,
     seed: u64,
 }
 
@@ -93,8 +130,18 @@ impl Scanner {
         now: UnixTime,
         policy: ScanPolicy,
     ) -> Self {
-        let client = Arc::new(DnsClient::new(net));
-        let resolver = Resolver::new(Arc::clone(&client), RootHints { addrs: roots.clone() });
+        let retry = RetryPolicy {
+            retries: policy.retries,
+            backoff_base: policy.backoff_base,
+            seed: 0xb007 ^ 0xca1e,
+        };
+        let client = Arc::new(DnsClient::with_retry(net, retry));
+        let resolver = Resolver::new(
+            Arc::clone(&client),
+            RootHints {
+                addrs: roots.clone(),
+            },
+        );
         Scanner {
             client,
             resolver,
@@ -105,6 +152,7 @@ impl Scanner {
             now,
             key_cache: Mutex::new(HashMap::new()),
             limiters: Mutex::new(HashMap::new()),
+            health: HealthTracker::new(),
             seed: 0xb007,
         }
     }
@@ -112,6 +160,23 @@ impl Scanner {
     /// The operator table (exposed for reports).
     pub fn operator_table(&self) -> &OperatorTable {
         &self.table
+    }
+
+    /// Global per-address health statistics gathered so far.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    fn new_probe(&self) -> Probe {
+        Probe {
+            clock: 0,
+            queries: 0,
+            stats: RetryStats::default(),
+            breaker: CircuitBreaker::new(
+                self.policy.breaker_threshold,
+                self.policy.breaker_cooldown,
+            ),
+        }
     }
 
     fn limiter_for(&self, addr: Addr) -> Arc<RateLimiter> {
@@ -123,58 +188,77 @@ impl Scanner {
         )
     }
 
-    /// One rate-limited query; returns (message, elapsed) and counts into
-    /// `budget`.
+    /// One rate-limited, breaker-guarded query; failures are recorded in
+    /// the probe's [`RetryStats`] and charged their real virtual cost.
     fn query(
         &self,
-        clock: &mut SimMicros,
-        queries: &mut u32,
+        probe: &mut Probe,
         addr: Addr,
         name: &Name,
         rtype: RecordType,
     ) -> Option<dns_wire::message::Message> {
-        *clock += self.limiter_for(addr).acquire(*clock);
-        *queries += 1;
-        match self.client.query(addr, name, rtype, true) {
+        if !probe.breaker.allows(addr, probe.clock) {
+            probe.stats.record(ScanError::BreakerOpen);
+            self.health.record_skip(addr);
+            return None;
+        }
+        probe.clock += self.limiter_for(addr).acquire(probe.clock);
+        probe.queries += 1;
+        match self.client.query_at(probe.clock, addr, name, rtype, true) {
             Ok(ex) => {
-                *clock += ex.elapsed;
+                probe.clock += ex.elapsed;
+                probe.stats.retries += ex.retries;
+                if ex.message.rcode() == Rcode::ServFail {
+                    probe.stats.servfails += 1;
+                }
+                probe.breaker.record_success(addr);
+                self.health.record_success(addr);
                 Some(ex.message)
             }
-            Err(_) => {
-                *clock += 2_000_000;
+            Err(e) => {
+                probe.clock += e.elapsed;
+                probe.stats.retries += e.retries;
+                probe.stats.record(match e.kind {
+                    ClientErrorKind::Unreachable => ScanError::Unreachable,
+                    ClientErrorKind::Timeout => ScanError::Timeout,
+                    ClientErrorKind::Malformed => ScanError::Malformed,
+                });
+                probe.breaker.record_failure(addr, probe.clock);
+                self.health.record_failure(addr);
                 None
             }
         }
     }
 
     /// Fetch + verify the DNSKEY set of `zone` (must chain from `ds`),
-    /// with caching. `None` = could not validate.
+    /// caching successes. `None` = could not validate (never cached — the
+    /// failure may be transient).
     fn validated_keys(
         &self,
-        clock: &mut SimMicros,
-        queries: &mut u32,
+        probe: &mut Probe,
         zone: &Name,
         servers: &[Addr],
         ds: &[DsData],
     ) -> Option<Vec<DnskeyData>> {
         if let Some(cached) = self.key_cache.lock().get(zone) {
-            return cached.clone();
+            return Some(cached.clone());
         }
-        let keys = self.fetch_keys_uncached(clock, queries, zone, servers, ds);
-        self.key_cache.lock().insert(zone.clone(), keys.clone());
+        let keys = self.fetch_keys_uncached(probe, zone, servers, ds);
+        if let Some(k) = &keys {
+            self.key_cache.lock().insert(zone.clone(), k.clone());
+        }
         keys
     }
 
     fn fetch_keys_uncached(
         &self,
-        clock: &mut SimMicros,
-        queries: &mut u32,
+        probe: &mut Probe,
         zone: &Name,
         servers: &[Addr],
         ds: &[DsData],
     ) -> Option<Vec<DnskeyData>> {
         for &addr in servers {
-            let Some(msg) = self.query(clock, queries, addr, zone, RecordType::Dnskey) else {
+            let Some(msg) = self.query(probe, addr, zone, RecordType::Dnskey) else {
                 continue;
             };
             if msg.rcode().is_error() {
@@ -223,20 +307,9 @@ impl Scanner {
     /// the final zone, returning the parent's validated keys and the DS
     /// set for the final zone. Uses the key cache so TLD keys are fetched
     /// once per scan.
-    fn validate_chain_to_parent(
-        &self,
-        clock: &mut SimMicros,
-        queries: &mut u32,
-        res: &Resolution,
-    ) -> ChainStatus {
+    fn validate_chain_to_parent(&self, probe: &mut Probe, res: &Resolution) -> ChainStatus {
         // Root keys.
-        let mut keys = match self.validated_keys(
-            clock,
-            queries,
-            &Name::root(),
-            &self.roots,
-            &self.anchors,
-        ) {
+        let mut keys = match self.validated_keys(probe, &Name::root(), &self.roots, &self.anchors) {
             Some(k) => k,
             None => return ChainStatus::Indeterminate,
         };
@@ -265,13 +338,7 @@ impl Scanner {
             if last {
                 return ChainStatus::DsPresent(ds.clone());
             }
-            keys = match self.validated_keys(
-                clock,
-                queries,
-                &link.child_apex,
-                &link.child_servers,
-                ds,
-            ) {
+            keys = match self.validated_keys(probe, &link.child_apex, &link.child_servers, ds) {
                 Some(k) => k,
                 None => return ChainStatus::Bogus,
             };
@@ -282,27 +349,31 @@ impl Scanner {
 
     /// Scan one zone.
     pub fn scan_zone(&self, zone: &Name) -> ZoneScan {
-        let mut clock: SimMicros = 0;
-        let mut queries: u32 = 0;
+        let mut probe = self.new_probe();
 
         // 1. Delegation resolution.
-        let res = match self.resolver.resolve(zone, RecordType::Soa) {
+        let res = match self.resolver.resolve_at(probe.clock, zone, RecordType::Soa) {
             Ok(r) => r,
-            Err(_) => {
-                return self.unresolvable(zone, clock, queries);
+            Err(e) => {
+                // "All servers failed" is a network-level failure — the
+                // evidence is incomplete, not the zone nonexistent.
+                if matches!(e, ResolverError::AllServersFailed(_)) {
+                    probe.stats.record(ScanError::ResolutionFailed);
+                }
+                return self.unresolvable(zone, probe);
             }
         };
         let Some(last_link) = res.chain.last() else {
-            return self.unresolvable(zone, clock, queries);
+            return self.unresolvable(zone, probe);
         };
         if last_link.child_apex != *zone || res.rcode == Rcode::NxDomain {
             // The zone is not actually delegated.
-            return self.unresolvable(zone, clock, queries);
+            return self.unresolvable(zone, probe);
         }
-        clock += res.elapsed;
-        queries += res.queries;
+        probe.clock += res.elapsed;
+        probe.queries += res.queries;
         let ns_names = last_link.ns_names.clone();
-        let chain = self.validate_chain_to_parent(&mut clock, &mut queries, &res);
+        let chain = self.validate_chain_to_parent(&mut probe, &res);
         let parent_ds = match &chain {
             ChainStatus::DsPresent(ds) => ds.clone(),
             _ => Vec::new(),
@@ -311,7 +382,7 @@ impl Scanner {
         // 2. Addresses, with sampling policy.
         let mut targets: Vec<(Name, Addr)> = Vec::new();
         for ns in &ns_names {
-            if let Ok(addrs) = self.resolver.addresses_of(ns) {
+            if let Ok(addrs) = self.resolver.addresses_of_at(probe.clock, ns) {
                 for a in addrs {
                     targets.push((ns.clone(), a));
                 }
@@ -322,7 +393,7 @@ impl Scanner {
         // 3. Per-address DNSSEC/CDS observations.
         let mut observations = Vec::new();
         for (ns, addr) in &targets {
-            observations.push(self.observe_address(&mut clock, &mut queries, zone, ns, *addr));
+            observations.push(self.observe_address(&mut probe, zone, ns, *addr));
         }
 
         // Zone DNSKEY validation (for Secured/Invalid/Island split).
@@ -331,23 +402,32 @@ impl Scanner {
             self.self_validated_keys(&observations)
         } else {
             let servers: Vec<Addr> = targets.iter().map(|(_, a)| *a).collect();
-            self.fetch_keys_uncached(&mut clock, &mut queries, zone, &servers, &parent_ds)
+            self.fetch_keys_uncached(&mut probe, zone, &servers, &parent_ds)
         };
 
         // 4. Signal probes.
         let mut signal_observations = Vec::new();
         if self.policy.probe_signal {
             for ns in &ns_names {
-                signal_observations.push(self.probe_signal(&mut clock, &mut queries, zone, ns));
+                signal_observations.push(self.probe_signal(&mut probe, zone, ns));
             }
         }
 
         // 5. Classify.
-        let dnssec = classify::dnssec_class(&chain, &observations, zone_keys.as_deref());
+        let mut dnssec = classify::dnssec_class(&chain, &observations, zone_keys.as_deref());
+        // Degradation override: the zone resolved, but then *no* address
+        // produced any answer while transient failures were piling up.
+        // The evidence is incomplete — refuse to classify rather than
+        // report an artificial Unsigned/Invalid.
+        let no_evidence = !observations.is_empty() && observations.iter().all(|o| !o.responded);
+        if no_evidence && probe.stats.degraded() {
+            dnssec = DnssecClass::Indeterminate;
+        }
         let cds = classify::cds_class(&observations, zone_keys.as_deref(), dnssec);
         let ab = classify::ab_class(dnssec, cds, &signal_observations, &observations);
         let operator = self.table.identify(&ns_names);
 
+        let degraded = probe.stats.degraded();
         ZoneScan {
             name: zone.clone(),
             ns_names,
@@ -358,26 +438,38 @@ impl Scanner {
             cds,
             ab,
             operator,
-            queries,
-            elapsed: clock,
+            queries: probe.queries,
+            elapsed: probe.clock,
             sampled,
+            retry_stats: probe.stats,
+            degraded,
         }
     }
 
-    fn unresolvable(&self, zone: &Name, elapsed: SimMicros, queries: u32) -> ZoneScan {
+    fn unresolvable(&self, zone: &Name, probe: Probe) -> ZoneScan {
+        // A zone that failed to resolve *because of network failures* is
+        // Indeterminate (evidence incomplete); one that is genuinely
+        // undelegated is Unresolvable.
+        let degraded = probe.stats.degraded();
         ZoneScan {
             name: zone.clone(),
             ns_names: Vec::new(),
             parent_ds: Vec::new(),
             ns_observations: Vec::new(),
             signal_observations: Vec::new(),
-            dnssec: DnssecClass::Unresolvable,
+            dnssec: if degraded {
+                DnssecClass::Indeterminate
+            } else {
+                DnssecClass::Unresolvable
+            },
             cds: CdsClass::Absent,
             ab: AbClass::NoSignal,
             operator: crate::operator::Identified::Unknown,
-            queries,
-            elapsed,
+            queries: probe.queries,
+            elapsed: probe.clock,
             sampled: false,
+            retry_stats: probe.stats,
+            degraded,
         }
     }
 
@@ -410,8 +502,7 @@ impl Scanner {
     /// Query one address for DNSKEY/CDS/CDNSKEY.
     fn observe_address(
         &self,
-        clock: &mut SimMicros,
-        queries: &mut u32,
+        probe: &mut Probe,
         zone: &Name,
         ns: &Name,
         addr: Addr,
@@ -428,7 +519,7 @@ impl Scanner {
             csync_present: false,
         };
         // SOA: authoritativeness / lameness probe.
-        if let Some(msg) = self.query(clock, queries, addr, zone, RecordType::Soa) {
+        if let Some(msg) = self.query(probe, addr, zone, RecordType::Soa) {
             obs.responded = true;
             obs.soa_present = msg
                 .answers
@@ -436,7 +527,7 @@ impl Scanner {
                 .any(|r| r.rtype() == RecordType::Soa && r.name == *zone);
         }
         // DNSKEY.
-        if let Some(msg) = self.query(clock, queries, addr, zone, RecordType::Dnskey) {
+        if let Some(msg) = self.query(probe, addr, zone, RecordType::Dnskey) {
             obs.responded = true;
             for r in &msg.answers {
                 if let RData::Dnskey(d) = &r.rdata {
@@ -448,7 +539,7 @@ impl Scanner {
         let mut cds_rrsigs: Vec<RrsigData> = Vec::new();
         let mut cds_rdatas: Vec<RData> = Vec::new();
         for rtype in [RecordType::Cds, RecordType::Cdnskey] {
-            match self.query(clock, queries, addr, zone, rtype) {
+            match self.query(probe, addr, zone, rtype) {
                 Some(msg) => {
                     obs.responded = true;
                     if msg.rcode().is_error() {
@@ -478,7 +569,7 @@ impl Scanner {
         obs.cds.sort();
         obs.cds.dedup();
         // CSYNC (RFC 7477) — the other child→parent channel (paper §6).
-        if let Some(msg) = self.query(clock, queries, addr, zone, RecordType::Csync) {
+        if let Some(msg) = self.query(probe, addr, zone, RecordType::Csync) {
             obs.csync_present = msg
                 .answers
                 .iter()
@@ -523,13 +614,7 @@ impl Scanner {
 
     /// Probe the signal name for (zone, ns): resolve its CDS, validate
     /// its chain, and check for zone cuts on the signal path.
-    fn probe_signal(
-        &self,
-        clock: &mut SimMicros,
-        queries: &mut u32,
-        zone: &Name,
-        ns: &Name,
-    ) -> SignalObservation {
+    fn probe_signal(&self, probe: &mut Probe, zone: &Name, ns: &Name) -> SignalObservation {
         let mut obs = SignalObservation {
             ns_name: ns.clone(),
             name_unbuildable: false,
@@ -541,11 +626,14 @@ impl Scanner {
             obs.name_unbuildable = true;
             return obs;
         };
-        let Ok(res) = self.resolver.resolve(&signame, RecordType::Cds) else {
+        let Ok(res) = self
+            .resolver
+            .resolve_at(probe.clock, &signame, RecordType::Cds)
+        else {
             return obs;
         };
-        *clock += res.elapsed;
-        *queries += res.queries;
+        probe.clock += res.elapsed;
+        probe.queries += res.queries;
         for r in &res.answers {
             match &r.rdata {
                 RData::Cds(d) => obs.cds.push(CdsSeen::from_ds(d)),
@@ -554,9 +642,12 @@ impl Scanner {
             }
         }
         // CDNSKEY at the same name.
-        if let Ok(res2) = self.resolver.resolve(&signame, RecordType::Cdnskey) {
-            *clock += res2.elapsed;
-            *queries += res2.queries;
+        if let Ok(res2) = self
+            .resolver
+            .resolve_at(probe.clock, &signame, RecordType::Cdnskey)
+        {
+            probe.clock += res2.elapsed;
+            probe.queries += res2.queries;
             for r in &res2.answers {
                 if let RData::Cdnskey(k) = &r.rdata {
                     obs.cds.push(CdsSeen::from_dnskey(k));
@@ -568,23 +659,16 @@ impl Scanner {
         // Zone-cut probe runs regardless of whether signal records were
         // found: the parked-typo-NS case (§4.4) answers CDS queries with
         // nothing while faking NS RRsets at every label.
-        obs.zone_cut =
-            self.detect_zone_cut(clock, queries, &res.zone_apex, &signame, &res.zone_servers);
+        obs.zone_cut = self.detect_zone_cut(probe, &res.zone_apex, &signame, &res.zone_servers);
         if obs.cds.is_empty() {
             return obs;
         }
         // Chain validation of the signal records.
-        let chain = self.validate_chain_to_parent(clock, queries, &res);
+        let chain = self.validate_chain_to_parent(probe, &res);
         let valid = match chain {
             ChainStatus::DsPresent(ds) => {
                 // Validate the answering zone's keys and the CDS RRsets.
-                let keys = self.validated_keys(
-                    clock,
-                    queries,
-                    &res.zone_apex,
-                    &res.zone_servers,
-                    &ds,
-                );
+                let keys = self.validated_keys(probe, &res.zone_apex, &res.zone_servers, &ds);
                 match keys {
                     Some(keys) => self.signal_rrsets_valid(&res, &keys),
                     None => false,
@@ -606,10 +690,10 @@ impl Scanner {
             })
             .collect();
         for set in RrSet::group(&res.answers) {
-            if matches!(set.rtype, RecordType::Cds | RecordType::Cdnskey) {
-                if verify_rrset_with_keys(&set, &rrsigs, keys, self.now).is_err() {
-                    return false;
-                }
+            if matches!(set.rtype, RecordType::Cds | RecordType::Cdnskey)
+                && verify_rrset_with_keys(&set, &rrsigs, keys, self.now).is_err()
+            {
+                return false;
             }
         }
         true
@@ -618,19 +702,18 @@ impl Scanner {
     /// Probe for NS RRsets between the zone apex and the signal name.
     fn detect_zone_cut(
         &self,
-        clock: &mut SimMicros,
-        queries: &mut u32,
+        probe: &mut Probe,
         zone_apex: &Name,
         signame: &Name,
         servers: &[Addr],
     ) -> bool {
-        let mut probe = signame.parent();
-        while let Some(p) = probe {
+        let mut cursor = signame.parent();
+        while let Some(p) = cursor {
             if !p.is_strict_subdomain_of(zone_apex) {
                 break;
             }
             for &addr in servers {
-                if let Some(msg) = self.query(clock, queries, addr, &p, RecordType::Ns) {
+                if let Some(msg) = self.query(probe, addr, &p, RecordType::Ns) {
                     if msg.rcode() == Rcode::NoError {
                         let has_ns = msg
                             .answers
@@ -643,7 +726,7 @@ impl Scanner {
                     break;
                 }
             }
-            probe = p.parent();
+            cursor = p.parent();
         }
         false
     }
@@ -654,13 +737,13 @@ impl Scanner {
         let zones: Mutex<Vec<ZoneScan>> = Mutex::new(Vec::with_capacity(seeds.len()));
         let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
         let worker_time: Mutex<Vec<SimMicros>> = Mutex::new(vec![0; workers]);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for w in 0..workers {
                 let me = Arc::clone(self);
                 let zones = &zones;
                 let next = &next;
                 let worker_time = &worker_time;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut local_time: SimMicros = 0;
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -674,17 +757,65 @@ impl Scanner {
                     worker_time.lock()[w] = local_time;
                 });
             }
-        })
-        .expect("scan workers");
+        });
         let mut zones = zones.into_inner();
         zones.sort_by(|a, b| a.name.canonical_cmp(&b.name));
+        let mut simulated_duration = worker_time.into_inner().into_iter().max().unwrap_or(0);
+
+        // Re-scan queue: zones whose evidence came back incomplete get
+        // fresh sequential passes (fresh query IDs → fresh netsim draws),
+        // in name order for determinism. The better of old/new result is
+        // kept; costs accumulate either way.
+        for _pass in 0..self.policy.rescan_passes {
+            let pending: Vec<usize> = zones
+                .iter()
+                .enumerate()
+                .filter(|(_, z)| z.degraded || z.dnssec == DnssecClass::Indeterminate)
+                .map(|(i, _)| i)
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            for i in pending {
+                let mut fresh = self.scan_zone(&zones[i].name);
+                simulated_duration += fresh.elapsed;
+                let old = &zones[i];
+                let rescans = old.retry_stats.rescans + 1;
+                let mut kept = if Self::evidence_rank(&fresh) < Self::evidence_rank(old) {
+                    fresh.queries += old.queries;
+                    fresh
+                } else {
+                    let mut kept = old.clone();
+                    kept.queries += fresh.queries;
+                    kept
+                };
+                kept.retry_stats.rescans = rescans;
+                zones[i] = kept;
+            }
+        }
+
         let total_queries = zones.iter().map(|z| z.queries as u64).sum();
-        let simulated_duration = worker_time.into_inner().into_iter().max().unwrap_or(0);
         ScanResults {
             zones,
             simulated_duration,
             total_queries,
         }
+    }
+
+    /// Orders scan results by evidence quality (lower = better): a
+    /// substantive classification beats Unresolvable beats Indeterminate,
+    /// and among equals, fewer failures win.
+    fn evidence_rank(z: &ZoneScan) -> (u8, u8, u32) {
+        let class = match z.dnssec {
+            DnssecClass::Indeterminate => 2,
+            DnssecClass::Unresolvable => 1,
+            _ => 0,
+        };
+        (
+            class,
+            z.degraded as u8,
+            z.retry_stats.failures + z.retry_stats.breaker_skips,
+        )
     }
 }
 
@@ -703,22 +834,25 @@ pub enum ChainStatus {
     Indeterminate,
 }
 
-impl Default for ScanResults {
-    fn default() -> Self {
-        ScanResults {
-            zones: Vec::new(),
-            simulated_duration: 0,
-            total_queries: 0,
-        }
-    }
-}
-
 impl ScanResults {
     /// Resolved zones (the denominator of §4.1's percentages).
+    /// Indeterminate zones are excluded like unresolvable ones: their
+    /// evidence is incomplete and must not dilute the percentages.
     pub fn resolved(&self) -> impl Iterator<Item = &ZoneScan> {
+        self.zones.iter().filter(|z| {
+            !matches!(
+                z.dnssec,
+                DnssecClass::Unresolvable | DnssecClass::Indeterminate
+            )
+        })
+    }
+
+    /// Zones whose scan was degraded by transient failures (including
+    /// those that still reached a classification).
+    pub fn degraded(&self) -> impl Iterator<Item = &ZoneScan> {
         self.zones
             .iter()
-            .filter(|z| z.dnssec != DnssecClass::Unresolvable)
+            .filter(|z| z.degraded || z.dnssec == DnssecClass::Indeterminate)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Observation and classification types produced by the scanner.
 
+use crate::error::RetryStats;
 use dns_wire::name::Name;
 use dns_wire::rdata::{DnskeyData, DsData};
 use netsim::{Addr, SimMicros};
@@ -120,6 +121,12 @@ pub enum DnssecClass {
     Island,
     /// The zone did not resolve at all (excluded from §4.1 percentages).
     Unresolvable,
+    /// Transient failures left the evidence incomplete: the zone exists
+    /// but could not be classified this pass. Explicitly degraded, never
+    /// folded into a substantive class; excluded from §4.1 percentages
+    /// like `Unresolvable`, but reported separately with retry
+    /// statistics.
+    Indeterminate,
 }
 
 /// CDS status per paper §4.2.
@@ -208,6 +215,11 @@ pub struct ZoneScan {
     pub elapsed: SimMicros,
     /// Whether Cloudflare-style address sampling was applied.
     pub sampled: bool,
+    /// Failure/retry accounting for this zone's scan.
+    pub retry_stats: RetryStats,
+    /// Transient failures reduced the evidence for this zone (even if a
+    /// classification was still reached).
+    pub degraded: bool,
 }
 
 impl ZoneScan {
@@ -314,6 +326,8 @@ mod tests {
             queries: 0,
             elapsed: 0,
             sampled: false,
+            retry_stats: RetryStats::default(),
+            degraded: false,
         };
         let u = scan.cds_union();
         assert_eq!(u.len(), 2);
@@ -335,6 +349,8 @@ mod tests {
             queries: 0,
             elapsed: 0,
             sampled: false,
+            retry_stats: RetryStats::default(),
+            degraded: false,
         };
         assert!(!scan.cds_query_failures());
         scan.ns_observations[0].cds_query_error = true;

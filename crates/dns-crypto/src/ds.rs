@@ -10,7 +10,11 @@ use crate::sha2::{sha256, sha384};
 /// `owner_wire` is the owner name in canonical (lowercase, uncompressed)
 /// wire form; `dnskey_rdata` the full DNSKEY RDATA. Returns `None` for
 /// unsupported digest types.
-pub fn ds_digest(digest_type: DigestType, owner_wire: &[u8], dnskey_rdata: &[u8]) -> Option<Vec<u8>> {
+pub fn ds_digest(
+    digest_type: DigestType,
+    owner_wire: &[u8],
+    dnskey_rdata: &[u8],
+) -> Option<Vec<u8>> {
     let mut input = Vec::with_capacity(owner_wire.len() + dnskey_rdata.len());
     input.extend_from_slice(owner_wire);
     input.extend_from_slice(dnskey_rdata);
@@ -30,7 +34,10 @@ mod tests {
     fn digest_lengths_match_type() {
         let owner = b"\x07example\x00";
         let rdata = [1u8, 1, 3, 13, 9, 9, 9];
-        assert_eq!(ds_digest(DigestType::Sha1, owner, &rdata).unwrap().len(), 20);
+        assert_eq!(
+            ds_digest(DigestType::Sha1, owner, &rdata).unwrap().len(),
+            20
+        );
         assert_eq!(
             ds_digest(DigestType::Sha256, owner, &rdata).unwrap().len(),
             32

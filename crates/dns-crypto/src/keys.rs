@@ -172,7 +172,11 @@ mod tests {
         // Reference computation in u64.
         let mut acc: u64 = 0;
         for (i, &b) in rdata.iter().enumerate() {
-            acc += if i % 2 == 0 { (b as u64) << 8 } else { b as u64 };
+            acc += if i % 2 == 0 {
+                (b as u64) << 8
+            } else {
+                b as u64
+            };
         }
         acc += (acc >> 16) & 0xffff;
         assert_eq!(tag, (acc & 0xffff) as u16);

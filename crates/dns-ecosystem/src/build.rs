@@ -134,11 +134,7 @@ pub fn build(cfg: EcosystemConfig) -> Ecosystem {
     b.build_parking_infra();
     b.finish_operator_base_zones();
     let (roots, anchors, registry_stores, tld_keys) = b.finish_registries();
-    let seeds = SeedLists::generate(
-        &b.truth,
-        &b.psl,
-        b.cfg.seed ^ 0x5eed,
-    );
+    let seeds = SeedLists::generate(&b.truth, &b.psl, b.cfg.seed ^ 0x5eed);
     Ecosystem {
         net: b.net,
         roots,
@@ -173,7 +169,7 @@ impl Builder {
             RData::Soa(SoaData {
                 mname: Name::parse("ns.invalid").unwrap(),
                 rname: Name::parse("hostmaster.invalid").unwrap(),
-                serial: 2025_04_01,
+                serial: 20_250_401,
                 refresh: 7200,
                 retry: 3600,
                 expire: 1_209_600,
@@ -206,7 +202,11 @@ impl Builder {
             z.add(Self::soa(&s));
             // Placeholder apex NS; replaced with the shared registry
             // server name when the zone is finalised.
-            let ns = s.prepend_label(b"nic").unwrap().prepend_label(b"ns1").unwrap();
+            let ns = s
+                .prepend_label(b"nic")
+                .unwrap()
+                .prepend_label(b"ns1")
+                .unwrap();
             z.add(Record::new(s.clone(), 3600, RData::Ns(ns)));
             self.tlds.insert(s, z);
         }
@@ -224,8 +224,12 @@ impl Builder {
                 // Cloudflare style: <word>.ns.cloudflare.com.
                 (0..spec.ns_hosts)
                     .map(|i| {
-                        Name::parse(&format!("{}.{}", NS_WORDS[i % NS_WORDS.len()], spec.ns_base))
-                            .unwrap()
+                        Name::parse(&format!(
+                            "{}.{}",
+                            NS_WORDS[i % NS_WORDS.len()],
+                            spec.ns_base
+                        ))
+                        .unwrap()
                     })
                     .collect()
             } else {
@@ -242,6 +246,7 @@ impl Builder {
                     transient_servfail: spec.quirks.transient_servfail,
                     transient_badsig: spec.quirks.transient_badsig,
                     seed: self.cfg.seed ^ stores.len() as u64,
+                    ..Quirks::CLEAN
                 };
                 let sid = self
                     .net
@@ -391,7 +396,7 @@ impl Builder {
             zone.add(r.clone());
         }
         if publish_csync && matches!(dnssec, DnssecState::Secured | DnssecState::Island) {
-            zone.add(dns_zone::csync_record(name, 300, 2025_04_01, false));
+            zone.add(dns_zone::csync_record(name, 300, 20_250_401, false));
         }
 
         // Sign per DNSSEC state, with the operator's denial flavour.
@@ -417,11 +422,7 @@ impl Builder {
 
         // Post-sign CDS signature corruption.
         if cds == CdsState::BadSignature {
-            corrupt_rrsigs_at(
-                &mut zone,
-                name,
-                &[RecordType::Cds, RecordType::Cdnskey],
-            );
+            corrupt_rrsigs_at(&mut zone, name, &[RecordType::Cds, RecordType::Cdnskey]);
         }
 
         // Parent-side records: delegation NS + DS when secured/invalid.
@@ -526,9 +527,7 @@ impl Builder {
                         .extend(recs);
                     if let Some(sn) = sig_name {
                         match defect {
-                            SignalDefect::BadSignature => {
-                                self.ops[op_idx].defect_badsig.push(sn)
-                            }
+                            SignalDefect::BadSignature => self.ops[op_idx].defect_badsig.push(sn),
                             SignalDefect::ExpiredSignature => {
                                 self.ops[op_idx].defect_expired.push(sn)
                             }
@@ -572,10 +571,31 @@ impl Builder {
             use CdsState as C;
             use DnssecState as D;
             self.plant(op_idx, c.unsigned, D::Unsigned, C::None, false, false);
-            self.plant(op_idx, c.unsigned_with_cds, D::Unsigned, C::Valid, false, false);
-            self.plant(op_idx, c.unsigned_with_cds_delete, D::Unsigned, C::Delete, false, false);
+            self.plant(
+                op_idx,
+                c.unsigned_with_cds,
+                D::Unsigned,
+                C::Valid,
+                false,
+                false,
+            );
+            self.plant(
+                op_idx,
+                c.unsigned_with_cds_delete,
+                D::Unsigned,
+                C::Delete,
+                false,
+                false,
+            );
             self.plant(op_idx, c.secured, D::Secured, C::None, false, false);
-            self.plant(op_idx, c.secured_with_cds, D::Secured, C::Valid, keep_secured, false);
+            self.plant(
+                op_idx,
+                c.secured_with_cds,
+                D::Secured,
+                C::Valid,
+                keep_secured,
+                false,
+            );
             // When the operator copies deletion requests into its signal
             // zones (Cloudflare/Glauca style), secured zones requesting
             // deletion carry signal RRs too — the unAB (authenticated
@@ -606,10 +626,24 @@ impl Builder {
                 false,
             );
             self.plant(op_idx, c.invalid, D::Invalid, C::None, false, false);
-            self.plant(op_idx, c.invalid_errant_ds, D::Invalid, C::None, false, true);
+            self.plant(
+                op_idx,
+                c.invalid_errant_ds,
+                D::Invalid,
+                C::None,
+                false,
+                true,
+            );
             self.plant(op_idx, c.island_no_cds, D::Island, C::None, false, false);
             self.plant(op_idx, c.island_cds, D::Island, C::Valid, true, false);
-            self.plant(op_idx, c.island_cds_delete, D::Island, C::Delete, true, false);
+            self.plant(
+                op_idx,
+                c.island_cds_delete,
+                D::Island,
+                C::Delete,
+                true,
+                false,
+            );
             self.plant(
                 op_idx,
                 c.island_cds_mismatch,
@@ -618,7 +652,14 @@ impl Builder {
                 false,
                 false,
             );
-            self.plant(op_idx, c.island_cds_badsig, D::Island, C::BadSignature, true, false);
+            self.plant(
+                op_idx,
+                c.island_cds_badsig,
+                D::Island,
+                C::BadSignature,
+                true,
+                false,
+            );
             self.plant(
                 op_idx,
                 c.island_cds_inconsistent,
@@ -627,8 +668,22 @@ impl Builder {
                 false,
                 false,
             );
-            self.plant(op_idx, c.unsigned_with_signal, D::Unsigned, C::None, true, false);
-            self.plant(op_idx, c.invalid_with_signal, D::Invalid, C::Valid, true, false);
+            self.plant(
+                op_idx,
+                c.unsigned_with_signal,
+                D::Unsigned,
+                C::None,
+                true,
+                false,
+            );
+            self.plant(
+                op_idx,
+                c.invalid_with_signal,
+                D::Invalid,
+                C::Valid,
+                true,
+                false,
+            );
         }
     }
 
@@ -639,7 +694,7 @@ impl Builder {
         let usable = |o: &OpRuntime| {
             !o.spec.signal_enabled && o.spec.counts.total() > 0 && !o.spec.quirks.pre_rfc3597
         };
-        let op_a = self.ops.iter().position(|o| usable(o)).unwrap_or(0);
+        let op_a = self.ops.iter().position(&usable).unwrap_or(0);
         let op_b = self
             .ops
             .iter()
@@ -786,7 +841,11 @@ impl Builder {
                     .expect("operator host under known suffix");
                 bases.entry(base).or_default().push(h);
             }
-            for (base, host_idxs) in bases {
+            // Deterministic base order: HashMap iteration varies run to
+            // run, and signing/registration order must not.
+            let mut based: Vec<(Name, Vec<usize>)> = bases.into_iter().collect();
+            based.sort_by(|a, b| a.0.canonical_cmp(&b.0));
+            for (base, host_idxs) in based {
                 let mut z = Zone::new(base.clone());
                 z.add(Self::soa(&base));
                 for &h in &host_idxs {
@@ -874,7 +933,11 @@ impl Builder {
         // suffix zone, so resolvers cross a real uk→co.uk referral and
         // chain validation sees every cut.
         let mut tlds = std::mem::take(&mut self.tlds);
-        let suffix_names: Vec<Name> = tlds.keys().cloned().collect();
+        // Canonical order: HashMap iteration order varies run to run, and
+        // everything downstream (address allocation, key generation) must
+        // not.
+        let mut suffix_names: Vec<Name> = tlds.keys().cloned().collect();
+        suffix_names.sort_by(Name::canonical_cmp);
         // (parent, child, child ns, child glue, ds)
         let mut delegations: Vec<(Name, Name, Name, Record, Vec<Record>)> = Vec::new();
 
@@ -882,7 +945,11 @@ impl Builder {
         // Sign children before parents so DS records can be installed:
         // order by label count descending.
         let mut order = suffix_names.clone();
-        order.sort_by_key(|n| std::cmp::Reverse(n.label_count()));
+        order.sort_by(|a, b| {
+            b.label_count()
+                .cmp(&a.label_count())
+                .then_with(|| a.canonical_cmp(b))
+        });
 
         let mut stores: HashMap<Name, Arc<ZoneStore>> = HashMap::new();
         let mut tld_keys_map: HashMap<Name, ZoneKeys> = HashMap::new();
@@ -901,7 +968,11 @@ impl Builder {
             // Install any pending child-suffix delegations.
             for (parent, child, child_ns, child_glue, ds) in &delegations {
                 if *parent == suffix {
-                    z.add(Record::new(child.clone(), 3600, RData::Ns(child_ns.clone())));
+                    z.add(Record::new(
+                        child.clone(),
+                        3600,
+                        RData::Ns(child_ns.clone()),
+                    ));
                     z.add(child_glue.clone());
                     for r in ds {
                         z.add(r.clone());
@@ -957,10 +1028,7 @@ fn corrupt_rrsigs_at(zone: &mut Zone, name: &Name, types: &[RecordType]) {
     if let Some(mut set) = zone.remove_rrset(name, RecordType::Rrsig) {
         for rd in set.rdatas.iter_mut() {
             if let RData::Rrsig(sig) = rd {
-                if types
-                    .iter()
-                    .any(|t| t.code() == sig.type_covered)
-                {
+                if types.iter().any(|t| t.code() == sig.type_covered) {
                     for b in sig.signature.iter_mut() {
                         *b ^= 0x77;
                     }

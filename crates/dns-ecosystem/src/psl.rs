@@ -24,7 +24,8 @@ impl PublicSuffixList {
         let mut psl = Self::new();
         for s in [
             "com", "net", "org", "ch", "li", "se", "nu", "ee", "sk", "swiss", "whoswho", "de",
-            "nl", "uk", "co.uk", "org.uk", "bo", "com.bo", "vip", "io", "gov", "es", "digital", "box",
+            "nl", "uk", "co.uk", "org.uk", "bo", "com.bo", "vip", "io", "gov", "es", "digital",
+            "box",
         ] {
             psl.add(Name::parse(s).expect("static suffix"));
         }

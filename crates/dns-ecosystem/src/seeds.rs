@@ -53,33 +53,29 @@ impl SeedLists {
             if ct_only(&suffix) {
                 // CT coverage between 43 % and 80 %, varying per suffix
                 // (§3.1); deterministic per (seed, suffix).
-                let cov = 0.43
-                    + 0.37
-                        * DeterministicDraw::new(seed, &[b"cov", &suffix.to_wire()]).unit();
-                let include = DeterministicDraw::new(seed, &[b"ct", &t.name.to_wire()]).unit()
-                    < cov;
+                let cov =
+                    0.43 + 0.37 * DeterministicDraw::new(seed, &[b"cov", &suffix.to_wire()]).unit();
+                let include =
+                    DeterministicDraw::new(seed, &[b"ct", &t.name.to_wire()]).unit() < cov;
                 if include && !t.in_domain_ns {
-                    lists.ct_logs.entry(suffix).or_default().push(t.name.clone());
+                    lists
+                        .ct_logs
+                        .entry(suffix)
+                        .or_default()
+                        .push(t.name.clone());
                 }
             } else {
-                lists
-                    .zone_files
-                    .entry(suffix)
-                    .or_default()
-                    .push(SeedEntry {
-                        name: t.name.clone(),
-                        all_in_domain_ns: t.in_domain_ns,
-                    });
+                lists.zone_files.entry(suffix).or_default().push(SeedEntry {
+                    name: t.name.clone(),
+                    all_in_domain_ns: t.in_domain_ns,
+                });
             }
         }
         // Four top lists, each a ~5 % overlapping sample of everything.
         for list_idx in 0..4u64 {
             let mut list = Vec::new();
             for t in truths {
-                let d = DeterministicDraw::new(
-                    seed ^ list_idx,
-                    &[b"top", &t.name.to_wire()],
-                );
+                let d = DeterministicDraw::new(seed ^ list_idx, &[b"top", &t.name.to_wire()]);
                 if d.unit() < 0.05 {
                     list.push(t.name.clone());
                 }

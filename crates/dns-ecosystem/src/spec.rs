@@ -195,7 +195,11 @@ impl OperatorSpec {
     fn swiss_op(name: &str, ns_base: &str) -> Self {
         let mut o = Self::new(name, ns_base);
         o.swiss = true;
-        o.tlds = vec![("ch".into(), 0.8), ("li".into(), 0.1), ("swiss".into(), 0.1)];
+        o.tlds = vec![
+            ("ch".into(), 0.8),
+            ("li".into(), 0.1),
+            ("swiss".into(), 0.1),
+        ];
         o
     }
 }
@@ -276,7 +280,7 @@ impl EcosystemConfig {
             island_cds: s(270_131, scale),
             island_cds_delete: s(160_268, scale),
             island_cds_badsig: s(47_000, 1000).min(47), // §4.4: 47, unscaled cap
-            unsigned_with_signal: s(22, scale), // part of the 43
+            unsigned_with_signal: s(22, scale),         // part of the 43
             ..Default::default()
         };
         cloudflare.signal_defects = SignalDefects {
@@ -353,9 +357,23 @@ impl EcosystemConfig {
         ops.push(aws);
 
         for (name, base, unsigned, secured, invalid, islands) in [
-            ("GName", "gname-dns.com", 3_556_082u64, 1_145u64, 1_002u64, 572u64),
+            (
+                "GName",
+                "gname-dns.com",
+                3_556_082u64,
+                1_145u64,
+                1_002u64,
+                572u64,
+            ),
             ("NameBright", "namebrightdns.com", 3_515_548, 73, 680, 2),
-            ("SquareSpace", "squarespacedns.com", 2_710_040, 24_278, 1_023, 174),
+            (
+                "SquareSpace",
+                "squarespacedns.com",
+                2_710_040,
+                24_278,
+                1_023,
+                174,
+            ),
             ("BlueHost", "bluehost.com", 1_960_552, 13_188, 136, 1_215),
             ("Alibaba", "alidns.com", 1_564_980, 2_675, 1_216, 2_032),
             ("Wordpress", "wordpress.com", 1_541_499, 7_824, 347, 60),
@@ -387,7 +405,14 @@ impl EcosystemConfig {
         // (total domains derived from count/percentage; CDS zones modelled
         // as secured-with-CDS plus the Swiss island allocations.)
         for (name, base, swiss, cds, total, island_cds) in [
-            ("Simply.com", "simply.com", false, 218_590u64, 225_816u64, 0u64),
+            (
+                "Simply.com",
+                "simply.com",
+                false,
+                218_590u64,
+                225_816u64,
+                0u64,
+            ),
             ("cyon", "cyon.ch", true, 60_981, 126_781, 200),
             ("Gransy", "gransy.com", false, 54_690, 55_298, 0),
             ("METANET", "metanet.ch", true, 54_522, 77_336, 150),
@@ -449,9 +474,9 @@ impl EcosystemConfig {
             ..Default::default()
         };
         desec.quirks.transient_badsig = 0.0005; // the "70 transient" artefacts
-        // deSEC also pilots CSYNC (RFC 7477) on its signed zones — the
-        // §6 future-work mechanism, modelled so the scanner's CSYNC
-        // census has a real population.
+                                                // deSEC also pilots CSYNC (RFC 7477) on its signed zones — the
+                                                // §6 future-work mechanism, modelled so the scanner's CSYNC
+                                                // census has a real population.
         desec.publish_csync = true;
         ops.push(desec);
 
@@ -666,10 +691,7 @@ mod tests {
         let cfg = EcosystemConfig::paper_default(1000);
         let total = cfg.total_zones();
         // 287.6 M / 1000 plus unscaled extras: within a sane band.
-        assert!(
-            (250_000..340_000).contains(&total),
-            "total zones = {total}"
-        );
+        assert!((250_000..340_000).contains(&total), "total zones = {total}");
     }
 
     #[test]
@@ -727,20 +749,20 @@ mod tests {
     #[test]
     fn tiny_has_every_interesting_category() {
         let cfg = EcosystemConfig::tiny(1);
-        let c: CategoryCounts = cfg.operators.iter().fold(
-            CategoryCounts::default(),
-            |mut acc, o| {
-                acc.unsigned += o.counts.unsigned;
-                acc.unsigned_with_cds += o.counts.unsigned_with_cds;
-                acc.secured += o.counts.secured + o.counts.secured_with_cds;
-                acc.invalid += o.counts.invalid + o.counts.invalid_with_signal;
-                acc.island_cds += o.counts.island_cds;
-                acc.island_cds_delete += o.counts.island_cds_delete;
-                acc.island_cds_mismatch += o.counts.island_cds_mismatch;
-                acc.island_cds_inconsistent += o.counts.island_cds_inconsistent;
-                acc
-            },
-        );
+        let c: CategoryCounts =
+            cfg.operators
+                .iter()
+                .fold(CategoryCounts::default(), |mut acc, o| {
+                    acc.unsigned += o.counts.unsigned;
+                    acc.unsigned_with_cds += o.counts.unsigned_with_cds;
+                    acc.secured += o.counts.secured + o.counts.secured_with_cds;
+                    acc.invalid += o.counts.invalid + o.counts.invalid_with_signal;
+                    acc.island_cds += o.counts.island_cds;
+                    acc.island_cds_delete += o.counts.island_cds_delete;
+                    acc.island_cds_mismatch += o.counts.island_cds_mismatch;
+                    acc.island_cds_inconsistent += o.counts.island_cds_inconsistent;
+                    acc
+                });
         assert!(c.unsigned > 0);
         assert!(c.unsigned_with_cds > 0);
         assert!(c.secured > 0);

@@ -178,14 +178,30 @@ mod tests {
 
     #[test]
     fn bootstrappable_requires_island_and_valid_cds() {
-        assert!(t(DnssecState::Island, CdsState::Valid, SignalTruth::NotPublished)
-            .traditionally_bootstrappable());
-        assert!(!t(DnssecState::Island, CdsState::Delete, SignalTruth::NotPublished)
-            .traditionally_bootstrappable());
-        assert!(!t(DnssecState::Secured, CdsState::Valid, SignalTruth::NotPublished)
-            .traditionally_bootstrappable());
-        assert!(!t(DnssecState::Unsigned, CdsState::Valid, SignalTruth::NotPublished)
-            .traditionally_bootstrappable());
+        assert!(t(
+            DnssecState::Island,
+            CdsState::Valid,
+            SignalTruth::NotPublished
+        )
+        .traditionally_bootstrappable());
+        assert!(!t(
+            DnssecState::Island,
+            CdsState::Delete,
+            SignalTruth::NotPublished
+        )
+        .traditionally_bootstrappable());
+        assert!(!t(
+            DnssecState::Secured,
+            CdsState::Valid,
+            SignalTruth::NotPublished
+        )
+        .traditionally_bootstrappable());
+        assert!(!t(
+            DnssecState::Unsigned,
+            CdsState::Valid,
+            SignalTruth::NotPublished
+        )
+        .traditionally_bootstrappable());
     }
 
     #[test]
@@ -202,7 +218,12 @@ mod tests {
             SignalTruth::Published(SignalDefect::ZoneCut)
         )
         .ab_correct());
-        assert!(!t(DnssecState::Island, CdsState::Valid, SignalTruth::NotPublished).ab_correct());
+        assert!(!t(
+            DnssecState::Island,
+            CdsState::Valid,
+            SignalTruth::NotPublished
+        )
+        .ab_correct());
         // A secured zone with perfect signal is still not "AB correct" in
         // the bootstrappable sense (it's already secured).
         assert!(!t(
@@ -216,11 +237,31 @@ mod tests {
     #[test]
     fn summary_counts() {
         let truths = vec![
-            t(DnssecState::Unsigned, CdsState::None, SignalTruth::NotPublished),
-            t(DnssecState::Secured, CdsState::Valid, SignalTruth::Published(SignalDefect::None)),
-            t(DnssecState::Island, CdsState::Valid, SignalTruth::Published(SignalDefect::None)),
-            t(DnssecState::Island, CdsState::Delete, SignalTruth::NotPublished),
-            t(DnssecState::Invalid, CdsState::None, SignalTruth::NotPublished),
+            t(
+                DnssecState::Unsigned,
+                CdsState::None,
+                SignalTruth::NotPublished,
+            ),
+            t(
+                DnssecState::Secured,
+                CdsState::Valid,
+                SignalTruth::Published(SignalDefect::None),
+            ),
+            t(
+                DnssecState::Island,
+                CdsState::Valid,
+                SignalTruth::Published(SignalDefect::None),
+            ),
+            t(
+                DnssecState::Island,
+                CdsState::Delete,
+                SignalTruth::NotPublished,
+            ),
+            t(
+                DnssecState::Invalid,
+                CdsState::None,
+                SignalTruth::NotPublished,
+            ),
         ];
         let s = TruthSummary::from_truths(&truths);
         assert_eq!(s.total, 5);

@@ -49,11 +49,18 @@ fn glauca_publishes_deletes_in_signal_desec_does_not() {
     // Cloudflare and Glauca Digital, but not by deSec."
     let eco = build(paper_small());
     for (op_name, expect_delete_signal) in [("Glauca Digital", true), ("deSEC", false)] {
-        let idx = eco.operators.iter().position(|o| o.name == op_name).unwrap();
+        let idx = eco
+            .operators
+            .iter()
+            .position(|o| o.name == op_name)
+            .unwrap();
         let Some(zone) = eco.truth.iter().find(|t| {
             t.operator == idx && t.dnssec == DnssecState::Island && t.cds == CdsState::Delete
         }) else {
-            assert!(!expect_delete_signal, "{op_name} should have delete islands");
+            assert!(
+                !expect_delete_signal,
+                "{op_name} should have delete islands"
+            );
             continue;
         };
         assert_eq!(
@@ -68,7 +75,11 @@ fn glauca_publishes_deletes_in_signal_desec_does_not() {
 fn secured_zones_have_matching_ds_in_registry() {
     let eco = build(EcosystemConfig::tiny(8));
     let mut checked = 0;
-    for t in eco.truth.iter().filter(|t| t.dnssec == DnssecState::Secured) {
+    for t in eco
+        .truth
+        .iter()
+        .filter(|t| t.dnssec == DnssecState::Secured)
+    {
         let tld = t.name.parent().unwrap();
         let store = &eco.registry_stores[&tld];
         let tld_zone = store.get(&tld).unwrap();
@@ -107,12 +118,7 @@ fn ct_only_tlds_never_fully_covered() {
         .iter()
         .filter(|t| t.name.parent() == Some(de.clone()))
         .count();
-    let seeds_de = eco
-        .seeds
-        .ct_logs
-        .get(&de)
-        .map(|v| v.len())
-        .unwrap_or(0);
+    let seeds_de = eco.seeds.ct_logs.get(&de).map(|v| v.len()).unwrap_or(0);
     assert!(truth_de > 100, "enough .de zones to sample: {truth_de}");
     let cov = seeds_de as f64 / truth_de as f64;
     assert!(

@@ -1,9 +1,15 @@
 //! One authoritative exchange: query a specific server address.
+//!
+//! The client distinguishes *why* an exchange failed ([`ClientErrorKind`])
+//! and reports the exact virtual time and datagram count the failure cost,
+//! so callers charge real elapsed time instead of a guess. An optional
+//! [`RetryPolicy`] re-sends timed-out or malformed exchanges with
+//! exponential backoff and deterministic jitter.
 
 use dns_wire::message::Message;
 use dns_wire::name::Name;
 use dns_wire::record::RecordType;
-use netsim::{Addr, NetError, Network, SimMicros, Transport};
+use netsim::{Addr, DeterministicDraw, NetError, Network, SimMicros, Transport};
 use std::sync::atomic::{AtomicU16, Ordering};
 use std::sync::Arc;
 
@@ -17,6 +23,91 @@ pub struct Exchange {
     pub attempts: u32,
     /// Whether the final answer arrived over TCP.
     pub used_tcp: bool,
+    /// How many whole-exchange retries the [`RetryPolicy`] spent before
+    /// this answer arrived (0 = first try succeeded).
+    pub retries: u32,
+}
+
+/// Why a logical query failed, after all configured retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientErrorKind {
+    /// Nothing is bound at the address; no datagram was ever sent.
+    Unreachable,
+    /// Every attempt timed out (loss, black-hole, outage).
+    Timeout,
+    /// A reply arrived but did not parse as a DNS message.
+    Malformed,
+}
+
+/// A failed logical query, with exact cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientError {
+    pub kind: ClientErrorKind,
+    /// Virtual time burned across all attempts and backoff waits.
+    pub elapsed: SimMicros,
+    /// Datagrams sent across all attempts.
+    pub attempts: u32,
+    /// Whole-exchange retries performed (0 = failed on the first try).
+    pub retries: u32,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} after {} attempt(s), {} retry(ies), {} µs",
+            self.kind, self.attempts, self.retries, self.elapsed
+        )
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Whole-exchange retry schedule: how many times to re-send a timed-out or
+/// malformed query, and how long to wait in between.
+///
+/// The wait before retry `r` (1-based) is `backoff_base * 2^(r-1)` plus a
+/// deterministic jitter in `[0, wait/2)` drawn from `(seed, query id, r)`,
+/// so identical runs back off identically. `Unreachable` is never retried
+/// — no server will appear mid-scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra tries after the first (0 disables retrying).
+    pub retries: u32,
+    /// Base wait in virtual µs before the first retry; doubles each time.
+    pub backoff_base: SimMicros,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retrying at all: fail on the first bad exchange.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        retries: 0,
+        backoff_base: 0,
+        seed: 0,
+    };
+
+    /// The backoff wait before retry `retry` (1-based) of query `id`.
+    pub fn backoff(&self, id: u16, retry: u32) -> SimMicros {
+        if retry == 0 || self.backoff_base == 0 {
+            return 0;
+        }
+        let base = self.backoff_base << (retry - 1).min(10);
+        let jitter_span = (base / 2).max(1);
+        let jitter = DeterministicDraw::new(
+            self.seed ^ 0x0bac_0ff5,
+            &[&id.to_be_bytes(), &retry.to_be_bytes()],
+        )
+        .below(jitter_span);
+        base + jitter
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::NONE
+    }
 }
 
 /// A thin client over the simulated network.
@@ -26,6 +117,7 @@ pub struct Exchange {
 pub struct DnsClient {
     net: Arc<Network>,
     next_id: AtomicU16,
+    retry: RetryPolicy,
 }
 
 impl DnsClient {
@@ -33,7 +125,22 @@ impl DnsClient {
         DnsClient {
             net,
             next_id: AtomicU16::new(1),
+            retry: RetryPolicy::NONE,
         }
+    }
+
+    /// Same client, but retrying per `policy`.
+    pub fn with_retry(net: Arc<Network>, policy: RetryPolicy) -> Self {
+        DnsClient {
+            net,
+            next_id: AtomicU16::new(1),
+            retry: policy,
+        }
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The underlying network (for stats access).
@@ -48,33 +155,99 @@ impl DnsClient {
         qname: &Name,
         qtype: RecordType,
         dnssec_ok: bool,
-    ) -> Result<Exchange, NetError> {
+    ) -> Result<Exchange, ClientError> {
+        self.query_at(0, server, qname, qtype, dnssec_ok)
+    }
+
+    /// Like [`query`](Self::query), but the exchange starts at virtual
+    /// time `now`, so time-windowed faults and outages see when each
+    /// attempt really lands.
+    pub fn query_at(
+        &self,
+        now: SimMicros,
+        server: Addr,
+        qname: &Name,
+        qtype: RecordType,
+        dnssec_ok: bool,
+    ) -> Result<Exchange, ClientError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let q = Message::query(id, qname.clone(), qtype, dnssec_ok);
         let bytes = q.to_bytes();
-        let udp = self.net.query(server, &bytes, Transport::Udp)?;
-        let mut elapsed = udp.elapsed;
-        let mut attempts = udp.attempts;
-        let msg = Message::from_bytes(&udp.reply).map_err(|_| NetError::Timeout)?;
-        if !msg.header.flags.truncated {
-            return Ok(Exchange {
-                message: msg,
-                elapsed,
-                attempts,
-                used_tcp: false,
-            });
+        let mut elapsed: SimMicros = 0;
+        let mut attempts: u32 = 0;
+        let mut kind = ClientErrorKind::Timeout;
+        for retry in 0..=self.retry.retries {
+            elapsed += self.retry.backoff(id, retry);
+            match self.exchange_once(now + elapsed, server, &bytes) {
+                Ok((message, e, a, used_tcp)) => {
+                    return Ok(Exchange {
+                        message,
+                        elapsed: elapsed + e,
+                        attempts: attempts + a,
+                        used_tcp,
+                        retries: retry,
+                    });
+                }
+                Err((k, e, a)) => {
+                    elapsed += e;
+                    attempts += a;
+                    kind = k;
+                    // No server will appear mid-scan: don't retry.
+                    if k == ClientErrorKind::Unreachable {
+                        return Err(ClientError {
+                            kind: k,
+                            elapsed,
+                            attempts,
+                            retries: retry,
+                        });
+                    }
+                }
+            }
         }
-        // TC=1 → retry the same question over TCP.
-        let tcp = self.net.query(server, &bytes, Transport::Tcp)?;
-        elapsed += tcp.elapsed;
-        attempts += tcp.attempts;
-        let msg = Message::from_bytes(&tcp.reply).map_err(|_| NetError::Timeout)?;
-        Ok(Exchange {
-            message: msg,
+        Err(ClientError {
+            kind,
             elapsed,
             attempts,
-            used_tcp: true,
+            retries: self.retry.retries,
         })
+    }
+
+    /// One UDP exchange plus the TC=1 → TCP fallback, no retrying.
+    #[allow(clippy::type_complexity)]
+    fn exchange_once(
+        &self,
+        at: SimMicros,
+        server: Addr,
+        bytes: &[u8],
+    ) -> Result<(Message, SimMicros, u32, bool), (ClientErrorKind, SimMicros, u32)> {
+        let udp = self
+            .net
+            .query_at(at, server, bytes, Transport::Udp)
+            .map_err(|f| (kind_of(f.error), f.elapsed, f.attempts))?;
+        let mut elapsed = udp.elapsed;
+        let mut attempts = udp.attempts;
+        let msg = Message::from_bytes(&udp.reply)
+            .map_err(|_| (ClientErrorKind::Malformed, elapsed, attempts))?;
+        if !msg.header.flags.truncated {
+            return Ok((msg, elapsed, attempts, false));
+        }
+        // TC=1 → retry the same question over TCP.
+        let tcp = self
+            .net
+            .query_at(at + elapsed, server, bytes, Transport::Tcp)
+            .map_err(|f| (kind_of(f.error), elapsed + f.elapsed, attempts + f.attempts))?;
+        elapsed += tcp.elapsed;
+        attempts += tcp.attempts;
+        let msg = Message::from_bytes(&tcp.reply)
+            .map_err(|_| (ClientErrorKind::Malformed, elapsed, attempts))?;
+        Ok((msg, elapsed, attempts, true))
+    }
+}
+
+fn kind_of(e: NetError) -> ClientErrorKind {
+    match e {
+        NetError::Unreachable => ClientErrorKind::Unreachable,
+        NetError::Timeout => ClientErrorKind::Timeout,
     }
 }
 
@@ -86,6 +259,7 @@ mod tests {
     use dns_wire::rdata::{RData, SoaData};
     use dns_wire::record::Record;
     use dns_zone::Zone;
+    use netsim::{FaultKind, FaultPlan, FaultScope, FaultSpec, Window};
     use std::net::Ipv4Addr;
 
     fn setup() -> (Arc<Network>, Addr) {
@@ -133,6 +307,7 @@ mod tests {
             .query(addr, &name!("www.t.test"), RecordType::A, true)
             .unwrap();
         assert!(!ex.used_tcp);
+        assert_eq!(ex.retries, 0);
         assert_eq!(ex.message.answers_of(RecordType::A).len(), 1);
         assert!(ex.elapsed > 0);
     }
@@ -150,7 +325,7 @@ mod tests {
     }
 
     #[test]
-    fn unreachable_propagates() {
+    fn unreachable_propagates_with_zero_cost() {
         let (net, _) = setup();
         let c = DnsClient::new(net);
         let err = c
@@ -161,7 +336,34 @@ mod tests {
                 true,
             )
             .unwrap_err();
-        assert_eq!(err, NetError::Unreachable);
+        assert_eq!(err.kind, ClientErrorKind::Unreachable);
+        assert_eq!(err.elapsed, 0);
+        assert_eq!(err.attempts, 0);
+        assert_eq!(err.retries, 0);
+    }
+
+    #[test]
+    fn unreachable_is_never_retried() {
+        let (net, _) = setup();
+        let c = DnsClient::with_retry(
+            net,
+            RetryPolicy {
+                retries: 3,
+                backoff_base: 100_000,
+                seed: 5,
+            },
+        );
+        let err = c
+            .query(
+                Addr::V4(Ipv4Addr::new(203, 0, 113, 1)),
+                &name!("x.test"),
+                RecordType::A,
+                true,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, ClientErrorKind::Unreachable);
+        assert_eq!(err.retries, 0);
+        assert_eq!(err.elapsed, 0);
     }
 
     #[test]
@@ -175,5 +377,96 @@ mod tests {
             .query(addr, &name!("www.t.test"), RecordType::A, false)
             .unwrap();
         assert_ne!(a.message.header.id, b.message.header.id);
+    }
+
+    /// A black-hole covering exactly the first logical exchange: without
+    /// retries the query dies; with retries the backoff pushes the second
+    /// exchange past the outage and it succeeds.
+    fn outage_plan(addr: Addr) -> FaultPlan {
+        FaultPlan::new(0).with(FaultSpec {
+            scope: FaultScope::to_addr(addr),
+            window: Window::Interval {
+                start: 0,
+                end: 6_000_000,
+            },
+            kind: FaultKind::BlackHole,
+        })
+    }
+
+    #[test]
+    fn timeout_without_retry_reports_exact_cost() {
+        let (net, addr) = setup();
+        net.set_faults(outage_plan(addr));
+        let c = DnsClient::new(Arc::clone(&net));
+        let err = c
+            .query(addr, &name!("www.t.test"), RecordType::A, true)
+            .unwrap_err();
+        assert_eq!(err.kind, ClientErrorKind::Timeout);
+        assert_eq!(err.retries, 0);
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.elapsed, 3 * 2_000_000);
+    }
+
+    #[test]
+    fn retry_recovers_after_transient_outage() {
+        let (net, addr) = setup();
+        net.set_faults(outage_plan(addr));
+        let c = DnsClient::with_retry(
+            Arc::clone(&net),
+            RetryPolicy {
+                retries: 2,
+                backoff_base: 500_000,
+                seed: 7,
+            },
+        );
+        let ex = c
+            .query(addr, &name!("www.t.test"), RecordType::A, true)
+            .unwrap();
+        // First exchange burns 3 attempts inside the outage; the backoff
+        // lands the second exchange after it ends.
+        assert_eq!(ex.retries, 1);
+        assert_eq!(ex.attempts, 4);
+        assert!(ex.elapsed > 3 * 2_000_000);
+        assert_eq!(ex.message.answers_of(RecordType::A).len(), 1);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_deterministic() {
+        let p = RetryPolicy {
+            retries: 4,
+            backoff_base: 100_000,
+            seed: 42,
+        };
+        assert_eq!(p.backoff(9, 0), 0);
+        for r in 1..=4u32 {
+            let base = 100_000u64 << (r - 1);
+            let w = p.backoff(9, r);
+            assert!(w >= base && w < base + base / 2, "retry {r}: {w}");
+            assert_eq!(w, p.backoff(9, r), "jitter must be deterministic");
+        }
+        // Different query ids jitter differently somewhere.
+        assert!((0..50u16).any(|id| p.backoff(id, 1) != p.backoff(id + 50, 1)));
+        assert_eq!(RetryPolicy::NONE.backoff(1, 1), 0);
+    }
+
+    #[test]
+    fn retried_runs_are_reproducible() {
+        let run = || {
+            let (net, addr) = setup();
+            net.set_faults(outage_plan(addr));
+            let c = DnsClient::with_retry(
+                Arc::clone(&net),
+                RetryPolicy {
+                    retries: 2,
+                    backoff_base: 500_000,
+                    seed: 7,
+                },
+            );
+            let ex = c
+                .query(addr, &name!("www.t.test"), RecordType::A, true)
+                .unwrap();
+            (ex.elapsed, ex.attempts, ex.retries)
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -114,11 +114,23 @@ impl Resolver {
 
     /// Resolve (name, type) iteratively from the root.
     pub fn resolve(&self, qname: &Name, qtype: RecordType) -> Result<Resolution, ResolverError> {
-        self.resolve_inner(qname, qtype, 0)
+        self.resolve_inner(0, qname, qtype, 0)
+    }
+
+    /// Like [`resolve`](Self::resolve), but the walk starts at virtual
+    /// time `now`, so time-windowed faults see when each query lands.
+    pub fn resolve_at(
+        &self,
+        now: SimMicros,
+        qname: &Name,
+        qtype: RecordType,
+    ) -> Result<Resolution, ResolverError> {
+        self.resolve_inner(now, qname, qtype, 0)
     }
 
     fn resolve_inner(
         &self,
+        now: SimMicros,
         qname: &Name,
         qtype: RecordType,
         depth: usize,
@@ -134,7 +146,7 @@ impl Resolver {
 
         for _hop in 0..self.max_referrals {
             let (msg, ex_elapsed, ex_queries) =
-                self.query_first_responsive(&servers, qname, qtype)?;
+                self.query_first_responsive(now + elapsed, &servers, qname, qtype)?;
             elapsed += ex_elapsed;
             queries += ex_queries;
 
@@ -197,9 +209,7 @@ impl Resolver {
                 .authorities
                 .iter()
                 .filter_map(|r| match &r.rdata {
-                    RData::Rrsig(s)
-                        if r.name == cut && s.type_covered == RecordType::Ds.code() =>
-                    {
+                    RData::Rrsig(s) if r.name == cut && s.type_covered == RecordType::Ds.code() => {
                         Some(s.clone())
                     }
                     _ => None,
@@ -216,7 +226,7 @@ impl Resolver {
             }
             if addrs.is_empty() {
                 for ns in &ns_names {
-                    addrs.extend(self.addresses_of_inner(ns, depth + 1)?);
+                    addrs.extend(self.addresses_of_inner(now + elapsed, ns, depth + 1)?);
                     if !addrs.is_empty() {
                         break;
                     }
@@ -242,16 +252,27 @@ impl Resolver {
 
     /// Resolve the addresses of a nameserver hostname (cached).
     pub fn addresses_of(&self, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
-        self.addresses_of_inner(ns, 0)
+        self.addresses_of_inner(0, ns, 0)
     }
 
-    fn addresses_of_inner(&self, ns: &Name, depth: usize) -> Result<Vec<Addr>, ResolverError> {
+    /// Like [`addresses_of`](Self::addresses_of), starting at virtual
+    /// time `now`.
+    pub fn addresses_of_at(&self, now: SimMicros, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
+        self.addresses_of_inner(now, ns, 0)
+    }
+
+    fn addresses_of_inner(
+        &self,
+        now: SimMicros,
+        ns: &Name,
+        depth: usize,
+    ) -> Result<Vec<Addr>, ResolverError> {
         if let Some(a) = self.cache.lock().addresses.get(ns) {
             return Ok(a.clone());
         }
         let mut addrs = Vec::new();
         for qtype in [RecordType::A, RecordType::Aaaa] {
-            if let Ok(res) = self.resolve_inner(ns, qtype, depth) {
+            if let Ok(res) = self.resolve_inner(now, ns, qtype, depth) {
                 for rec in &res.answers {
                     match &rec.rdata {
                         RData::A(a) if rec.name == *ns => addrs.push(Addr::V4(*a)),
@@ -261,7 +282,10 @@ impl Resolver {
                 }
             }
         }
-        self.cache.lock().addresses.insert(ns.clone(), addrs.clone());
+        self.cache
+            .lock()
+            .addresses
+            .insert(ns.clone(), addrs.clone());
         Ok(addrs)
     }
 
@@ -273,6 +297,7 @@ impl Resolver {
 
     fn query_first_responsive(
         &self,
+        now: SimMicros,
         servers: &[Addr],
         qname: &Name,
         qtype: RecordType,
@@ -281,7 +306,10 @@ impl Resolver {
         let mut queries = 0;
         for &addr in servers {
             queries += 1;
-            match self.client.query(addr, qname, qtype, true) {
+            match self
+                .client
+                .query_at(now + elapsed, addr, qname, qtype, true)
+            {
                 Ok(ex) => {
                     elapsed += ex.elapsed;
                     // SERVFAIL → try the next server, as real resolvers do.
@@ -290,8 +318,11 @@ impl Resolver {
                     }
                     return Ok((ex.message, elapsed, queries));
                 }
-                Err(_) => {
-                    elapsed += 2_000_000;
+                Err(e) => {
+                    // Charge the real cost of the failure (an unreachable
+                    // address costs nothing; exhausted timeouts cost every
+                    // attempt plus backoff).
+                    elapsed += e.elapsed;
                 }
             }
         }
@@ -310,7 +341,9 @@ mod tests {
     fn error_display() {
         let e = ResolverError::AllServersFailed(Name::parse("x.test").unwrap());
         assert!(e.to_string().contains("x.test"));
-        assert!(ResolverError::TooManyReferrals.to_string().contains("referrals"));
+        assert!(ResolverError::TooManyReferrals
+            .to_string()
+            .contains("referrals"));
         let e = ResolverError::NoAddresses(Name::parse("ns.test").unwrap());
         assert!(e.to_string().contains("ns.test"));
     }

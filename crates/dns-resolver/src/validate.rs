@@ -182,9 +182,13 @@ pub fn key_matches_any_ds(zone: &Name, key: &DnskeyData, ds_list: &[DsData]) -> 
     ds_list.iter().any(|ds| {
         ds.key_tag == tag
             && ds.algorithm == key.algorithm
-            && ds_digest(DigestType::from_code(ds.digest_type), &zone.to_wire(), &rdata)
-                .map(|d| d == ds.digest)
-                .unwrap_or(false)
+            && ds_digest(
+                DigestType::from_code(ds.digest_type),
+                &zone.to_wire(),
+                &rdata,
+            )
+            .map(|d| d == ds.digest)
+            .unwrap_or(false)
     })
 }
 
@@ -260,7 +264,11 @@ mod tests {
             let mut z = Zone::new(apex.clone());
             z.add(soa(apex));
             let ns = apex.prepend_label(b"ns1").unwrap();
-            z.add(Record::new(apex.clone(), 300, RData::Ns(name!("ns1.leafhost.test"))));
+            z.add(Record::new(
+                apex.clone(),
+                300,
+                RData::Ns(name!("ns1.leafhost.test")),
+            ));
             let _ = ns;
             z.add(a(&apex.prepend_label(b"www").unwrap(), 80));
             let keys = ZoneKeys::generate(rng, Algorithm::EcdsaP256Sha256);
@@ -300,7 +308,11 @@ mod tests {
         let tld_apex = name!("test");
         let mut tld = Zone::new(tld_apex.clone());
         tld.add(soa(&tld_apex));
-        tld.add(Record::new(tld_apex.clone(), 300, RData::Ns(name!("ns1.tld-servers.net"))));
+        tld.add(Record::new(
+            tld_apex.clone(),
+            300,
+            RData::Ns(name!("ns1.tld-servers.net")),
+        ));
         let tld_keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
         for (apex, keys, with_ds) in [
             (name!("secure.test"), Some(&secure_keys), true),
@@ -325,8 +337,16 @@ mod tests {
         // Root zone.
         let mut root = Zone::new(Name::root());
         root.add(soa(&Name::root()));
-        root.add(Record::new(Name::root(), 300, RData::Ns(name!("a.root-servers.net"))));
-        root.add(Record::new(tld_apex.clone(), 300, RData::Ns(name!("ns1.tld-servers.net"))));
+        root.add(Record::new(
+            Name::root(),
+            300,
+            RData::Ns(name!("a.root-servers.net")),
+        ));
+        root.add(Record::new(
+            tld_apex.clone(),
+            300,
+            RData::Ns(name!("ns1.tld-servers.net")),
+        ));
         for r in tld_keys.ds_records(&tld_apex, 300, DigestType::Sha256) {
             root.add(r);
         }
@@ -367,12 +387,24 @@ mod tests {
 
     fn resolver(m: &MiniNet) -> Resolver {
         let client = Arc::new(DnsClient::new(Arc::clone(&m.net)));
-        let r = Resolver::new(client, RootHints {
-            addrs: m.roots.clone(),
-        });
-        r.seed_address(name!("ns1.tld-servers.net"), vec![Addr::V4(Ipv4Addr::new(192, 5, 6, 30))]);
-        r.seed_address(name!("ns1.leafhost.test"), vec![Addr::V4(Ipv4Addr::new(192, 0, 2, 53))]);
-        r.seed_address(name!("a.root-servers.net"), vec![Addr::V4(Ipv4Addr::new(198, 41, 0, 4))]);
+        let r = Resolver::new(
+            client,
+            RootHints {
+                addrs: m.roots.clone(),
+            },
+        );
+        r.seed_address(
+            name!("ns1.tld-servers.net"),
+            vec![Addr::V4(Ipv4Addr::new(192, 5, 6, 30))],
+        );
+        r.seed_address(
+            name!("ns1.leafhost.test"),
+            vec![Addr::V4(Ipv4Addr::new(192, 0, 2, 53))],
+        );
+        r.seed_address(
+            name!("a.root-servers.net"),
+            vec![Addr::V4(Ipv4Addr::new(198, 41, 0, 4))],
+        );
         r
     }
 
@@ -428,7 +460,9 @@ mod tests {
     fn nxdomain_resolves_with_chain() {
         let m = build();
         let r = resolver(&m);
-        let res = r.resolve(&name!("nope.secure.test"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&name!("nope.secure.test"), RecordType::A)
+            .unwrap();
         assert_eq!(res.rcode, Rcode::NxDomain);
         let sec = validate_resolution(r.client(), &m.anchors, &m.roots, &res, NOW);
         assert_eq!(sec, Security::Secure);

@@ -8,7 +8,7 @@ use dns_wire::name::Name;
 use dns_wire::rdata::{RData, SoaData};
 use dns_wire::record::{Record, RecordType};
 use dns_zone::Zone;
-use netsim::{Addr, Network, ServerHandler, ServerResponse, Transport};
+use netsim::{Addr, Network, ServerHandler, ServerResponse, SimMicros, Transport};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -187,7 +187,14 @@ fn seeded_addresses_bypass_resolution() {
 /// rather than loop.
 struct SidewaysReferrer;
 impl ServerHandler for SidewaysReferrer {
-    fn handle(&self, q: &[u8], _d: Addr, _t: Transport, _b: u32) -> ServerResponse {
+    fn handle(
+        &self,
+        q: &[u8],
+        _d: Addr,
+        _t: Transport,
+        _b: u32,
+        _now: SimMicros,
+    ) -> ServerResponse {
         let Ok(parsed) = Message::from_bytes(q) else {
             return ServerResponse::Drop;
         };

@@ -12,7 +12,7 @@ use dns_wire::message::{Message, Rcode};
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
 use dns_wire::record::{Record, RecordType};
-use netsim::{Addr, ServerHandler, ServerResponse, Transport};
+use netsim::{Addr, ServerHandler, ServerResponse, SimMicros, Transport};
 use std::net::Ipv4Addr;
 
 /// A parking responder: answers every A query with the parking address and
@@ -37,7 +37,14 @@ impl ParkingServer {
 }
 
 impl ServerHandler for ParkingServer {
-    fn handle(&self, query: &[u8], _dst: Addr, _t: Transport, _b: u32) -> ServerResponse {
+    fn handle(
+        &self,
+        query: &[u8],
+        _dst: Addr,
+        _t: Transport,
+        _b: u32,
+        _now: SimMicros,
+    ) -> ServerResponse {
         let Ok(parsed) = Message::from_bytes(query) else {
             return ServerResponse::Drop;
         };
@@ -54,8 +61,11 @@ impl ServerHandler for ParkingServer {
                 }
             }
             RecordType::A => {
-                resp.answers
-                    .push(Record::new(q.name.clone(), 300, RData::A(self.parking_addr)));
+                resp.answers.push(Record::new(
+                    q.name.clone(),
+                    300,
+                    RData::A(self.parking_addr),
+                ));
             }
             // Anything else: NODATA with no SOA — parked zones are sloppy.
             _ => {}
@@ -71,7 +81,13 @@ mod tests {
     fn ask(rtype: RecordType, name: &str) -> Message {
         let s = ParkingServer::namefind();
         let q = Message::query(1, Name::parse(name).unwrap(), rtype, true);
-        match s.handle(&q.to_bytes(), Addr::V4(Ipv4Addr::new(1, 1, 1, 1)), Transport::Udp, 0) {
+        match s.handle(
+            &q.to_bytes(),
+            Addr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            Transport::Udp,
+            0,
+            0,
+        ) {
             ServerResponse::Reply(b) => Message::from_bytes(&b).unwrap(),
             _ => panic!(),
         }
@@ -87,11 +103,7 @@ mod tests {
             assert_eq!(resp.answers_of(RecordType::Ns).len(), 2);
             assert!(resp.header.flags.authoritative);
         }
-        let names: Vec<String> = a
-            .answers
-            .iter()
-            .map(|r| r.rdata.presentation())
-            .collect();
+        let names: Vec<String> = a.answers.iter().map(|r| r.rdata.presentation()).collect();
         assert!(names.contains(&"ns1.namefind.com.".to_string()));
     }
 

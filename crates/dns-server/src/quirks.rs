@@ -1,6 +1,6 @@
 //! Operator misbehaviour configuration.
 
-use netsim::DeterministicDraw;
+use netsim::{DeterministicDraw, SimMicros};
 
 /// Deliberate deviations from correct server behaviour, mirroring what the
 /// paper observes in the wild.
@@ -24,6 +24,13 @@ pub struct Quirks {
     /// Seed mixed into the transient-failure draws, so different servers
     /// with the same probabilities fail on different queries.
     pub seed: u64,
+    /// Scheduled outage: the server drops every query whose virtual
+    /// arrival time falls in `[start, end)` (maintenance windows, the
+    /// paper's "failed to respond during the scan" cases).
+    pub outage: Option<(SimMicros, SimMicros)>,
+    /// Flapping outage: the server drops queries during the first
+    /// `(duty)` µs of every `(period)` µs of virtual time.
+    pub flap: Option<(SimMicros, SimMicros)>,
 }
 
 impl Quirks {
@@ -33,18 +40,32 @@ impl Quirks {
         transient_servfail: 0.0,
         transient_badsig: 0.0,
         seed: 0,
+        outage: None,
+        flap: None,
     };
+
+    /// Whether a query arriving at virtual time `now` hits a scheduled or
+    /// flapping outage.
+    pub fn outage_active(&self, now: SimMicros) -> bool {
+        if let Some((start, end)) = self.outage {
+            if now >= start && now < end {
+                return true;
+            }
+        }
+        if let Some((period, duty)) = self.flap {
+            if period > 0 && now % period < duty {
+                return true;
+            }
+        }
+        false
+    }
 
     /// Whether this specific (query, backend) exchange should SERVFAIL.
     pub fn draw_servfail(&self, query: &[u8], backend: u32) -> bool {
         if self.transient_servfail <= 0.0 {
             return false;
         }
-        DeterministicDraw::new(
-            self.seed ^ 0x5e4f_a11e,
-            &[query, &backend.to_be_bytes()],
-        )
-        .unit()
+        DeterministicDraw::new(self.seed ^ 0x5e4f_a11e, &[query, &backend.to_be_bytes()]).unit()
             < self.transient_servfail
     }
 
@@ -54,11 +75,7 @@ impl Quirks {
         if self.transient_badsig <= 0.0 {
             return false;
         }
-        DeterministicDraw::new(
-            self.seed ^ 0xbad5_16,
-            &[query, &backend.to_be_bytes()],
-        )
-        .unit()
+        DeterministicDraw::new(self.seed ^ 0x00ba_d516, &[query, &backend.to_be_bytes()]).unit()
             < self.transient_badsig
     }
 }
@@ -101,6 +118,39 @@ mod tests {
         // Across many queries, backends must disagree somewhere.
         let disagree = (0..100u8).any(|i| q.draw_badsig(&[i], 0) != q.draw_badsig(&[i], 1));
         assert!(disagree);
+    }
+
+    #[test]
+    fn outage_windows_cover_exactly_their_interval() {
+        let q = Quirks {
+            outage: Some((1_000, 2_000)),
+            ..Quirks::CLEAN
+        };
+        assert!(!q.outage_active(999));
+        assert!(q.outage_active(1_000));
+        assert!(q.outage_active(1_999));
+        assert!(!q.outage_active(2_000));
+        assert!(!Quirks::CLEAN.outage_active(1_500));
+    }
+
+    #[test]
+    fn flapping_outage_repeats_each_period() {
+        let q = Quirks {
+            flap: Some((10_000, 3_000)),
+            ..Quirks::CLEAN
+        };
+        for base in [0u64, 10_000, 250_000] {
+            assert!(q.outage_active(base));
+            assert!(q.outage_active(base + 2_999));
+            assert!(!q.outage_active(base + 3_000));
+            assert!(!q.outage_active(base + 9_999));
+        }
+        // Degenerate period never activates.
+        let z = Quirks {
+            flap: Some((0, 3_000)),
+            ..Quirks::CLEAN
+        };
+        assert!(!z.outage_active(0));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use dns_wire::rdata::RData;
 use dns_wire::record::{Record, RecordType};
 use dns_wire::{CLASSIC_UDP_PAYLOAD, EDNS_UDP_PAYLOAD};
 use dns_zone::{Zone, ZoneLookup};
-use netsim::{Addr, ServerHandler, ServerResponse, Transport};
+use netsim::{Addr, ServerHandler, ServerResponse, SimMicros, Transport};
 use std::sync::Arc;
 
 /// Record types a never-updated-since-2002 server knows about. Everything
@@ -75,8 +75,7 @@ impl AuthServer {
                 resp.header.flags.authoritative = true;
                 resp.answers.extend(set.records());
                 if dnssec_ok {
-                    resp.answers
-                        .extend(rrsigs_for(&zone, &qname, qtype));
+                    resp.answers.extend(rrsigs_for(&zone, &qname, qtype));
                 }
             }
             ZoneLookup::Cname(set) => {
@@ -190,7 +189,12 @@ impl ServerHandler for AuthServer {
         _dst: Addr,
         transport: Transport,
         backend: u32,
+        now: SimMicros,
     ) -> ServerResponse {
+        if self.quirks.outage_active(now) {
+            // Scheduled maintenance window: the server is simply gone.
+            return ServerResponse::Drop;
+        }
         let Ok(parsed) = Message::from_bytes(query) else {
             // Can't even recover an ID — drop, as real servers often do
             // with garbage.
@@ -209,7 +213,7 @@ impl ServerHandler for AuthServer {
         if transport == Transport::Udp {
             let limit = parsed
                 .edns
-                .map(|e| e.udp_payload.max(CLASSIC_UDP_PAYLOAD).min(EDNS_UDP_PAYLOAD))
+                .map(|e| e.udp_payload.clamp(CLASSIC_UDP_PAYLOAD, EDNS_UDP_PAYLOAD))
                 .unwrap_or(CLASSIC_UDP_PAYLOAD) as usize;
             if bytes.len() > limit {
                 // Truncate: TC=1 and empty sections; client retries TCP.
@@ -252,7 +256,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 300, RData::Ns(name!("ns1.example.ch"))));
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Ns(name!("ns1.example.ch")),
+        ));
         z.add(Record::new(
             name!("ns1.example.ch"),
             300,
@@ -400,6 +408,7 @@ mod tests {
             Addr::V4(Ipv4Addr::new(192, 0, 2, 1)),
             Transport::Udp,
             0,
+            0,
         );
         match out {
             ServerResponse::Reply(bytes) => {
@@ -415,7 +424,13 @@ mod tests {
     fn garbage_datagram_dropped() {
         let (store, _) = signed_store();
         let s = AuthServer::new(store);
-        let out = s.handle(&[1, 2, 3], Addr::V4(Ipv4Addr::new(1, 1, 1, 1)), Transport::Udp, 0);
+        let out = s.handle(
+            &[1, 2, 3],
+            Addr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            Transport::Udp,
+            0,
+            0,
+        );
         assert_eq!(out, ServerResponse::Drop);
     }
 
@@ -448,13 +463,25 @@ mod tests {
         store.insert(z);
         let s = AuthServer::new(store);
         let q = Message::query(9, name!("big.test"), RecordType::Txt, true);
-        let udp = match s.handle(&q.to_bytes(), Addr::V4(Ipv4Addr::new(1, 1, 1, 1)), Transport::Udp, 0) {
+        let udp = match s.handle(
+            &q.to_bytes(),
+            Addr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            Transport::Udp,
+            0,
+            0,
+        ) {
             ServerResponse::Reply(b) => Message::from_bytes(&b).unwrap(),
             _ => panic!(),
         };
         assert!(udp.header.flags.truncated);
         assert!(udp.answers.is_empty());
-        let tcp = match s.handle(&q.to_bytes(), Addr::V4(Ipv4Addr::new(1, 1, 1, 1)), Transport::Tcp, 0) {
+        let tcp = match s.handle(
+            &q.to_bytes(),
+            Addr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            Transport::Tcp,
+            0,
+            0,
+        ) {
             ServerResponse::Reply(b) => Message::from_bytes(&b).unwrap(),
             _ => panic!(),
         };
@@ -473,9 +500,13 @@ mod tests {
         let mut fails = 0;
         for id in 0..100u16 {
             let q = Message::query(id, name!("www.example.ch"), RecordType::A, true);
-            if let ServerResponse::Reply(b) =
-                s.handle(&q.to_bytes(), Addr::V4(Ipv4Addr::new(1, 1, 1, 1)), Transport::Udp, 0)
-            {
+            if let ServerResponse::Reply(b) = s.handle(
+                &q.to_bytes(),
+                Addr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+                Transport::Udp,
+                0,
+                0,
+            ) {
                 if Message::from_bytes(&b).unwrap().rcode() == Rcode::ServFail {
                     fails += 1;
                 }
@@ -493,7 +524,13 @@ mod tests {
             ..Quirks::CLEAN
         });
         let q = Message::query(3, name!("www.example.ch"), RecordType::A, true);
-        let resp = match s.handle(&q.to_bytes(), Addr::V4(Ipv4Addr::new(1, 1, 1, 1)), Transport::Udp, 0) {
+        let resp = match s.handle(
+            &q.to_bytes(),
+            Addr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            Transport::Udp,
+            0,
+            0,
+        ) {
             ServerResponse::Reply(b) => Message::from_bytes(&b).unwrap(),
             _ => panic!(),
         };

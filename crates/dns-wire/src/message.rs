@@ -301,7 +301,11 @@ impl Message {
         let ancount = r.read_u16()? as usize;
         let nscount = r.read_u16()? as usize;
         let arcount = r.read_u16()? as usize;
-        let mut questions = Vec::with_capacity(qdcount);
+        // Cap preallocation by what the remaining bytes could possibly
+        // hold (a question needs ≥ 5 octets, a record ≥ 11): hostile
+        // headers can otherwise claim 65535 entries in a 12-byte datagram
+        // and have us allocate megabytes up front.
+        let mut questions = Vec::with_capacity(qdcount.min(r.remaining() / 5));
         for _ in 0..qdcount {
             let name = r.read_name()?;
             let rtype = RecordType::from_code(r.read_u16()?);
@@ -309,7 +313,7 @@ impl Message {
             questions.push(Question { name, rtype, class });
         }
         let read_section = |n: usize, r: &mut WireReader| -> Result<Vec<Record>, WireError> {
-            let mut v = Vec::with_capacity(n);
+            let mut v = Vec::with_capacity(n.min(r.remaining() / 11));
             for _ in 0..n {
                 v.push(Record::read(r)?);
             }

@@ -353,10 +353,7 @@ mod tests {
     #[test]
     fn label_too_long_rejected() {
         let l = "a".repeat(64);
-        assert!(matches!(
-            Name::parse(&l),
-            Err(NameError::LabelTooLong(64))
-        ));
+        assert!(matches!(Name::parse(&l), Err(NameError::LabelTooLong(64))));
         assert!(Name::parse(&"a".repeat(63)).is_ok());
     }
 
@@ -459,10 +456,7 @@ mod tests {
         let stub = n.strip_suffix(&suffix).unwrap();
         assert_eq!(stub.len(), 4);
         assert_eq!(stub[0], b"_dsboot");
-        let rebuilt = Name::from_labels(stub)
-            .unwrap()
-            .concat(&suffix)
-            .unwrap();
+        let rebuilt = Name::from_labels(stub).unwrap().concat(&suffix).unwrap();
         assert_eq!(rebuilt, n);
         assert!(n.strip_suffix(&name!("example.org")).is_none());
     }
@@ -471,10 +465,7 @@ mod tests {
     fn wire_roundtrip_uncompressed() {
         let n = name!("www.example.com");
         let w = n.to_wire();
-        assert_eq!(
-            w,
-            b"\x03www\x07example\x03com\x00".to_vec()
-        );
+        assert_eq!(w, b"\x03www\x07example\x03com\x00".to_vec());
         assert_eq!(w.len(), n.wire_len());
     }
 }

@@ -307,7 +307,10 @@ pub enum RData {
     Aaaa(Ipv6Addr),
     Ns(Name),
     Cname(Name),
-    Mx { preference: u16, exchange: Name },
+    Mx {
+        preference: u16,
+        exchange: Name,
+    },
     Txt(Vec<Vec<u8>>),
     Soa(SoaData),
     Dnskey(DnskeyData),
@@ -322,7 +325,10 @@ pub enum RData {
     /// EDNS(0) OPT pseudo-record options, opaque.
     Opt(Vec<u8>),
     /// RFC 3597 opaque data for any other type.
-    Unknown { rtype: u16, data: Vec<u8> },
+    Unknown {
+        rtype: u16,
+        data: Vec<u8>,
+    },
 }
 
 impl RData {
@@ -629,7 +635,7 @@ pub fn unhex(s: &str) -> Option<Vec<u8>> {
     if s == "-" {
         return Some(Vec::new());
     }
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len() / 2)
@@ -788,7 +794,12 @@ mod tests {
         let cds = DsData::delete_sentinel();
         assert!(cds.is_delete());
         assert_eq!(
-            (cds.key_tag, cds.algorithm, cds.digest_type, cds.digest.as_slice()),
+            (
+                cds.key_tag,
+                cds.algorithm,
+                cds.digest_type,
+                cds.digest.as_slice()
+            ),
             (0, 0, 0, &[0u8][..])
         );
         let cdnskey = DnskeyData::delete_sentinel();

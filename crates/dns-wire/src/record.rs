@@ -282,9 +282,10 @@ impl RrSet {
     pub fn group(records: &[Record]) -> Vec<RrSet> {
         let mut sets: Vec<RrSet> = Vec::new();
         for rec in records {
-            if let Some(set) = sets.iter_mut().find(|s| {
-                s.name == rec.name && s.class == rec.class && s.rtype == rec.rtype()
-            }) {
+            if let Some(set) = sets
+                .iter_mut()
+                .find(|s| s.name == rec.name && s.class == rec.class && s.rtype == rec.rtype())
+            {
                 set.ttl = set.ttl.min(rec.ttl);
                 if !set.rdatas.contains(&rec.rdata) {
                     set.rdatas.push(rec.rdata.clone());
@@ -334,7 +335,9 @@ mod tests {
 
     #[test]
     fn type_codes_roundtrip() {
-        for code in [1u16, 2, 5, 6, 15, 16, 28, 41, 43, 46, 47, 48, 50, 51, 59, 60, 61, 62, 9999] {
+        for code in [
+            1u16, 2, 5, 6, 15, 16, 28, 41, 43, 46, 47, 48, 50, 51, 59, 60, 61, 62, 9999,
+        ] {
             assert_eq!(RecordType::from_code(code).code(), code);
         }
     }

@@ -30,7 +30,10 @@ impl fmt::Display for WireError {
             WireError::BadLabelType(b) => write!(f, "reserved label type byte {b:#04x}"),
             WireError::Name(e) => write!(f, "invalid name: {e}"),
             WireError::RdataLength { expected, actual } => {
-                write!(f, "rdata length mismatch: rdlength {expected}, consumed {actual}")
+                write!(
+                    f,
+                    "rdata length mismatch: rdlength {expected}, consumed {actual}"
+                )
             }
             WireError::BadValue(what) => write!(f, "invalid value for {what}"),
         }
@@ -126,6 +129,11 @@ impl<'a> WireReader<'a> {
         // followed.
         let mut resume: Option<usize> = None;
         let mut hops = 0usize;
+        // Accumulated uncompressed length (root byte included). Enforced
+        // *during* accumulation: a hostile message can otherwise make each
+        // name decode copy megabytes of labels through backward pointer
+        // chains before the post-hoc limit check fires.
+        let mut wire_len = 1usize;
         loop {
             let len = *self.buf.get(pos).ok_or(WireError::Truncated)? as usize;
             match len & 0xc0 {
@@ -137,6 +145,10 @@ impl<'a> WireReader<'a> {
                     let end = pos + 1 + len;
                     if end > self.buf.len() {
                         return Err(WireError::Truncated);
+                    }
+                    wire_len += 1 + len;
+                    if wire_len > crate::name::MAX_NAME_LEN {
+                        return Err(WireError::Name(NameError::NameTooLong(wire_len)));
                     }
                     labels.push(self.buf[pos + 1..end].to_vec());
                     pos = end;

@@ -1,0 +1,250 @@
+//! Hostile-bytes hardening: the decoder faces attacker-controlled UDP
+//! payloads (the scanner queries millions of third-party nameservers), so
+//! no input may panic, allocate unbounded memory, or loop forever. A
+//! handcrafted corpus covers the classic attacks (compression-pointer
+//! cycles and amplification bombs, lying header counts, lying RDLENGTHs,
+//! truncation at every offset); property tests fuzz the rest.
+
+use dns_wire::message::Message;
+use dns_wire::name::{Name, NameError};
+use dns_wire::record::RecordType;
+use dns_wire::wire::{WireError, WireReader};
+use proptest::prelude::*;
+
+/// A message header claiming the given section counts, plus `body`.
+fn msg(qd: u16, an: u16, ns: u16, ar: u16, body: &[u8]) -> Vec<u8> {
+    let mut v = vec![0x12, 0x34, 0x81, 0x80];
+    for c in [qd, an, ns, ar] {
+        v.extend_from_slice(&c.to_be_bytes());
+    }
+    v.extend_from_slice(body);
+    v
+}
+
+/// A resource record with an arbitrary (possibly lying) RDLENGTH.
+fn record(name_wire: &[u8], rtype: u16, rdlen: u16, rdata: &[u8]) -> Vec<u8> {
+    let mut v = name_wire.to_vec();
+    v.extend_from_slice(&rtype.to_be_bytes());
+    v.extend_from_slice(&1u16.to_be_bytes()); // class IN
+    v.extend_from_slice(&300u32.to_be_bytes());
+    v.extend_from_slice(&rdlen.to_be_bytes());
+    v.extend_from_slice(rdata);
+    v
+}
+
+// ---------------------------------------------------------------- corpus
+
+#[test]
+fn header_counts_lie_about_empty_body() {
+    // 65535 claimed entries in a 12-byte datagram: must error, not
+    // preallocate gigabytes or spin.
+    for (qd, an, ns, ar) in [
+        (0xffff, 0, 0, 0),
+        (0, 0xffff, 0, 0),
+        (0, 0, 0xffff, 0),
+        (0, 0, 0, 0xffff),
+        (0xffff, 0xffff, 0xffff, 0xffff),
+    ] {
+        assert!(Message::from_bytes(&msg(qd, an, ns, ar, b"")).is_err());
+    }
+}
+
+#[test]
+fn pointer_cycles_are_rejected() {
+    // Self pointer.
+    let mut r = WireReader::new(&[0xc0, 0x00]);
+    assert_eq!(r.read_name(), Err(WireError::BadPointer));
+    // Two-step cycle: 0 → 2 → 0. The first hop is forward, so it is
+    // already rejected; a backward hop landing on a pointer that jumps
+    // forward again is equally dead.
+    let buf = [0xc0, 0x02, 0xc0, 0x00];
+    let mut r = WireReader::new(&buf);
+    assert_eq!(r.read_name(), Err(WireError::BadPointer));
+    let mut r = WireReader::new(&buf);
+    r.seek(2).unwrap();
+    assert_eq!(r.read_name(), Err(WireError::BadPointer));
+    // In a full message: question name is a self-referencing pointer.
+    let mut body = vec![0xc0, 0x0c]; // points at itself (offset 12)
+    body.extend_from_slice(&RecordType::A.code().to_be_bytes());
+    body.extend_from_slice(&1u16.to_be_bytes());
+    assert!(Message::from_bytes(&msg(1, 0, 0, 0, &body)).is_err());
+}
+
+#[test]
+fn pointer_amplification_bomb_fails_fast() {
+    // The classic doubling bomb: name N+1 = one label + pointer to name N.
+    // Without an in-flight length cap each decode re-walks every earlier
+    // segment (O(bytes × hops) label copies); with the cap the decode
+    // dies at 255 accumulated octets.
+    let mut buf = vec![0u8; 12]; // pretend header so offsets look real
+    let mut prev = buf.len();
+    buf.extend_from_slice(&[1, b'a', 0]); // "a."
+    for i in 0..200u32 {
+        let here = buf.len();
+        buf.push(1);
+        buf.push(b'a' + (i % 26) as u8);
+        buf.push(0xc0 | ((prev >> 8) as u8));
+        buf.push((prev & 0xff) as u8);
+        prev = here;
+    }
+    let mut r = WireReader::new(&buf);
+    r.seek(prev).unwrap();
+    match r.read_name() {
+        Err(WireError::Name(NameError::NameTooLong(_))) => {}
+        other => panic!("bomb must die on the length cap, got {other:?}"),
+    }
+}
+
+#[test]
+fn overlong_inline_name_is_rejected() {
+    // Four 63-octet labels = 257 wire octets, no compression involved.
+    let mut buf = Vec::new();
+    for _ in 0..4 {
+        buf.push(63);
+        buf.extend_from_slice(&[b'x'; 63]);
+    }
+    buf.push(0);
+    let mut r = WireReader::new(&buf);
+    assert!(matches!(
+        r.read_name(),
+        Err(WireError::Name(NameError::NameTooLong(_)))
+    ));
+}
+
+#[test]
+fn reserved_label_types_are_rejected() {
+    for first in [0x40u8, 0x80] {
+        let buf = [first, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.read_name(), Err(WireError::BadLabelType(_))));
+    }
+}
+
+#[test]
+fn lying_rdlengths_do_not_panic() {
+    let name_wire = b"\x01z\x00";
+    // RDLENGTH smaller than the type's fixed fields: DNSKEY/CDS/DS need
+    // 4, RRSIG 18, NSEC3/NSEC3PARAM 5, CSYNC 6. All must error cleanly
+    // (underflow here would panic a debug build).
+    for (rtype, rdlen, rdata) in [
+        (48u16, 2u16, &b"\x01\x01"[..]), // DNSKEY
+        (43, 3, &b"\x00\x00\x08"[..]),   // DS
+        (59, 3, &b"\x00\x00\x08"[..]),   // CDS
+        (46, 17, &[0u8; 17][..]),        // RRSIG
+        (50, 4, &[0u8; 4][..]),          // NSEC3
+        (51, 4, &[0u8; 4][..]),          // NSEC3PARAM
+        (62, 5, &[0u8; 5][..]),          // CSYNC
+        (1, 3, &[0u8; 3][..]),           // A with bad length
+        (28, 15, &[0u8; 15][..]),        // AAAA with bad length
+    ] {
+        let body = record(name_wire, rtype, rdlen, rdata);
+        assert!(
+            Message::from_bytes(&msg(0, 1, 0, 0, &body)).is_err(),
+            "type {rtype} rdlen {rdlen} must be rejected"
+        );
+    }
+    // NSEC3 whose salt length points past its RDATA into the rest of the
+    // message: caught by the RDLENGTH cross-check.
+    let nsec3 = [1u8, 0, 0, 1, 200]; // salt_len 200 overruns rdlen 5
+    let mut body = record(name_wire, 50, 5, &nsec3);
+    body.extend_from_slice(&[0u8; 250]); // bytes it would steal
+    assert!(Message::from_bytes(&msg(0, 1, 0, 0, &body)).is_err());
+    // TXT whose character-string runs past its RDATA.
+    let body = record(name_wire, 16, 3, &[200u8, b'x', b'y']);
+    assert!(Message::from_bytes(&msg(0, 1, 0, 0, &body)).is_err());
+}
+
+#[test]
+fn rdata_crossing_message_end_is_truncated() {
+    let name_wire = b"\x01z\x00";
+    let body = record(name_wire, 16, 400, b"abc"); // claims 400, has 3
+    assert_eq!(
+        Message::from_bytes(&msg(0, 1, 0, 0, &body)),
+        Err(WireError::Truncated)
+    );
+}
+
+// ----------------------------------------------------------- properties
+
+/// A reasonably rich valid reply to mutate: covers name compression and
+/// the DNSSEC types whose decoders have fixed-size prefixes.
+fn rich_reply() -> Vec<u8> {
+    use dns_wire::message::Rcode;
+    use dns_wire::rdata::{DnskeyData, DsData, RData, RrsigData};
+    use dns_wire::record::Record;
+    let zone = Name::parse("child.example.ch").unwrap();
+    let q = Message::query(7, zone.clone(), RecordType::Dnskey, true);
+    let mut m = Message::response_to(&q, Rcode::NoError);
+    m.answers.push(Record::new(
+        zone.clone(),
+        300,
+        RData::Dnskey(DnskeyData {
+            flags: 257,
+            protocol: 3,
+            algorithm: 13,
+            public_key: vec![0xab; 32],
+        }),
+    ));
+    m.answers.push(Record::new(
+        zone.clone(),
+        300,
+        RData::Rrsig(RrsigData {
+            type_covered: RecordType::Dnskey.code(),
+            algorithm: 13,
+            labels: 3,
+            original_ttl: 300,
+            expiration: 2_000_000_000,
+            inception: 1_000_000_000,
+            key_tag: 4711,
+            signer_name: zone.clone(),
+            signature: vec![0xcd; 64],
+        }),
+    ));
+    m.answers.push(Record::new(
+        zone,
+        300,
+        RData::Cds(DsData {
+            key_tag: 4711,
+            algorithm: 13,
+            digest_type: 2,
+            digest: vec![0xef; 32],
+        }),
+    ));
+    m.to_bytes()
+}
+
+proptest! {
+    /// Arbitrary garbage never panics the message decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..=512)) {
+        let _ = Message::from_bytes(&bytes);
+    }
+
+    /// Arbitrary garbage never panics the name decoder either (it has its
+    /// own pointer-chasing state machine).
+    #[test]
+    fn arbitrary_bytes_never_panic_name_reader(bytes in proptest::collection::vec(any::<u8>(), 0..=128)) {
+        let mut r = WireReader::new(&bytes);
+        let _ = r.read_name();
+    }
+
+    /// Every truncation of a valid reply decodes or errors — no panic,
+    /// and never a phantom success at the full length's content.
+    #[test]
+    fn truncations_of_valid_reply_never_panic(cut in 0usize..=1024) {
+        let full = rich_reply();
+        let cut = cut.min(full.len());
+        let _ = Message::from_bytes(&full[..cut]);
+        // The untruncated message still decodes.
+        prop_assert!(Message::from_bytes(&full).is_ok());
+    }
+
+    /// Single-byte corruptions of a valid reply never panic.
+    #[test]
+    fn bitflips_of_valid_reply_never_panic(at in 0usize..1024, x in 1u8..=255) {
+        let mut bytes = rich_reply();
+        let n = bytes.len();
+        bytes[at % n] ^= x;
+        let _ = Message::from_bytes(&bytes);
+    }
+}

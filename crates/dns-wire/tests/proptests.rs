@@ -33,7 +33,15 @@ fn rdata() -> impl Strategy<Value = RData> {
         }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=30), 0..=3)
             .prop_map(RData::Txt),
-        (name(), name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+        (
+            name(),
+            name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
             .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
                 RData::Soa(SoaData {
                     mname,
@@ -45,27 +53,38 @@ fn rdata() -> impl Strategy<Value = RData> {
                     minimum,
                 })
             }),
-        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 1..=64)).prop_map(
-            |(flags, algorithm, public_key)| RData::Dnskey(DnskeyData {
+        (
+            any::<u16>(),
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 1..=64)
+        )
+            .prop_map(|(flags, algorithm, public_key)| RData::Dnskey(DnskeyData {
                 flags,
                 protocol: 3,
                 algorithm,
                 public_key,
-            })
-        ),
+            })),
         (
             any::<u16>(),
             any::<u8>(),
             any::<u8>(),
             proptest::collection::vec(any::<u8>(), 1..=48)
         )
-            .prop_map(|(key_tag, algorithm, digest_type, digest)| RData::Cds(DsData {
-                key_tag,
-                algorithm,
-                digest_type,
-                digest,
-            })),
-        (any::<u16>(), any::<u8>(), any::<u32>(), name(), proptest::collection::vec(any::<u8>(), 0..=64))
+            .prop_map(
+                |(key_tag, algorithm, digest_type, digest)| RData::Cds(DsData {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest,
+                })
+            ),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u32>(),
+            name(),
+            proptest::collection::vec(any::<u8>(), 0..=64)
+        )
             .prop_map(|(type_covered, algorithm, times, signer_name, signature)| {
                 RData::Rrsig(RrsigData {
                     type_covered,
@@ -79,16 +98,14 @@ fn rdata() -> impl Strategy<Value = RData> {
                     signature,
                 })
             }),
-        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..=40)).prop_map(
-            |(rtype, data)| {
-                // Avoid colliding with implemented types: offset into
-                // unassigned space.
-                RData::Unknown {
-                    rtype: 20_000 + (rtype % 10_000),
-                    data,
-                }
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..=40)).prop_map(|(rtype, data)| {
+            // Avoid colliding with implemented types: offset into
+            // unassigned space.
+            RData::Unknown {
+                rtype: 20_000 + (rtype % 10_000),
+                data,
             }
-        ),
+        }),
     ]
 }
 

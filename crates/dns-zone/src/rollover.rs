@@ -54,7 +54,10 @@ fn add_sig(zone: &mut Zone, set: &RrSet, key: &KeyPair, apex: &Name, now: UnixTi
     };
     let mut message = rrsig.signed_prefix();
     message.extend_from_slice(&canonical_rrset_wire(
-        &set.name, set.class, set.ttl, &set.rdatas,
+        &set.name,
+        set.class,
+        set.ttl,
+        &set.rdatas,
     ));
     rrsig.signature = sign_rrset(key, &message);
     zone.add(Record::new(set.name.clone(), set.ttl, RData::Rrsig(rrsig)));
@@ -80,7 +83,11 @@ pub fn introduce_new_ksk(
     let apex = zone.apex().clone();
     // Rebuild the DNSKEY RRset.
     zone.remove_rrset(&apex, RecordType::Dnskey);
-    drop_sigs_covering(zone, &apex, &[RecordType::Dnskey, RecordType::Cds, RecordType::Cdnskey]);
+    drop_sigs_covering(
+        zone,
+        &apex,
+        &[RecordType::Dnskey, RecordType::Cds, RecordType::Cdnskey],
+    );
     let dnskeys: Vec<DnskeyData> = [&old.ksk, new_ksk, &old.zsk]
         .iter()
         .map(|k| DnskeyData {
@@ -169,7 +176,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 300, RData::Ns(name!("ns1.op.net"))));
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Ns(name!("ns1.op.net")),
+        ));
         let mut rng = StdRng::seed_from_u64(1);
         let keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
         for r in keys.cds_records(&apex, 300, CdsPublication::STANDARD) {
@@ -249,12 +260,9 @@ mod tests {
             RData::Cds(d) => {
                 assert_eq!(d.key_tag, nk.key_tag(), "CDS advertises the NEW key");
                 // And the digest matches the new key's DNSKEY.
-                let expect = dns_crypto::ds_digest(
-                    DigestType::Sha256,
-                    &apex.to_wire(),
-                    &nk.dnskey_rdata(),
-                )
-                .unwrap();
+                let expect =
+                    dns_crypto::ds_digest(DigestType::Sha256, &apex.to_wire(), &nk.dnskey_rdata())
+                        .unwrap();
                 assert_eq!(d.digest, expect);
             }
             _ => panic!(),
@@ -286,10 +294,7 @@ mod tests {
     #[test]
     fn non_apex_rrsets_untouched_by_rollover() {
         let (mut z, old) = signed_zone();
-        let before = z
-            .rrset(z.apex(), RecordType::Soa)
-            .unwrap()
-            .clone();
+        let before = z.rrset(z.apex(), RecordType::Soa).unwrap().clone();
         let soa_sigs_before = rrsigs(&z, RecordType::Soa);
         let nk = new_ksk(7);
         introduce_new_ksk(&mut z, &old, &nk, CdsPublication::STANDARD, NOW);

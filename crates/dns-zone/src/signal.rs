@@ -63,7 +63,11 @@ pub fn signal_name(child: &Name, ns: &Name) -> Result<Name, SignalError> {
 ///
 /// Non-CDS/CDNSKEY records are skipped — only those two types are signal
 /// material per RFC 9615 §2.
-pub fn signal_records(child: &Name, ns: &Name, cds_like: &[Record]) -> Result<Vec<Record>, SignalError> {
+pub fn signal_records(
+    child: &Name,
+    ns: &Name,
+    cds_like: &[Record],
+) -> Result<Vec<Record>, SignalError> {
     let owner = signal_name(child, ns)?;
     Ok(cds_like
         .iter()
@@ -144,10 +148,7 @@ mod tests {
         ];
         let out = signal_records(&child, &ns, &recs).unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(
-            out[0].name,
-            name!("_dsboot.example.ch._signal.ns1.op.net")
-        );
+        assert_eq!(out[0].name, name!("_dsboot.example.ch._signal.ns1.op.net"));
         assert!(matches!(out[0].rdata, RData::Cds(_)));
     }
 

@@ -45,7 +45,10 @@ impl Corruption {
 pub enum Denial {
     Nsec,
     /// NSEC3 with the given iterations and salt.
-    Nsec3 { iterations: u16, salt: [u8; 4] },
+    Nsec3 {
+        iterations: u16,
+        salt: [u8; 4],
+    },
     /// No denial chain. Large registry zones in the ecosystem use this to
     /// bound memory: the measurement pipeline validates positive records
     /// and DS presence, never negative proofs.
@@ -109,8 +112,7 @@ impl ZoneSigner {
                     .values()
                     .filter(move |set| {
                         // At a cut, only DS and NSEC are authoritative.
-                        !(is_cut
-                            && !matches!(set.rtype, RecordType::Ds | RecordType::Nsec))
+                        !is_cut || matches!(set.rtype, RecordType::Ds | RecordType::Nsec)
                     })
                     .cloned()
                     .collect::<Vec<_>>()
@@ -151,7 +153,10 @@ impl ZoneSigner {
         };
         let mut message = rrsig.signed_prefix();
         message.extend_from_slice(&canonical_rrset_wire(
-            &set.name, set.class, set.ttl, &set.rdatas,
+            &set.name,
+            set.class,
+            set.ttl,
+            &set.rdatas,
         ));
         let mut signature = sign_rrset(key, &message);
         if self.corruption.applies_to(set.rtype) && self.corruption.garbage_signatures {
@@ -230,7 +235,7 @@ impl ZoneSigner {
                 (h, types)
             })
             .collect();
-        hashed.sort_by(|a, b| a.0.cmp(&b.0));
+        hashed.sort_by_key(|a| a.0);
         let n = hashed.len();
         let mut additions = Vec::new();
         for i in 0..n {
@@ -340,7 +345,11 @@ mod tests {
                 minimum: 300,
             }),
         ));
-        z.add(Record::new(apex.clone(), 300, RData::Ns(name!("ns1.example.ch"))));
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Ns(name!("ns1.example.ch")),
+        ));
         z.add(Record::new(
             name!("ns1.example.ch"),
             300,
@@ -391,7 +400,9 @@ mod tests {
         assert!(z.rrset(&name!("example.ch"), RecordType::Dnskey).is_some());
         assert!(z.rrset(&name!("example.ch"), RecordType::Nsec).is_some());
         assert!(z.rrset(&name!("example.ch"), RecordType::Rrsig).is_some());
-        assert!(z.rrset(&name!("www.example.ch"), RecordType::Rrsig).is_some());
+        assert!(z
+            .rrset(&name!("www.example.ch"), RecordType::Rrsig)
+            .is_some());
     }
 
     #[test]
@@ -475,7 +486,10 @@ mod tests {
             })
             .sign(&mut z, &keys);
         let dnskeys = dnskeys_of(&z);
-        let set = z.rrset(&name!("www.example.ch"), RecordType::A).unwrap().clone();
+        let set = z
+            .rrset(&name!("www.example.ch"), RecordType::A)
+            .unwrap()
+            .clone();
         let sigs = rrsigs_at(&z, &name!("www.example.ch"), RecordType::A);
         assert_eq!(
             verify_rrset_with_keys(&set, &sigs, &dnskeys, NOW),
@@ -494,7 +508,10 @@ mod tests {
             })
             .sign(&mut z, &keys);
         let dnskeys = dnskeys_of(&z);
-        let set = z.rrset(&name!("www.example.ch"), RecordType::A).unwrap().clone();
+        let set = z
+            .rrset(&name!("www.example.ch"), RecordType::A)
+            .unwrap()
+            .clone();
         let sigs = rrsigs_at(&z, &name!("www.example.ch"), RecordType::A);
         assert_eq!(
             verify_rrset_with_keys(&set, &sigs, &dnskeys, NOW),
@@ -513,7 +530,10 @@ mod tests {
             })
             .sign(&mut z, &keys);
         let dnskeys = dnskeys_of(&z);
-        let set = z.rrset(&name!("www.example.ch"), RecordType::A).unwrap().clone();
+        let set = z
+            .rrset(&name!("www.example.ch"), RecordType::A)
+            .unwrap()
+            .clone();
         let sigs = rrsigs_at(&z, &name!("www.example.ch"), RecordType::A);
         assert!(verify_rrset_with_keys(&set, &sigs, &dnskeys, NOW).is_ok());
     }
@@ -558,7 +578,9 @@ mod tests {
         ));
         ZoneSigner::new(NOW).sign(&mut z, &keys);
         assert!(rrsigs_at(&z, &name!("ns1.sub.example.ch"), RecordType::A).is_empty());
-        assert!(z.rrset(&name!("ns1.sub.example.ch"), RecordType::Nsec).is_none());
+        assert!(z
+            .rrset(&name!("ns1.sub.example.ch"), RecordType::Nsec)
+            .is_none());
     }
 
     #[test]
@@ -609,7 +631,10 @@ mod tests {
         let (mut z, keys) = build_zone();
         ZoneSigner::new(NOW).sign(&mut z, &keys);
         let dnskeys = dnskeys_of(&z);
-        let mut set = z.rrset(&name!("www.example.ch"), RecordType::A).unwrap().clone();
+        let mut set = z
+            .rrset(&name!("www.example.ch"), RecordType::A)
+            .unwrap()
+            .clone();
         set.rdatas = vec![RData::A(Ipv4Addr::new(10, 0, 0, 1))];
         let sigs = rrsigs_at(&z, &name!("www.example.ch"), RecordType::A);
         assert!(verify_rrset_with_keys(&set, &sigs, &dnskeys, NOW).is_err());
@@ -629,7 +654,10 @@ mod tests {
                 _ => panic!(),
             })
             .collect();
-        let set = z.rrset(&name!("www.example.ch"), RecordType::A).unwrap().clone();
+        let set = z
+            .rrset(&name!("www.example.ch"), RecordType::A)
+            .unwrap()
+            .clone();
         let sigs = rrsigs_at(&z, &name!("www.example.ch"), RecordType::A);
         assert!(verify_rrset_with_keys(&set, &sigs, &foreign, NOW).is_err());
     }

@@ -299,7 +299,10 @@ impl Zone {
     }
 
     /// Parse a zone from master-file text rooted at `apex`.
-    pub fn from_zone_file(apex: Name, text: &str) -> Result<Zone, dns_wire::presentation::ParseError> {
+    pub fn from_zone_file(
+        apex: Name,
+        text: &str,
+    ) -> Result<Zone, dns_wire::presentation::ParseError> {
         let records = dns_wire::presentation::parse_zone_file(text, &apex)?;
         let mut z = Zone::new(apex);
         z.add_all(records);
@@ -339,7 +342,11 @@ mod tests {
         let apex = name!("example.ch");
         let mut z = Zone::new(apex.clone());
         z.add(soa(&apex));
-        z.add(Record::new(apex.clone(), 300, RData::Ns(name!("ns1.example.ch"))));
+        z.add(Record::new(
+            apex.clone(),
+            300,
+            RData::Ns(name!("ns1.example.ch")),
+        ));
         z.add(Record::new(
             name!("ns1.example.ch"),
             300,
@@ -546,16 +553,28 @@ mod tests {
     #[test]
     fn remove_rrset() {
         let mut z = test_zone();
-        assert!(z.remove_rrset(&name!("www.example.ch"), RecordType::A).is_some());
+        assert!(z
+            .remove_rrset(&name!("www.example.ch"), RecordType::A)
+            .is_some());
         assert!(!z.node_exists(&name!("www.example.ch")));
-        assert!(z.remove_rrset(&name!("www.example.ch"), RecordType::A).is_none());
+        assert!(z
+            .remove_rrset(&name!("www.example.ch"), RecordType::A)
+            .is_none());
     }
 
     #[test]
     fn min_ttl_kept_on_merge() {
         let mut z = Zone::new(name!("t"));
-        z.add(Record::new(name!("a.t"), 900, RData::A(Ipv4Addr::new(1, 2, 3, 4))));
-        z.add(Record::new(name!("a.t"), 300, RData::A(Ipv4Addr::new(1, 2, 3, 5))));
+        z.add(Record::new(
+            name!("a.t"),
+            900,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        ));
+        z.add(Record::new(
+            name!("a.t"),
+            300,
+            RData::A(Ipv4Addr::new(1, 2, 3, 5)),
+        ));
         assert_eq!(z.rrset(&name!("a.t"), RecordType::A).unwrap().ttl, 300);
     }
 }

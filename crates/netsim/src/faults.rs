@@ -1,0 +1,542 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] schedules network impairments per binding over virtual
+//! time, generalising the static per-binding `loss` probability into a
+//! composable fault model: scheduled outages and flapping windows, latency
+//! spikes, REFUSED/SERVFAIL bursts, malformed reply bytes, and silent-drop
+//! black-holes, each scoped to an address, backend instance, or transport.
+//!
+//! Every decision is a pure function of `(plan seed, spec index, dst,
+//! payload hash, attempt)` plus the virtual time of the attempt, so the
+//! same plan over the same traffic produces the same impairments on any
+//! machine and under any thread interleaving — chaos runs are replayable
+//! byte for byte.
+
+use crate::rng::DeterministicDraw;
+use crate::{Addr, SimMicros, Transport};
+
+/// When a fault spec is live, in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Window {
+    /// Live for the whole run.
+    Always,
+    /// Live in `[start, end)`.
+    Interval { start: SimMicros, end: SimMicros },
+    /// Periodic outage: live for the first `duty` µs of every `period`,
+    /// shifted by `phase` (so different bindings flap out of sync).
+    Flapping {
+        period: SimMicros,
+        duty: SimMicros,
+        phase: SimMicros,
+    },
+}
+
+impl Window {
+    /// Whether the window is active at virtual time `now`.
+    pub fn active(&self, now: SimMicros) -> bool {
+        match *self {
+            Window::Always => true,
+            Window::Interval { start, end } => now >= start && now < end,
+            Window::Flapping {
+                period,
+                duty,
+                phase,
+            } => period > 0 && (now.wrapping_add(phase)) % period < duty,
+        }
+    }
+}
+
+/// What the fault does to a matching attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Lose the attempt with this probability (composes with binding loss).
+    Drop { probability: f64 },
+    /// Lose every attempt while the window is active (scheduled outage).
+    BlackHole,
+    /// Add `extra` µs to the round trip with this probability.
+    LatencySpike { extra: SimMicros, probability: f64 },
+    /// Replace the reply with an error-rcode response (e.g. SERVFAIL = 2,
+    /// REFUSED = 5) crafted from the query, with this probability.
+    ErrorRcode { rcode: u8, probability: f64 },
+    /// Replace the reply with deterministic garbage bytes that do not
+    /// parse as DNS, with this probability.
+    Garbage { probability: f64 },
+}
+
+/// Which traffic a fault spec applies to. `None` fields are wildcards.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultScope {
+    pub addr: Option<Addr>,
+    pub backend: Option<u32>,
+    pub transport: Option<Transport>,
+}
+
+impl FaultScope {
+    /// Matches every exchange.
+    pub const ANY: FaultScope = FaultScope {
+        addr: None,
+        backend: None,
+        transport: None,
+    };
+
+    /// Matches only exchanges to `addr`.
+    pub fn to_addr(addr: Addr) -> Self {
+        FaultScope {
+            addr: Some(addr),
+            ..FaultScope::ANY
+        }
+    }
+
+    fn matches(&self, addr: Addr, backend: u32, transport: Transport) -> bool {
+        self.addr.is_none_or(|a| a == addr)
+            && self.backend.is_none_or(|b| b == backend)
+            && self.transport.is_none_or(|t| t == transport)
+    }
+}
+
+/// One scheduled impairment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    pub scope: FaultScope,
+    pub window: Window,
+    pub kind: FaultKind,
+}
+
+/// How a matching spec rewrites the reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyOverride {
+    /// Reply with an error-rcode response crafted from the query bytes.
+    Rcode(u8),
+    /// Reply with these garbage bytes.
+    Garbage(Vec<u8>),
+}
+
+/// The combined effect of every matching spec on one attempt.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultOutcome {
+    /// The attempt is lost (client times out and retries).
+    pub dropped: bool,
+    /// Extra latency added to the round trip.
+    pub extra_latency: SimMicros,
+    /// Reply substitution (first matching override wins).
+    pub reply_override: Option<ReplyOverride>,
+}
+
+/// A seeded schedule of fault specs, evaluated per attempt.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Add a spec (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The documented standard chaos profile used by the chaos-invariance
+    /// tests: ≈2 % extra loss everywhere, 1 % malformed replies, 5 %
+    /// latency spikes, flapping black-hole outages on ≈5 % of bindings,
+    /// and SERVFAIL bursts on ≈5 % of bindings. Which bindings flap or
+    /// burst is a deterministic function of `(seed, addr)`.
+    pub fn standard_chaos(seed: u64, addrs: &[Addr]) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed)
+            .with(FaultSpec {
+                scope: FaultScope::ANY,
+                window: Window::Always,
+                kind: FaultKind::Drop { probability: 0.02 },
+            })
+            .with(FaultSpec {
+                scope: FaultScope::ANY,
+                window: Window::Always,
+                kind: FaultKind::Garbage { probability: 0.01 },
+            })
+            .with(FaultSpec {
+                scope: FaultScope::ANY,
+                window: Window::Always,
+                kind: FaultKind::LatencySpike {
+                    extra: 150_000,
+                    probability: 0.05,
+                },
+            });
+        for &addr in addrs {
+            let pick = DeterministicDraw::new(seed ^ 0x00c4_a05c, &[&addr.to_bytes()]);
+            if pick.unit() < 0.05 {
+                // Flapping outage: down 3 s of every 10 s, phase-shifted
+                // per address.
+                plan.specs.push(FaultSpec {
+                    scope: FaultScope::to_addr(addr),
+                    window: Window::Flapping {
+                        period: 10_000_000,
+                        duty: 3_000_000,
+                        phase: pick.next().below(10_000_000),
+                    },
+                    kind: FaultKind::BlackHole,
+                });
+            }
+            let burst = pick.next().next();
+            if burst.unit() < 0.05 {
+                // SERVFAIL burst: 80 % of queries fail during a 5 s window
+                // somewhere in the first minute of the scan.
+                let start = burst.next().below(55_000_000);
+                plan.specs.push(FaultSpec {
+                    scope: FaultScope::to_addr(addr),
+                    window: Window::Interval {
+                        start,
+                        end: start + 5_000_000,
+                    },
+                    kind: FaultKind::ErrorRcode {
+                        rcode: 2,
+                        probability: 0.8,
+                    },
+                });
+            }
+        }
+        plan
+    }
+
+    /// Evaluate every matching spec against one attempt. Effects compose:
+    /// any drop drops, latency spikes add up, and the first reply override
+    /// in spec order wins.
+    pub fn evaluate(
+        &self,
+        now: SimMicros,
+        addr: Addr,
+        backend: u32,
+        transport: Transport,
+        payload_hash: &[u8],
+        attempt: u32,
+    ) -> FaultOutcome {
+        let mut out = FaultOutcome::default();
+        for (i, spec) in self.specs.iter().enumerate() {
+            if !spec.scope.matches(addr, backend, transport) || !spec.window.active(now) {
+                continue;
+            }
+            // Per-spec seed so stacked specs draw independently.
+            let spec_seed = self
+                .seed
+                .wrapping_add((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let draw = DeterministicDraw::new(
+                spec_seed,
+                &[&addr.to_bytes(), payload_hash, &attempt.to_be_bytes()],
+            );
+            match spec.kind {
+                FaultKind::Drop { probability } => {
+                    if draw.unit() < probability {
+                        out.dropped = true;
+                    }
+                }
+                FaultKind::BlackHole => out.dropped = true,
+                FaultKind::LatencySpike { extra, probability } => {
+                    if draw.unit() < probability {
+                        out.extra_latency += extra;
+                    }
+                }
+                FaultKind::ErrorRcode { rcode, probability } => {
+                    if draw.unit() < probability && out.reply_override.is_none() {
+                        out.reply_override = Some(ReplyOverride::Rcode(rcode));
+                    }
+                }
+                FaultKind::Garbage { probability } => {
+                    if draw.unit() < probability && out.reply_override.is_none() {
+                        out.reply_override = Some(ReplyOverride::Garbage(garbage_bytes(draw)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic garbage reply: too short / malformed header bytes.
+fn garbage_bytes(draw: DeterministicDraw) -> Vec<u8> {
+    let mut d = draw.next();
+    let len = 3 + d.below(21) as usize;
+    let mut bytes = Vec::with_capacity(len);
+    while bytes.len() < len {
+        d = d.next();
+        bytes.extend_from_slice(&d.raw().to_be_bytes());
+    }
+    bytes.truncate(len);
+    bytes
+}
+
+/// Craft an error-rcode response from raw query bytes: same ID and
+/// question, QR=1, all other sections empty. Returns `None` when the query
+/// is too mangled to answer (the caller should drop instead, like a real
+/// server fed garbage).
+pub fn craft_rcode_reply(query: &[u8], rcode: u8) -> Option<Vec<u8>> {
+    if query.len() < 12 {
+        return None;
+    }
+    let qdcount = u16::from_be_bytes([query[4], query[5]]) as usize;
+    // Walk the question section to find where it ends.
+    let mut off = 12;
+    for _ in 0..qdcount {
+        loop {
+            let len = *query.get(off)? as usize;
+            if len == 0 {
+                off += 1;
+                break;
+            }
+            if len >= 0xC0 {
+                // Compression pointer terminates the name.
+                off += 2;
+                break;
+            }
+            off += 1 + len;
+            if off > query.len() {
+                return None;
+            }
+        }
+        off += 4; // QTYPE + QCLASS
+        if off > query.len() {
+            return None;
+        }
+    }
+    let mut reply = query[..off].to_vec();
+    reply[2] |= 0x80; // QR = response
+    reply[2] &= !0x02; // clear TC
+    reply[3] = (reply[3] & 0xF0) | (rcode & 0x0F);
+    reply[6] = 0; // ANCOUNT
+    reply[7] = 0;
+    reply[8] = 0; // NSCOUNT
+    reply[9] = 0;
+    reply[10] = 0; // ARCOUNT
+    reply[11] = 0;
+    Some(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn addr(n: u8) -> Addr {
+        Addr::V4(Ipv4Addr::new(192, 0, 2, n))
+    }
+
+    #[test]
+    fn windows_activate_correctly() {
+        assert!(Window::Always.active(0));
+        let w = Window::Interval { start: 10, end: 20 };
+        assert!(!w.active(9));
+        assert!(w.active(10));
+        assert!(w.active(19));
+        assert!(!w.active(20));
+        let f = Window::Flapping {
+            period: 100,
+            duty: 30,
+            phase: 0,
+        };
+        assert!(f.active(0));
+        assert!(f.active(29));
+        assert!(!f.active(30));
+        assert!(!f.active(99));
+        assert!(f.active(100));
+        // Phase shifts the active region.
+        let shifted = Window::Flapping {
+            period: 100,
+            duty: 30,
+            phase: 50,
+        };
+        assert!(!shifted.active(0));
+        assert!(shifted.active(50));
+    }
+
+    #[test]
+    fn zero_period_flap_is_never_active() {
+        let w = Window::Flapping {
+            period: 0,
+            duty: 0,
+            phase: 0,
+        };
+        assert!(!w.active(0));
+        assert!(!w.active(12345));
+    }
+
+    #[test]
+    fn scope_matching() {
+        let any = FaultScope::ANY;
+        assert!(any.matches(addr(1), 0, Transport::Udp));
+        let scoped = FaultScope {
+            addr: Some(addr(1)),
+            backend: Some(2),
+            transport: Some(Transport::Tcp),
+        };
+        assert!(scoped.matches(addr(1), 2, Transport::Tcp));
+        assert!(!scoped.matches(addr(2), 2, Transport::Tcp));
+        assert!(!scoped.matches(addr(1), 0, Transport::Tcp));
+        assert!(!scoped.matches(addr(1), 2, Transport::Udp));
+    }
+
+    #[test]
+    fn black_hole_drops_everything_in_window() {
+        let plan = FaultPlan::new(7).with(FaultSpec {
+            scope: FaultScope::to_addr(addr(1)),
+            window: Window::Interval {
+                start: 0,
+                end: 1_000_000,
+            },
+            kind: FaultKind::BlackHole,
+        });
+        for i in 0..20u32 {
+            let out = plan.evaluate(500_000, addr(1), 0, Transport::Udp, &[i as u8], i);
+            assert!(out.dropped);
+        }
+        // Outside the window, and on other addresses: clean.
+        assert!(
+            !plan
+                .evaluate(2_000_000, addr(1), 0, Transport::Udp, b"x", 0)
+                .dropped
+        );
+        assert!(
+            !plan
+                .evaluate(500_000, addr(2), 0, Transport::Udp, b"x", 0)
+                .dropped
+        );
+    }
+
+    #[test]
+    fn probabilistic_faults_hit_at_roughly_their_rate() {
+        let plan = FaultPlan::new(3).with(FaultSpec {
+            scope: FaultScope::ANY,
+            window: Window::Always,
+            kind: FaultKind::Drop { probability: 0.3 },
+        });
+        let hits = (0..1000u16)
+            .filter(|i| {
+                plan.evaluate(0, addr(1), 0, Transport::Udp, &i.to_be_bytes(), 0)
+                    .dropped
+            })
+            .count();
+        assert!((200..400).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let plan = FaultPlan::standard_chaos(42, &[addr(1), addr(2), addr(3)]);
+        let probe = |p: &FaultPlan| {
+            (0..200u16)
+                .map(|i| {
+                    p.evaluate(
+                        i as u64 * 100_000,
+                        addr(1 + (i % 3) as u8),
+                        0,
+                        Transport::Udp,
+                        &i.to_be_bytes(),
+                        0,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let again = FaultPlan::standard_chaos(42, &[addr(1), addr(2), addr(3)]);
+        assert_eq!(probe(&plan), probe(&again));
+        // A different seed yields a different schedule somewhere.
+        let other = FaultPlan::standard_chaos(43, &[addr(1), addr(2), addr(3)]);
+        assert_ne!(probe(&plan), probe(&other));
+    }
+
+    #[test]
+    fn stacked_specs_compose() {
+        let plan = FaultPlan::new(1)
+            .with(FaultSpec {
+                scope: FaultScope::ANY,
+                window: Window::Always,
+                kind: FaultKind::LatencySpike {
+                    extra: 1000,
+                    probability: 1.0,
+                },
+            })
+            .with(FaultSpec {
+                scope: FaultScope::ANY,
+                window: Window::Always,
+                kind: FaultKind::LatencySpike {
+                    extra: 500,
+                    probability: 1.0,
+                },
+            })
+            .with(FaultSpec {
+                scope: FaultScope::ANY,
+                window: Window::Always,
+                kind: FaultKind::ErrorRcode {
+                    rcode: 2,
+                    probability: 1.0,
+                },
+            })
+            .with(FaultSpec {
+                scope: FaultScope::ANY,
+                window: Window::Always,
+                kind: FaultKind::Garbage { probability: 1.0 },
+            });
+        let out = plan.evaluate(0, addr(1), 0, Transport::Udp, b"q", 0);
+        assert_eq!(out.extra_latency, 1500);
+        // First override (the rcode) wins over the garbage spec.
+        assert_eq!(out.reply_override, Some(ReplyOverride::Rcode(2)));
+        assert!(!out.dropped);
+    }
+
+    #[test]
+    fn crafted_rcode_reply_is_wellformed() {
+        // A realistic query: ID 0x1234, one question www.example.com A IN.
+        let mut q = vec![0x12, 0x34, 0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0];
+        q.extend_from_slice(b"\x03www\x07example\x03com\x00");
+        q.extend_from_slice(&[0, 1, 0, 1]);
+        let total = q.len();
+        // Trailing bytes (e.g. an OPT record) must be cut off.
+        q.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        let r = craft_rcode_reply(&q, 2).unwrap();
+        assert_eq!(r.len(), total);
+        assert_eq!(r[0], 0x12);
+        assert_eq!(r[1], 0x34);
+        assert_ne!(r[2] & 0x80, 0, "QR set");
+        assert_eq!(r[3] & 0x0F, 2, "rcode servfail");
+        assert_eq!(&r[4..6], &[0, 1], "qdcount kept");
+        assert_eq!(&r[6..12], &[0; 6], "other sections zeroed");
+    }
+
+    #[test]
+    fn crafted_reply_refuses_mangled_queries() {
+        assert_eq!(craft_rcode_reply(&[1, 2, 3], 2), None);
+        // Header claims a question but the name runs off the end.
+        let q = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0x3f];
+        assert_eq!(craft_rcode_reply(&q, 2), None);
+    }
+
+    #[test]
+    fn garbage_bytes_are_deterministic_and_unparsable_length() {
+        let d = DeterministicDraw::new(9, &[b"g"]);
+        let a = garbage_bytes(d);
+        let b = garbage_bytes(d);
+        assert_eq!(a, b);
+        assert!(a.len() >= 3 && a.len() < 24);
+    }
+
+    #[test]
+    fn standard_chaos_scales_with_bindings() {
+        let addrs: Vec<Addr> = (1..=100).map(addr).collect();
+        let plan = FaultPlan::standard_chaos(11, &addrs);
+        let flaps = plan
+            .specs
+            .iter()
+            .filter(|s| s.kind == FaultKind::BlackHole)
+            .count();
+        let bursts = plan
+            .specs
+            .iter()
+            .filter(|s| matches!(s.kind, FaultKind::ErrorRcode { .. }))
+            .count();
+        // ≈5 % of 100 bindings each, with generous slack.
+        assert!((1..=15).contains(&flaps), "{flaps}");
+        assert!((1..=15).contains(&bursts), "{bursts}");
+    }
+}

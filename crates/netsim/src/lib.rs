@@ -21,16 +21,25 @@
 //!   the paper's Appendix D scan-cost analysis (experiment E7), and a
 //!   virtual-time [`RateLimiter`] models the scanner's self-imposed
 //!   50 queries/s/NS politeness budget (§3).
+//! * Fault injection — a seeded [`FaultPlan`] schedules chaos-grade
+//!   impairments (outages, flapping, latency spikes, SERVFAIL bursts,
+//!   malformed replies) per binding over virtual time, deterministic and
+//!   replayable byte for byte.
 
 pub mod accounting;
+pub mod faults;
 pub mod limiter;
 pub mod network;
 pub mod rng;
 
 pub use accounting::{NetStats, StatsSnapshot};
+pub use faults::{
+    FaultKind, FaultOutcome, FaultPlan, FaultScope, FaultSpec, ReplyOverride, Window,
+};
 pub use limiter::RateLimiter;
 pub use network::{
-    Addr, NetError, Network, QueryOutcome, ServerHandler, ServerId, ServerResponse, Transport,
+    Addr, NetError, Network, QueryFailure, QueryOutcome, ServerHandler, ServerId, ServerResponse,
+    Transport,
 };
 pub use rng::DeterministicDraw;
 

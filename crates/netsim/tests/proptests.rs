@@ -1,13 +1,20 @@
 //! Property-based tests over the network simulator: determinism,
 //! rate-limiter conservation, and accounting consistency.
 
-use netsim::{Addr, Network, RateLimiter, ServerHandler, ServerResponse, Transport};
+use netsim::{Addr, Network, RateLimiter, ServerHandler, ServerResponse, SimMicros, Transport};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 struct Echo;
 impl ServerHandler for Echo {
-    fn handle(&self, q: &[u8], _d: Addr, _t: Transport, _b: u32) -> ServerResponse {
+    fn handle(
+        &self,
+        q: &[u8],
+        _d: Addr,
+        _t: Transport,
+        _b: u32,
+        _now: SimMicros,
+    ) -> ServerResponse {
         ServerResponse::Reply(q.to_vec())
     }
 }

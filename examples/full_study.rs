@@ -89,10 +89,9 @@ fn main() {
     println!("================================================================");
     let t3 = report::table3(&results, &["Cloudflare", "deSEC", "Glauca Digital"]);
     println!("{}", t3.render());
-    let (pot, correct): (u64, u64) = t3
-        .columns
-        .iter()
-        .fold((0, 0), |(p, c), (_, col)| (p + col.potential, c + col.signal_correct));
+    let (pot, correct): (u64, u64) = t3.columns.iter().fold((0, 0), |(p, c), (_, col)| {
+        (p + col.potential, c + col.signal_correct)
+    });
     if pot > 0 {
         println!(
             "signal correctness among bootstrappable: {:.2} % (paper: 99.9 %)",

@@ -71,14 +71,20 @@ fn build_world(zone: Zone, zone_keys: &ZoneKeys) -> World {
     let tld_ns = Name::parse("ns1.nic.ch").unwrap();
     let tld_addr = Addr::V4(Ipv4Addr::new(192, 5, 6, 30));
     tldz.add(Record::new(tld.clone(), 3600, RData::Ns(tld_ns.clone())));
-    tldz.add(Record::new(tld_ns.clone(), 3600, RData::A(Ipv4Addr::new(192, 5, 6, 30))));
+    tldz.add(Record::new(
+        tld_ns.clone(),
+        3600,
+        RData::A(Ipv4Addr::new(192, 5, 6, 30)),
+    ));
     let leaf_ns = Name::parse("ns1.op.net").unwrap();
     tldz.add(Record::new(apex.clone(), 3600, RData::Ns(leaf_ns.clone())));
     for r in zone_keys.ds_records(&apex, 3600, DigestType::Sha256) {
         tldz.add(r);
     }
     let tld_keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
-    ZoneSigner::new(NOW).with_denial(Denial::None).sign(&mut tldz, &tld_keys);
+    ZoneSigner::new(NOW)
+        .with_denial(Denial::None)
+        .sign(&mut tldz, &tld_keys);
     let tld_store = Arc::new(ZoneStore::new());
     tld_store.insert(tldz);
     let tld_sid = net.register(AuthServer::new(Arc::clone(&tld_store)));
@@ -87,14 +93,24 @@ fn build_world(zone: Zone, zone_keys: &ZoneKeys) -> World {
     // Root.
     let mut root = Zone::new(Name::root());
     root.add(soa(&Name::root()));
-    root.add(Record::new(Name::root(), 3600, RData::Ns(Name::parse("a.root-servers.net").unwrap())));
+    root.add(Record::new(
+        Name::root(),
+        3600,
+        RData::Ns(Name::parse("a.root-servers.net").unwrap()),
+    ));
     root.add(Record::new(tld.clone(), 3600, RData::Ns(tld_ns)));
-    root.add(Record::new(Name::parse("ns1.nic.ch").unwrap(), 3600, RData::A(Ipv4Addr::new(192, 5, 6, 30))));
+    root.add(Record::new(
+        Name::parse("ns1.nic.ch").unwrap(),
+        3600,
+        RData::A(Ipv4Addr::new(192, 5, 6, 30)),
+    ));
     for r in tld_keys.ds_records(&tld, 3600, DigestType::Sha256) {
         root.add(r);
     }
     let root_keys = ZoneKeys::generate(&mut rng, Algorithm::EcdsaP256Sha256);
-    ZoneSigner::new(NOW).with_denial(Denial::None).sign(&mut root, &root_keys);
+    ZoneSigner::new(NOW)
+        .with_denial(Denial::None)
+        .sign(&mut root, &root_keys);
     let anchors = vec![root_keys.ds_data(&Name::root(), DigestType::Sha256)];
     let root_store = Arc::new(ZoneStore::new());
     root_store.insert(root);
@@ -114,7 +130,12 @@ fn build_world(zone: Zone, zone_keys: &ZoneKeys) -> World {
 
 fn security_of(w: &World, name: &Name) -> Security {
     let client = Arc::new(DnsClient::new(Arc::clone(&w.net)));
-    let resolver = Resolver::new(Arc::clone(&client), RootHints { addrs: w.roots.clone() });
+    let resolver = Resolver::new(
+        Arc::clone(&client),
+        RootHints {
+            addrs: w.roots.clone(),
+        },
+    );
     resolver.seed_address(
         Name::parse("ns1.op.net").unwrap(),
         vec![Addr::V4(Ipv4Addr::new(192, 0, 2, 53))],
@@ -126,7 +147,10 @@ fn security_of(w: &World, name: &Name) -> Security {
 /// Registry side of phase 2: read CDS off the zone, swap the DS RRset.
 fn registry_swaps_ds(w: &World, apex: &Name) {
     let zone = w.zone_store.get(apex).expect("zone hosted");
-    let cds = zone.rrset(apex, RecordType::Cds).expect("CDS present").clone();
+    let cds = zone
+        .rrset(apex, RecordType::Cds)
+        .expect("CDS present")
+        .clone();
     let tld = apex.parent().unwrap();
     let old = w.tld_store.get(&tld).unwrap();
     let mut newz = (*old).clone();
@@ -159,7 +183,11 @@ fn main() {
 
     let mut zone = Zone::new(apex.clone());
     zone.add(soa(&apex));
-    zone.add(Record::new(apex.clone(), 300, RData::Ns(Name::parse("ns1.op.net").unwrap())));
+    zone.add(Record::new(
+        apex.clone(),
+        300,
+        RData::Ns(Name::parse("ns1.op.net").unwrap()),
+    ));
     zone.add(Record::new(
         Name::parse("www.roll.ch").unwrap(),
         300,
@@ -210,8 +238,16 @@ fn main() {
     let old2 = ZoneKeys::generate(&mut rng2, Algorithm::EcdsaP256Sha256);
     let mut zone2 = Zone::new(apex.clone());
     zone2.add(soa(&apex));
-    zone2.add(Record::new(apex.clone(), 300, RData::Ns(Name::parse("ns1.op.net").unwrap())));
-    zone2.add(Record::new(www.clone(), 300, RData::A(Ipv4Addr::new(192, 0, 2, 80))));
+    zone2.add(Record::new(
+        apex.clone(),
+        300,
+        RData::Ns(Name::parse("ns1.op.net").unwrap()),
+    ));
+    zone2.add(Record::new(
+        www.clone(),
+        300,
+        RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+    ));
     for r in old2.cds_records(&apex, 300, CdsPublication::STANDARD) {
         zone2.add(r);
     }

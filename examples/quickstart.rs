@@ -13,7 +13,11 @@ fn main() {
     // A few hundred zones with every DNSSEC/CDS/AB category present.
     let (eco, results) = run_study(EcosystemConfig::tiny(42), ScanPolicy::default());
 
-    println!("scanned {} zones on {} operators\n", results.zones.len(), eco.operators.len());
+    println!(
+        "scanned {} zones on {} operators\n",
+        results.zones.len(),
+        eco.operators.len()
+    );
     println!("{}", report::figure1(&results).render());
     println!("{}", report::cds_census(&results).render());
     println!(
@@ -30,7 +34,10 @@ fn main() {
     {
         println!("example of a correctly bootstrappable zone: {}", z.name);
         println!("  operator: {:?}", z.operator);
-        println!("  NS set:   {:?}", z.ns_names.iter().map(|n| n.to_string()).collect::<Vec<_>>());
+        println!(
+            "  NS set:   {:?}",
+            z.ns_names.iter().map(|n| n.to_string()).collect::<Vec<_>>()
+        );
         for s in &z.signal_observations {
             println!(
                 "  signal under {}: {} records, DNSSEC valid: {:?}",

@@ -147,7 +147,11 @@ fn main() {
         secured,
         rescan.zones.len()
     );
-    for z in rescan.zones.iter().filter(|z| z.dnssec != DnssecClass::Secured) {
+    for z in rescan
+        .zones
+        .iter()
+        .filter(|z| z.dnssec != DnssecClass::Secured)
+    {
         println!("  !! {} is {:?}", z.name, z.dnssec);
     }
     assert_eq!(secured, rescan.zones.len(), "every bootstrap must validate");
@@ -172,7 +176,10 @@ fn main() {
                 })
         })
         .collect();
-    println!("unAB: {} secured zones request authenticated deletion", unab.len());
+    println!(
+        "unAB: {} secured zones request authenticated deletion",
+        unab.len()
+    );
     assert!(!unab.is_empty(), "the ecosystem plants unAB pilots");
     for z in &unab {
         let tld = z.name.parent().unwrap();

@@ -72,17 +72,17 @@ fn inspect(scanner: &Scanner, zone: &Name) {
         yesno(scan.dnssec != bootscan::DnssecClass::Secured)
     );
     let consistent = scan.cds != bootscan::CdsClass::Inconsistent;
-    println!("  (ii)  all NSes serve the same CDS .......... {}", yesno(consistent));
+    println!(
+        "  (ii)  all NSes serve the same CDS .......... {}",
+        yesno(consistent)
+    );
     for ns in &scan.ns_names {
         match signal_name(zone, ns) {
             Ok(s) => println!("        signal name via {}: {}", ns, s),
             Err(e) => println!("        signal name via {}: UNBUILDABLE ({e})", ns),
         }
     }
-    let under_every = scan
-        .signal_observations
-        .iter()
-        .all(|s| !s.cds.is_empty());
+    let under_every = scan.signal_observations.iter().all(|s| !s.cds.is_empty());
     println!(
         "  (iii) signal RRs under every NS ............ {}",
         yesno(under_every && !scan.signal_observations.is_empty())
@@ -96,7 +96,10 @@ fn inspect(scanner: &Scanner, zone: &Name) {
         yesno(all_valid && under_every)
     );
     let no_cuts = scan.signal_observations.iter().all(|s| !s.zone_cut);
-    println!("  (v)   no zone cuts on the signal path ...... {}", yesno(no_cuts));
+    println!(
+        "  (v)   no zone cuts on the signal path ...... {}",
+        yesno(no_cuts)
+    );
     for s in &scan.signal_observations {
         println!(
             "        under {}: {} signal records, dnssec {:?}, zone cut: {}",

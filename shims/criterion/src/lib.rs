@@ -1,0 +1,223 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Provides the API surface the bench crate uses — `Criterion`,
+//! `bench_function` / `benchmark_group` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple mean over
+//! `sample_size` iterations of `Bencher::iter`; there is no statistical
+//! analysis, plotting, or CLI filtering. Good enough to run the
+//! artifact benches and print comparable numbers without network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver. `sample_size` bounds the timed iterations per
+/// benchmark (after one warm-up call).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Upstream runs outstanding analysis here; the shim has none.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Runs and times the closure handed to `iter`.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut f: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(f(setup())); // warm-up, untimed
+        let mut timed = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            timed += start.elapsed();
+        }
+        self.total = timed;
+        self.iters = self.samples as u64;
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("bench {id:<40} (no samples)");
+            return;
+        }
+        let per = self.total.as_nanos() / self.iters as u128;
+        println!("bench {id:<40} {:>12} ns/iter ({} iters)", per, self.iters);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        // one warm-up + three timed iterations
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &v| {
+            b.iter(|| seen += v)
+        });
+        g.finish();
+        assert_eq!(seen, 21);
+    }
+}

@@ -1,0 +1,612 @@
+//! Offline drop-in subset of `serde_json` (serialization only).
+//!
+//! Provides [`to_string`], [`to_string_pretty`], a [`Value`] tree, and the
+//! [`json!`] macro for flat `{"key": expr}` objects. Output is fully
+//! deterministic: object fields keep insertion order and floats format the
+//! same way on every run.
+
+use serde::{ser, Serialize, Serializer};
+use std::fmt;
+
+/// Serialization error. The writer itself is infallible; this exists to
+/// mirror upstream's `Result`-returning API.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut w = Writer::new(false);
+    value.serialize(&mut w)?;
+    Ok(w.out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut w = Writer::new(true);
+    value.serialize(&mut w)?;
+    Ok(w.out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    value.serialize(ValueSer)
+}
+
+// ---- Value tree ---------------------------------------------------------
+
+/// An in-memory JSON value. Objects preserve insertion order so repeated
+/// serialization is byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => s.serialize_none(),
+            Value::Bool(b) => s.serialize_bool(*b),
+            Value::I64(v) => s.serialize_i64(*v),
+            Value::U64(v) => s.serialize_u64(*v),
+            Value::F64(v) => s.serialize_f64(*v),
+            Value::String(v) => s.serialize_str(v),
+            Value::Array(items) => {
+                use ser::SerializeSeq as _;
+                let mut seq = s.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(entries) => {
+                use ser::SerializeMap as _;
+                let mut map = s.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+/// Build a JSON [`Value`] from literal-style syntax. Supports objects,
+/// arrays, `null`, and arbitrary serializable expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::json!($value)) ),* ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+// ---- Writer serializer --------------------------------------------------
+
+struct Writer {
+    out: String,
+    pretty: bool,
+    depth: usize,
+}
+
+impl Writer {
+    fn new(pretty: bool) -> Self {
+        Writer {
+            out: String::new(),
+            pretty,
+            depth: 0,
+        }
+    }
+
+    fn newline(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn write_str_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                '\u{08}' => self.out.push_str("\\b"),
+                '\u{0c}' => self.out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        if !v.is_finite() {
+            // serde_json refuses non-finite floats; emitting null keeps the
+            // writer infallible without changing any valid output.
+            self.out.push_str("null");
+        } else if v == v.trunc() && v.abs() < 1e15 {
+            self.out.push_str(&format!("{v:.1}"));
+        } else {
+            self.out.push_str(&format!("{v}"));
+        }
+    }
+}
+
+struct Compound<'a> {
+    w: &'a mut Writer,
+    first: bool,
+    close: char,
+}
+
+impl<'a> Compound<'a> {
+    fn open(w: &'a mut Writer, open: char, close: char) -> Self {
+        w.out.push(open);
+        w.depth += 1;
+        Compound {
+            w,
+            first: true,
+            close,
+        }
+    }
+
+    fn elem_prefix(&mut self) {
+        if !self.first {
+            self.w.out.push(',');
+        }
+        self.first = false;
+        self.w.newline();
+    }
+
+    fn finish(self) -> Result<&'a mut Writer> {
+        self.w.depth -= 1;
+        if !self.first {
+            self.w.newline();
+        }
+        self.w.out.push(self.close);
+        Ok(self.w)
+    }
+
+    fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> Result<()> {
+        self.elem_prefix();
+        self.w.write_str_escaped(key);
+        self.w.out.push(':');
+        if self.w.pretty {
+            self.w.out.push(' ');
+        }
+        value.serialize(&mut *self.w)
+    }
+}
+
+impl<'a> ser::SerializeSeq for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.elem_prefix();
+        value.serialize(&mut *self.w)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish().map(drop)
+    }
+}
+
+impl<'a> ser::SerializeMap for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<()> {
+        // JSON keys must be strings; capture the key through a stringifying
+        // serializer pass.
+        let key = match to_value(key)? {
+            Value::String(s) => s,
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            other => return Err(Error(format!("non-string map key: {other:?}"))),
+        };
+        self.elem_prefix();
+        self.w.write_str_escaped(&key);
+        self.w.out.push(':');
+        if self.w.pretty {
+            self.w.out.push(' ');
+        }
+        value.serialize(&mut *self.w)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish().map(drop)
+    }
+}
+
+impl<'a> ser::SerializeStruct for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.field(key, value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish().map(drop)
+    }
+}
+
+/// Struct variant: `{"Variant": {fields...}}` — tracks the extra closing
+/// brace of the outer wrapper object.
+struct VariantCompound<'a>(Compound<'a>);
+
+impl<'a> ser::SerializeStructVariant for VariantCompound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.0.field(key, value)
+    }
+
+    fn end(self) -> Result<()> {
+        // Close the inner fields object, then the `{"Variant": ...}`
+        // wrapper opened in serialize_struct_variant.
+        let w = self.0.finish()?;
+        w.depth -= 1;
+        w.newline();
+        w.out.push('}');
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for &'a mut Writer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = VariantCompound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        self.write_f64(v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.write_str_escaped(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<()> {
+        v.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+    ) -> Result<()> {
+        self.write_str_escaped(variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline();
+        self.write_str_escaped(variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(&mut *self)?;
+        self.depth -= 1;
+        self.newline();
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>> {
+        Ok(Compound::open(self, '[', ']'))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>> {
+        Ok(Compound::open(self, '{', '}'))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>> {
+        Ok(Compound::open(self, '{', '}'))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<VariantCompound<'a>> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline();
+        self.write_str_escaped(variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        Ok(VariantCompound(Compound::open(self, '{', '}')))
+    }
+}
+
+// ---- Value-building serializer ------------------------------------------
+
+struct ValueSer;
+
+struct ValueSeq(Vec<Value>);
+struct ValueMap(Vec<(String, Value)>);
+struct ValueVariant(&'static str, Vec<(String, Value)>);
+
+impl ser::SerializeSeq for ValueSeq {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.0.push(to_value(value)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value> {
+        Ok(Value::Array(self.0))
+    }
+}
+
+impl ser::SerializeMap for ValueMap {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<()> {
+        let key = match to_value(key)? {
+            Value::String(s) => s,
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            other => return Err(Error(format!("non-string map key: {other:?}"))),
+        };
+        self.0.push((key, to_value(value)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl ser::SerializeStruct for ValueMap {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.0.push((key.to_string(), to_value(value)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl ser::SerializeStructVariant for ValueVariant {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.1.push((key.to_string(), to_value(value)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value> {
+        Ok(Value::Object(vec![(
+            self.0.to_string(),
+            Value::Object(self.1),
+        )]))
+    }
+}
+
+impl Serializer for ValueSer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = ValueSeq;
+    type SerializeMap = ValueMap;
+    type SerializeStruct = ValueMap;
+    type SerializeStructVariant = ValueVariant;
+
+    fn serialize_bool(self, v: bool) -> Result<Value> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value> {
+        Ok(Value::I64(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value> {
+        Ok(Value::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value> {
+        Ok(Value::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value> {
+        Ok(Value::String(v.to_string()))
+    }
+
+    fn serialize_none(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Value> {
+        to_value(v)
+    }
+
+    fn serialize_unit(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+    ) -> Result<Value> {
+        Ok(Value::String(variant.to_string()))
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value> {
+        Ok(Value::Object(vec![(variant.to_string(), to_value(value)?)]))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeq> {
+        Ok(ValueSeq(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<ValueMap> {
+        Ok(ValueMap(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ValueMap> {
+        Ok(ValueMap(Vec::with_capacity(len)))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ValueVariant> {
+        Ok(ValueVariant(variant, Vec::with_capacity(len)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let v = json!({"a": 1u32, "b": "x\"y", "c": [1u8, 2u8]});
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":"x\"y","c":[1,2]}"#);
+    }
+
+    #[test]
+    fn pretty_object() {
+        let v = json!({"a": 1u32});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn float_formatting_stable() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn options_and_nulls() {
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(3u32)).unwrap(), "3");
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+    }
+
+    #[test]
+    fn btreemap_as_object() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("k".to_string(), 7u64);
+        assert_eq!(to_string(&m).unwrap(), r#"{"k":7}"#);
+    }
+}

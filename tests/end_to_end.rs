@@ -3,8 +3,12 @@
 //! measures, and the classifications must match what was planted.
 
 use bootscan::operator::OperatorTable;
-use bootscan::{AbClass, CannotReason, CdsClass, DnssecClass, ScanPolicy, Scanner, SignalViolation};
-use dns_ecosystem::{build, CdsState, DnssecState, Ecosystem, EcosystemConfig, SignalDefect, SignalTruth};
+use bootscan::{
+    AbClass, CannotReason, CdsClass, DnssecClass, ScanPolicy, Scanner, SignalViolation,
+};
+use dns_ecosystem::{
+    build, CdsState, DnssecState, Ecosystem, EcosystemConfig, SignalDefect, SignalTruth,
+};
 use std::sync::Arc;
 
 fn scan_world(eco: &Ecosystem, policy: ScanPolicy) -> bootscan::ScanResults {
@@ -93,10 +97,7 @@ fn scanner_recovers_planted_truth() {
         match truth.signal {
             SignalTruth::NotPublished => {
                 if scan.ab != AbClass::NoSignal {
-                    mismatches.push(format!(
-                        "{}: ab {:?}, want NoSignal",
-                        scan.name, scan.ab
-                    ));
+                    mismatches.push(format!("{}: ab {:?}, want NoSignal", scan.name, scan.ab));
                 }
             }
             SignalTruth::Published(defect) => {
@@ -171,7 +172,9 @@ fn operator_identification_matches_planted_operator() {
     let mut checked = 0;
     for scan in &results.zones {
         let truth = eco.truth_of(&scan.name).unwrap();
-        if truth.second_operator.is_some() || truth.signal == SignalTruth::Published(SignalDefect::ZoneCut) {
+        if truth.second_operator.is_some()
+            || truth.signal == SignalTruth::Published(SignalDefect::ZoneCut)
+        {
             continue; // multi-operator / typo'd-NS zones identify differently
         }
         let want = &eco.operators[truth.operator].name;

@@ -73,12 +73,16 @@ fn transient_failures_shift_but_do_not_crash_classification() {
         assert_eq!(c.name, f.name);
         if c.dnssec != f.dnssec {
             diverged += 1;
-            // Flakiness can only degrade: Secured → Invalid/Unresolvable,
-            // Island → Unsigned/Invalid, never the other way.
+            // Flakiness can only degrade: Secured → Invalid/Unresolvable/
+            // Indeterminate, Island → Unsigned/Invalid, never the other
+            // way.
             assert!(
                 matches!(
                     f.dnssec,
-                    DnssecClass::Invalid | DnssecClass::Unresolvable | DnssecClass::Unsigned
+                    DnssecClass::Invalid
+                        | DnssecClass::Unresolvable
+                        | DnssecClass::Unsigned
+                        | DnssecClass::Indeterminate
                 ),
                 "{}: {:?} → {:?}",
                 c.name,

@@ -18,14 +18,14 @@ const SCALE: u64 = 20_000;
 #[test]
 #[ignore = "moderate-scale world; run in release mode"]
 fn headline_shapes_hold() {
-    let (eco, results) = run_study(
-        EcosystemConfig::paper_default(SCALE),
-        ScanPolicy::default(),
-    );
+    let (eco, results) = run_study(EcosystemConfig::paper_default(SCALE), ScanPolicy::default());
 
     // §4.1 — unsigned dominates everything else by an order of magnitude.
     let f = report::figure1(&results);
-    assert!(f.unsigned > 5 * (f.secured + f.invalid + f.islands), "{f:?}");
+    assert!(
+        f.unsigned > 5 * (f.secured + f.invalid + f.islands),
+        "{f:?}"
+    );
     // Invalid is the rarest headline class.
     assert!(f.invalid < f.secured && f.invalid < f.islands, "{f:?}");
 
@@ -66,9 +66,10 @@ fn headline_shapes_hold() {
     let t1 = report::table1(&results, 20);
     assert_eq!(t1[0].operator, "GoDaddy");
     assert!(t1[0].unsigned * 100 >= t1[0].domains * 99);
-    assert!(t1
-        .iter()
-        .any(|r| r.secured * 100 >= r.domains * 40), "no DNSSEC-by-default operator in top 20");
+    assert!(
+        t1.iter().any(|r| r.secured * 100 >= r.domains * 40),
+        "no DNSSEC-by-default operator in top 20"
+    );
 
     // Every zone the scanner saw exists in the ground truth.
     for z in &results.zones {
