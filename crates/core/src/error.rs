@@ -62,6 +62,16 @@ pub struct RetryStats {
     pub resolution_failures: u32,
     /// Re-scan passes this zone went through before its final result.
     pub rescans: u32,
+    /// Datagrams put on the wire for this zone (UDP attempts + TCP
+    /// attempts, lost ones included), cumulative across re-scan passes.
+    pub datagrams: u32,
+    /// TC=1 → TCP fallback exchanges, cumulative across re-scan passes.
+    pub tcp_fallbacks: u32,
+    /// Query bytes sent for this zone, cumulative across re-scan passes.
+    pub bytes_sent: u64,
+    /// Reply bytes received for this zone, cumulative across re-scan
+    /// passes.
+    pub bytes_received: u64,
 }
 
 impl RetryStats {

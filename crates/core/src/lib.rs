@@ -48,12 +48,14 @@ pub mod error;
 pub mod health;
 pub mod operator;
 pub mod policy;
+pub mod progress;
 pub mod report;
 pub mod scanner;
 pub mod types;
 
 pub use error::{RetryStats, ScanError};
-pub use health::{AddrHealth, CircuitBreaker, HealthTracker};
+pub use health::{AddrHealth, BreakerEntry, CircuitBreaker, HealthTracker};
 pub use operator::{Identified, OperatorTable};
+pub use progress::{ProgressSink, ResumeState, ZoneEffects, ZoneEvent};
 pub use scanner::{ScanPolicy, ScanResults, Scanner};
 pub use types::{AbClass, CannotReason, CdsClass, DnssecClass, SignalViolation, ZoneScan};

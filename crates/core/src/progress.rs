@@ -1,0 +1,67 @@
+//! Zone-granular scan progress: the event stream a write-ahead journal
+//! persists, and the resume state a recovered journal feeds back in.
+//!
+//! [`Scanner::scan_all_with`](crate::scanner::Scanner::scan_all_with)
+//! emits one [`ZoneEvent`] per finished zone scan (main pass and re-scan
+//! passes alike) to an optional [`ProgressSink`] *before* folding the
+//! result into its in-memory state — write-ahead discipline, so a crash
+//! can never leave a zone counted in memory but missing from the journal.
+//!
+//! Each event carries not just the [`ZoneScan`] but the scan's *side
+//! effects* on shared scanner state ([`ZoneEffects`]): validated-key
+//! cache inserts, resolver address-cache inserts, and per-address health
+//! deltas. Replaying events in order therefore rebuilds the scanner's
+//! shared caches exactly, which is what makes resumption deterministic:
+//! a resumed zone scan sees the same cache hits and misses it would have
+//! seen in the uninterrupted run.
+
+use crate::health::AddrHealth;
+use crate::types::ZoneScan;
+use dns_wire::name::Name;
+use dns_wire::rdata::DnskeyData;
+use netsim::{Addr, SimMicros};
+
+/// Side effects one zone scan had on shared scanner state.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneEffects {
+    /// Validated-DNSKEY cache inserts (zone apex → keys), in order.
+    pub key_inserts: Vec<(Name, Vec<DnskeyData>)>,
+    /// Resolver address-cache inserts (NS hostname → addrs), in order.
+    pub addr_inserts: Vec<(Name, Vec<Addr>)>,
+    /// Per-address health deltas recorded during this zone scan, sorted
+    /// by address.
+    pub health: Vec<(Addr, AddrHealth)>,
+}
+
+/// One finished zone scan, as emitted to a [`ProgressSink`].
+#[derive(Debug, Clone)]
+pub struct ZoneEvent {
+    /// 0 = main pass; `p ≥ 1` = re-scan pass `p`. A re-scan event's
+    /// `scan` is the *kept* (merged) result, while its `effects` are
+    /// those of the fresh probe that actually ran.
+    pub pass: u32,
+    pub scan: ZoneScan,
+    pub effects: ZoneEffects,
+    /// This event's contribution to `simulated_duration` (the fresh
+    /// probe's elapsed virtual time).
+    pub duration_delta: SimMicros,
+}
+
+/// Receives zone events as they complete. Implementations must be
+/// `Sync`: workers call `on_zone` concurrently when `parallelism > 1`.
+///
+/// Returning `false` stops the scan (used by the journal sink on I/O
+/// errors, and by the crash harness to simulate process death); the
+/// event that got `false` is *not* folded into the in-memory results.
+pub trait ProgressSink: Sync {
+    fn on_zone(&self, event: &ZoneEvent) -> bool;
+}
+
+/// Prior progress to resume from, reconstructed from a recovered
+/// journal: the latest kept result per completed zone, plus the summed
+/// duration deltas of every journaled event.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    pub zones: Vec<ZoneScan>,
+    pub duration_so_far: SimMicros,
+}

@@ -14,13 +14,15 @@
 
 use crate::classify;
 use crate::error::{RetryStats, ScanError};
-use crate::health::{CircuitBreaker, HealthTracker};
+use crate::health::{AddrHealth, CircuitBreaker, HealthTracker};
 use crate::operator::OperatorTable;
+use crate::progress::{ProgressSink, ResumeState, ZoneEffects, ZoneEvent};
 use crate::types::*;
 use dns_crypto::UnixTime;
 use dns_resolver::validate::key_matches_any_ds;
 use dns_resolver::{
-    ClientErrorKind, DnsClient, Resolution, Resolver, ResolverError, RetryPolicy, RootHints,
+    ClientErrorKind, DnsClient, QueryMeter, Resolution, Resolver, ResolverError, RetryPolicy,
+    RootHints,
 };
 use dns_wire::message::Rcode;
 use dns_wire::name::Name;
@@ -30,7 +32,8 @@ use dns_zone::signal::signal_name;
 use dns_zone::signer::verify_rrset_with_keys;
 use netsim::{Addr, DeterministicDraw, Network, RateLimiter, SimMicros};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Scanner policy knobs.
@@ -89,14 +92,26 @@ pub struct ScanResults {
     pub total_queries: u64,
 }
 
-/// Per-zone-scan probing context: the scan-local virtual clock, query and
-/// failure accounting, and the per-address circuit breaker. Never shared
-/// between zones, so results are independent of scan order.
+/// Per-zone-scan probing context: the scan-local virtual clock, query,
+/// budget and failure accounting, the per-address circuit breaker and
+/// rate limiters, plus the logs of side effects on shared state. Never
+/// shared between zones, so results are independent of scan order — and,
+/// at `parallelism = 1`, of which zones ran in an earlier process life.
 struct Probe {
     clock: SimMicros,
     queries: u32,
     stats: RetryStats,
     breaker: CircuitBreaker,
+    /// Per-zone I/O meter: private query-ID sequence (seeded from the
+    /// zone name and pass number) plus datagram/byte budget counters.
+    meter: QueryMeter,
+    /// Per-address politeness limiters, scoped to this zone scan.
+    limiters: HashMap<Addr, RateLimiter>,
+    /// Validated-key cache inserts made during this zone scan.
+    key_inserts: Vec<(Name, Vec<DnskeyData>)>,
+    /// Per-address health deltas (merged into the global tracker at
+    /// seal time; sorted by address for deterministic serialization).
+    health: BTreeMap<Addr, AddrHealth>,
 }
 
 /// The scanner. Thread-safe: share via `Arc` across workers.
@@ -111,12 +126,12 @@ pub struct Scanner {
     /// Validated DNSKEY sets per zone apex (root, TLDs — hot in every
     /// chain validation). Only *successful* validations are cached: a
     /// transient failure against one zone must not poison every later
-    /// chain that crosses it.
+    /// chain that crosses it. Inserts are logged per zone (via
+    /// [`Probe::key_inserts`]) so journal replay can rebuild the cache.
     key_cache: Mutex<HashMap<Name, Vec<DnskeyData>>>,
-    /// Per-address politeness limiters.
-    limiters: Mutex<HashMap<Addr, Arc<RateLimiter>>>,
     /// Global per-address health statistics (observation only — feeds no
-    /// decision, so it cannot perturb determinism).
+    /// decision, so it cannot perturb determinism). Fed by per-zone
+    /// deltas merged at seal time.
     health: HealthTracker,
     seed: u64,
 }
@@ -151,7 +166,6 @@ impl Scanner {
             policy,
             now,
             key_cache: Mutex::new(HashMap::new()),
-            limiters: Mutex::new(HashMap::new()),
             health: HealthTracker::new(),
             seed: 0xb007,
         }
@@ -167,7 +181,17 @@ impl Scanner {
         &self.health
     }
 
-    fn new_probe(&self) -> Probe {
+    /// A fresh probe for one scan of `zone`. The query-ID sequence is
+    /// seeded from `(zone, pass)`, so a zone's wire traffic is a pure
+    /// function of the zone and pass number — independent of how many
+    /// queries any *other* zone issued before it, which is what lets a
+    /// resumed run replay the remaining zones byte-identically.
+    fn new_probe(&self, zone: &Name, pass: u32) -> Probe {
+        let start_id = DeterministicDraw::new(
+            self.seed ^ 0x9e7e_0012,
+            &[b"meter", &zone.to_wire(), &pass.to_be_bytes()],
+        )
+        .below(0x1_0000) as u16;
         Probe {
             clock: 0,
             queries: 0,
@@ -176,16 +200,11 @@ impl Scanner {
                 self.policy.breaker_threshold,
                 self.policy.breaker_cooldown,
             ),
+            meter: QueryMeter::new(start_id),
+            limiters: HashMap::new(),
+            key_inserts: Vec::new(),
+            health: BTreeMap::new(),
         }
-    }
-
-    fn limiter_for(&self, addr: Addr) -> Arc<RateLimiter> {
-        Arc::clone(
-            self.limiters
-                .lock()
-                .entry(addr)
-                .or_insert_with(|| Arc::new(RateLimiter::new(self.policy.rate_per_sec, 10.0))),
-        )
     }
 
     /// One rate-limited, breaker-guarded query; failures are recorded in
@@ -199,12 +218,24 @@ impl Scanner {
     ) -> Option<dns_wire::message::Message> {
         if !probe.breaker.allows(addr, probe.clock) {
             probe.stats.record(ScanError::BreakerOpen);
-            self.health.record_skip(addr);
+            probe.health.entry(addr).or_default().breaker_skips += 1;
             return None;
         }
-        probe.clock += self.limiter_for(addr).acquire(probe.clock);
+        // Limiters are probe-scoped (so zone results never depend on what
+        // other zones did to a shared token bucket), with a small burst:
+        // the per-address politeness rate must still dominate within one
+        // zone's query fan-out.
+        let wait = probe
+            .limiters
+            .entry(addr)
+            .or_insert_with(|| RateLimiter::new(self.policy.rate_per_sec, 2.0))
+            .acquire(probe.clock);
+        probe.clock += wait;
         probe.queries += 1;
-        match self.client.query_at(probe.clock, addr, name, rtype, true) {
+        match self
+            .client
+            .query_at_with(Some(&probe.meter), probe.clock, addr, name, rtype, true)
+        {
             Ok(ex) => {
                 probe.clock += ex.elapsed;
                 probe.stats.retries += ex.retries;
@@ -212,7 +243,7 @@ impl Scanner {
                     probe.stats.servfails += 1;
                 }
                 probe.breaker.record_success(addr);
-                self.health.record_success(addr);
+                probe.health.entry(addr).or_default().successes += 1;
                 Some(ex.message)
             }
             Err(e) => {
@@ -224,7 +255,7 @@ impl Scanner {
                     ClientErrorKind::Malformed => ScanError::Malformed,
                 });
                 probe.breaker.record_failure(addr, probe.clock);
-                self.health.record_failure(addr);
+                probe.health.entry(addr).or_default().failures += 1;
                 None
             }
         }
@@ -246,6 +277,7 @@ impl Scanner {
         let keys = self.fetch_keys_uncached(probe, zone, servers, ds);
         if let Some(k) = &keys {
             self.key_cache.lock().insert(zone.clone(), k.clone());
+            probe.key_inserts.push((zone.clone(), k.clone()));
         }
         keys
     }
@@ -349,10 +381,41 @@ impl Scanner {
 
     /// Scan one zone.
     pub fn scan_zone(&self, zone: &Name) -> ZoneScan {
-        let mut probe = self.new_probe();
+        self.scan_zone_pass(zone, 0).0
+    }
 
+    /// Scan one zone as pass `pass` (0 = main, ≥1 = re-scan), returning
+    /// the result together with the scan's side effects on shared state.
+    fn scan_zone_pass(&self, zone: &Name, pass: u32) -> (ZoneScan, ZoneEffects) {
+        let mut probe = self.new_probe(zone, pass);
+        let mut scan = self.scan_zone_inner(zone, &mut probe);
+        // Seal: fold the meter's budget totals into the zone's stats and
+        // merge the probe-local health deltas into the global tracker.
+        let io = probe.meter.io();
+        scan.retry_stats.datagrams = io.datagrams as u32;
+        scan.retry_stats.tcp_fallbacks = io.tcp_fallbacks as u32;
+        scan.retry_stats.bytes_sent = io.bytes_sent;
+        scan.retry_stats.bytes_received = io.bytes_received;
+        let health: Vec<(Addr, AddrHealth)> = probe.health.iter().map(|(a, h)| (*a, *h)).collect();
+        for (addr, delta) in &health {
+            self.health.merge(*addr, *delta);
+        }
+        let effects = ZoneEffects {
+            key_inserts: std::mem::take(&mut probe.key_inserts),
+            addr_inserts: self.resolver.drain_address_log(),
+            health,
+        };
+        (scan, effects)
+    }
+
+    fn scan_zone_inner(&self, zone: &Name, probe: &mut Probe) -> ZoneScan {
         // 1. Delegation resolution.
-        let res = match self.resolver.resolve_at(probe.clock, zone, RecordType::Soa) {
+        let res = match self.resolver.resolve_at_with(
+            Some(&probe.meter),
+            probe.clock,
+            zone,
+            RecordType::Soa,
+        ) {
             Ok(r) => r,
             Err(e) => {
                 // "All servers failed" is a network-level failure — the
@@ -373,7 +436,7 @@ impl Scanner {
         probe.clock += res.elapsed;
         probe.queries += res.queries;
         let ns_names = last_link.ns_names.clone();
-        let chain = self.validate_chain_to_parent(&mut probe, &res);
+        let chain = self.validate_chain_to_parent(probe, &res);
         let parent_ds = match &chain {
             ChainStatus::DsPresent(ds) => ds.clone(),
             _ => Vec::new(),
@@ -382,7 +445,10 @@ impl Scanner {
         // 2. Addresses, with sampling policy.
         let mut targets: Vec<(Name, Addr)> = Vec::new();
         for ns in &ns_names {
-            if let Ok(addrs) = self.resolver.addresses_of_at(probe.clock, ns) {
+            if let Ok(addrs) =
+                self.resolver
+                    .addresses_of_at_with(Some(&probe.meter), probe.clock, ns)
+            {
                 for a in addrs {
                     targets.push((ns.clone(), a));
                 }
@@ -393,7 +459,7 @@ impl Scanner {
         // 3. Per-address DNSSEC/CDS observations.
         let mut observations = Vec::new();
         for (ns, addr) in &targets {
-            observations.push(self.observe_address(&mut probe, zone, ns, *addr));
+            observations.push(self.observe_address(probe, zone, ns, *addr));
         }
 
         // Zone DNSKEY validation (for Secured/Invalid/Island split).
@@ -402,14 +468,14 @@ impl Scanner {
             self.self_validated_keys(&observations)
         } else {
             let servers: Vec<Addr> = targets.iter().map(|(_, a)| *a).collect();
-            self.fetch_keys_uncached(&mut probe, zone, &servers, &parent_ds)
+            self.fetch_keys_uncached(probe, zone, &servers, &parent_ds)
         };
 
         // 4. Signal probes.
         let mut signal_observations = Vec::new();
         if self.policy.probe_signal {
             for ns in &ns_names {
-                signal_observations.push(self.probe_signal(&mut probe, zone, ns));
+                signal_observations.push(self.probe_signal(probe, zone, ns));
             }
         }
 
@@ -446,7 +512,7 @@ impl Scanner {
         }
     }
 
-    fn unresolvable(&self, zone: &Name, probe: Probe) -> ZoneScan {
+    fn unresolvable(&self, zone: &Name, probe: &Probe) -> ZoneScan {
         // A zone that failed to resolve *because of network failures* is
         // Indeterminate (evidence incomplete); one that is genuinely
         // undelegated is Unresolvable.
@@ -626,10 +692,12 @@ impl Scanner {
             obs.name_unbuildable = true;
             return obs;
         };
-        let Ok(res) = self
-            .resolver
-            .resolve_at(probe.clock, &signame, RecordType::Cds)
-        else {
+        let Ok(res) = self.resolver.resolve_at_with(
+            Some(&probe.meter),
+            probe.clock,
+            &signame,
+            RecordType::Cds,
+        ) else {
             return obs;
         };
         probe.clock += res.elapsed;
@@ -642,10 +710,12 @@ impl Scanner {
             }
         }
         // CDNSKEY at the same name.
-        if let Ok(res2) = self
-            .resolver
-            .resolve_at(probe.clock, &signame, RecordType::Cdnskey)
-        {
+        if let Ok(res2) = self.resolver.resolve_at_with(
+            Some(&probe.meter),
+            probe.clock,
+            &signame,
+            RecordType::Cdnskey,
+        ) {
             probe.clock += res2.elapsed;
             probe.queries += res2.queries;
             for r in &res2.answers {
@@ -733,26 +803,79 @@ impl Scanner {
 
     /// Scan every zone in `seeds`, optionally in parallel.
     pub fn scan_all(self: &Arc<Self>, seeds: &[Name]) -> ScanResults {
+        self.scan_all_with(seeds, None, None)
+    }
+
+    /// Like [`scan_all`](Self::scan_all), but emitting every finished
+    /// zone scan to `sink` *before* folding it into the results
+    /// (write-ahead discipline), and optionally resuming from prior
+    /// progress: zones already present in `resume` are skipped and their
+    /// recorded results carried forward.
+    ///
+    /// With `parallelism = 1` (the default) the combination of per-zone
+    /// query meters, per-probe rate limiters and replayed cache effects
+    /// makes resumption *deterministic*: killing a journaled scan at any
+    /// event boundary and resuming yields results byte-identical to the
+    /// uninterrupted run.
+    pub fn scan_all_with(
+        self: &Arc<Self>,
+        seeds: &[Name],
+        sink: Option<&dyn ProgressSink>,
+        resume: Option<ResumeState>,
+    ) -> ScanResults {
         let workers = self.policy.parallelism.max(1);
-        let zones: Mutex<Vec<ZoneScan>> = Mutex::new(Vec::with_capacity(seeds.len()));
-        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let mut base_duration: SimMicros = 0;
+        let mut completed: HashSet<Name> = HashSet::new();
+        let mut carried: Vec<ZoneScan> = Vec::new();
+        if let Some(resume) = resume {
+            base_duration = resume.duration_so_far;
+            for z in resume.zones {
+                completed.insert(z.name.clone());
+                carried.push(z);
+            }
+        }
+        let zones: Mutex<Vec<ZoneScan>> = Mutex::new(carried);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
         let worker_time: Mutex<Vec<SimMicros>> = Mutex::new(vec![0; workers]);
         std::thread::scope(|s| {
             for w in 0..workers {
                 let me = Arc::clone(self);
                 let zones = &zones;
                 let next = &next;
+                let stop = &stop;
                 let worker_time = &worker_time;
+                let completed = &completed;
                 s.spawn(move || {
                     let mut local_time: SimMicros = 0;
                     loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= seeds.len() {
                             break;
                         }
-                        let scan = me.scan_zone(&seeds[i]);
+                        if completed.contains(&seeds[i]) {
+                            continue;
+                        }
+                        let (scan, effects) = me.scan_zone_pass(&seeds[i], 0);
                         local_time += scan.elapsed;
-                        zones.lock().push(scan);
+                        if let Some(sink) = sink {
+                            let event = ZoneEvent {
+                                pass: 0,
+                                duration_delta: scan.elapsed,
+                                scan,
+                                effects,
+                            };
+                            if !sink.on_zone(&event) {
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            zones.lock().push(event.scan);
+                        } else {
+                            zones.lock().push(scan);
+                        }
                     }
                     worker_time.lock()[w] = local_time;
                 });
@@ -760,37 +883,59 @@ impl Scanner {
         });
         let mut zones = zones.into_inner();
         zones.sort_by(|a, b| a.name.canonical_cmp(&b.name));
-        let mut simulated_duration = worker_time.into_inner().into_iter().max().unwrap_or(0);
+        let mut simulated_duration =
+            base_duration + worker_time.into_inner().into_iter().max().unwrap_or(0);
 
         // Re-scan queue: zones whose evidence came back incomplete get
-        // fresh sequential passes (fresh query IDs → fresh netsim draws),
-        // in name order for determinism. The better of old/new result is
-        // kept; costs accumulate either way.
-        for _pass in 0..self.policy.rescan_passes {
-            let pending: Vec<usize> = zones
-                .iter()
-                .enumerate()
-                .filter(|(_, z)| z.degraded || z.dnssec == DnssecClass::Indeterminate)
-                .map(|(i, _)| i)
-                .collect();
-            if pending.is_empty() {
-                break;
-            }
-            for i in pending {
-                let mut fresh = self.scan_zone(&zones[i].name);
-                simulated_duration += fresh.elapsed;
-                let old = &zones[i];
-                let rescans = old.retry_stats.rescans + 1;
-                let mut kept = if Self::evidence_rank(&fresh) < Self::evidence_rank(old) {
-                    fresh.queries += old.queries;
-                    fresh
-                } else {
-                    let mut kept = old.clone();
-                    kept.queries += fresh.queries;
-                    kept
-                };
-                kept.retry_stats.rescans = rescans;
-                zones[i] = kept;
+        // fresh sequential passes (fresh per-pass query-ID seeds → fresh
+        // netsim draws), in name order for determinism. The better of
+        // old/new result is kept; costs accumulate either way. Each
+        // completed pass stamps `rescans`, so a resumed run can tell
+        // which zones pass `p` already covered in an earlier life.
+        if !stop.load(Ordering::Relaxed) {
+            'passes: for pass in 1..=self.policy.rescan_passes {
+                let pending: Vec<usize> = zones
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, z)| {
+                        (z.degraded || z.dnssec == DnssecClass::Indeterminate)
+                            && z.retry_stats.rescans < pass
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if pending.is_empty() {
+                    break;
+                }
+                for i in pending {
+                    let (mut fresh, effects) = self.scan_zone_pass(&zones[i].name, pass);
+                    let duration_delta = fresh.elapsed;
+                    simulated_duration += duration_delta;
+                    let old = &zones[i];
+                    let rescans = old.retry_stats.rescans + 1;
+                    let mut kept = if Self::evidence_rank(&fresh) < Self::evidence_rank(old) {
+                        fresh.queries += old.queries;
+                        Self::accumulate_io(&mut fresh.retry_stats, &old.retry_stats);
+                        fresh
+                    } else {
+                        let mut kept = old.clone();
+                        kept.queries += fresh.queries;
+                        Self::accumulate_io(&mut kept.retry_stats, &fresh.retry_stats);
+                        kept
+                    };
+                    kept.retry_stats.rescans = rescans;
+                    if let Some(sink) = sink {
+                        let event = ZoneEvent {
+                            pass,
+                            duration_delta,
+                            scan: kept.clone(),
+                            effects,
+                        };
+                        if !sink.on_zone(&event) {
+                            break 'passes;
+                        }
+                    }
+                    zones[i] = kept;
+                }
             }
         }
 
@@ -799,6 +944,31 @@ impl Scanner {
             zones,
             simulated_duration,
             total_queries,
+        }
+    }
+
+    /// Budget counters are cumulative across re-scan passes, whichever
+    /// result is kept: the wire traffic happened either way.
+    fn accumulate_io(into: &mut RetryStats, other: &RetryStats) {
+        into.datagrams += other.datagrams;
+        into.tcp_fallbacks += other.tcp_fallbacks;
+        into.bytes_sent += other.bytes_sent;
+        into.bytes_received += other.bytes_received;
+    }
+
+    /// Replay one journaled event's side effects into the shared caches
+    /// and the health tracker. Recovery calls this for every event in
+    /// sequence order before resuming, so resumed zone scans see exactly
+    /// the cache state they would have seen in the uninterrupted run.
+    pub fn restore_effects(&self, effects: &ZoneEffects) {
+        for (zone, keys) in &effects.key_inserts {
+            self.key_cache.lock().insert(zone.clone(), keys.clone());
+        }
+        for (ns, addrs) in &effects.addr_inserts {
+            self.resolver.seed_address(ns.clone(), addrs.clone());
+        }
+        for (addr, delta) in &effects.health {
+            self.health.merge(*addr, *delta);
         }
     }
 

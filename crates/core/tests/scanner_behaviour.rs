@@ -230,3 +230,34 @@ fn csync_probe_counts_pilot_zones() {
         }
     }
 }
+
+#[test]
+fn per_zone_io_accounting_conserves_netsim_totals() {
+    // Conservation invariant: summing each zone's metered datagram and
+    // byte counters must reproduce the network's own global statistics
+    // exactly — no query the scanner sends escapes per-zone budget
+    // attribution, and nothing is double-counted. (The client-level
+    // version of this lives in dns-resolver; this is the whole-scan
+    // closure over resolution, DNSKEY/CDS probing and signal probing.)
+    let eco = build(dns_ecosystem::EcosystemConfig::tiny(11));
+    let scanner = scanner_with(&eco, ScanPolicy::default());
+    let seeds = eco.seeds.compile(&eco.psl);
+    let results = scanner.scan_all(&seeds);
+
+    let snap = eco.net.stats().snapshot();
+    let datagrams: u64 = results
+        .zones
+        .iter()
+        .map(|z| z.retry_stats.datagrams as u64)
+        .sum();
+    let bytes_sent: u64 = results.zones.iter().map(|z| z.retry_stats.bytes_sent).sum();
+    let bytes_received: u64 = results
+        .zones
+        .iter()
+        .map(|z| z.retry_stats.bytes_received)
+        .sum();
+    assert!(datagrams > 0);
+    assert_eq!(datagrams, snap.queries, "datagrams vs netsim queries");
+    assert_eq!(bytes_sent, snap.bytes_sent, "bytes sent");
+    assert_eq!(bytes_received, snap.bytes_received, "bytes received");
+}

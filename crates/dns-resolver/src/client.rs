@@ -10,7 +10,7 @@ use dns_wire::message::Message;
 use dns_wire::name::Name;
 use dns_wire::record::RecordType;
 use netsim::{Addr, DeterministicDraw, NetError, Network, SimMicros, Transport};
-use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The result of one logical query (possibly UDP + TCP retry).
@@ -21,6 +21,12 @@ pub struct Exchange {
     pub elapsed: SimMicros,
     /// Datagrams sent (UDP attempts + TCP attempts).
     pub attempts: u32,
+    /// Query bytes put on the wire across every attempt, UDP and TCP
+    /// fallback alike (the fallback re-sends the same payload).
+    pub bytes_sent: u64,
+    /// Reply bytes actually delivered back, including truncated UDP
+    /// replies that triggered the TCP fallback.
+    pub bytes_received: u64,
     /// Whether the final answer arrived over TCP.
     pub used_tcp: bool,
     /// How many whole-exchange retries the [`RetryPolicy`] spent before
@@ -47,6 +53,12 @@ pub struct ClientError {
     pub elapsed: SimMicros,
     /// Datagrams sent across all attempts.
     pub attempts: u32,
+    /// Query bytes put on the wire across every attempt.
+    pub bytes_sent: u64,
+    /// Reply bytes delivered before the failure (a malformed reply still
+    /// crossed the wire; a truncated UDP reply still cost its bytes even
+    /// if the TCP follow-up then timed out).
+    pub bytes_received: u64,
     /// Whole-exchange retries performed (0 = failed on the first try).
     pub retries: u32,
 }
@@ -110,6 +122,84 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Totals accumulated by a [`QueryMeter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Datagrams put on the wire (UDP attempts + TCP attempts, lost ones
+    /// included — a lost datagram still cost its bytes).
+    pub datagrams: u64,
+    /// Query bytes sent across all attempts.
+    pub bytes_sent: u64,
+    /// Reply bytes delivered (malformed and truncated replies included).
+    pub bytes_received: u64,
+    /// TC=1 → TCP fallback exchanges entered.
+    pub tcp_fallbacks: u64,
+}
+
+impl IoCounters {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: IoCounters) {
+        self.datagrams += other.datagrams;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.tcp_fallbacks += other.tcp_fallbacks;
+    }
+}
+
+/// Per-scope I/O accounting for a group of logical queries.
+///
+/// The scanner creates one meter per zone so every datagram and byte —
+/// including TCP-fallback retransmissions after truncation and the cost
+/// of exchanges that ultimately *failed* — is charged to exactly one
+/// zone's budget. The meter also carries its own query-ID sequence, so
+/// metered work draws no IDs from the client's shared counter and two
+/// zones' wire traffic is independent of scan order.
+#[derive(Debug)]
+pub struct QueryMeter {
+    next_id: AtomicU16,
+    datagrams: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    tcp_fallbacks: AtomicU64,
+}
+
+impl QueryMeter {
+    /// A fresh meter whose first query will use `start_id`.
+    pub fn new(start_id: u16) -> Self {
+        QueryMeter {
+            next_id: AtomicU16::new(start_id),
+            datagrams: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            tcp_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The next query ID in this meter's private sequence (wrapping).
+    pub fn next_id(&self) -> u16 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn record(&self, io: IoCounters) {
+        self.datagrams.fetch_add(io.datagrams, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(io.bytes_sent, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(io.bytes_received, Ordering::Relaxed);
+        self.tcp_fallbacks
+            .fetch_add(io.tcp_fallbacks, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the totals recorded so far.
+    pub fn io(&self) -> IoCounters {
+        IoCounters {
+            datagrams: self.datagrams.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            tcp_fallbacks: self.tcp_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A thin client over the simulated network.
 ///
 /// Stateless apart from a query-ID counter; share freely across scanner
@@ -170,78 +260,191 @@ impl DnsClient {
         qtype: RecordType,
         dnssec_ok: bool,
     ) -> Result<Exchange, ClientError> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.query_at_with(None, now, server, qname, qtype, dnssec_ok)
+    }
+
+    /// Like [`query_at`](Self::query_at), but charging IDs, datagrams and
+    /// bytes to `meter` (when given) instead of the client's shared
+    /// counter. Every path records into the meter — success, unreachable
+    /// and exhausted-retry failures alike — so no wire traffic escapes
+    /// the caller's budget.
+    pub fn query_at_with(
+        &self,
+        meter: Option<&QueryMeter>,
+        now: SimMicros,
+        server: Addr,
+        qname: &Name,
+        qtype: RecordType,
+        dnssec_ok: bool,
+    ) -> Result<Exchange, ClientError> {
+        let id = match meter {
+            Some(m) => m.next_id(),
+            None => self.next_id.fetch_add(1, Ordering::Relaxed),
+        };
         let q = Message::query(id, qname.clone(), qtype, dnssec_ok);
         let bytes = q.to_bytes();
+        let wire_len = bytes.len() as u64;
         let mut elapsed: SimMicros = 0;
         let mut attempts: u32 = 0;
+        let mut bytes_received: u64 = 0;
+        let mut tcp_fallbacks: u64 = 0;
         let mut kind = ClientErrorKind::Timeout;
+        let mut outcome: Option<Result<Exchange, ClientError>> = None;
         for retry in 0..=self.retry.retries {
             elapsed += self.retry.backoff(id, retry);
             match self.exchange_once(now + elapsed, server, &bytes) {
-                Ok((message, e, a, used_tcp)) => {
-                    return Ok(Exchange {
-                        message,
-                        elapsed: elapsed + e,
-                        attempts: attempts + a,
-                        used_tcp,
+                Ok(once) => {
+                    attempts += once.attempts;
+                    bytes_received += once.bytes_received;
+                    tcp_fallbacks += u64::from(once.used_tcp);
+                    outcome = Some(Ok(Exchange {
+                        message: once.message,
+                        elapsed: elapsed + once.elapsed,
+                        attempts,
+                        bytes_sent: u64::from(attempts) * wire_len,
+                        bytes_received,
+                        used_tcp: once.used_tcp,
                         retries: retry,
-                    });
+                    }));
+                    break;
                 }
-                Err((k, e, a)) => {
-                    elapsed += e;
-                    attempts += a;
-                    kind = k;
+                Err(once) => {
+                    elapsed += once.elapsed;
+                    attempts += once.attempts;
+                    bytes_received += once.bytes_received;
+                    tcp_fallbacks += u64::from(once.used_tcp);
+                    kind = once.kind;
                     // No server will appear mid-scan: don't retry.
-                    if k == ClientErrorKind::Unreachable {
-                        return Err(ClientError {
-                            kind: k,
+                    if once.kind == ClientErrorKind::Unreachable {
+                        outcome = Some(Err(ClientError {
+                            kind: once.kind,
                             elapsed,
                             attempts,
+                            bytes_sent: u64::from(attempts) * wire_len,
+                            bytes_received,
                             retries: retry,
-                        });
+                        }));
+                        break;
                     }
                 }
             }
         }
-        Err(ClientError {
+        let outcome = outcome.unwrap_or(Err(ClientError {
             kind,
             elapsed,
             attempts,
+            bytes_sent: u64::from(attempts) * wire_len,
+            bytes_received,
             retries: self.retry.retries,
-        })
+        }));
+        if let Some(m) = meter {
+            m.record(IoCounters {
+                datagrams: u64::from(attempts),
+                bytes_sent: u64::from(attempts) * wire_len,
+                bytes_received,
+                tcp_fallbacks,
+            });
+        }
+        outcome
     }
 
     /// One UDP exchange plus the TC=1 → TCP fallback, no retrying.
-    #[allow(clippy::type_complexity)]
-    fn exchange_once(
-        &self,
-        at: SimMicros,
-        server: Addr,
-        bytes: &[u8],
-    ) -> Result<(Message, SimMicros, u32, bool), (ClientErrorKind, SimMicros, u32)> {
-        let udp = self
-            .net
-            .query_at(at, server, bytes, Transport::Udp)
-            .map_err(|f| (kind_of(f.error), f.elapsed, f.attempts))?;
+    fn exchange_once(&self, at: SimMicros, server: Addr, bytes: &[u8]) -> Result<OnceOk, OnceErr> {
+        let udp = match self.net.query_at(at, server, bytes, Transport::Udp) {
+            Ok(o) => o,
+            Err(f) => {
+                return Err(OnceErr {
+                    kind: kind_of(f.error),
+                    elapsed: f.elapsed,
+                    attempts: f.attempts,
+                    bytes_received: 0,
+                    used_tcp: false,
+                })
+            }
+        };
         let mut elapsed = udp.elapsed;
         let mut attempts = udp.attempts;
-        let msg = Message::from_bytes(&udp.reply)
-            .map_err(|_| (ClientErrorKind::Malformed, elapsed, attempts))?;
+        let mut bytes_received = udp.reply.len() as u64;
+        let msg = match Message::from_bytes(&udp.reply) {
+            Ok(m) => m,
+            Err(_) => {
+                return Err(OnceErr {
+                    kind: ClientErrorKind::Malformed,
+                    elapsed,
+                    attempts,
+                    bytes_received,
+                    used_tcp: false,
+                })
+            }
+        };
         if !msg.header.flags.truncated {
-            return Ok((msg, elapsed, attempts, false));
+            return Ok(OnceOk {
+                message: msg,
+                elapsed,
+                attempts,
+                bytes_received,
+                used_tcp: false,
+            });
         }
-        // TC=1 → retry the same question over TCP.
-        let tcp = self
+        // TC=1 → retry the same question over TCP. The truncated UDP
+        // reply already cost its bytes, and the TCP attempts cost theirs
+        // whether or not the fallback ultimately succeeds.
+        let tcp = match self
             .net
             .query_at(at + elapsed, server, bytes, Transport::Tcp)
-            .map_err(|f| (kind_of(f.error), elapsed + f.elapsed, attempts + f.attempts))?;
+        {
+            Ok(o) => o,
+            Err(f) => {
+                return Err(OnceErr {
+                    kind: kind_of(f.error),
+                    elapsed: elapsed + f.elapsed,
+                    attempts: attempts + f.attempts,
+                    bytes_received,
+                    used_tcp: true,
+                })
+            }
+        };
         elapsed += tcp.elapsed;
         attempts += tcp.attempts;
-        let msg = Message::from_bytes(&tcp.reply)
-            .map_err(|_| (ClientErrorKind::Malformed, elapsed, attempts))?;
-        Ok((msg, elapsed, attempts, true))
+        bytes_received += tcp.reply.len() as u64;
+        let msg = match Message::from_bytes(&tcp.reply) {
+            Ok(m) => m,
+            Err(_) => {
+                return Err(OnceErr {
+                    kind: ClientErrorKind::Malformed,
+                    elapsed,
+                    attempts,
+                    bytes_received,
+                    used_tcp: true,
+                })
+            }
+        };
+        Ok(OnceOk {
+            message: msg,
+            elapsed,
+            attempts,
+            bytes_received,
+            used_tcp: true,
+        })
     }
+}
+
+/// One successful UDP(+TCP) exchange, before retry accounting.
+struct OnceOk {
+    message: Message,
+    elapsed: SimMicros,
+    attempts: u32,
+    bytes_received: u64,
+    used_tcp: bool,
+}
+
+/// One failed UDP(+TCP) exchange, before retry accounting.
+struct OnceErr {
+    kind: ClientErrorKind,
+    elapsed: SimMicros,
+    attempts: u32,
+    bytes_received: u64,
+    used_tcp: bool,
 }
 
 fn kind_of(e: NetError) -> ClientErrorKind {
@@ -447,6 +650,105 @@ mod tests {
         // Different query ids jitter differently somewhere.
         assert!((0..50u16).any(|id| p.backoff(id, 1) != p.backoff(id + 50, 1)));
         assert_eq!(RetryPolicy::NONE.backoff(1, 1), 0);
+    }
+
+    #[test]
+    fn tcp_fallback_bytes_count_against_the_meter() {
+        // The truncated TXT query is the budget-accounting regression:
+        // the TCP retransmission after TC=1 must be charged to the meter
+        // exactly like the UDP attempts, byte for byte.
+        let (net, addr) = setup();
+        let c = DnsClient::new(Arc::clone(&net));
+        let meter = QueryMeter::new(900);
+        let ex = c
+            .query_at_with(
+                Some(&meter),
+                0,
+                addr,
+                &name!("t.test"),
+                RecordType::Txt,
+                true,
+            )
+            .unwrap();
+        assert!(ex.used_tcp);
+        assert!(ex.attempts >= 2);
+        let io = meter.io();
+        assert_eq!(io.datagrams, u64::from(ex.attempts));
+        assert_eq!(io.tcp_fallbacks, 1);
+        assert_eq!(io.bytes_sent, ex.bytes_sent);
+        assert_eq!(io.bytes_received, ex.bytes_received);
+        // Exact conservation: the client-side meter equals the wire-level
+        // totals the network itself recorded — nothing double-counted,
+        // nothing escaped.
+        let snap = net.stats().snapshot();
+        assert_eq!(io.datagrams, snap.queries);
+        assert_eq!(io.bytes_sent, snap.bytes_sent);
+        assert_eq!(io.bytes_received, snap.bytes_received);
+    }
+
+    #[test]
+    fn metered_failures_still_charge_the_budget() {
+        // Attempts burned by a timed-out exchange are charged too.
+        let (net, addr) = setup();
+        net.set_faults(outage_plan(addr));
+        let c = DnsClient::new(Arc::clone(&net));
+        let meter = QueryMeter::new(1);
+        let err = c
+            .query_at_with(
+                Some(&meter),
+                0,
+                addr,
+                &name!("www.t.test"),
+                RecordType::A,
+                true,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, ClientErrorKind::Timeout);
+        let io = meter.io();
+        assert_eq!(io.datagrams, u64::from(err.attempts));
+        assert_eq!(io.bytes_sent, err.bytes_sent);
+        assert_eq!(io.bytes_received, 0);
+        let snap = net.stats().snapshot();
+        assert_eq!(io.datagrams, snap.queries);
+        assert_eq!(io.bytes_sent, snap.bytes_sent);
+
+        // …while an unreachable address costs exactly nothing.
+        let meter2 = QueryMeter::new(1);
+        let err = c
+            .query_at_with(
+                Some(&meter2),
+                0,
+                Addr::V4(Ipv4Addr::new(203, 0, 113, 9)),
+                &name!("www.t.test"),
+                RecordType::A,
+                true,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, ClientErrorKind::Unreachable);
+        assert_eq!(meter2.io(), IoCounters::default());
+    }
+
+    #[test]
+    fn metered_queries_leave_the_shared_id_counter_alone() {
+        let (net, addr) = setup();
+        let c = DnsClient::new(net);
+        let meter = QueryMeter::new(500);
+        let m = c
+            .query_at_with(
+                Some(&meter),
+                0,
+                addr,
+                &name!("www.t.test"),
+                RecordType::A,
+                true,
+            )
+            .unwrap();
+        assert_eq!(m.message.header.id, 500);
+        // The next unmetered query still gets the first shared ID.
+        let g = c
+            .query(addr, &name!("www.t.test"), RecordType::A, true)
+            .unwrap();
+        assert_eq!(g.message.header.id, 1);
     }
 
     #[test]

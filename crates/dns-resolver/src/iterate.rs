@@ -1,7 +1,7 @@
 //! Iterative resolution: walk referrals from the root, recording the
 //! delegation chain for later DNSSEC validation.
 
-use crate::client::DnsClient;
+use crate::client::{DnsClient, QueryMeter};
 use dns_wire::message::{Message, Rcode};
 use dns_wire::name::Name;
 use dns_wire::rdata::{DsData, RData};
@@ -85,6 +85,10 @@ impl std::error::Error for ResolverError {}
 struct Cache {
     /// ns hostname → addresses.
     addresses: HashMap<Name, Vec<Addr>>,
+    /// Inserts made by resolution (not by [`Resolver::seed_address`]),
+    /// in insertion order — drained by the scanner so a recovery journal
+    /// can replay exactly the cache side effects each zone produced.
+    insert_log: Vec<(Name, Vec<Addr>)>,
 }
 
 /// The iterative resolver.
@@ -114,7 +118,7 @@ impl Resolver {
 
     /// Resolve (name, type) iteratively from the root.
     pub fn resolve(&self, qname: &Name, qtype: RecordType) -> Result<Resolution, ResolverError> {
-        self.resolve_inner(0, qname, qtype, 0)
+        self.resolve_inner(None, 0, qname, qtype, 0)
     }
 
     /// Like [`resolve`](Self::resolve), but the walk starts at virtual
@@ -125,11 +129,25 @@ impl Resolver {
         qname: &Name,
         qtype: RecordType,
     ) -> Result<Resolution, ResolverError> {
-        self.resolve_inner(now, qname, qtype, 0)
+        self.resolve_inner(None, now, qname, qtype, 0)
+    }
+
+    /// Like [`resolve_at`](Self::resolve_at), charging every exchange of
+    /// the walk — including nested NS-address resolutions, whose cost the
+    /// returned [`Resolution`] does not itemise — to `meter`.
+    pub fn resolve_at_with(
+        &self,
+        meter: Option<&QueryMeter>,
+        now: SimMicros,
+        qname: &Name,
+        qtype: RecordType,
+    ) -> Result<Resolution, ResolverError> {
+        self.resolve_inner(meter, now, qname, qtype, 0)
     }
 
     fn resolve_inner(
         &self,
+        meter: Option<&QueryMeter>,
         now: SimMicros,
         qname: &Name,
         qtype: RecordType,
@@ -146,7 +164,7 @@ impl Resolver {
 
         for _hop in 0..self.max_referrals {
             let (msg, ex_elapsed, ex_queries) =
-                self.query_first_responsive(now + elapsed, &servers, qname, qtype)?;
+                self.query_first_responsive(meter, now + elapsed, &servers, qname, qtype)?;
             elapsed += ex_elapsed;
             queries += ex_queries;
 
@@ -226,7 +244,7 @@ impl Resolver {
             }
             if addrs.is_empty() {
                 for ns in &ns_names {
-                    addrs.extend(self.addresses_of_inner(now + elapsed, ns, depth + 1)?);
+                    addrs.extend(self.addresses_of_inner(meter, now + elapsed, ns, depth + 1)?);
                     if !addrs.is_empty() {
                         break;
                     }
@@ -252,17 +270,29 @@ impl Resolver {
 
     /// Resolve the addresses of a nameserver hostname (cached).
     pub fn addresses_of(&self, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
-        self.addresses_of_inner(0, ns, 0)
+        self.addresses_of_inner(None, 0, ns, 0)
     }
 
     /// Like [`addresses_of`](Self::addresses_of), starting at virtual
     /// time `now`.
     pub fn addresses_of_at(&self, now: SimMicros, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
-        self.addresses_of_inner(now, ns, 0)
+        self.addresses_of_inner(None, now, ns, 0)
+    }
+
+    /// Like [`addresses_of_at`](Self::addresses_of_at), charging the
+    /// lookups to `meter`.
+    pub fn addresses_of_at_with(
+        &self,
+        meter: Option<&QueryMeter>,
+        now: SimMicros,
+        ns: &Name,
+    ) -> Result<Vec<Addr>, ResolverError> {
+        self.addresses_of_inner(meter, now, ns, 0)
     }
 
     fn addresses_of_inner(
         &self,
+        meter: Option<&QueryMeter>,
         now: SimMicros,
         ns: &Name,
         depth: usize,
@@ -272,7 +302,7 @@ impl Resolver {
         }
         let mut addrs = Vec::new();
         for qtype in [RecordType::A, RecordType::Aaaa] {
-            if let Ok(res) = self.resolve_inner(now, ns, qtype, depth) {
+            if let Ok(res) = self.resolve_inner(meter, now, ns, qtype, depth) {
                 for rec in &res.answers {
                     match &rec.rdata {
                         RData::A(a) if rec.name == *ns => addrs.push(Addr::V4(*a)),
@@ -282,21 +312,28 @@ impl Resolver {
                 }
             }
         }
-        self.cache
-            .lock()
-            .addresses
-            .insert(ns.clone(), addrs.clone());
+        let mut cache = self.cache.lock();
+        cache.addresses.insert(ns.clone(), addrs.clone());
+        cache.insert_log.push((ns.clone(), addrs.clone()));
         Ok(addrs)
     }
 
     /// Pre-seed the address cache (the ecosystem does this for operator
-    /// NS hostnames whose addresses are part of the ground truth).
+    /// NS hostnames whose addresses are part of the ground truth; journal
+    /// recovery does it when replaying logged inserts). Not logged.
     pub fn seed_address(&self, ns: Name, addrs: Vec<Addr>) {
         self.cache.lock().addresses.insert(ns, addrs);
     }
 
+    /// Take the address-cache inserts made by resolution since the last
+    /// drain, in insertion order.
+    pub fn drain_address_log(&self) -> Vec<(Name, Vec<Addr>)> {
+        std::mem::take(&mut self.cache.lock().insert_log)
+    }
+
     fn query_first_responsive(
         &self,
+        meter: Option<&QueryMeter>,
         now: SimMicros,
         servers: &[Addr],
         qname: &Name,
@@ -308,7 +345,7 @@ impl Resolver {
             queries += 1;
             match self
                 .client
-                .query_at(now + elapsed, addr, qname, qtype, true)
+                .query_at_with(meter, now + elapsed, addr, qname, qtype, true)
             {
                 Ok(ex) => {
                     elapsed += ex.elapsed;

@@ -18,6 +18,8 @@ pub mod client;
 pub mod iterate;
 pub mod validate;
 
-pub use client::{ClientError, ClientErrorKind, DnsClient, Exchange, RetryPolicy};
+pub use client::{
+    ClientError, ClientErrorKind, DnsClient, Exchange, IoCounters, QueryMeter, RetryPolicy,
+};
 pub use iterate::{ChainLink, Resolution, Resolver, ResolverError, RootHints};
 pub use validate::{validate_resolution, Security};

@@ -1,0 +1,85 @@
+//! Checksums used by the journal and checkpoint formats.
+//!
+//! CRC32 (IEEE 802.3 polynomial, reflected) guards every frame: it is
+//! cheap, detects all burst errors shorter than 32 bits, and — unlike a
+//! plain length check — catches the classic torn-write failure where a
+//! frame's length field survives but its payload bytes are garbage or
+//! zero-filled. FNV-1a provides the stable 64-bit hashes used for shard
+//! assignment and run fingerprints; both are hand-rolled because the
+//! build environment has no registry access.
+
+/// CRC32 lookup table for the reflected IEEE polynomial `0xEDB88320`,
+/// generated at compile time.
+const CRC_TABLE: [u32; 256] = make_table();
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32-IEEE of `data` (the checksum `cksum`/zlib/PNG use).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit hash, streamable across several byte slices.
+pub fn fnv64(chunks: &[&[u8]]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let data = vec![0xA5u8; 64];
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn fnv64_is_chunking_invariant() {
+        assert_eq!(fnv64(&[b"ab", b"cd"]), fnv64(&[b"abcd"]));
+        assert_ne!(fnv64(&[b"abcd"]), fnv64(&[b"abce"]));
+    }
+}

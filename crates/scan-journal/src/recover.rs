@@ -1,0 +1,552 @@
+//! Crash recovery: merge checkpoint + journal tail into resumable state.
+//!
+//! [`recover`] is the single entry point a restarted scanner calls. It
+//! reads whatever survived — a checkpoint, a journal, both, or neither —
+//! validates everything against the expected run identity, truncates any
+//! torn journal tail on disk, and returns the maximal contiguous event
+//! prefix. From that prefix:
+//!
+//! * [`Recovery::resume_state`] yields the [`ResumeState`] to pass to
+//!   [`Scanner::scan_all_with`](bootscan::scanner::Scanner::scan_all_with)
+//!   — the latest kept result per completed zone plus the virtual time
+//!   already accounted for;
+//! * [`Recovery::apply_to`] replays every event's side effects
+//!   (validated-key cache, resolver address cache, health counters) into
+//!   a fresh [`Scanner`] in journal order, so resumed zone scans see
+//!   exactly the shared-cache state the uninterrupted run would have
+//!   had at that point.
+//!
+//! [`JournalSink`] is the production [`ProgressSink`]: it appends each
+//! event to the journal (stopping the scan — returning `false` — if the
+//! disk fails) and writes a checkpoint every N events.
+
+use crate::checkpoint::{read_checkpoint, write_checkpoint};
+use crate::crc::fnv64;
+use crate::journal::{
+    read_journal, truncate_torn_tail, JournalHeader, JournalWriter, TailStatus, JOURNAL_FILE,
+};
+use bootscan::scanner::Scanner;
+use bootscan::{ProgressSink, ResumeState, ZoneEvent};
+use dns_wire::name::Name;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Stable fingerprint of a seed-zone list. Stored in the journal header
+/// so a journal cannot silently be resumed against a different target
+/// list (which would mis-skip or mis-carry zones).
+pub fn fingerprint_names(names: &[Name]) -> u64 {
+    let wires: Vec<Vec<u8>> = names.iter().map(|n| n.to_wire()).collect();
+    let mut chunks: Vec<&[u8]> = Vec::with_capacity(wires.len() * 2);
+    for w in &wires {
+        chunks.push(&[0xFF]);
+        chunks.push(w);
+    }
+    fnv64(&chunks)
+}
+
+/// Everything recovered from a run directory.
+#[derive(Debug)]
+pub struct Recovery {
+    header: JournalHeader,
+    /// The maximal contiguous event prefix (seq 0..len), in order.
+    pub events: Vec<(u64, ZoneEvent)>,
+    /// Tail state of the journal file as found on disk (already
+    /// truncated clean by the time `recover` returns).
+    pub journal_tail: TailStatus,
+    /// Events only a checkpoint (not the journal file) still held.
+    pub checkpoint_only: usize,
+    /// The journal file exists with a valid header (resume appends to
+    /// it); otherwise resume recreates it.
+    journal_writable: bool,
+}
+
+impl Recovery {
+    /// Sequence number the resumed run's next event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Completed zones (latest kept result each) and accumulated
+    /// virtual duration, ready for
+    /// [`scan_all_with`](bootscan::scanner::Scanner::scan_all_with).
+    pub fn resume_state(&self) -> ResumeState {
+        let mut latest: BTreeMap<Vec<u8>, &ZoneEvent> = BTreeMap::new();
+        let mut duration = 0;
+        for (_, event) in &self.events {
+            duration += event.duration_delta;
+            // Later events overwrite: a re-scan pass supersedes the
+            // main-pass result for the same zone.
+            latest.insert(event.scan.name.to_wire(), event);
+        }
+        let mut zones: Vec<_> = latest.values().map(|e| e.scan.clone()).collect();
+        zones.sort_by(|a, b| a.name.canonical_cmp(&b.name));
+        ResumeState {
+            zones,
+            duration_so_far: duration,
+        }
+    }
+
+    /// Replay every recovered event's side effects into `scanner`, in
+    /// journal order. Must be called on the scanner that will run the
+    /// resumed scan, before `scan_all_with`.
+    pub fn apply_to(&self, scanner: &Scanner) {
+        for (_, event) in &self.events {
+            scanner.restore_effects(&event.effects);
+        }
+    }
+}
+
+/// Recover from `dir`. Handles every surviving combination:
+///
+/// * neither journal nor checkpoint → empty recovery (fresh start);
+/// * journal only → replay it (truncating a torn tail on disk);
+/// * checkpoint only (journal lost) → restore from the checkpoint;
+/// * both → union by sequence number, maximal contiguous prefix.
+///
+/// A journal whose *header* identifies a different run or seed list is
+/// a hard error — resuming against the wrong target list must never
+/// happen silently. A corrupt checkpoint is silently ignored (the
+/// journal is authoritative); a corrupt journal header drops the file's
+/// contents (a valid checkpoint still contributes).
+pub fn recover(dir: &Path, expected: JournalHeader) -> io::Result<Recovery> {
+    let checkpoint = read_checkpoint(dir, expected)?.unwrap_or_default();
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    let (journal_entries, journal_tail, journal_writable) = match read_journal(&journal_path) {
+        Ok(read) => {
+            match read.header {
+                Some(h) if h != expected => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "journal belongs to a different run \
+                             (found run_id={} fingerprint={:#x}, \
+                             expected run_id={} fingerprint={:#x})",
+                            h.run_id, h.fingerprint, expected.run_id, expected.fingerprint
+                        ),
+                    ));
+                }
+                Some(_) => {
+                    if let TailStatus::Torn { .. } = read.tail {
+                        truncate_torn_tail(&journal_path, read.valid_len)?;
+                    }
+                    (read.entries, read.tail, true)
+                }
+                // Header itself torn/corrupt: nothing in the file can be
+                // trusted; it will be recreated on resume.
+                None => (Vec::new(), read.tail, false),
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => (Vec::new(), TailStatus::Clean, false),
+        Err(e) => return Err(e),
+    };
+
+    let mut merged: BTreeMap<u64, ZoneEvent> = BTreeMap::new();
+    let mut checkpoint_only = 0usize;
+    for (seq, event) in checkpoint {
+        merged.insert(seq, event);
+        checkpoint_only += 1;
+    }
+    for (seq, event) in journal_entries {
+        if merged.insert(seq, event).is_some() {
+            checkpoint_only -= 1;
+        }
+    }
+    let mut events = Vec::with_capacity(merged.len());
+    for want in 0.. {
+        match merged.remove(&want) {
+            Some(event) => events.push((want, event)),
+            None => break,
+        }
+    }
+
+    Ok(Recovery {
+        header: expected,
+        events,
+        journal_tail,
+        checkpoint_only,
+        journal_writable,
+    })
+}
+
+/// The production [`ProgressSink`]: write-ahead journal + periodic
+/// checkpoints. Returns `false` from `on_zone` (stopping the scan) only
+/// when the journal itself cannot be written — a failed *checkpoint* is
+/// logged state that simply doesn't compact, never a reason to stop.
+/// When the sink compacts the journal into a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cadence {
+    Never,
+    /// Strictly every N events (predictable coverage; O(n²) total
+    /// rewrite work over a long run — fine for tests and short scans).
+    EveryN(u64),
+    /// When the journal has grown ≥50 % since the last checkpoint (and
+    /// by at least `min` events). Each checkpoint rewrites the full
+    /// prefix, so the doubling schedule keeps *total* rewrite work O(n)
+    /// — the default for registry-scale scans.
+    Amortized {
+        min: u64,
+    },
+}
+
+pub struct JournalSink {
+    dir: PathBuf,
+    header: JournalHeader,
+    cadence: Cadence,
+    sync_every: u64,
+    shards: u32,
+    inner: Mutex<SinkInner>,
+}
+
+struct SinkInner {
+    writer: JournalWriter,
+    entries: Vec<(u64, ZoneEvent)>,
+    since_checkpoint: u64,
+    since_sync: u64,
+}
+
+impl JournalSink {
+    /// Minimum events between checkpoints under the default amortized
+    /// cadence (and the interval [`with_checkpoint_every`] is documented
+    /// against).
+    pub const DEFAULT_CHECKPOINT_EVERY: u64 = 32;
+    /// `fdatasync` the journal every this-many events by default (group
+    /// commit): power loss can cost at most this many re-scans.
+    pub const DEFAULT_SYNC_EVERY: u64 = 8;
+    /// Default shard count for checkpoints.
+    pub const DEFAULT_SHARDS: u32 = 4;
+
+    /// Start a fresh run in `dir` (created if needed). Any stale
+    /// checkpoint manifest in the directory is removed so the directory
+    /// unambiguously describes this run.
+    pub fn create(dir: &Path, header: JournalHeader) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        match fs::remove_file(dir.join(crate::checkpoint::MANIFEST_FILE)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let writer = JournalWriter::create(&dir.join(JOURNAL_FILE), header, 0)?;
+        Ok(JournalSink {
+            dir: dir.to_path_buf(),
+            header,
+            cadence: Cadence::Amortized {
+                min: Self::DEFAULT_CHECKPOINT_EVERY,
+            },
+            sync_every: Self::DEFAULT_SYNC_EVERY,
+            shards: Self::DEFAULT_SHARDS,
+            inner: Mutex::new(SinkInner {
+                writer,
+                entries: Vec::new(),
+                since_checkpoint: 0,
+                since_sync: 0,
+            }),
+        })
+    }
+
+    /// Continue a recovered run: append to the surviving journal, or
+    /// recreate it (starting at the recovered sequence) when only a
+    /// checkpoint survived.
+    pub fn resume(dir: &Path, recovery: &Recovery) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let writer = if recovery.journal_writable {
+            JournalWriter::open_append(&path, recovery.next_seq())?
+        } else {
+            JournalWriter::create(&path, recovery.header, recovery.next_seq())?
+        };
+        Ok(JournalSink {
+            dir: dir.to_path_buf(),
+            header: recovery.header,
+            cadence: Cadence::Amortized {
+                min: Self::DEFAULT_CHECKPOINT_EVERY,
+            },
+            sync_every: Self::DEFAULT_SYNC_EVERY,
+            shards: Self::DEFAULT_SHARDS,
+            inner: Mutex::new(SinkInner {
+                writer,
+                entries: recovery.events.clone(),
+                since_checkpoint: 0,
+                since_sync: 0,
+            }),
+        })
+    }
+
+    /// Checkpoint strictly every `every` events (0 disables
+    /// checkpoints). Overrides the default amortized cadence; strict
+    /// intervals rewrite the full prefix every N events, so prefer the
+    /// default for long scans.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.cadence = if every == 0 {
+            Cadence::Never
+        } else {
+            Cadence::EveryN(every)
+        };
+        self
+    }
+
+    /// Override the checkpoint shard count (min 1).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Override the group-commit interval: `fdatasync` every this-many
+    /// appends (min 1; 1 = sync every entry, the strictest durability).
+    pub fn with_sync_every(mut self, every: u64) -> Self {
+        self.sync_every = every.max(1);
+        self
+    }
+
+    /// Number of events journaled so far (including recovered ones).
+    pub fn entries_logged(&self) -> u64 {
+        self.inner.lock().entries.len() as u64
+    }
+
+    /// Force a checkpoint of everything journaled so far.
+    pub fn checkpoint_now(&self) -> io::Result<()> {
+        let inner = self.inner.lock();
+        write_checkpoint(&self.dir, self.header, &inner.entries, self.shards)
+    }
+}
+
+impl ProgressSink for JournalSink {
+    fn on_zone(&self, event: &ZoneEvent) -> bool {
+        let mut inner = self.inner.lock();
+        let seq = match inner.writer.append(event) {
+            Ok(seq) => seq,
+            Err(_) => return false,
+        };
+        inner.entries.push((seq, event.clone()));
+        inner.since_sync += 1;
+        if inner.since_sync >= self.sync_every {
+            inner.since_sync = 0;
+            // Group commit: a failed sync means the WAL can no longer
+            // promise durability — stop like a failed append.
+            if inner.writer.sync().is_err() {
+                return false;
+            }
+        }
+        inner.since_checkpoint += 1;
+        let due = match self.cadence {
+            Cadence::Never => false,
+            Cadence::EveryN(n) => inner.since_checkpoint >= n,
+            Cadence::Amortized { min } => {
+                let covered = inner.entries.len() as u64 - inner.since_checkpoint;
+                inner.since_checkpoint >= min.max(covered / 2)
+            }
+        };
+        if due {
+            inner.since_checkpoint = 0;
+            // Best-effort: the journal remains the source of truth.
+            let _ = write_checkpoint(&self.dir, self.header, &inner.entries, self.shards);
+        }
+        true
+    }
+}
+
+impl Drop for JournalSink {
+    /// Commit any unsynced tail when the scan finishes (best effort — a
+    /// failure here costs at most `sync_every` re-scans after power
+    /// loss, which recovery handles anyway).
+    fn drop(&mut self) {
+        let _ = self.inner.get_mut().writer.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::tests::rich_event;
+    use dns_wire::name;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("scan-recover-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    const HDR: JournalHeader = JournalHeader {
+        run_id: 1,
+        fingerprint: 2,
+    };
+
+    fn event_for(zone: &str, pass: u32, micros: u64) -> ZoneEvent {
+        let mut e = rich_event();
+        e.scan.name = name!(zone);
+        e.pass = pass;
+        e.duration_delta = micros;
+        e
+    }
+
+    fn journal_events(sink: &JournalSink, events: &[ZoneEvent]) {
+        for e in events {
+            assert!(sink.on_zone(e));
+        }
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = tmpdir("fresh");
+        let rec = recover(&dir, HDR).unwrap();
+        assert!(rec.events.is_empty());
+        assert_eq!(rec.next_seq(), 0);
+        let rs = rec.resume_state();
+        assert!(rs.zones.is_empty());
+        assert_eq!(rs.duration_so_far, 0);
+    }
+
+    #[test]
+    fn journal_only_recovery() {
+        let dir = tmpdir("jonly");
+        let sink = JournalSink::create(&dir, HDR)
+            .unwrap()
+            .with_checkpoint_every(0);
+        journal_events(
+            &sink,
+            &[
+                event_for("a.example", 0, 100),
+                event_for("b.example", 0, 50),
+                event_for("a.example", 1, 30),
+            ],
+        );
+        let rec = recover(&dir, HDR).unwrap();
+        assert_eq!(rec.events.len(), 3);
+        assert_eq!(rec.journal_tail, TailStatus::Clean);
+        let rs = rec.resume_state();
+        // Latest result per zone: a.example's pass-1 event wins.
+        assert_eq!(rs.zones.len(), 2);
+        assert_eq!(rs.duration_so_far, 180);
+        let a = rs
+            .zones
+            .iter()
+            .find(|z| z.name == name!("a.example"))
+            .unwrap();
+        assert_eq!(
+            a.retry_stats,
+            event_for("a.example", 1, 30).scan.retry_stats
+        );
+    }
+
+    #[test]
+    fn checkpoint_only_recovery_after_journal_loss() {
+        let dir = tmpdir("conly");
+        let sink = JournalSink::create(&dir, HDR).unwrap();
+        journal_events(
+            &sink,
+            &[event_for("a.example", 0, 10), event_for("b.example", 0, 20)],
+        );
+        sink.checkpoint_now().unwrap();
+        drop(sink);
+        fs::remove_file(dir.join(JOURNAL_FILE)).unwrap();
+
+        let rec = recover(&dir, HDR).unwrap();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.checkpoint_only, 2);
+        assert_eq!(rec.resume_state().zones.len(), 2);
+
+        // Resuming recreates the journal at the recovered sequence; a
+        // second recovery then sees checkpoint + new journal seamlessly.
+        let sink = JournalSink::resume(&dir, &rec).unwrap();
+        journal_events(&sink, &[event_for("c.example", 0, 30)]);
+        drop(sink);
+        let rec2 = recover(&dir, HDR).unwrap();
+        assert_eq!(rec2.events.len(), 3);
+        assert_eq!(rec2.resume_state().duration_so_far, 60);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_disk_during_recovery() {
+        let dir = tmpdir("torn");
+        let sink = JournalSink::create(&dir, HDR)
+            .unwrap()
+            .with_checkpoint_every(0);
+        journal_events(
+            &sink,
+            &[event_for("a.example", 0, 10), event_for("b.example", 0, 20)],
+        );
+        drop(sink);
+        let path = dir.join(JOURNAL_FILE);
+        let clean_len = fs::metadata(&path).unwrap().len();
+        let mut raw = fs::read(&path).unwrap();
+        raw.extend_from_slice(&[0x55; 23]); // torn partial frame
+        fs::write(&path, &raw).unwrap();
+
+        let rec = recover(&dir, HDR).unwrap();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.journal_tail, TailStatus::Torn { dropped_bytes: 23 });
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "recovery must truncate the torn tail on disk"
+        );
+
+        // Appending after truncation yields a clean, contiguous journal.
+        let sink = JournalSink::resume(&dir, &rec).unwrap();
+        journal_events(&sink, &[event_for("c.example", 0, 30)]);
+        drop(sink);
+        let rec2 = recover(&dir, HDR).unwrap();
+        assert_eq!(rec2.events.len(), 3);
+        assert_eq!(rec2.journal_tail, TailStatus::Clean);
+    }
+
+    #[test]
+    fn foreign_journal_is_a_hard_error() {
+        let dir = tmpdir("foreignj");
+        let sink = JournalSink::create(&dir, HDR).unwrap();
+        journal_events(&sink, &[event_for("a.example", 0, 10)]);
+        drop(sink);
+        let other = JournalHeader { run_id: 999, ..HDR };
+        let err = recover(&dir, other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn checkpoint_fills_gap_left_by_recreated_journal() {
+        // Checkpoint covers 0..=1; journal was lost and recreated from
+        // seq 2. The union is contiguous 0..=2.
+        let dir = tmpdir("gap");
+        let sink = JournalSink::create(&dir, HDR).unwrap();
+        journal_events(
+            &sink,
+            &[event_for("a.example", 0, 1), event_for("b.example", 0, 2)],
+        );
+        sink.checkpoint_now().unwrap();
+        drop(sink);
+        fs::remove_file(dir.join(JOURNAL_FILE)).unwrap();
+        let rec = recover(&dir, HDR).unwrap();
+        let sink = JournalSink::resume(&dir, &rec).unwrap();
+        journal_events(&sink, &[event_for("c.example", 0, 3)]);
+        drop(sink);
+
+        // Now corrupt the checkpoint: only the journal (seq 2) is left,
+        // which is NOT a contiguous prefix from 0 → nothing usable.
+        let manifest = dir.join(crate::checkpoint::MANIFEST_FILE);
+        let mut raw = fs::read(&manifest).unwrap();
+        let idx = raw.len() - 1;
+        raw[idx] ^= 0xFF;
+        fs::write(&manifest, &raw).unwrap();
+        let rec = recover(&dir, HDR).unwrap();
+        assert!(
+            rec.events.is_empty(),
+            "a non-contiguous survivor set must not be trusted"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_collision_resistant() {
+        let a = vec![name!("a.example"), name!("b.example")];
+        let b = vec![name!("b.example"), name!("a.example")];
+        assert_ne!(fingerprint_names(&a), fingerprint_names(&b));
+        assert_eq!(fingerprint_names(&a), fingerprint_names(&a.clone()));
+        // Label-boundary shifts must not collide.
+        let c = vec![name!("ab.example")];
+        let d = vec![name!("a.bexample")];
+        assert_ne!(fingerprint_names(&c), fingerprint_names(&d));
+    }
+}

@@ -6,6 +6,10 @@
 //! cargo run --release --example full_study
 //! # faster, coarser:
 //! BOOTSCAN_SCALE=20000 cargo run --release --example full_study
+//! # crash-recoverable: journal progress to a state dir; re-running the
+//! # same command after an interruption resumes where it stopped and
+//! # produces the identical report:
+//! BOOTSCAN_JOURNAL=scan-state cargo run --release --example full_study
 //! ```
 //!
 //! Prints Figure 1, Tables 1–3, the §4.2 CDS census, the §4.3 potential
@@ -14,7 +18,7 @@
 
 use bootscan::{budget, policy, report, ScanPolicy};
 use dns_ecosystem::EcosystemConfig;
-use dnssec_bootstrap::run_study;
+use dnssec_bootstrap::{run_study, run_study_resumable};
 
 fn main() {
     let scale: u64 = std::env::var("BOOTSCAN_SCALE")
@@ -28,13 +32,23 @@ fn main() {
 
     eprintln!("building ecosystem at 1:{scale} …");
     let t0 = std::time::Instant::now();
-    let (eco, results) = run_study(
-        EcosystemConfig::paper_default(scale),
-        ScanPolicy {
-            parallelism,
-            ..ScanPolicy::default()
-        },
-    );
+    let config = EcosystemConfig::paper_default(scale);
+    let policy = ScanPolicy {
+        parallelism,
+        ..ScanPolicy::default()
+    };
+    // With BOOTSCAN_JOURNAL set, every zone outcome is journaled to the
+    // given directory and an interrupted run resumes from it (identical
+    // final report — see tests/crash_recovery.rs). Delete the directory
+    // to start over; changing the scale or seed list is refused.
+    let (eco, results) = match std::env::var("BOOTSCAN_JOURNAL") {
+        Ok(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            eprintln!("journaling scan progress to {} …", dir.display());
+            run_study_resumable(config, policy, &dir).expect("scan journal")
+        }
+        Err(_) => run_study(config, policy),
+    };
     eprintln!(
         "built + scanned {} zones in {:.1}s (real time)",
         results.zones.len(),

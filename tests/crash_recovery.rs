@@ -1,0 +1,328 @@
+//! Headline crash-recovery validation: a scan killed at *any* point —
+//! between zones, mid-journal-write (torn tail), or after the journal
+//! was lost entirely (checkpoint-only) — must resume deterministically
+//! and produce a final report **byte-identical** to the uninterrupted
+//! run. Corrupt journal bytes are detected by checksum and the affected
+//! zones re-scanned; they are never silently trusted and never panic.
+//!
+//! The world is the standard chaos-profiled tiny ecosystem, so recovery
+//! is exercised across retries, open circuit breakers, degraded zones,
+//! and re-scan passes — not just the happy path.
+
+use bootscan::health::AddrHealth;
+use bootscan::operator::OperatorTable;
+use bootscan::report;
+use bootscan::{ProgressSink, ScanPolicy, ScanResults, Scanner, ZoneEvent};
+use dns_ecosystem::{build, Ecosystem, EcosystemConfig};
+use netsim::{Addr, FaultPlan};
+use scan_journal::{
+    fingerprint_names, recover, JournalHeader, JournalSink, TailStatus, JOURNAL_FILE,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const WORLD_SEED: u64 = 42;
+const CHAOS_SEED: u64 = 0xC4A0;
+const RUN_ID: u64 = 0xB007_5CA7;
+
+/// Fresh chaos-profiled world + scanner (parallelism 1: the
+/// deterministic-resume guarantee is specified at parallelism 1).
+fn fresh_world() -> (Ecosystem, Arc<Scanner>) {
+    let eco = build(EcosystemConfig::tiny(WORLD_SEED));
+    let plan = FaultPlan::standard_chaos(CHAOS_SEED, &eco.net.bound_addrs());
+    eco.net.set_faults(plan);
+    let table = OperatorTable::from_operators(
+        eco.operators
+            .iter()
+            .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+    );
+    let scanner = Arc::new(Scanner::new(
+        Arc::clone(&eco.net),
+        eco.roots.clone(),
+        eco.anchors.clone(),
+        table,
+        eco.now,
+        ScanPolicy {
+            parallelism: 1,
+            ..ScanPolicy::default()
+        },
+    ));
+    (eco, scanner)
+}
+
+fn run_dir(case: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("crash-recovery-{}-{case}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Everything a run's outcome is compared on: the three serialized
+/// reports plus scan totals and the shared health-tracker state.
+#[derive(PartialEq)]
+struct Outcome {
+    zones: String,
+    figure1: String,
+    degradation: String,
+    simulated_duration: u64,
+    total_queries: u64,
+    health: Vec<(Addr, AddrHealth)>,
+}
+
+impl Outcome {
+    fn of(results: &ScanResults, scanner: &Scanner) -> Self {
+        Outcome {
+            zones: serde_json::to_string(&results.zones).unwrap(),
+            figure1: serde_json::to_string(&report::figure1(results)).unwrap(),
+            degradation: serde_json::to_string(&report::degradation(results)).unwrap(),
+            simulated_duration: results.simulated_duration,
+            total_queries: results.total_queries,
+            health: scanner.health().snapshot(),
+        }
+    }
+
+    fn assert_identical(&self, other: &Outcome, what: &str) {
+        assert_eq!(self.zones, other.zones, "{what}: per-zone reports differ");
+        assert_eq!(self.figure1, other.figure1, "{what}: figure 1 differs");
+        assert_eq!(
+            self.degradation, other.degradation,
+            "{what}: degradation report differs"
+        );
+        assert_eq!(
+            self.simulated_duration, other.simulated_duration,
+            "{what}: simulated duration differs"
+        );
+        assert_eq!(
+            self.total_queries, other.total_queries,
+            "{what}: total queries differ"
+        );
+        assert_eq!(self.health, other.health, "{what}: health state differs");
+    }
+}
+
+/// Counts events without persisting anything (for the reference run).
+struct CountSink(AtomicU64);
+
+impl ProgressSink for CountSink {
+    fn on_zone(&self, _event: &ZoneEvent) -> bool {
+        self.0.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+}
+
+/// Simulates the process dying after `k` events reached the journal:
+/// event `k` (0-based) is rejected *before* it is journaled or folded
+/// into memory — exactly what a kill between the scan step and the
+/// journal write looks like.
+struct KillSwitch<'a> {
+    journal: &'a JournalSink,
+    remaining: AtomicI64,
+}
+
+impl ProgressSink for KillSwitch<'_> {
+    fn on_zone(&self, event: &ZoneEvent) -> bool {
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return false;
+        }
+        self.journal.on_zone(event)
+    }
+}
+
+/// The uninterrupted reference run: its outcome and its event count.
+fn reference() -> (Outcome, u64) {
+    let (eco, scanner) = fresh_world();
+    let seeds = eco.seeds.compile(&eco.psl);
+    let counter = CountSink(AtomicU64::new(0));
+    let results = scanner.scan_all_with(&seeds, Some(&counter), None);
+    assert!(!results.zones.is_empty());
+    (
+        Outcome::of(&results, &scanner),
+        counter.0.load(Ordering::SeqCst),
+    )
+}
+
+fn header(seeds: &[dns_wire::name::Name]) -> JournalHeader {
+    JournalHeader {
+        run_id: RUN_ID,
+        fingerprint: fingerprint_names(seeds),
+    }
+}
+
+/// Run until `k` events are journaled, then "die". Returns how many
+/// events actually made it to disk.
+fn run_killed_at(dir: &Path, k: u64, checkpoint_every: u64) -> u64 {
+    let (eco, scanner) = fresh_world();
+    let seeds = eco.seeds.compile(&eco.psl);
+    let sink = JournalSink::create(dir, header(&seeds))
+        .expect("create journal")
+        .with_checkpoint_every(checkpoint_every);
+    let kill = KillSwitch {
+        journal: &sink,
+        remaining: AtomicI64::new(k as i64),
+    };
+    let _abandoned = scanner.scan_all_with(&seeds, Some(&kill), None);
+    sink.entries_logged()
+}
+
+/// Restart from whatever `dir` holds: fresh world, recover, replay
+/// effects, resume the scan, keep journaling.
+fn resume_from(dir: &Path) -> Outcome {
+    let (eco, scanner) = fresh_world();
+    let seeds = eco.seeds.compile(&eco.psl);
+    let recovery = recover(dir, header(&seeds)).expect("recovery must not fail");
+    recovery.apply_to(&scanner);
+    let sink = JournalSink::resume(dir, &recovery).expect("resume journal");
+    let results = scanner.scan_all_with(&seeds, Some(&sink), Some(recovery.resume_state()));
+    Outcome::of(&results, &scanner)
+}
+
+#[test]
+fn killed_at_any_cut_point_resumes_byte_identically() {
+    let (expected, n) = reference();
+    assert!(
+        n > 40,
+        "tiny world should emit well over 40 events, got {n}"
+    );
+
+    // ≥20 seeded cut points: dense at both edges (empty journal, one
+    // event, almost-done, exactly-done) and spread across the middle —
+    // including re-scan-pass territory at the high end.
+    let mut cuts: Vec<u64> = vec![0, 1, 2, 3, n - 2, n - 1, n];
+    let step = (n / 16).max(1);
+    cuts.extend((step..n - 2).step_by(step as usize));
+    cuts.sort_unstable();
+    cuts.dedup();
+    assert!(cuts.len() >= 20, "only {} cut points", cuts.len());
+
+    for &k in &cuts {
+        let dir = run_dir(&format!("cut-{k}"));
+        let journaled = run_killed_at(&dir, k, JournalSink::DEFAULT_CHECKPOINT_EVERY);
+        assert_eq!(
+            journaled, k,
+            "kill switch must stop after exactly {k} events"
+        );
+        let resumed = resume_from(&dir);
+        resumed.assert_identical(&expected, &format!("cut at {k}/{n}"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_journal_tails_are_detected_and_survived() {
+    let (expected, n) = reference();
+    let mid = n / 2;
+
+    // Three ways a crash mid-journal-write mangles the tail. Each must
+    // be caught by the frame checksum, truncated to the last valid
+    // entry, and healed by re-scanning the affected zones.
+    type Mutation = fn(&mut Vec<u8>);
+    let mutations: [(&str, Mutation); 3] = [
+        ("garbage-appended", |raw| raw.extend_from_slice(&[0xAA; 37])),
+        ("truncated-mid-frame", |raw| {
+            raw.truncate(raw.len() - 5);
+        }),
+        ("corrupt-byte-in-last-frame", |raw| {
+            let idx = raw.len() - 12;
+            raw[idx] ^= 0x40;
+        }),
+    ];
+
+    for (tag, mutate) in mutations {
+        let dir = run_dir(&format!("torn-{tag}"));
+        let journaled = run_killed_at(&dir, mid, 0);
+        assert_eq!(journaled, mid);
+        let path = dir.join(JOURNAL_FILE);
+        let mut raw = fs::read(&path).unwrap();
+        let clean_len = raw.len() as u64;
+        mutate(&mut raw);
+        fs::write(&path, &raw).unwrap();
+
+        // Recovery must flag the torn tail, trust at most the clean
+        // prefix, and truncate the file — never panic, never carry
+        // corrupt bytes forward.
+        let (eco, _) = fresh_world();
+        let seeds = eco.seeds.compile(&eco.psl);
+        let rec = recover(&dir, header(&seeds)).expect("recovery over torn tail");
+        assert!(
+            matches!(rec.journal_tail, TailStatus::Torn { .. }),
+            "{tag}: tail corruption must be reported"
+        );
+        assert!(
+            rec.next_seq() <= mid,
+            "{tag}: recovered more events than were written"
+        );
+        assert!(
+            fs::metadata(&path).unwrap().len() <= clean_len,
+            "{tag}: torn tail must be physically truncated"
+        );
+
+        let resumed = resume_from(&dir);
+        resumed.assert_identical(&expected, tag);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn checkpoint_alone_recovers_after_journal_loss() {
+    let (expected, n) = reference();
+    let kill = (n * 2) / 3;
+    let every = 8u64;
+    let dir = run_dir("checkpoint-only");
+    run_killed_at(&dir, kill, every);
+    fs::remove_file(dir.join(JOURNAL_FILE)).unwrap();
+
+    let (eco, _) = fresh_world();
+    let seeds = eco.seeds.compile(&eco.psl);
+    let rec = recover(&dir, header(&seeds)).expect("checkpoint-only recovery");
+    let expected_covered = (kill / every) * every;
+    assert_eq!(
+        rec.next_seq(),
+        expected_covered,
+        "checkpoint must cover every full interval written before the kill"
+    );
+    assert_eq!(rec.checkpoint_only as u64, expected_covered);
+
+    let resumed = resume_from(&dir);
+    resumed.assert_identical(&expected, "checkpoint-only");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resuming_against_a_different_seed_list_is_refused() {
+    let dir = run_dir("fingerprint");
+    run_killed_at(&dir, 5, 0);
+
+    let (eco, _) = fresh_world();
+    let mut seeds = eco.seeds.compile(&eco.psl);
+    seeds.truncate(seeds.len() - 1); // a different target list
+    let err = recover(&dir, header(&seeds)).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_journal_replay() {
+    let (expected, n) = reference();
+    let dir = run_dir("bad-checkpoint");
+    run_killed_at(&dir, n / 2, 8);
+
+    // Corrupt the checkpoint manifest; the journal alone must carry the
+    // full recovery.
+    let manifest = dir.join(scan_journal::MANIFEST_FILE);
+    let mut raw = fs::read(&manifest).unwrap();
+    let idx = raw.len() / 2;
+    raw[idx] ^= 0xFF;
+    fs::write(&manifest, &raw).unwrap();
+
+    let (eco, _) = fresh_world();
+    let seeds = eco.seeds.compile(&eco.psl);
+    let rec = recover(&dir, header(&seeds)).expect("recovery");
+    assert_eq!(rec.checkpoint_only, 0, "corrupt checkpoint must be ignored");
+    assert_eq!(rec.next_seq(), n / 2, "journal alone covers everything");
+
+    let resumed = resume_from(&dir);
+    resumed.assert_identical(&expected, "corrupt-checkpoint");
+    let _ = fs::remove_dir_all(&dir);
+}
