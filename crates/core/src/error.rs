@@ -6,11 +6,12 @@
 //! reported as [`DnssecClass::Indeterminate`](crate::types::DnssecClass)
 //! with these statistics attached.
 
+use dns_resolver::hostile::{HostileCause, HostileTally};
 use serde::Serialize;
 use std::fmt;
 
 /// Why one scanner-level query (or whole resolution) failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScanError {
     /// No server bound at the address; the query cost nothing.
     Unreachable,
@@ -23,18 +24,35 @@ pub enum ScanError {
     /// Iterative resolution failed because every server of some zone
     /// failed (the resolver-level analogue of a timeout).
     ResolutionFailed,
+    /// The hardening layer rejected adversarial behaviour, with a named
+    /// cause (DESIGN.md §6c). Hostile casualties follow the same
+    /// degradation path as transient faults: explicit, never a silent
+    /// misclassification.
+    Hostile(HostileCause),
+}
+
+// Hand-rolled: `HostileCause` lives in dns-resolver (which has no serde
+// dependency), so the derive cannot reach it. Unit variants keep their
+// derived-style string form; `Hostile` carries its cause label.
+impl Serialize for ScanError {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            ScanError::Hostile(c) => s.serialize_str(&format!("Hostile({})", c.label())),
+            other => s.serialize_str(&format!("{other:?}")),
+        }
+    }
 }
 
 impl fmt::Display for ScanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            ScanError::Unreachable => "unreachable",
-            ScanError::Timeout => "timeout",
-            ScanError::Malformed => "malformed reply",
-            ScanError::BreakerOpen => "circuit breaker open",
-            ScanError::ResolutionFailed => "resolution failed",
-        };
-        f.write_str(s)
+        match self {
+            ScanError::Unreachable => f.write_str("unreachable"),
+            ScanError::Timeout => f.write_str("timeout"),
+            ScanError::Malformed => f.write_str("malformed reply"),
+            ScanError::BreakerOpen => f.write_str("circuit breaker open"),
+            ScanError::ResolutionFailed => f.write_str("resolution failed"),
+            ScanError::Hostile(c) => write!(f, "hostile: {c}"),
+        }
     }
 }
 
@@ -72,6 +90,21 @@ pub struct RetryStats {
     /// Reply bytes received for this zone, cumulative across re-scan
     /// passes.
     pub bytes_received: u64,
+    /// Logical queries begun for this zone (what the amplification cap
+    /// bounds), cumulative across re-scan passes.
+    pub logical_queries: u64,
+    /// Hostile-event evidence per named cause (acceptance-gate
+    /// rejections, stripped foreign records, loop/fan-out/alias trips,
+    /// budget refusals, lame delegations). Counts are evidence, not
+    /// incident totals: a detection may be tallied at more than one
+    /// layer, so read each as "≥ 1 means this cause was observed".
+    pub hostile_mismatched: u64,
+    pub hostile_foreign: u64,
+    pub hostile_referral_loops: u64,
+    pub hostile_wide_referrals: u64,
+    pub hostile_alias_loops: u64,
+    pub hostile_budget: u64,
+    pub hostile_lame: u64,
 }
 
 impl RetryStats {
@@ -86,18 +119,58 @@ impl RetryStats {
             ScanError::Unreachable => self.unreachable += 1,
             ScanError::Malformed => self.malformed += 1,
             ScanError::ResolutionFailed => self.resolution_failures += 1,
+            ScanError::Hostile(c) => self.note_hostile(c),
         }
         self.failures += 1;
     }
 
+    /// Tally one hostile event under its named cause.
+    pub fn note_hostile(&mut self, cause: HostileCause) {
+        match cause {
+            HostileCause::MismatchedReply => self.hostile_mismatched += 1,
+            HostileCause::ForeignRecords => self.hostile_foreign += 1,
+            HostileCause::ReferralLoop => self.hostile_referral_loops += 1,
+            HostileCause::WideReferral => self.hostile_wide_referrals += 1,
+            HostileCause::AliasLoop => self.hostile_alias_loops += 1,
+            HostileCause::BudgetExceeded => self.hostile_budget += 1,
+            HostileCause::LameDelegation => self.hostile_lame += 1,
+        }
+    }
+
+    /// Merge a meter's hostile tally (events observed inside the client
+    /// and resolver, which never surfaced as a `ScanError`).
+    pub fn absorb_hostile(&mut self, tally: &HostileTally) {
+        self.hostile_mismatched += tally.mismatched_replies;
+        self.hostile_foreign += tally.foreign_records;
+        self.hostile_referral_loops += tally.referral_loops;
+        self.hostile_wide_referrals += tally.wide_referrals;
+        self.hostile_alias_loops += tally.alias_loops;
+        self.hostile_budget += tally.budget_exceeded;
+        self.hostile_lame += tally.lame_delegations;
+    }
+
+    /// Total hostile events across all named causes.
+    pub fn hostile_events(&self) -> u64 {
+        self.hostile_mismatched
+            + self.hostile_foreign
+            + self.hostile_referral_loops
+            + self.hostile_wide_referrals
+            + self.hostile_alias_loops
+            + self.hostile_budget
+            + self.hostile_lame
+    }
+
     /// Whether any evidence-reducing event occurred. `Unreachable` does
     /// not count: an unbound address is a property of the world (a stale
-    /// glue record), not a transient impairment.
+    /// glue record), not a transient impairment. Hostile events always
+    /// count: evidence filtered by the acceptance gate is evidence the
+    /// classifier did not get to see.
     pub fn degraded(&self) -> bool {
         self.timeouts > 0
             || self.malformed > 0
             || self.breaker_skips > 0
             || self.resolution_failures > 0
+            || self.hostile_events() > 0
     }
 }
 
@@ -139,6 +212,32 @@ mod tests {
         s.record(ScanError::BreakerOpen);
         assert!(s.degraded());
         assert_eq!(s.failures, 0);
+    }
+
+    #[test]
+    fn hostile_records_named_cause_and_degrades() {
+        let mut s = RetryStats::default();
+        assert!(!s.degraded());
+        s.record(ScanError::Hostile(HostileCause::ReferralLoop));
+        assert_eq!(s.hostile_referral_loops, 1);
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.hostile_events(), 1);
+        assert!(s.degraded());
+
+        let mut tally = HostileTally::default();
+        tally.note(HostileCause::ForeignRecords);
+        tally.note(HostileCause::BudgetExceeded);
+        s.absorb_hostile(&tally);
+        assert_eq!(s.hostile_foreign, 1);
+        assert_eq!(s.hostile_budget, 1);
+        assert_eq!(s.hostile_events(), 3);
+
+        let json = serde_json::to_string(&ScanError::Hostile(HostileCause::AliasLoop)).unwrap();
+        assert!(json.contains("alias-loop"), "{json}");
+        assert_eq!(
+            ScanError::Hostile(HostileCause::LameDelegation).to_string(),
+            "hostile: lame-delegation"
+        );
     }
 
     #[test]

@@ -21,8 +21,8 @@ use crate::types::*;
 use dns_crypto::UnixTime;
 use dns_resolver::validate::key_matches_any_ds;
 use dns_resolver::{
-    ClientErrorKind, DnsClient, QueryMeter, Resolution, Resolver, ResolverError, RetryPolicy,
-    RootHints,
+    ClientErrorKind, DnsClient, HostileCause, QueryMeter, Resolution, Resolver, ResolverError,
+    RetryPolicy, RootHints,
 };
 use dns_wire::message::Rcode;
 use dns_wire::name::Name;
@@ -63,6 +63,16 @@ pub struct ScanPolicy {
     /// Extra sequential passes over zones whose evidence came back
     /// incomplete (degraded or `Indeterminate`).
     pub rescan_passes: u32,
+    /// Run the Byzantine-hardening layer (response-acceptance gate
+    /// consequences surfaced as named causes, referral/alias loop
+    /// detection, lame-delegation detection). Off only for the
+    /// amplification ablation bench.
+    pub hardened: bool,
+    /// Per-zone logical-query budget — the amplification cap (0 =
+    /// unlimited). Sized as ≈3× the worst benign zone cost, so no
+    /// adversarial response pattern can make one zone cost more than a
+    /// small constant multiple of an honest one.
+    pub zone_query_budget: u64,
 }
 
 impl Default for ScanPolicy {
@@ -78,9 +88,19 @@ impl Default for ScanPolicy {
             breaker_threshold: 4,
             breaker_cooldown: 30_000_000,
             rescan_passes: 1,
+            hardened: true,
+            zone_query_budget: DEFAULT_ZONE_QUERY_BUDGET,
         }
     }
 }
+
+/// Default per-zone amplification cap. Empirically, the costliest benign
+/// zone needs 104 logical queries in the shrunken `paper_default` world
+/// (49 in `tiny`), so 240 gives every benign zone >2× headroom while
+/// staying under the 3× amplification bound the hostile-world suite
+/// enforces (see `crates/bench/benches/amplification_cost.rs` for the
+/// measured hardened-vs-unhardened ablation).
+pub const DEFAULT_ZONE_QUERY_BUDGET: u64 = 240;
 
 /// Aggregated scan output.
 #[derive(Debug, Default)]
@@ -114,6 +134,13 @@ struct Probe {
     health: BTreeMap<Addr, AddrHealth>,
 }
 
+/// One validated-key-cache entry: the keys plus the bailiwick they were
+/// validated under. Lookups for owners outside the provenance are refused.
+struct KeyCacheEntry {
+    keys: Vec<DnskeyData>,
+    provenance: Name,
+}
+
 /// The scanner. Thread-safe: share via `Arc` across workers.
 pub struct Scanner {
     client: Arc<DnsClient>,
@@ -126,9 +153,13 @@ pub struct Scanner {
     /// Validated DNSKEY sets per zone apex (root, TLDs — hot in every
     /// chain validation). Only *successful* validations are cached: a
     /// transient failure against one zone must not poison every later
-    /// chain that crosses it. Inserts are logged per zone (via
-    /// [`Probe::key_inserts`]) so journal replay can rebuild the cache.
-    key_cache: Mutex<HashMap<Name, Vec<DnskeyData>>>,
+    /// chain that crosses it. Every entry is provenance-tagged (the
+    /// bailiwick the keys were validated under) and only consulted for
+    /// owners inside that provenance, so a poisoned insert can never
+    /// flip another zone's classification. Inserts are logged per zone
+    /// (via [`Probe::key_inserts`]) so journal replay can rebuild the
+    /// cache.
+    key_cache: Mutex<HashMap<Name, KeyCacheEntry>>,
     /// Global per-address health statistics (observation only — feeds no
     /// decision, so it cannot perturb determinism). Fed by per-zone
     /// deltas merged at seal time.
@@ -151,11 +182,12 @@ impl Scanner {
             seed: 0xb007 ^ 0xca1e,
         };
         let client = Arc::new(DnsClient::with_retry(net, retry));
-        let resolver = Resolver::new(
+        let resolver = Resolver::with_hardening(
             Arc::clone(&client),
             RootHints {
                 addrs: roots.clone(),
             },
+            policy.hardened,
         );
         Scanner {
             client,
@@ -181,6 +213,21 @@ impl Scanner {
         &self.health
     }
 
+    /// The shared resolver (exposed for the cache-poisoning regression
+    /// suite, which plants adversarial cache entries directly).
+    pub fn resolver(&self) -> &Resolver {
+        &self.resolver
+    }
+
+    /// Test hook for the cache-poisoning regression suite: plant a
+    /// key-cache entry with an explicit provenance tag. An entry whose
+    /// provenance does not contain the owner must never be consulted.
+    pub fn poison_key_cache(&self, owner: Name, keys: Vec<DnskeyData>, provenance: Name) {
+        self.key_cache
+            .lock()
+            .insert(owner, KeyCacheEntry { keys, provenance });
+    }
+
     /// A fresh probe for one scan of `zone`. The query-ID sequence is
     /// seeded from `(zone, pass)`, so a zone's wire traffic is a pure
     /// function of the zone and pass number — independent of how many
@@ -200,7 +247,7 @@ impl Scanner {
                 self.policy.breaker_threshold,
                 self.policy.breaker_cooldown,
             ),
-            meter: QueryMeter::new(start_id),
+            meter: QueryMeter::with_budget(start_id, self.policy.zone_query_budget),
             limiters: HashMap::new(),
             key_inserts: Vec::new(),
             health: BTreeMap::new(),
@@ -253,6 +300,10 @@ impl Scanner {
                     ClientErrorKind::Unreachable => ScanError::Unreachable,
                     ClientErrorKind::Timeout => ScanError::Timeout,
                     ClientErrorKind::Malformed => ScanError::Malformed,
+                    ClientErrorKind::Rejected => ScanError::Hostile(HostileCause::MismatchedReply),
+                    ClientErrorKind::BudgetExceeded => {
+                        ScanError::Hostile(HostileCause::BudgetExceeded)
+                    }
                 });
                 probe.breaker.record_failure(addr, probe.clock);
                 probe.health.entry(addr).or_default().failures += 1;
@@ -272,11 +323,22 @@ impl Scanner {
         ds: &[DsData],
     ) -> Option<Vec<DnskeyData>> {
         if let Some(cached) = self.key_cache.lock().get(zone) {
-            return Some(cached.clone());
+            // Bailiwick rule: a cached key set only serves owners inside
+            // its provenance. A well-formed entry has provenance == owner;
+            // anything else is a poisoned insert and is ignored.
+            if zone.is_subdomain_of(&cached.provenance) {
+                return Some(cached.keys.clone());
+            }
         }
         let keys = self.fetch_keys_uncached(probe, zone, servers, ds);
         if let Some(k) = &keys {
-            self.key_cache.lock().insert(zone.clone(), k.clone());
+            self.key_cache.lock().insert(
+                zone.clone(),
+                KeyCacheEntry {
+                    keys: k.clone(),
+                    provenance: zone.clone(),
+                },
+            );
             probe.key_inserts.push((zone.clone(), k.clone()));
         }
         keys
@@ -418,10 +480,19 @@ impl Scanner {
         ) {
             Ok(r) => r,
             Err(e) => {
-                // "All servers failed" is a network-level failure — the
-                // evidence is incomplete, not the zone nonexistent.
-                if matches!(e, ResolverError::AllServersFailed(_)) {
-                    probe.stats.record(ScanError::ResolutionFailed);
+                match e {
+                    // "All servers failed" is a network-level failure —
+                    // the evidence is incomplete, not the zone
+                    // nonexistent.
+                    ResolverError::AllServersFailed(_) => {
+                        probe.stats.record(ScanError::ResolutionFailed);
+                    }
+                    // The hardening layer refused the walk: a hostile
+                    // casualty, reported under its named cause.
+                    ResolverError::Hostile(c) => {
+                        probe.stats.record(ScanError::Hostile(c));
+                    }
+                    _ => {}
                 }
                 return self.unresolvable(zone, probe);
             }
@@ -431,6 +502,15 @@ impl Scanner {
         };
         if last_link.child_apex != *zone || res.rcode == Rcode::NxDomain {
             // The zone is not actually delegated.
+            return self.unresolvable(zone, probe);
+        }
+        if self.policy.hardened && res.rcode == Rcode::Refused {
+            // Delegated, yet the delegated servers refuse to answer for
+            // it: a lame delegation. Without this check the zone would
+            // fall through and read as an artificial Unsigned.
+            probe
+                .stats
+                .record(ScanError::Hostile(HostileCause::LameDelegation));
             return self.unresolvable(zone, probe);
         }
         probe.clock += res.elapsed;
@@ -479,7 +559,12 @@ impl Scanner {
             }
         }
 
-        // 5. Classify.
+        // 5. Classify. First fold in hostile events the client/resolver
+        // observed silently (stripped foreign records, loop detections
+        // inside nested address walks, budget refusals), so the
+        // degradation logic below — and the report — sees them.
+        probe.stats.absorb_hostile(&probe.meter.hostile());
+        probe.stats.logical_queries = probe.meter.logical_queries();
         let mut dnssec = classify::dnssec_class(&chain, &observations, zone_keys.as_deref());
         // Degradation override: the zone resolved, but then *no* address
         // produced any answer while transient failures were piling up.
@@ -512,10 +597,15 @@ impl Scanner {
         }
     }
 
-    fn unresolvable(&self, zone: &Name, probe: &Probe) -> ZoneScan {
+    fn unresolvable(&self, zone: &Name, probe: &mut Probe) -> ZoneScan {
         // A zone that failed to resolve *because of network failures* is
         // Indeterminate (evidence incomplete); one that is genuinely
-        // undelegated is Unresolvable.
+        // undelegated is Unresolvable. Hostile casualties count as
+        // degradation, so they land in Indeterminate with their named
+        // cause in the stats — never in Unresolvable, which would
+        // misread an attack as a property of the world.
+        probe.stats.absorb_hostile(&probe.meter.hostile());
+        probe.stats.logical_queries = probe.meter.logical_queries();
         let degraded = probe.stats.degraded();
         ZoneScan {
             name: zone.clone(),
@@ -692,13 +782,21 @@ impl Scanner {
             obs.name_unbuildable = true;
             return obs;
         };
-        let Ok(res) = self.resolver.resolve_at_with(
+        let res = match self.resolver.resolve_at_with(
             Some(&probe.meter),
             probe.clock,
             &signame,
             RecordType::Cds,
-        ) else {
-            return obs;
+        ) {
+            Ok(r) => r,
+            Err(ResolverError::Hostile(c)) => {
+                // An adversary answering for the signal name (alias
+                // loops, referral games) is a hostile casualty of this
+                // zone's scan — named, and degrading.
+                probe.stats.record(ScanError::Hostile(c));
+                return obs;
+            }
+            Err(_) => return obs,
         };
         probe.clock += res.elapsed;
         probe.queries += res.queries;
@@ -962,7 +1060,13 @@ impl Scanner {
     /// the cache state they would have seen in the uninterrupted run.
     pub fn restore_effects(&self, effects: &ZoneEffects) {
         for (zone, keys) in &effects.key_inserts {
-            self.key_cache.lock().insert(zone.clone(), keys.clone());
+            self.key_cache.lock().insert(
+                zone.clone(),
+                KeyCacheEntry {
+                    keys: keys.clone(),
+                    provenance: zone.clone(),
+                },
+            );
         }
         for (ns, addrs) in &effects.addr_inserts {
             self.resolver.seed_address(ns.clone(), addrs.clone());

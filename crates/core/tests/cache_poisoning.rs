@@ -1,0 +1,118 @@
+//! Cache-poisoning regression suite (DESIGN.md §6c).
+//!
+//! Both shared caches in the scanner stack are provenance-tagged: the
+//! scanner's DNSKEY cache and the resolver's NS-address cache. An entry
+//! may only be consulted for owners *inside* its provenance. These tests
+//! plant poisoned entries directly through the test hooks and prove they
+//! are dead weight: lookups ignore them, evidence is re-fetched from the
+//! network, and classifications match an unpoisoned scan bit for bit.
+
+use bootscan::operator::OperatorTable;
+use bootscan::{ScanPolicy, Scanner};
+use dns_ecosystem::{build, DnssecState, Ecosystem, EcosystemConfig};
+use dns_wire::name::Name;
+use dns_wire::rdata::DnskeyData;
+use netsim::Addr;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn scanner_for(eco: &Ecosystem) -> Arc<Scanner> {
+    let table = OperatorTable::from_operators(
+        eco.operators
+            .iter()
+            .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+    );
+    Arc::new(Scanner::new(
+        Arc::clone(&eco.net),
+        eco.roots.clone(),
+        eco.anchors.clone(),
+        table,
+        eco.now,
+        ScanPolicy::default(),
+    ))
+}
+
+/// A secured, non-legacy zone from the tiny world (the class whose
+/// classification depends on chain validation, i.e. on trusted keys).
+fn secured_zone(eco: &Ecosystem) -> Name {
+    eco.truth
+        .iter()
+        .find(|t| t.dnssec == DnssecState::Secured && !t.legacy_ns && !t.in_domain_ns)
+        .map(|t| t.name.clone())
+        .expect("tiny world plants secured zones")
+}
+
+fn garbage_keys() -> Vec<DnskeyData> {
+    vec![DnskeyData {
+        flags: 257,
+        protocol: 3,
+        algorithm: 13,
+        public_key: vec![0xde; 64],
+    }]
+}
+
+#[test]
+fn poisoned_key_cache_entries_are_never_consulted() {
+    let eco = build(EcosystemConfig::tiny(7));
+    let zone = secured_zone(&eco);
+
+    let clean = scanner_for(&eco).scan_all(std::slice::from_ref(&zone));
+    let baseline = serde_json::to_string(&clean.zones[0]).unwrap();
+
+    // Attacker-grade inserts: garbage key sets for the validation chain's
+    // ancestors, tagged with a provenance that does not contain them.
+    let scanner = scanner_for(&eco);
+    let foreign = Name::parse("zzadv").unwrap();
+    scanner.poison_key_cache(Name::root(), garbage_keys(), foreign.clone());
+    scanner.poison_key_cache(Name::parse("com").unwrap(), garbage_keys(), foreign.clone());
+    scanner.poison_key_cache(zone.parent().unwrap(), garbage_keys(), foreign.clone());
+    scanner.poison_key_cache(zone.clone(), garbage_keys(), foreign);
+
+    let poisoned = scanner.scan_all(std::slice::from_ref(&zone));
+    assert_eq!(
+        baseline,
+        serde_json::to_string(&poisoned.zones[0]).unwrap(),
+        "{zone}: poisoned key-cache entries changed the scan outcome"
+    );
+    assert!(
+        !poisoned.zones[0].degraded,
+        "{zone}: scan through a poisoned cache must stay clean, not degraded"
+    );
+}
+
+#[test]
+fn poisoned_address_cache_entries_are_never_consulted() {
+    let eco = build(EcosystemConfig::tiny(7));
+    let zone = secured_zone(&eco);
+    let truth = eco.truth_of(&zone).unwrap();
+    let op = &eco.operators[truth.operator];
+
+    let clean = scanner_for(&eco).scan_all(std::slice::from_ref(&zone));
+    let baseline = serde_json::to_string(&clean.zones[0]).unwrap();
+
+    // Redirect every NS hostname of the zone's operator to an attacker
+    // address — but with a provenance that does not contain the hostname.
+    let attacker = Addr::V4(Ipv4Addr::new(10, 200, 0, 77));
+    let scanner = scanner_for(&eco);
+    for host in &op.hosts {
+        scanner.resolver().seed_address_with_provenance(
+            host.clone(),
+            vec![attacker],
+            Name::parse("zzadv").unwrap(),
+        );
+    }
+
+    let poisoned = scanner.scan_all(std::slice::from_ref(&zone));
+    assert_eq!(
+        baseline,
+        serde_json::to_string(&poisoned.zones[0]).unwrap(),
+        "{zone}: poisoned address-cache entries changed the scan outcome"
+    );
+    // The attacker address must never have seen a single datagram.
+    let snap = eco.net.stats().snapshot();
+    assert_eq!(
+        snap.per_dest.get(&attacker).copied().unwrap_or(0),
+        0,
+        "{zone}: scanner sent traffic to a poisoned (out-of-provenance) address"
+    );
+}

@@ -15,13 +15,14 @@
 
 use crate::psl::PublicSuffixList;
 use crate::seeds::SeedLists;
-use crate::spec::{EcosystemConfig, OperatorSpec};
+use crate::spec::{AdversaryArchetype, EcosystemConfig, OperatorSpec};
 use crate::truth::{CdsState, DnssecState, SignalDefect, SignalTruth, ZoneTruth};
 use dns_crypto::{Algorithm, DigestType, UnixTime};
-use dns_server::{AuthServer, ParkingServer, Quirks, ZoneStore};
+use dns_server::{AuthServer, ByzantineMode, ByzantineServer, ParkingServer, Quirks, ZoneStore};
 use dns_wire::name::Name;
 use dns_wire::rdata::{DsData, RData, SoaData};
 use dns_wire::record::{Record, RecordType};
+use dns_zone::keys::CdsPublication;
 use dns_zone::signer::Denial;
 use dns_zone::{signal, Corruption, Zone, ZoneKeys, ZoneSigner};
 use netsim::{Addr, Network};
@@ -106,13 +107,28 @@ struct Builder {
     zone_seq: u64,
     /// Extra (zone, store) insertions for special servers.
     parking_addr: Option<Addr>,
+    /// Separate address pool (10.200/16) for the adversarial tier, so
+    /// benign address allocation is identical with or without it — and so
+    /// tests can attribute network accounting to hostile infrastructure
+    /// by prefix.
+    next_adv_v4: u32,
+    /// Keys for the `zzadv` registry, drawn from the adversary RNG so the
+    /// benign key stream (and thus the root keys) is untouched.
+    adv_tld_keys: Option<ZoneKeys>,
 }
 
 /// Build the world described by `cfg`.
 pub fn build(cfg: EcosystemConfig) -> Ecosystem {
     let seed = cfg.seed;
     let net = Arc::new(Network::new(seed));
-    let psl = PublicSuffixList::simulated();
+    let mut psl = PublicSuffixList::simulated();
+    if !cfg.adversaries.is_empty() {
+        // The hostile tier's registry. Registered before TLD-zone init so
+        // adversarial zone names are registrable; everything else about
+        // the tier (addresses, keys, servers) is kept off the benign
+        // RNG/address streams so the benign world is byte-identical.
+        psl.add(Name::parse("zzadv").unwrap());
+    }
     let mut b = Builder {
         rng: StdRng::seed_from_u64(seed),
         net,
@@ -124,6 +140,8 @@ pub fn build(cfg: EcosystemConfig) -> Ecosystem {
         truth: Vec::new(),
         zone_seq: 0,
         parking_addr: None,
+        next_adv_v4: 0x0ac8_0001, // 10.200.0.1
+        adv_tld_keys: None,
         cfg,
     };
     b.init_tld_zones();
@@ -133,6 +151,7 @@ pub fn build(cfg: EcosystemConfig) -> Ecosystem {
     b.generate_in_domain_zones();
     b.build_parking_infra();
     b.finish_operator_base_zones();
+    b.build_adversaries();
     let (roots, anchors, registry_stores, tld_keys) = b.finish_registries();
     let seeds = SeedLists::generate(&b.truth, &b.psl, b.cfg.seed ^ 0x5eed);
     Ecosystem {
@@ -160,6 +179,12 @@ impl Builder {
         let v = self.next_v6;
         self.next_v6 += 1;
         Addr::V6(Ipv6Addr::from((0xfc00u128 << 112) | v as u128))
+    }
+
+    fn alloc_adv_v4(&mut self) -> Addr {
+        let v = self.next_adv_v4;
+        self.next_adv_v4 += 1;
+        Addr::V4(Ipv4Addr::from(v))
     }
 
     fn soa(apex: &Name) -> Record {
@@ -561,6 +586,7 @@ impl Builder {
             signal,
             legacy_ns: self.ops[op_idx].spec.quirks.pre_rfc3597,
             in_domain_ns: false,
+            adversary: None,
         });
     }
 
@@ -794,6 +820,7 @@ impl Builder {
                 signal: SignalTruth::NotPublished,
                 legacy_ns: false,
                 in_domain_ns: true,
+                adversary: None,
             });
         }
     }
@@ -910,6 +937,239 @@ impl Builder {
         }
     }
 
+    /// Plant the adversarial tier (DESIGN.md §6c) under its own `zzadv`
+    /// registry.
+    ///
+    /// Isolation invariants, so mixed worlds keep the benign subset
+    /// byte-identical to a pure world built from the same config:
+    /// * all randomness comes from a dedicated RNG (`seed ^ ADV_SALT`),
+    ///   never from `self.rng`;
+    /// * all addresses come from the 10.200/16 pool, never `alloc_v4`;
+    /// * all names live under `zzadv`, which sorts after every benign
+    ///   suffix in the registry signing order and after every benign zone
+    ///   in the compiled seed list.
+    fn build_adversaries(&mut self) {
+        if self.cfg.adversaries.is_empty() {
+            return;
+        }
+        let adv_tld = Name::parse("zzadv").unwrap();
+        let mut adv_rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x00ad_5e7a);
+        self.adv_tld_keys = Some(ZoneKeys::generate(&mut adv_rng, Algorithm::EcdsaP256Sha256));
+
+        // Shared hostile infrastructure, one server per mode.
+        let lame_addr = self.adv_bind(ByzantineServer::new(ByzantineMode::Lame));
+        let decoy = adv_tld.prepend_label(b"zzdecoy").unwrap();
+        let wrong_qname_addr =
+            self.adv_bind(ByzantineServer::new(ByzantineMode::WrongQname { decoy }));
+        let bad_id_addr = self.adv_bind(ByzantineServer::new(ByzantineMode::MismatchedId));
+
+        // Glueless referral ping-pong web: each web zone's only NS is
+        // named under the other, so resolving either address recurses
+        // until the visited-set (hardened) or the depth cap (unhardened)
+        // breaks the cycle. Served entirely by the honest registry.
+        let web1 = adv_tld.prepend_label(b"zzrlweb1").unwrap();
+        let web2 = adv_tld.prepend_label(b"zzrlweb2").unwrap();
+        let web1_ns = web1.prepend_label(b"ns1").unwrap();
+        let web2_ns = web2.prepend_label(b"ns1").unwrap();
+        {
+            let tldz = self.tlds.get_mut(&adv_tld).expect("zzadv zone");
+            tldz.add(Record::new(web1.clone(), 3600, RData::Ns(web2_ns)));
+            tldz.add(Record::new(web2.clone(), 3600, RData::Ns(web1_ns.clone())));
+        }
+
+        // The signal-CNAME-loop operator: an honest server fleet whose
+        // base zone aliases RFC 9615 signal names into a CNAME cycle.
+        let sigop_base = adv_tld.prepend_label(b"zzsigop").unwrap();
+        let sigop_ns: Vec<Name> = (1..=2)
+            .map(|i| {
+                sigop_base
+                    .prepend_label(format!("ns{i}").as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        let sigop_store = Arc::new(ZoneStore::new());
+        let sigop_addrs: Vec<Addr> = sigop_ns
+            .iter()
+            .map(|_| {
+                let addr = self.alloc_adv_v4();
+                let sid = self.net.register(AuthServer::new(Arc::clone(&sigop_store)));
+                self.net.bind_simple(addr, sid);
+                addr
+            })
+            .collect();
+        let chain_a = sigop_base.prepend_label(b"zzchaina").unwrap();
+        let chain_b = sigop_base.prepend_label(b"zzchainb").unwrap();
+        let mut sigop_zone = Zone::new(sigop_base.clone());
+        sigop_zone.add(Self::soa(&sigop_base));
+        for (ns, addr) in sigop_ns.iter().zip(&sigop_addrs) {
+            sigop_zone.add(Record::new(sigop_base.clone(), 3600, RData::Ns(ns.clone())));
+            sigop_zone.add(Record::new(ns.clone(), 3600, rdata_for(*addr)));
+        }
+        sigop_zone.add(Record::new(
+            chain_a.clone(),
+            300,
+            RData::Cname(chain_b.clone()),
+        ));
+        sigop_zone.add(Record::new(
+            chain_b.clone(),
+            300,
+            RData::Cname(chain_a.clone()),
+        ));
+        {
+            let tldz = self.tlds.get_mut(&adv_tld).expect("zzadv zone");
+            for (ns, addr) in sigop_ns.iter().zip(&sigop_addrs) {
+                tldz.add(Record::new(sigop_base.clone(), 3600, RData::Ns(ns.clone())));
+                tldz.add(Record::new(ns.clone(), 3600, rdata_for(*addr)));
+            }
+        }
+
+        let specs = self.cfg.adversaries.clone();
+        for spec in &specs {
+            for i in 0..spec.zones {
+                let name = adv_tld
+                    .prepend_label(format!("zz{}{:03}", spec.archetype.label(), i).as_bytes())
+                    .unwrap();
+                let mut dnssec = DnssecState::Unsigned;
+                let mut cds = CdsState::None;
+                match spec.archetype {
+                    AdversaryArchetype::Lame => {
+                        self.adv_delegate_glued(&name, lame_addr);
+                    }
+                    AdversaryArchetype::ReferralLoop => {
+                        // Glueless delegation into the ping-pong web.
+                        let tldz = self.tlds.get_mut(&adv_tld).expect("zzadv zone");
+                        tldz.add(Record::new(name.clone(), 3600, RData::Ns(web1_ns.clone())));
+                    }
+                    AdversaryArchetype::SelfGlue => {
+                        let ns = name.prepend_label(b"ns1").unwrap();
+                        let addr = self.alloc_adv_v4();
+                        let glue = Record::new(ns.clone(), 3600, rdata_for(addr));
+                        let sid =
+                            self.net
+                                .register(ByzantineServer::new(ByzantineMode::Referral {
+                                    cut: name.clone(),
+                                    ns: vec![ns.clone()],
+                                    glue: vec![glue],
+                                }));
+                        self.net.bind_simple(addr, sid);
+                        let tldz = self.tlds.get_mut(&adv_tld).expect("zzadv zone");
+                        tldz.add(Record::new(name.clone(), 3600, RData::Ns(ns.clone())));
+                        tldz.add(Record::new(ns, 3600, rdata_for(addr)));
+                    }
+                    AdversaryArchetype::OutOfBailiwick => {
+                        self.plant_inject_zone(&name, 3, 3, i);
+                    }
+                    AdversaryArchetype::WrongQname => {
+                        self.adv_delegate_glued(&name, wrong_qname_addr);
+                    }
+                    AdversaryArchetype::MismatchedId => {
+                        self.adv_delegate_glued(&name, bad_id_addr);
+                    }
+                    AdversaryArchetype::NxnsFanout => {
+                        // 24 glueless in-zone NSes: a referral wider than
+                        // any benign operator fleet, with nothing behind it.
+                        let tldz = self.tlds.get_mut(&adv_tld).expect("zzadv zone");
+                        for k in 1..=24 {
+                            let ns = name.prepend_label(format!("ns{k}").as_bytes()).unwrap();
+                            tldz.add(Record::new(name.clone(), 3600, RData::Ns(ns)));
+                        }
+                    }
+                    AdversaryArchetype::SignalCnameLoop => {
+                        dnssec = DnssecState::Island;
+                        cds = CdsState::Valid;
+                        let keys = ZoneKeys::generate(&mut adv_rng, Algorithm::EcdsaP256Sha256);
+                        let mut z = Zone::new(name.clone());
+                        z.add(Self::soa(&name));
+                        for ns in &sigop_ns {
+                            z.add(Record::new(name.clone(), 3600, RData::Ns(ns.clone())));
+                        }
+                        for r in keys.cds_records(&name, 300, CdsPublication::STANDARD) {
+                            z.add(r);
+                        }
+                        self.signer().sign(&mut z, &keys);
+                        sigop_store.insert(z);
+                        // Signal names for this zone alias into the loop.
+                        for ns in &sigop_ns {
+                            if let Ok(sn) = signal::signal_name(&name, ns) {
+                                sigop_zone.add(Record::new(sn, 300, RData::Cname(chain_a.clone())));
+                            }
+                        }
+                        let tldz = self.tlds.get_mut(&adv_tld).expect("zzadv zone");
+                        for ns in &sigop_ns {
+                            tldz.add(Record::new(name.clone(), 3600, RData::Ns(ns.clone())));
+                        }
+                    }
+                    AdversaryArchetype::OversizedReferral => {
+                        self.plant_inject_zone(&name, 0, 32, i);
+                    }
+                }
+                self.truth.push(ZoneTruth {
+                    name,
+                    operator: 0,
+                    second_operator: None,
+                    dnssec,
+                    cds,
+                    signal: SignalTruth::NotPublished,
+                    legacy_ns: false,
+                    in_domain_ns: false,
+                    adversary: Some(spec.archetype),
+                });
+            }
+        }
+        sigop_store.insert(sigop_zone);
+    }
+
+    /// Register a byzantine server at a fresh adversary-pool address.
+    fn adv_bind(&mut self, server: ByzantineServer) -> Addr {
+        let addr = self.alloc_adv_v4();
+        let sid = self.net.register(server);
+        self.net.bind_simple(addr, sid);
+        addr
+    }
+
+    /// Delegate `zone` from the `zzadv` registry to `ns1.<zone>` with
+    /// in-bailiwick glue pointing at `addr`.
+    fn adv_delegate_glued(&mut self, zone: &Name, addr: Addr) {
+        let ns = zone.prepend_label(b"ns1").unwrap();
+        let adv_tld = zone.parent().expect("adversarial zone under zzadv");
+        let tldz = self.tlds.get_mut(&adv_tld).expect("zzadv zone");
+        tldz.add(Record::new(zone.clone(), 3600, RData::Ns(ns.clone())));
+        tldz.add(Record::new(ns, 3600, rdata_for(addr)));
+    }
+
+    /// An honest unsigned zone behind an [`ByzantineMode::Inject`] server
+    /// that pads every response with `n_ans` junk answer records and
+    /// `n_auth` junk authority records at out-of-bailiwick names.
+    fn plant_inject_zone(&mut self, zone: &Name, n_ans: usize, n_auth: usize, salt: usize) {
+        let ns = zone.prepend_label(b"ns1").unwrap();
+        let addr = self.alloc_adv_v4();
+        let mut z = Zone::new(zone.clone());
+        z.add(Self::soa(zone));
+        z.add(Record::new(zone.clone(), 3600, RData::Ns(ns.clone())));
+        z.add(Record::new(ns.clone(), 3600, rdata_for(addr)));
+        let store = Arc::new(ZoneStore::new());
+        store.insert(z);
+        let junk = |k: usize| {
+            Record::new(
+                Name::parse(&format!("zzpoison{salt}x{k}.com")).unwrap(),
+                300,
+                RData::A(Ipv4Addr::new(10, 200, 255, (k % 250) as u8 + 1)),
+            )
+        };
+        let sid = self
+            .net
+            .register(ByzantineServer::new(ByzantineMode::Inject {
+                inner: store,
+                junk_answers: (0..n_ans).map(junk).collect(),
+                junk_authority: (n_ans..n_ans + n_auth).map(junk).collect(),
+            }));
+        self.net.bind_simple(addr, sid);
+        let adv_tld = zone.parent().expect("adversarial zone under zzadv");
+        let tldz = self.tlds.get_mut(&adv_tld).expect("zzadv zone");
+        tldz.add(Record::new(zone.clone(), 3600, RData::Ns(ns.clone())));
+        tldz.add(Record::new(ns, 3600, rdata_for(addr)));
+    }
+
     /// Sign the TLD zones, build TLD servers, the root, and the anchors.
     #[allow(clippy::type_complexity)]
     fn finish_registries(
@@ -960,7 +1220,16 @@ impl Builder {
                 .unwrap()
                 .prepend_label(b"ns1")
                 .unwrap();
-            let tld_addr = self.alloc_v4();
+            // The adversarial registry draws from the adversary address
+            // pool and pre-generated keys; benign suffixes must see the
+            // exact same allocation/key streams either way. (`zzadv` also
+            // sorts last here, so benign registries are processed first.)
+            let is_adv = self.adv_tld_keys.is_some() && suffix.to_string_fqdn() == "zzadv.";
+            let tld_addr = if is_adv {
+                self.alloc_adv_v4()
+            } else {
+                self.alloc_v4()
+            };
             // The apex NS (placeholder from init) is already ns1.nic.<suffix>;
             // add its authoritative address record.
             let glue = Record::new(tld_ns.clone(), 3600, rdata_for(tld_addr));
@@ -979,7 +1248,11 @@ impl Builder {
                     }
                 }
             }
-            let keys = ZoneKeys::generate(&mut self.rng, Algorithm::EcdsaP256Sha256);
+            let keys = if is_adv {
+                self.adv_tld_keys.take().expect("adv keys generated once")
+            } else {
+                ZoneKeys::generate(&mut self.rng, Algorithm::EcdsaP256Sha256)
+            };
             signer.sign(&mut z, &keys);
             let ds = keys.ds_records(&suffix, 3600, DigestType::Sha256);
             tld_keys_map.insert(suffix.clone(), keys.clone());

@@ -30,5 +30,5 @@ pub mod truth;
 pub use build::{build, Ecosystem, OperatorInfo};
 pub use psl::PublicSuffixList;
 pub use seeds::SeedLists;
-pub use spec::{EcosystemConfig, OperatorSpec};
+pub use spec::{AdversaryArchetype, AdversaryOpSpec, EcosystemConfig, OperatorSpec};
 pub use truth::{CdsState, DnssecState, SignalDefect, SignalTruth, ZoneTruth};

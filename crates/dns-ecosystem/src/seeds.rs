@@ -140,6 +140,7 @@ mod tests {
             signal: SignalTruth::NotPublished,
             legacy_ns: false,
             in_domain_ns: in_domain,
+            adversary: None,
         }
     }
 

@@ -218,6 +218,77 @@ pub struct MultiOpSpec {
     pub signal_inconsistent: usize,
 }
 
+/// A hostile-operator archetype: one way a misconfigured or actively
+/// adversarial delegation can try to waste, mislead, or poison a scanner.
+///
+/// Each archetype exercises a distinct acceptance rule in the hardened
+/// resolver (see DESIGN.md §6c for the archetype → `HostileCause` map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdversaryArchetype {
+    /// Delegation points at a server that answers REFUSED for everything.
+    Lame,
+    /// Referral ping-pong: server A refers to B, B refers back to A,
+    /// never making progress below the delegation cut.
+    ReferralLoop,
+    /// A referral whose only glue points back at the referring server
+    /// itself.
+    SelfGlue,
+    /// Otherwise-honest answers padded with authority/additional records
+    /// at names outside the zone's bailiwick (cache-poisoning bait).
+    OutOfBailiwick,
+    /// Replies carry a different QNAME than the question asked.
+    WrongQname,
+    /// Replies carry a mismatched transaction ID (off-path spoof model).
+    MismatchedId,
+    /// NXNS-style amplification: a delegation fanning out to dozens of
+    /// unresolvable in-zone nameserver names with no glue.
+    NxnsFanout,
+    /// CNAME chain at the RFC 9615 signal names that closes into a loop.
+    SignalCnameLoop,
+    /// Referral responses padded with dozens of junk records to inflate
+    /// the scanner's parse and cache workload.
+    OversizedReferral,
+}
+
+impl AdversaryArchetype {
+    /// All archetypes, in a stable order (used to build full-complement
+    /// worlds and to iterate deterministically).
+    pub const ALL: [AdversaryArchetype; 9] = [
+        AdversaryArchetype::Lame,
+        AdversaryArchetype::ReferralLoop,
+        AdversaryArchetype::SelfGlue,
+        AdversaryArchetype::OutOfBailiwick,
+        AdversaryArchetype::WrongQname,
+        AdversaryArchetype::MismatchedId,
+        AdversaryArchetype::NxnsFanout,
+        AdversaryArchetype::SignalCnameLoop,
+        AdversaryArchetype::OversizedReferral,
+    ];
+
+    /// Stable lowercase label, also used as the zone-name stem for the
+    /// adversarial zones of this archetype.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdversaryArchetype::Lame => "lame",
+            AdversaryArchetype::ReferralLoop => "refloop",
+            AdversaryArchetype::SelfGlue => "selfglue",
+            AdversaryArchetype::OutOfBailiwick => "oob",
+            AdversaryArchetype::WrongQname => "wrongqname",
+            AdversaryArchetype::MismatchedId => "badid",
+            AdversaryArchetype::NxnsFanout => "nxns",
+            AdversaryArchetype::SignalCnameLoop => "cnameloop",
+            AdversaryArchetype::OversizedReferral => "padded",
+        }
+    }
+}
+
+/// How many zones of one adversarial archetype to plant.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversaryOpSpec {
+    pub archetype: AdversaryArchetype,
+    pub zones: usize,
+}
+
 /// The whole world.
 #[derive(Debug, Clone)]
 pub struct EcosystemConfig {
@@ -230,6 +301,10 @@ pub struct EcosystemConfig {
     pub multi: MultiOpSpec,
     /// Zones whose NSes are all in-domain (excluded from seeds per §3).
     pub in_domain_only: usize,
+    /// Hostile operators (empty in the calibrated paper worlds; the
+    /// adversarial tier lives under its own `zzadv` registry so benign
+    /// world generation is byte-identical with or without it).
+    pub adversaries: Vec<AdversaryOpSpec>,
 }
 
 /// Scale a paper count: nonzero counts survive scaling with a floor of 1,
@@ -586,6 +661,7 @@ impl EcosystemConfig {
                 signal_inconsistent: s(32, 1),
             },
             in_domain_only: s(500_000, scale),
+            adversaries: Vec::new(),
         }
     }
 
@@ -663,7 +739,22 @@ impl EcosystemConfig {
                 signal_inconsistent: 1,
             },
             in_domain_only: 3,
+            adversaries: Vec::new(),
         }
+    }
+
+    /// Add `zones_per_archetype` zones of every adversarial archetype to
+    /// this config (builder-style). The hostile tier lives under its own
+    /// `zzadv` registry, so adding it never perturbs the benign world.
+    pub fn with_adversaries(mut self, zones_per_archetype: usize) -> Self {
+        self.adversaries = AdversaryArchetype::ALL
+            .iter()
+            .map(|&archetype| AdversaryOpSpec {
+                archetype,
+                zones: zones_per_archetype,
+            })
+            .collect();
+        self
     }
 
     /// Total zones this config will generate (excluding multi-operator

@@ -87,6 +87,9 @@ pub struct ZoneTruth {
     /// All NSes are inside the zone itself (excluded from scanning per
     /// §3 — "these could never be bootstrapped").
     pub in_domain_ns: bool,
+    /// Hostile archetype, for zones planted by the adversarial tier
+    /// (`None` for every benign zone).
+    pub adversary: Option<crate::spec::AdversaryArchetype>,
 }
 
 impl ZoneTruth {
@@ -173,6 +176,7 @@ mod tests {
             signal,
             legacy_ns: false,
             in_domain_ns: false,
+            adversary: None,
         }
     }
 

@@ -6,6 +6,7 @@
 //! [`RetryPolicy`] re-sends timed-out or malformed exchanges with
 //! exponential backoff and deterministic jitter.
 
+use crate::hostile::{HostileCause, HostileTally};
 use dns_wire::message::Message;
 use dns_wire::name::Name;
 use dns_wire::record::RecordType;
@@ -43,6 +44,13 @@ pub enum ClientErrorKind {
     Timeout,
     /// A reply arrived but did not parse as a DNS message.
     Malformed,
+    /// A reply parsed but failed the acceptance gate (wrong ID, QNAME or
+    /// QTYPE, or not a response at all) on every attempt. Retried like
+    /// `Malformed` — the mismatch may be a one-off injection.
+    Rejected,
+    /// The meter's per-zone work budget was exhausted before the query
+    /// was sent; no datagram left, the failure costs nothing.
+    BudgetExceeded,
 }
 
 /// A failed logical query, with exact cost accounting.
@@ -161,23 +169,80 @@ pub struct QueryMeter {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     tcp_fallbacks: AtomicU64,
+    /// Logical queries begun (each `query_at_with` call, before netsim
+    /// retries fan out into datagrams).
+    logical: AtomicU64,
+    /// Hard cap on `logical`; 0 = unlimited. Once reached, further
+    /// queries fail instantly with [`ClientErrorKind::BudgetExceeded`] —
+    /// this is the amplification cap.
+    budget: u64,
+    /// Per-cause hostile-event counters, [`HostileCause::index`]-ordered.
+    hostile: [AtomicU64; 7],
 }
 
 impl QueryMeter {
-    /// A fresh meter whose first query will use `start_id`.
+    /// A fresh meter whose first query will use `start_id`, no budget.
     pub fn new(start_id: u16) -> Self {
+        QueryMeter::with_budget(start_id, 0)
+    }
+
+    /// A fresh meter with a logical-query budget (0 = unlimited).
+    pub fn with_budget(start_id: u16, budget: u64) -> Self {
         QueryMeter {
             next_id: AtomicU16::new(start_id),
             datagrams: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
             tcp_fallbacks: AtomicU64::new(0),
+            logical: AtomicU64::new(0),
+            budget,
+            hostile: Default::default(),
         }
     }
 
     /// The next query ID in this meter's private sequence (wrapping).
     pub fn next_id(&self) -> u16 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The configured logical-query budget (0 = unlimited).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Logical queries begun so far.
+    pub fn logical_queries(&self) -> u64 {
+        self.logical.load(Ordering::Relaxed)
+    }
+
+    /// Charge one logical query against the budget. `false` means the
+    /// budget is exhausted (the exceed event is tallied once per refusal).
+    fn begin_query(&self) -> bool {
+        if self.budget != 0 && self.logical.load(Ordering::Relaxed) >= self.budget {
+            self.note_hostile(HostileCause::BudgetExceeded);
+            return false;
+        }
+        self.logical.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Tally a hostile event observed while working under this meter.
+    pub fn note_hostile(&self, cause: HostileCause) {
+        self.hostile[cause.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-cause hostile-event counters.
+    pub fn hostile(&self) -> HostileTally {
+        let at = |c: HostileCause| self.hostile[c.index()].load(Ordering::Relaxed);
+        HostileTally {
+            mismatched_replies: at(HostileCause::MismatchedReply),
+            foreign_records: at(HostileCause::ForeignRecords),
+            referral_loops: at(HostileCause::ReferralLoop),
+            wide_referrals: at(HostileCause::WideReferral),
+            alias_loops: at(HostileCause::AliasLoop),
+            budget_exceeded: at(HostileCause::BudgetExceeded),
+            lame_delegations: at(HostileCause::LameDelegation),
+        }
     }
 
     fn record(&self, io: IoCounters) {
@@ -277,6 +342,20 @@ impl DnsClient {
         qtype: RecordType,
         dnssec_ok: bool,
     ) -> Result<Exchange, ClientError> {
+        if let Some(m) = meter {
+            // The amplification cap: once a zone's budget is gone, no
+            // further datagram leaves on its behalf.
+            if !m.begin_query() {
+                return Err(ClientError {
+                    kind: ClientErrorKind::BudgetExceeded,
+                    elapsed: 0,
+                    attempts: 0,
+                    bytes_sent: 0,
+                    bytes_received: 0,
+                    retries: 0,
+                });
+            }
+        }
         let id = match meter {
             Some(m) => m.next_id(),
             None => self.next_id.fetch_add(1, Ordering::Relaxed),
@@ -292,11 +371,16 @@ impl DnsClient {
         let mut outcome: Option<Result<Exchange, ClientError>> = None;
         for retry in 0..=self.retry.retries {
             elapsed += self.retry.backoff(id, retry);
-            match self.exchange_once(now + elapsed, server, &bytes) {
+            match self.exchange_once(now + elapsed, server, &q, &bytes) {
                 Ok(once) => {
                     attempts += once.attempts;
                     bytes_received += once.bytes_received;
                     tcp_fallbacks += u64::from(once.used_tcp);
+                    if once.foreign > 0 {
+                        if let Some(m) = meter {
+                            m.note_hostile(HostileCause::ForeignRecords);
+                        }
+                    }
                     outcome = Some(Ok(Exchange {
                         message: once.message,
                         elapsed: elapsed + once.elapsed,
@@ -337,6 +421,11 @@ impl DnsClient {
             bytes_received,
             retries: self.retry.retries,
         }));
+        if let (Some(m), Err(e)) = (meter, &outcome) {
+            if e.kind == ClientErrorKind::Rejected {
+                m.note_hostile(HostileCause::MismatchedReply);
+            }
+        }
         if let Some(m) = meter {
             m.record(IoCounters {
                 datagrams: u64::from(attempts),
@@ -349,7 +438,13 @@ impl DnsClient {
     }
 
     /// One UDP exchange plus the TC=1 → TCP fallback, no retrying.
-    fn exchange_once(&self, at: SimMicros, server: Addr, bytes: &[u8]) -> Result<OnceOk, OnceErr> {
+    fn exchange_once(
+        &self,
+        at: SimMicros,
+        server: Addr,
+        query: &Message,
+        bytes: &[u8],
+    ) -> Result<OnceOk, OnceErr> {
         let udp = match self.net.query_at(at, server, bytes, Transport::Udp) {
             Ok(o) => o,
             Err(f) => {
@@ -365,11 +460,23 @@ impl DnsClient {
         let mut elapsed = udp.elapsed;
         let mut attempts = udp.attempts;
         let mut bytes_received = udp.reply.len() as u64;
-        let msg = match Message::from_bytes(&udp.reply) {
+        let mut msg = match Message::from_bytes(&udp.reply) {
             Ok(m) => m,
             Err(_) => {
                 return Err(OnceErr {
                     kind: ClientErrorKind::Malformed,
+                    elapsed,
+                    attempts,
+                    bytes_received,
+                    used_tcp: false,
+                })
+            }
+        };
+        let mut foreign = match accept_reply(query, &mut msg) {
+            Ok(n) => n,
+            Err(()) => {
+                return Err(OnceErr {
+                    kind: ClientErrorKind::Rejected,
                     elapsed,
                     attempts,
                     bytes_received,
@@ -384,6 +491,7 @@ impl DnsClient {
                 attempts,
                 bytes_received,
                 used_tcp: false,
+                foreign,
             });
         }
         // TC=1 → retry the same question over TCP. The truncated UDP
@@ -407,11 +515,23 @@ impl DnsClient {
         elapsed += tcp.elapsed;
         attempts += tcp.attempts;
         bytes_received += tcp.reply.len() as u64;
-        let msg = match Message::from_bytes(&tcp.reply) {
+        let mut msg = match Message::from_bytes(&tcp.reply) {
             Ok(m) => m,
             Err(_) => {
                 return Err(OnceErr {
                     kind: ClientErrorKind::Malformed,
+                    elapsed,
+                    attempts,
+                    bytes_received,
+                    used_tcp: true,
+                })
+            }
+        };
+        foreign += match accept_reply(query, &mut msg) {
+            Ok(n) => n,
+            Err(()) => {
+                return Err(OnceErr {
+                    kind: ClientErrorKind::Rejected,
                     elapsed,
                     attempts,
                     bytes_received,
@@ -425,8 +545,38 @@ impl DnsClient {
             attempts,
             bytes_received,
             used_tcp: true,
+            foreign,
         })
     }
+}
+
+/// The response-acceptance gate: a reply is only believed when it is a
+/// response to the question we actually asked — QR set, same ID, exactly
+/// the echoed question (QNAME + QTYPE). Anything else is `Err(())` →
+/// [`ClientErrorKind::Rejected`].
+///
+/// Accepted replies are additionally scrubbed: answer-section records not
+/// owned by the QNAME are stripped before the message reaches any cache or
+/// classifier (authoritative servers answer at the name asked; off-name
+/// answer records are injection, and an in-zone CNAME chase re-queries the
+/// target under its own QNAME). Returns the number of stripped records.
+fn accept_reply(query: &Message, reply: &mut Message) -> Result<u32, ()> {
+    if !reply.header.flags.response || reply.header.id != query.header.id {
+        return Err(());
+    }
+    let q = match query.questions.first() {
+        Some(q) => q,
+        None => return Err(()),
+    };
+    if reply.questions.len() != 1
+        || reply.questions[0].name != q.name
+        || reply.questions[0].rtype != q.rtype
+    {
+        return Err(());
+    }
+    let before = reply.answers.len();
+    reply.answers.retain(|r| r.name == q.name);
+    Ok((before - reply.answers.len()) as u32)
 }
 
 /// One successful UDP(+TCP) exchange, before retry accounting.
@@ -436,6 +586,8 @@ struct OnceOk {
     attempts: u32,
     bytes_received: u64,
     used_tcp: bool,
+    /// Foreign answer records stripped by the acceptance gate.
+    foreign: u32,
 }
 
 /// One failed UDP(+TCP) exchange, before retry accounting.

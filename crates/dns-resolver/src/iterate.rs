@@ -1,7 +1,18 @@
 //! Iterative resolution: walk referrals from the root, recording the
 //! delegation chain for later DNSSEC validation.
+//!
+//! The walk is *hardened* by default (DESIGN.md §6c): referrals must step
+//! strictly downwards along the QNAME, NS fan-out is capped, glue is only
+//! believed inside the cut's bailiwick, NS-hostname address resolution
+//! carries a visited set so delegation loops terminate with a named cause
+//! instead of burning the depth budget, CNAME chains at the queried name
+//! are chased with an alias cap, and every cache entry is tagged with the
+//! zone apex that produced it so a record can never serve a name outside
+//! its provenance. `Resolver::with_hardening(.., false)` restores the
+//! trusting pre-hardening walk (kept for the amplification ablation).
 
-use crate::client::{DnsClient, QueryMeter};
+use crate::client::{ClientErrorKind, DnsClient, QueryMeter};
+use crate::hostile::HostileCause;
 use dns_wire::message::{Message, Rcode};
 use dns_wire::name::Name;
 use dns_wire::rdata::{DsData, RData};
@@ -67,6 +78,9 @@ pub enum ResolverError {
     TooManyReferrals,
     /// NS addresses could not be resolved.
     NoAddresses(Name),
+    /// The hardening layer rejected the walk for a named hostile cause
+    /// (loop, fan-out, alias chain, exhausted budget, ...).
+    Hostile(HostileCause),
 }
 
 impl fmt::Display for ResolverError {
@@ -75,16 +89,26 @@ impl fmt::Display for ResolverError {
             ResolverError::AllServersFailed(z) => write!(f, "all servers failed for {z}"),
             ResolverError::TooManyReferrals => write!(f, "too many referrals"),
             ResolverError::NoAddresses(n) => write!(f, "no addresses for {n}"),
+            ResolverError::Hostile(c) => write!(f, "hostile: {c}"),
         }
     }
 }
 
 impl std::error::Error for ResolverError {}
 
+/// One address-cache entry: the addresses plus the apex of the zone whose
+/// servers supplied them. A cached datum is only consulted for names
+/// inside that provenance, so a poisoned insert can never leak across
+/// bailiwicks.
+struct CacheEntry {
+    addrs: Vec<Addr>,
+    provenance: Name,
+}
+
 #[derive(Default)]
 struct Cache {
-    /// ns hostname → addresses.
-    addresses: HashMap<Name, Vec<Addr>>,
+    /// ns hostname → addresses, provenance-tagged.
+    addresses: HashMap<Name, CacheEntry>,
     /// Inserts made by resolution (not by [`Resolver::seed_address`]),
     /// in insertion order — drained by the scanner so a recovery journal
     /// can replay exactly the cache side effects each zone produced.
@@ -98,17 +122,38 @@ pub struct Resolver {
     cache: Mutex<Cache>,
     max_referrals: usize,
     max_depth: usize,
+    hardened: bool,
+    /// NS-set width cap per referral (NXNS amplification defence).
+    max_ns_fanout: usize,
+    /// CNAME hops chased at the queried name before declaring a loop.
+    max_alias_hops: usize,
 }
 
 impl Resolver {
     pub fn new(client: Arc<DnsClient>, roots: RootHints) -> Self {
+        Resolver::with_hardening(client, roots, true)
+    }
+
+    /// Like [`new`](Self::new), choosing whether the hardening layer is
+    /// active. The unhardened walk trusts referrals the way the
+    /// pre-adversarial resolver did; it exists for the amplification
+    /// ablation bench, not for production scans.
+    pub fn with_hardening(client: Arc<DnsClient>, roots: RootHints, hardened: bool) -> Self {
         Resolver {
             client,
             roots,
             cache: Mutex::new(Cache::default()),
             max_referrals: 32,
             max_depth: 6,
+            hardened,
+            max_ns_fanout: 16,
+            max_alias_hops: 4,
         }
+    }
+
+    /// Whether the hardening layer is active.
+    pub fn hardened(&self) -> bool {
+        self.hardened
     }
 
     /// The underlying client (for direct per-NS queries by the scanner).
@@ -118,7 +163,7 @@ impl Resolver {
 
     /// Resolve (name, type) iteratively from the root.
     pub fn resolve(&self, qname: &Name, qtype: RecordType) -> Result<Resolution, ResolverError> {
-        self.resolve_inner(None, 0, qname, qtype, 0)
+        self.resolve_at_with(None, 0, qname, qtype)
     }
 
     /// Like [`resolve`](Self::resolve), but the walk starts at virtual
@@ -129,7 +174,7 @@ impl Resolver {
         qname: &Name,
         qtype: RecordType,
     ) -> Result<Resolution, ResolverError> {
-        self.resolve_inner(None, now, qname, qtype, 0)
+        self.resolve_at_with(None, now, qname, qtype)
     }
 
     /// Like [`resolve_at`](Self::resolve_at), charging every exchange of
@@ -142,16 +187,69 @@ impl Resolver {
         qname: &Name,
         qtype: RecordType,
     ) -> Result<Resolution, ResolverError> {
-        self.resolve_inner(meter, now, qname, qtype, 0)
+        let mut visited = Vec::new();
+        self.resolve_chased(meter, now, qname, qtype, 0, &mut visited)
     }
 
-    fn resolve_inner(
+    /// Walk to (qname, qtype), then — hardened only — chase an in-answer
+    /// CNAME chain under the alias cap, accumulating cost. The benign
+    /// ecosystem never aliases scanner-resolved names, so the chase is
+    /// pure adversary defence: a looping or over-long chain at a signal
+    /// name fails with [`HostileCause::AliasLoop`] instead of silently
+    /// reading as "no signal records".
+    fn resolve_chased(
         &self,
         meter: Option<&QueryMeter>,
         now: SimMicros,
         qname: &Name,
         qtype: RecordType,
         depth: usize,
+        visited: &mut Vec<Name>,
+    ) -> Result<Resolution, ResolverError> {
+        let mut res = self.walk(meter, now, qname, qtype, depth, visited)?;
+        if !self.hardened || qtype == RecordType::Cname {
+            return Ok(res);
+        }
+        let mut aliases: Vec<Name> = vec![qname.clone()];
+        let mut cur = qname.clone();
+        loop {
+            let direct = res
+                .answers
+                .iter()
+                .any(|r| r.name == cur && r.rtype() == qtype);
+            let target = res.answers.iter().find_map(|r| match &r.rdata {
+                RData::Cname(t) if r.name == cur => Some(t.clone()),
+                _ => None,
+            });
+            let target = match (direct, target) {
+                (false, Some(t)) => t,
+                _ => return Ok(res),
+            };
+            if aliases.contains(&target) || aliases.len() > self.max_alias_hops {
+                if let Some(m) = meter {
+                    m.note_hostile(HostileCause::AliasLoop);
+                }
+                return Err(ResolverError::Hostile(HostileCause::AliasLoop));
+            }
+            aliases.push(target.clone());
+            let next = self.walk(meter, now + res.elapsed, &target, qtype, depth, visited)?;
+            res = Resolution {
+                elapsed: res.elapsed + next.elapsed,
+                queries: res.queries + next.queries,
+                ..next
+            };
+            cur = target;
+        }
+    }
+
+    fn walk(
+        &self,
+        meter: Option<&QueryMeter>,
+        now: SimMicros,
+        qname: &Name,
+        qtype: RecordType,
+        depth: usize,
+        visited: &mut Vec<Name>,
     ) -> Result<Resolution, ResolverError> {
         if depth > self.max_depth {
             return Err(ResolverError::TooManyReferrals);
@@ -173,10 +271,23 @@ impl Resolver {
                 || msg.header.flags.authoritative
                 || msg.rcode().is_error()
             {
+                let rcode = msg.rcode();
+                let mut authorities = msg.authorities;
+                if self.hardened {
+                    // Final answers may only carry authority records from
+                    // the answering zone's own bailiwick.
+                    let before = authorities.len();
+                    authorities.retain(|r| r.name.is_subdomain_of(&zone_apex));
+                    if authorities.len() < before {
+                        if let Some(m) = meter {
+                            m.note_hostile(HostileCause::ForeignRecords);
+                        }
+                    }
+                }
                 return Ok(Resolution {
-                    rcode: msg.rcode(),
+                    rcode,
                     answers: msg.answers,
-                    authorities: msg.authorities,
+                    authorities,
                     chain,
                     zone_apex,
                     zone_servers: servers,
@@ -185,12 +296,12 @@ impl Resolver {
                 });
             }
             // Referral: find the NS RRset in authority.
-            let ns_records: Vec<&Record> = msg
+            let ns_all: Vec<&Record> = msg
                 .authorities
                 .iter()
                 .filter(|r| r.rtype() == RecordType::Ns)
                 .collect();
-            if ns_records.is_empty() {
+            if ns_all.is_empty() {
                 // Neither authoritative nor a referral — treat as lame.
                 return Ok(Resolution {
                     rcode: msg.rcode(),
@@ -203,11 +314,38 @@ impl Resolver {
                     queries,
                 });
             }
-            let cut = ns_records[0].name.clone();
-            if !cut.is_strict_subdomain_of(&zone_apex) {
-                // Upward or sideways referral: bogus server, stop.
-                return Err(ResolverError::TooManyReferrals);
-            }
+            let cut = ns_all[0].name.clone();
+            let ns_records: Vec<&Record> = if self.hardened {
+                // Only NS records owned by the cut name delegate; stray NS
+                // rows at other names are injected padding.
+                let kept: Vec<&Record> = ns_all.iter().copied().filter(|r| r.name == cut).collect();
+                let foreign_auth = msg
+                    .authorities
+                    .iter()
+                    .filter(|r| !r.name.is_subdomain_of(&zone_apex))
+                    .count();
+                if ns_all.len() - kept.len() + foreign_auth > 0 {
+                    if let Some(m) = meter {
+                        m.note_hostile(HostileCause::ForeignRecords);
+                    }
+                }
+                // The cut must descend from the delegating zone AND lie on
+                // the path to qname: anything else (upward, sideways, or
+                // self-referral) can never make progress.
+                if !cut.is_strict_subdomain_of(&zone_apex) || !qname.is_subdomain_of(&cut) {
+                    if let Some(m) = meter {
+                        m.note_hostile(HostileCause::ReferralLoop);
+                    }
+                    return Err(ResolverError::Hostile(HostileCause::ReferralLoop));
+                }
+                kept
+            } else {
+                if !cut.is_strict_subdomain_of(&zone_apex) {
+                    // Upward or sideways referral: bogus server, stop.
+                    return Err(ResolverError::TooManyReferrals);
+                }
+                ns_all
+            };
             let ns_names: Vec<Name> = ns_records
                 .iter()
                 .filter_map(|r| match &r.rdata {
@@ -215,6 +353,12 @@ impl Resolver {
                     _ => None,
                 })
                 .collect();
+            if self.hardened && ns_names.len() > self.max_ns_fanout {
+                if let Some(m) = meter {
+                    m.note_hostile(HostileCause::WideReferral);
+                }
+                return Err(ResolverError::Hostile(HostileCause::WideReferral));
+            }
             let ds: Vec<DsData> = msg
                 .authorities
                 .iter()
@@ -233,18 +377,42 @@ impl Resolver {
                     _ => None,
                 })
                 .collect();
-            // Addresses: glue first, then recursive resolution.
+            // Addresses: glue first, then recursive resolution. Hardened,
+            // glue is only believed for NS targets inside the cut. Courtesy
+            // glue for a *wanted* but out-of-bailiwick NS is normal benign
+            // behaviour — ignored without suspicion; address records for
+            // names that are not delegation targets at all are injected
+            // padding and count as hostile evidence.
             let mut addrs: Vec<Addr> = Vec::new();
+            let mut foreign_glue = 0usize;
             for rec in &msg.additionals {
-                match &rec.rdata {
-                    RData::A(a) if ns_names.contains(&rec.name) => addrs.push(Addr::V4(*a)),
-                    RData::Aaaa(a) if ns_names.contains(&rec.name) => addrs.push(Addr::V6(*a)),
-                    _ => {}
+                let is_addr = matches!(rec.rdata, RData::A(_) | RData::Aaaa(_));
+                let wanted = ns_names.contains(&rec.name);
+                let in_cut = rec.name.is_subdomain_of(&cut);
+                if is_addr && wanted && (!self.hardened || in_cut) {
+                    match &rec.rdata {
+                        RData::A(a) => addrs.push(Addr::V4(*a)),
+                        RData::Aaaa(a) => addrs.push(Addr::V6(*a)),
+                        _ => {}
+                    }
+                } else if is_addr && self.hardened && !wanted {
+                    foreign_glue += 1;
+                }
+            }
+            if foreign_glue > 0 {
+                if let Some(m) = meter {
+                    m.note_hostile(HostileCause::ForeignRecords);
                 }
             }
             if addrs.is_empty() {
                 for ns in &ns_names {
-                    addrs.extend(self.addresses_of_inner(meter, now + elapsed, ns, depth + 1)?);
+                    addrs.extend(self.addresses_of_inner(
+                        meter,
+                        now + elapsed,
+                        ns,
+                        depth + 1,
+                        visited,
+                    )?);
                     if !addrs.is_empty() {
                         break;
                     }
@@ -270,13 +438,13 @@ impl Resolver {
 
     /// Resolve the addresses of a nameserver hostname (cached).
     pub fn addresses_of(&self, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
-        self.addresses_of_inner(None, 0, ns, 0)
+        self.addresses_of_at_with(None, 0, ns)
     }
 
     /// Like [`addresses_of`](Self::addresses_of), starting at virtual
     /// time `now`.
     pub fn addresses_of_at(&self, now: SimMicros, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
-        self.addresses_of_inner(None, now, ns, 0)
+        self.addresses_of_at_with(None, now, ns)
     }
 
     /// Like [`addresses_of_at`](Self::addresses_of_at), charging the
@@ -287,7 +455,8 @@ impl Resolver {
         now: SimMicros,
         ns: &Name,
     ) -> Result<Vec<Addr>, ResolverError> {
-        self.addresses_of_inner(meter, now, ns, 0)
+        let mut visited = Vec::new();
+        self.addresses_of_inner(meter, now, ns, 0, &mut visited)
     }
 
     fn addresses_of_inner(
@@ -296,33 +465,81 @@ impl Resolver {
         now: SimMicros,
         ns: &Name,
         depth: usize,
+        visited: &mut Vec<Name>,
     ) -> Result<Vec<Addr>, ResolverError> {
-        if let Some(a) = self.cache.lock().addresses.get(ns) {
-            return Ok(a.clone());
-        }
-        let mut addrs = Vec::new();
-        for qtype in [RecordType::A, RecordType::Aaaa] {
-            if let Ok(res) = self.resolve_inner(meter, now, ns, qtype, depth) {
-                for rec in &res.answers {
-                    match &rec.rdata {
-                        RData::A(a) if rec.name == *ns => addrs.push(Addr::V4(*a)),
-                        RData::Aaaa(a) if rec.name == *ns => addrs.push(Addr::V6(*a)),
-                        _ => {}
-                    }
-                }
+        if let Some(e) = self.cache.lock().addresses.get(ns) {
+            // Bailiwick rule: a cached datum only serves names inside the
+            // zone that produced it.
+            if ns.is_subdomain_of(&e.provenance) {
+                return Ok(e.addrs.clone());
             }
         }
+        if self.hardened && visited.iter().any(|v| v == ns) {
+            // This NS hostname's resolution is already in flight above us:
+            // a delegation loop (A's servers are named under B, B's under
+            // A) would recurse forever without this.
+            if let Some(m) = meter {
+                m.note_hostile(HostileCause::ReferralLoop);
+            }
+            return Err(ResolverError::Hostile(HostileCause::ReferralLoop));
+        }
+        visited.push(ns.clone());
+        let mut addrs = Vec::new();
+        let mut provenance = ns.clone();
+        for qtype in [RecordType::A, RecordType::Aaaa] {
+            match self.resolve_chased(meter, now, ns, qtype, depth, visited) {
+                Ok(res) => {
+                    for rec in &res.answers {
+                        match &rec.rdata {
+                            RData::A(a) if rec.name == *ns => addrs.push(Addr::V4(*a)),
+                            RData::Aaaa(a) if rec.name == *ns => addrs.push(Addr::V6(*a)),
+                            _ => {}
+                        }
+                    }
+                    provenance = res.zone_apex;
+                }
+                Err(e @ ResolverError::Hostile(_)) => {
+                    visited.pop();
+                    return Err(e);
+                }
+                Err(_) => {}
+            }
+        }
+        visited.pop();
         let mut cache = self.cache.lock();
-        cache.addresses.insert(ns.clone(), addrs.clone());
+        cache.addresses.insert(
+            ns.clone(),
+            CacheEntry {
+                addrs: addrs.clone(),
+                provenance,
+            },
+        );
         cache.insert_log.push((ns.clone(), addrs.clone()));
         Ok(addrs)
     }
 
     /// Pre-seed the address cache (the ecosystem does this for operator
     /// NS hostnames whose addresses are part of the ground truth; journal
-    /// recovery does it when replaying logged inserts). Not logged.
+    /// recovery does it when replaying logged inserts). Not logged. The
+    /// entry's provenance is the hostname itself, so it serves exactly
+    /// that name and nothing else.
     pub fn seed_address(&self, ns: Name, addrs: Vec<Addr>) {
-        self.cache.lock().addresses.insert(ns, addrs);
+        let provenance = ns.clone();
+        self.cache
+            .lock()
+            .addresses
+            .insert(ns, CacheEntry { addrs, provenance });
+    }
+
+    /// Insert an address-cache entry with an explicit provenance tag —
+    /// test hook for the cache-poisoning regression suite (a poisoned
+    /// entry whose provenance does not contain the hostname must never be
+    /// consulted).
+    pub fn seed_address_with_provenance(&self, ns: Name, addrs: Vec<Addr>, provenance: Name) {
+        self.cache
+            .lock()
+            .addresses
+            .insert(ns, CacheEntry { addrs, provenance });
     }
 
     /// Take the address-cache inserts made by resolution since the last
@@ -356,6 +573,11 @@ impl Resolver {
                     return Ok((ex.message, elapsed, queries));
                 }
                 Err(e) => {
+                    // An exhausted budget fails the whole walk at zero
+                    // cost — cycling servers cannot refill it.
+                    if e.kind == ClientErrorKind::BudgetExceeded {
+                        return Err(ResolverError::Hostile(HostileCause::BudgetExceeded));
+                    }
                     // Charge the real cost of the failure (an unreachable
                     // address costs nothing; exhausted timeouts cost every
                     // attempt plus backoff).
@@ -383,5 +605,7 @@ mod tests {
             .contains("referrals"));
         let e = ResolverError::NoAddresses(Name::parse("ns.test").unwrap());
         assert!(e.to_string().contains("ns.test"));
+        let e = ResolverError::Hostile(HostileCause::ReferralLoop);
+        assert_eq!(e.to_string(), "hostile: referral-loop");
     }
 }

@@ -15,11 +15,13 @@
 //!   the DS/DNSKEY presence data).
 
 pub mod client;
+pub mod hostile;
 pub mod iterate;
 pub mod validate;
 
 pub use client::{
     ClientError, ClientErrorKind, DnsClient, Exchange, IoCounters, QueryMeter, RetryPolicy,
 };
+pub use hostile::{HostileCause, HostileTally};
 pub use iterate::{ChainLink, Resolution, Resolver, ResolverError, RootHints};
 pub use validate::{validate_resolution, Security};

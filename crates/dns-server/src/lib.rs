@@ -19,11 +19,13 @@
 //! Servers implement [`netsim::ServerHandler`], so they plug straight into
 //! the simulated network.
 
+pub mod byzantine;
 pub mod parking;
 pub mod quirks;
 pub mod server;
 pub mod store;
 
+pub use byzantine::{ByzantineMode, ByzantineServer};
 pub use parking::ParkingServer;
 pub use quirks::Quirks;
 pub use server::AuthServer;

@@ -262,6 +262,14 @@ impl Enc {
         self.u32(r.tcp_fallbacks);
         self.u64(r.bytes_sent);
         self.u64(r.bytes_received);
+        self.u64(r.logical_queries);
+        self.u64(r.hostile_mismatched);
+        self.u64(r.hostile_foreign);
+        self.u64(r.hostile_referral_loops);
+        self.u64(r.hostile_wide_referrals);
+        self.u64(r.hostile_alias_loops);
+        self.u64(r.hostile_budget);
+        self.u64(r.hostile_lame);
     }
     fn zone_scan(&mut self, z: &ZoneScan) {
         self.name(&z.name);
@@ -547,6 +555,14 @@ impl<'a> Dec<'a> {
             tcp_fallbacks: self.u32()?,
             bytes_sent: self.u64()?,
             bytes_received: self.u64()?,
+            logical_queries: self.u64()?,
+            hostile_mismatched: self.u64()?,
+            hostile_foreign: self.u64()?,
+            hostile_referral_loops: self.u64()?,
+            hostile_wide_referrals: self.u64()?,
+            hostile_alias_loops: self.u64()?,
+            hostile_budget: self.u64()?,
+            hostile_lame: self.u64()?,
         })
     }
     fn zone_scan(&mut self) -> Result<ZoneScan> {
@@ -704,6 +720,14 @@ pub(crate) mod tests {
                 tcp_fallbacks: 1,
                 bytes_sent: 12_345,
                 bytes_received: 67_890,
+                logical_queries: 57,
+                hostile_mismatched: 1,
+                hostile_foreign: 2,
+                hostile_referral_loops: 3,
+                hostile_wide_referrals: 4,
+                hostile_alias_loops: 5,
+                hostile_budget: 6,
+                hostile_lame: 7,
             },
             degraded: true,
         };

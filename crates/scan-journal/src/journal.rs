@@ -41,7 +41,8 @@ use std::path::Path;
 /// Journal file magic ("Bootstrap Scan Journal v1").
 pub const JOURNAL_MAGIC: [u8; 4] = *b"BSJ1";
 /// Current format version (bumped on any codec or framing change).
-pub const FORMAT_VERSION: u16 = 1;
+/// v2: `RetryStats` grew logical-query and per-cause hostile counters.
+pub const FORMAT_VERSION: u16 = 2;
 /// Default journal file name inside a run directory.
 pub const JOURNAL_FILE: &str = "journal.bsj";
 

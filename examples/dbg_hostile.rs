@@ -1,0 +1,49 @@
+use bootscan::operator::OperatorTable;
+use bootscan::{ScanPolicy, Scanner};
+use dns_ecosystem::{build, EcosystemConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut cfg = if std::env::var("DBG_PAPER").is_ok() {
+        EcosystemConfig::paper_default(200_000)
+    } else {
+        EcosystemConfig::tiny(42)
+    };
+    if let Ok(n) = std::env::var("DBG_ADV") {
+        cfg = cfg.with_adversaries(n.parse().unwrap());
+    }
+    let eco = build(cfg);
+    let table = OperatorTable::from_operators(
+        eco.operators
+            .iter()
+            .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+    );
+    let scanner = Arc::new(Scanner::new(
+        Arc::clone(&eco.net),
+        eco.roots.clone(),
+        eco.anchors.clone(),
+        table,
+        eco.now,
+        ScanPolicy::default(),
+    ));
+    let results = scanner.scan_all(&eco.seeds.compile(&eco.psl));
+    let mut max_logical = 0u64;
+    for z in &results.zones {
+        let s = &z.retry_stats;
+        max_logical = max_logical.max(s.logical_queries);
+        if z.degraded || s.hostile_events() > 0 {
+            println!(
+                "{}: degraded={} logical={} mm={} fo={} rl={} wr={} al={} bu={} la={} timeouts={} malformed={} resfail={} breaker={}",
+                z.name, z.degraded, s.logical_queries, s.hostile_mismatched,
+                s.hostile_foreign, s.hostile_referral_loops, s.hostile_wide_referrals,
+                s.hostile_alias_loops, s.hostile_budget, s.hostile_lame,
+                s.timeouts, s.malformed, s.resolution_failures, s.breaker_skips,
+            );
+        }
+    }
+    println!(
+        "zones={} max_logical_queries={}",
+        results.zones.len(),
+        max_logical
+    );
+}

@@ -6,6 +6,11 @@
 //! cargo run --release --example full_study
 //! # faster, coarser:
 //! BOOTSCAN_SCALE=20000 cargo run --release --example full_study
+//! # salt the world with hostile operators (0.01 = 1 % of zones spread
+//! # across the adversary archetypes; see DESIGN.md §6c) — the paper
+//! # tables must survive unchanged, with the hostile tier reported as
+//! # explicitly degraded:
+//! BOOTSCAN_ADVERSARIES=0.01 cargo run --release --example full_study
 //! # crash-recoverable: journal progress to a state dir; re-running the
 //! # same command after an interruption resumes where it stopped and
 //! # produces the identical report:
@@ -17,7 +22,7 @@
 //! paper's values next to ours.
 
 use bootscan::{budget, policy, report, ScanPolicy};
-use dns_ecosystem::EcosystemConfig;
+use dns_ecosystem::{AdversaryArchetype, EcosystemConfig};
 use dnssec_bootstrap::{run_study, run_study_resumable};
 
 fn main() {
@@ -30,9 +35,29 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
 
+    // BOOTSCAN_ADVERSARIES=<fraction> salts the world with hostile
+    // operators (DESIGN.md §6c): the fraction of the benign zone count,
+    // spread evenly across the adversary archetypes, floor 1 per
+    // archetype. The benign tables below must come out unchanged.
+    let adv_fraction: f64 = std::env::var("BOOTSCAN_ADVERSARIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+
     eprintln!("building ecosystem at 1:{scale} …");
     let t0 = std::time::Instant::now();
-    let config = EcosystemConfig::paper_default(scale);
+    let mut config = EcosystemConfig::paper_default(scale);
+    if adv_fraction > 0.0 {
+        let n_arch = AdversaryArchetype::ALL.len();
+        let per_archetype =
+            ((config.total_zones() as f64 * adv_fraction / n_arch as f64).ceil() as usize).max(1);
+        eprintln!(
+            "salting with hostile operators: {per_archetype} zones × {n_arch} archetypes \
+             ({:.2} % of the world)",
+            100.0 * (per_archetype * n_arch) as f64 / config.total_zones().max(1) as f64
+        );
+        config = config.with_adversaries(per_archetype);
+    }
     let policy = ScanPolicy {
         parallelism,
         ..ScanPolicy::default()
@@ -142,6 +167,38 @@ fn main() {
     let cost = budget::scan_cost(&results, &eco.net.stats().snapshot());
     println!("{}", cost.render());
     println!("{}", budget::registry_feasibility(&results).render());
+
+    if adv_fraction > 0.0 {
+        println!("================================================================");
+        println!("Hostile tier (BOOTSCAN_ADVERSARIES={adv_fraction}) — DESIGN.md §6c:");
+        println!("     every adversarial zone must be explicitly degraded, never");
+        println!("     silently misclassified, at bounded query cost");
+        println!("================================================================");
+        let adv: std::collections::HashMap<_, _> = eco
+            .truth
+            .iter()
+            .filter_map(|t| t.adversary.map(|a| (t.name.clone(), a)))
+            .collect();
+        let mut per: std::collections::BTreeMap<&str, (u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for z in &results.zones {
+            if let Some(a) = adv.get(&z.name) {
+                let e = per.entry(a.label()).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += u64::from(z.degraded);
+                e.2 = e.2.max(z.retry_stats.logical_queries);
+            }
+        }
+        println!(
+            "{:>12} | {:>5} | {:>8} | {:>13}",
+            "archetype", "zones", "degraded", "worst queries"
+        );
+        for (label, (zones, degraded, worst)) in &per {
+            println!("{label:>12} | {zones:>5} | {degraded:>8} | {worst:>13}");
+        }
+        let budget = ScanPolicy::default().zone_query_budget;
+        println!("per-zone query budget: {budget} (hardened scan; see tests/hostile_world.rs)\n");
+    }
 
     // Machine-readable dump for EXPERIMENTS.md bookkeeping.
     if std::env::var("BOOTSCAN_JSON").is_ok() {
