@@ -1,0 +1,379 @@
+//! Scan-engine throughput baseline: zones/sec, query volume and
+//! root/TLD infrastructure load at parallelism 1/4/8, emitted as
+//! `BENCH_scan.json` — the trajectory baseline every later perf PR is
+//! measured against.
+//!
+//! No criterion: the scan itself is the workload, wall-clock is taken
+//! best-of-`BOOTSCAN_BENCH_REPS` (default 1 — a full paper-world scan is
+//! long enough to be stable), and the *deterministic* metrics (logical
+//! queries, datagrams to root+TLD servers, simulated duration) are what
+//! the CI regression gate compares, so gate results never depend on
+//! runner speed.
+//!
+//! Environment:
+//! * `BOOTSCAN_BENCH_WORLD`  — `paper_default` (default) or `tiny`.
+//! * `BOOTSCAN_SCALE`        — paper-world scale divisor (default 10 000).
+//! * `BOOTSCAN_BENCH_PAR`    — comma-separated parallelism list (1,4,8).
+//! * `BOOTSCAN_BENCH_OUT`    — output JSON path (default `BENCH_scan.json`
+//!   at the workspace root).
+//! * `BOOTSCAN_BENCH_WRITE_BASELINE` — also write the flat `key=value`
+//!   baseline file the gate consumes.
+//! * `BOOTSCAN_BENCH_BASELINE` — a committed baseline to embed in the
+//!   JSON (speedup/reduction are computed against it).
+//! * `BOOTSCAN_BENCH_GATE`   — with `BASELINE`: exit nonzero if a
+//!   deterministic metric regresses >20 % vs the baseline.
+
+use bench::scanner_for;
+use bootscan::{report, ScanPolicy, ScanResults};
+use dns_ecosystem::{build, Ecosystem, EcosystemConfig};
+use dns_wire::rdata::RData;
+use dns_wire::record::RecordType;
+use netsim::Addr;
+use serde_json::Value;
+use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
+
+/// One measured scan configuration.
+struct Run {
+    parallelism: usize,
+    zones: usize,
+    build_secs: f64,
+    scan_secs: f64,
+    report_secs: f64,
+    zones_per_sec: f64,
+    total_queries: u64,
+    simulated_duration_us: u64,
+    total_datagrams: u64,
+    root_tld_datagrams: u64,
+}
+
+fn world_config() -> (String, EcosystemConfig) {
+    let world =
+        std::env::var("BOOTSCAN_BENCH_WORLD").unwrap_or_else(|_| "paper_default".to_string());
+    let cfg = match world.as_str() {
+        "tiny" => EcosystemConfig::tiny(42),
+        _ => EcosystemConfig::paper_default(bench::bench_scale()),
+    };
+    (world, cfg)
+}
+
+/// Root + registry (TLD) server addresses — the infrastructure a shared
+/// delegation cache is supposed to shield. Registry server glue is
+/// authoritative in each registry zone at `ns1.nic.<suffix>`.
+fn infra_addrs(eco: &Ecosystem) -> HashSet<Addr> {
+    let mut set: HashSet<Addr> = eco.roots.iter().copied().collect();
+    for (suffix, store) in &eco.registry_stores {
+        let ns = suffix
+            .prepend_label(b"nic")
+            .and_then(|n| n.prepend_label(b"ns1"))
+            .expect("registry NS name");
+        if let Some(zone) = store.get(suffix) {
+            for rt in [RecordType::A, RecordType::Aaaa] {
+                if let Some(rrset) = zone.rrset(&ns, rt) {
+                    for rd in &rrset.rdatas {
+                        match rd {
+                            RData::A(a) => {
+                                set.insert(Addr::V4(*a));
+                            }
+                            RData::Aaaa(a) => {
+                                set.insert(Addr::V6(*a));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    set
+}
+
+fn reps() -> usize {
+    std::env::var("BOOTSCAN_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or(1)
+}
+
+fn parallelism_list() -> Vec<usize> {
+    std::env::var("BOOTSCAN_BENCH_PAR")
+        .ok()
+        .map(|v| v.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 8])
+}
+
+/// Build a fresh world and scan it once at the given parallelism.
+/// Fresh world per run: netsim accounting and every cache start cold, so
+/// runs are independent and the per-destination counters are exact.
+fn run_once(cfg: &EcosystemConfig, parallelism: usize) -> (Run, ScanResults) {
+    let t0 = Instant::now();
+    let eco = build(cfg.clone());
+    let infra = infra_addrs(&eco);
+    let seeds = eco.seeds.compile(&eco.psl);
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let scanner = scanner_for(
+        &eco,
+        ScanPolicy {
+            parallelism,
+            ..ScanPolicy::default()
+        },
+    );
+    let t1 = Instant::now();
+    let results = scanner.scan_all(&seeds);
+    let scan_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let fig1 = report::figure1(&results);
+    std::hint::black_box(&fig1);
+    let report_secs = t2.elapsed().as_secs_f64();
+
+    let snap = eco.net.stats().snapshot();
+    let root_tld: u64 = snap
+        .per_dest
+        .iter()
+        .filter(|(addr, _)| infra.contains(addr))
+        .map(|(_, n)| *n)
+        .sum();
+    let run = Run {
+        parallelism,
+        zones: results.zones.len(),
+        build_secs,
+        scan_secs,
+        report_secs,
+        zones_per_sec: results.zones.len() as f64 / scan_secs,
+        total_queries: results.total_queries,
+        simulated_duration_us: results.simulated_duration,
+        total_datagrams: snap.queries,
+        root_tld_datagrams: root_tld,
+    };
+    (run, results)
+}
+
+fn measure(cfg: &EcosystemConfig, parallelism: usize) -> Run {
+    let mut best: Option<Run> = None;
+    for _ in 0..reps() {
+        let (run, _) = run_once(cfg, parallelism);
+        let better = best
+            .as_ref()
+            .map(|b| run.scan_secs < b.scan_secs)
+            .unwrap_or(true);
+        if better {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn run_json(r: &Run) -> Value {
+    obj(vec![
+        ("parallelism", Value::U64(r.parallelism as u64)),
+        ("zones", Value::U64(r.zones as u64)),
+        ("zones_per_sec", Value::F64(r.zones_per_sec)),
+        ("total_queries", Value::U64(r.total_queries)),
+        ("simulated_duration_us", Value::U64(r.simulated_duration_us)),
+        ("total_datagrams", Value::U64(r.total_datagrams)),
+        ("root_tld_datagrams", Value::U64(r.root_tld_datagrams)),
+        (
+            "phases",
+            obj(vec![
+                ("build_secs", Value::F64(r.build_secs)),
+                ("scan_secs", Value::F64(r.scan_secs)),
+                ("report_secs", Value::F64(r.report_secs)),
+            ]),
+        ),
+    ])
+}
+
+/// Flat `key=value` lines: the only format the bench can also *read*
+/// (the serde_json shim has no deserializer), used for the committed
+/// regression baselines.
+fn baseline_lines(world: &str, runs: &[Run]) -> String {
+    let mut out = format!("world={world}\n");
+    for r in runs {
+        let p = r.parallelism;
+        out.push_str(&format!("p{p}.zones={}\n", r.zones));
+        out.push_str(&format!("p{p}.zones_per_sec={:.3}\n", r.zones_per_sec));
+        out.push_str(&format!("p{p}.total_queries={}\n", r.total_queries));
+        out.push_str(&format!(
+            "p{p}.simulated_duration_us={}\n",
+            r.simulated_duration_us
+        ));
+        out.push_str(&format!("p{p}.total_datagrams={}\n", r.total_datagrams));
+        out.push_str(&format!(
+            "p{p}.root_tld_datagrams={}\n",
+            r.root_tld_datagrams
+        ));
+    }
+    out
+}
+
+fn parse_baseline(text: &str) -> BTreeMap<String, String> {
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            if l.is_empty() || l.starts_with('#') {
+                return None;
+            }
+            l.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+fn baseline_json(base: &BTreeMap<String, String>) -> Value {
+    Value::Object(
+        base.iter()
+            .map(|(k, v)| {
+                let val = v
+                    .parse::<u64>()
+                    .map(Value::U64)
+                    .or_else(|_| v.parse::<f64>().map(Value::F64))
+                    .unwrap_or_else(|_| Value::String(v.clone()));
+                (k.clone(), val)
+            })
+            .collect(),
+    )
+}
+
+/// Anchor relative `BOOTSCAN_BENCH_*` paths to the workspace root. CI and
+/// humans invoke `cargo bench` from the workspace root and pass paths
+/// relative to it, but cargo runs bench binaries with the *package*
+/// directory as cwd — resolve against the workspace root so both agree.
+fn from_workspace_root(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+fn main() {
+    let (world, cfg) = world_config();
+    let pars = parallelism_list();
+    eprintln!("[scan_throughput] world={world} parallelism={pars:?}");
+
+    let mut runs = Vec::new();
+    for &p in &pars {
+        let r = measure(&cfg, p);
+        eprintln!(
+            "[scan_throughput] p={p}: {} zones in {:.2}s ({:.1} zones/sec), \
+             {} logical queries, {} datagrams ({} to root+TLD), simulated {}us",
+            r.zones,
+            r.scan_secs,
+            r.zones_per_sec,
+            r.total_queries,
+            r.total_datagrams,
+            r.root_tld_datagrams,
+            r.simulated_duration_us
+        );
+        runs.push(r);
+    }
+
+    let mut doc = vec![
+        ("world", Value::String(world.clone())),
+        ("scale", Value::U64(bench::bench_scale())),
+        (
+            "runs",
+            Value::Array(runs.iter().map(run_json).collect::<Vec<_>>()),
+        ),
+    ];
+
+    let baseline = std::env::var("BOOTSCAN_BENCH_BASELINE").ok().map(|path| {
+        let text = std::fs::read_to_string(from_workspace_root(&path))
+            .unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+        parse_baseline(&text)
+    });
+
+    if let Some(base) = &baseline {
+        doc.push(("baseline", baseline_json(base)));
+        // Headline deltas vs the baseline, recorded in the artifact.
+        let last = runs.last().unwrap();
+        let pmax = last.parallelism;
+        if let Some(b_zps) = base
+            .get(&format!("p{pmax}.zones_per_sec"))
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            doc.push((
+                "speedup_at_max_parallelism",
+                Value::F64(last.zones_per_sec / b_zps),
+            ));
+        }
+        if let Some(b_rt) = base
+            .get(&format!("p{pmax}.root_tld_datagrams"))
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            doc.push((
+                "root_tld_reduction",
+                Value::F64(1.0 - last.root_tld_datagrams as f64 / b_rt),
+            ));
+        }
+    }
+
+    let out_path = std::env::var("BOOTSCAN_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_scan.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string_pretty(&Value::Object(
+        doc.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    ))
+    .expect("bench doc serializes");
+    std::fs::write(from_workspace_root(&out_path), json + "\n").expect("write BENCH_scan.json");
+    eprintln!("[scan_throughput] wrote {out_path}");
+
+    if let Ok(path) = std::env::var("BOOTSCAN_BENCH_WRITE_BASELINE") {
+        std::fs::write(from_workspace_root(&path), baseline_lines(&world, &runs))
+            .expect("write baseline");
+        eprintln!("[scan_throughput] wrote baseline {path}");
+    }
+
+    // Regression gate: deterministic metrics only, so a slow CI runner
+    // can never fail the build — only a real efficiency regression can.
+    if std::env::var("BOOTSCAN_BENCH_GATE").is_ok() {
+        let base = baseline.expect("BOOTSCAN_BENCH_GATE requires BOOTSCAN_BENCH_BASELINE");
+        let mut failures = Vec::new();
+        for r in &runs {
+            let p = r.parallelism;
+            for (metric, current) in [
+                ("total_queries", Some(r.total_queries)),
+                ("root_tld_datagrams", Some(r.root_tld_datagrams)),
+                // Simulated duration is the *max worker* virtual time: at
+                // p > 1 it depends on the racy zone→worker assignment, so
+                // only the (fully deterministic) p = 1 value is gated.
+                (
+                    "simulated_duration_us",
+                    (p == 1).then_some(r.simulated_duration_us),
+                ),
+            ] {
+                let Some(current) = current else { continue };
+                let key = format!("p{p}.{metric}");
+                let Some(b) = base.get(&key).and_then(|v| v.parse::<u64>().ok()) else {
+                    continue;
+                };
+                // >20 % above baseline = regression.
+                if current * 5 > b * 6 {
+                    failures.push(format!(
+                        "{key}: {current} vs baseline {b} (>20% regression)"
+                    ));
+                }
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("[scan_throughput] REGRESSION:\n  {}", failures.join("\n  "));
+            std::process::exit(1);
+        }
+        eprintln!("[scan_throughput] regression gate passed");
+    }
+}

@@ -44,6 +44,15 @@ impl CircuitBreaker {
         }
     }
 
+    /// Forget all per-address state, restoring the just-constructed
+    /// breaker (threshold and cooldown are kept). Lets workers pool one
+    /// breaker across zone scans — breaker state is zone-scoped, so it
+    /// must be wiped between zones, but the map's capacity is worth
+    /// keeping.
+    pub fn reset(&mut self) {
+        self.state.clear();
+    }
+
     /// May we query `addr` at scan-local time `now`? `false` = skip (the
     /// breaker is open and still cooling down).
     pub fn allows(&mut self, addr: Addr, now: SimMicros) -> bool {

@@ -53,6 +53,7 @@ pub mod report;
 pub mod scanner;
 pub mod types;
 
+pub use dns_resolver::ReferralData;
 pub use error::{RetryStats, ScanError};
 pub use health::{AddrHealth, BreakerEntry, CircuitBreaker, HealthTracker};
 pub use operator::{Identified, OperatorTable};

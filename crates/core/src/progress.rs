@@ -17,17 +17,26 @@
 
 use crate::health::AddrHealth;
 use crate::types::ZoneScan;
+use dns_resolver::ReferralData;
 use dns_wire::name::Name;
 use dns_wire::rdata::DnskeyData;
 use netsim::{Addr, SimMicros};
+use std::sync::Arc;
 
 /// Side effects one zone scan had on shared scanner state.
+///
+/// The resolver-cache entries hold `Arc`s into the live cache values:
+/// sealing a zone's effects costs one pointer bump per insert, and only
+/// the (rare) journal-replay path ever deep-clones them.
 #[derive(Debug, Clone, Default)]
 pub struct ZoneEffects {
     /// Validated-DNSKEY cache inserts (zone apex → keys), in order.
     pub key_inserts: Vec<(Name, Vec<DnskeyData>)>,
     /// Resolver address-cache inserts (NS hostname → addrs), in order.
-    pub addr_inserts: Vec<(Name, Vec<Addr>)>,
+    pub addr_inserts: Vec<(Name, Arc<Vec<Addr>>)>,
+    /// Resolver delegation-cache inserts (zone cut → referral data
+    /// learned from its parent), in order.
+    pub referral_inserts: Vec<(Name, Arc<ReferralData>)>,
     /// Per-address health deltas recorded during this zone scan, sorted
     /// by address.
     pub health: Vec<(Addr, AddrHealth)>,

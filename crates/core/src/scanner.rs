@@ -95,12 +95,19 @@ impl Default for ScanPolicy {
 }
 
 /// Default per-zone amplification cap. Empirically, the costliest benign
-/// zone needs 104 logical queries in the shrunken `paper_default` world
-/// (49 in `tiny`), so 240 gives every benign zone >2× headroom while
-/// staying under the 3× amplification bound the hostile-world suite
-/// enforces (see `crates/bench/benches/amplification_cost.rs` for the
-/// measured hardened-vs-unhardened ablation).
+/// zone needs 35 logical queries in the `tiny` world with cold caches
+/// (the shared delegation cache makes even a zone's *own* repeat
+/// descents — signal probes, DNSKEY walks — cache hits), so 240 gives
+/// every benign zone several-fold headroom; the acceptance rules, not
+/// the budget, keep adversarial cost within 3× of the worst benign zone
+/// (see `crates/bench/benches/amplification_cost.rs`, which re-measures
+/// both bounds every run).
 pub const DEFAULT_ZONE_QUERY_BUDGET: u64 = 240;
+
+/// Stripe count for the validated-key cache. Like the resolver's cache
+/// shards, sized so that at `parallelism = 8` two workers rarely contend
+/// on the same stripe even when both are crossing the root/TLD entries.
+const KEY_SHARDS: usize = 16;
 
 /// Aggregated scan output.
 #[derive(Debug, Default)]
@@ -112,21 +119,57 @@ pub struct ScanResults {
     pub total_queries: u64,
 }
 
+/// Per-worker reusable probe state: the per-address politeness limiters
+/// and the circuit breaker. Both are *semantically* zone-scoped (a zone's
+/// result must never depend on what other zones did to a token bucket or
+/// a breaker), but *allocating* them per zone is pure churn, so each
+/// worker keeps one pool for its whole lifetime and resets it between
+/// zones. Limiter resets are lazy via an epoch tag: bumping the epoch
+/// invalidates every pooled limiter in O(1), and a limiter is re-armed to
+/// its full burst the first time the current zone touches it.
+pub(crate) struct WorkerScratch {
+    epoch: u64,
+    /// Pooled per-address limiters, tagged with the epoch that last
+    /// touched them.
+    limiters: HashMap<Addr, (u64, RateLimiter)>,
+    breaker: CircuitBreaker,
+}
+
+impl WorkerScratch {
+    fn new(policy: &ScanPolicy) -> Self {
+        WorkerScratch {
+            epoch: 0,
+            limiters: HashMap::new(),
+            breaker: CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown),
+        }
+    }
+
+    /// Reset to the state a freshly allocated scratch would have, without
+    /// giving back the map capacities.
+    fn begin_zone(&mut self) {
+        self.epoch += 1;
+        self.breaker.reset();
+    }
+}
+
 /// Per-zone-scan probing context: the scan-local virtual clock, query,
-/// budget and failure accounting, the per-address circuit breaker and
-/// rate limiters, plus the logs of side effects on shared state. Never
-/// shared between zones, so results are independent of scan order — and,
-/// at `parallelism = 1`, of which zones ran in an earlier process life.
-struct Probe {
+/// budget and failure accounting, a borrow of the worker's (reset)
+/// breaker + limiter scratch, plus the logs of side effects on shared
+/// state. No state carries over between zones, so results are
+/// independent of scan order — and, at `parallelism = 1`, of which zones
+/// ran in an earlier process life.
+struct Probe<'w> {
     clock: SimMicros,
     queries: u32,
     stats: RetryStats,
-    breaker: CircuitBreaker,
-    /// Per-zone I/O meter: private query-ID sequence (seeded from the
-    /// zone name and pass number) plus datagram/byte budget counters.
+    /// Per-zone I/O meter: derives query IDs from stable per-query
+    /// coordinates (seeded from the zone name and pass number), counts
+    /// datagrams/bytes against the budget, and logs resolver-cache
+    /// inserts for the journal.
     meter: QueryMeter,
-    /// Per-address politeness limiters, scoped to this zone scan.
-    limiters: HashMap<Addr, RateLimiter>,
+    /// Worker-pooled breaker + per-address politeness limiters, reset
+    /// for this zone scan.
+    scratch: &'w mut WorkerScratch,
     /// Validated-key cache inserts made during this zone scan.
     key_inserts: Vec<(Name, Vec<DnskeyData>)>,
     /// Per-address health deltas (merged into the global tracker at
@@ -158,8 +201,10 @@ pub struct Scanner {
     /// owners inside that provenance, so a poisoned insert can never
     /// flip another zone's classification. Inserts are logged per zone
     /// (via [`Probe::key_inserts`]) so journal replay can rebuild the
-    /// cache.
-    key_cache: Mutex<HashMap<Name, KeyCacheEntry>>,
+    /// cache. Striped `KEY_SHARDS` ways by name hash: every zone's chain
+    /// validation hits the root/TLD entries, and a single lock here
+    /// serializes all workers.
+    key_cache: Vec<Mutex<HashMap<Name, KeyCacheEntry>>>,
     /// Global per-address health statistics (observation only — feeds no
     /// decision, so it cannot perturb determinism). Fed by per-zone
     /// deltas merged at seal time.
@@ -197,10 +242,17 @@ impl Scanner {
             table,
             policy,
             now,
-            key_cache: Mutex::new(HashMap::new()),
+            key_cache: (0..KEY_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             health: HealthTracker::new(),
             seed: 0xb007,
         }
+    }
+
+    /// The key-cache stripe responsible for `name`.
+    fn key_shard(&self, name: &Name) -> &Mutex<HashMap<Name, KeyCacheEntry>> {
+        &self.key_cache[(name.fnv64() % KEY_SHARDS as u64) as usize]
     }
 
     /// The operator table (exposed for reports).
@@ -223,32 +275,33 @@ impl Scanner {
     /// key-cache entry with an explicit provenance tag. An entry whose
     /// provenance does not contain the owner must never be consulted.
     pub fn poison_key_cache(&self, owner: Name, keys: Vec<DnskeyData>, provenance: Name) {
-        self.key_cache
+        self.key_shard(&owner)
             .lock()
             .insert(owner, KeyCacheEntry { keys, provenance });
     }
 
-    /// A fresh probe for one scan of `zone`. The query-ID sequence is
-    /// seeded from `(zone, pass)`, so a zone's wire traffic is a pure
-    /// function of the zone and pass number — independent of how many
-    /// queries any *other* zone issued before it, which is what lets a
-    /// resumed run replay the remaining zones byte-identically.
-    fn new_probe(&self, zone: &Name, pass: u32) -> Probe {
-        let start_id = DeterministicDraw::new(
+    /// A fresh probe for one scan of `zone`, borrowing the worker's
+    /// scratch (reset here). The meter's query-ID seed is drawn from
+    /// `(zone, pass)`, and the meter derives each ID from the query's
+    /// stable coordinates under that seed — so a zone's wire traffic is
+    /// a pure function of the zone, the pass number, and which of its
+    /// lookups the shared caches answered. Crucially, a cache hit elides
+    /// whole queries without renumbering the surviving ones, which is
+    /// what keeps the evidence plane identical across parallelism and
+    /// cold-vs-warm cache states.
+    fn new_probe<'w>(&self, scratch: &'w mut WorkerScratch, zone: &Name, pass: u32) -> Probe<'w> {
+        let id_seed = DeterministicDraw::new(
             self.seed ^ 0x9e7e_0012,
             &[b"meter", &zone.to_wire(), &pass.to_be_bytes()],
         )
-        .below(0x1_0000) as u16;
+        .below(1 << 48);
+        scratch.begin_zone();
         Probe {
             clock: 0,
             queries: 0,
             stats: RetryStats::default(),
-            breaker: CircuitBreaker::new(
-                self.policy.breaker_threshold,
-                self.policy.breaker_cooldown,
-            ),
-            meter: QueryMeter::with_budget(start_id, self.policy.zone_query_budget),
-            limiters: HashMap::new(),
+            meter: QueryMeter::with_budget(id_seed, self.policy.zone_query_budget),
+            scratch,
             key_inserts: Vec::new(),
             health: BTreeMap::new(),
         }
@@ -263,20 +316,27 @@ impl Scanner {
         name: &Name,
         rtype: RecordType,
     ) -> Option<dns_wire::message::Message> {
-        if !probe.breaker.allows(addr, probe.clock) {
+        if !probe.scratch.breaker.allows(addr, probe.clock) {
             probe.stats.record(ScanError::BreakerOpen);
             probe.health.entry(addr).or_default().breaker_skips += 1;
             return None;
         }
-        // Limiters are probe-scoped (so zone results never depend on what
+        // Limiters are zone-scoped (so zone results never depend on what
         // other zones did to a shared token bucket), with a small burst:
         // the per-address politeness rate must still dominate within one
-        // zone's query fan-out.
-        let wait = probe
+        // zone's query fan-out. The buckets themselves are pooled in the
+        // worker scratch and lazily re-armed per zone via the epoch tag.
+        let epoch = probe.scratch.epoch;
+        let (tag, limiter) = probe
+            .scratch
             .limiters
             .entry(addr)
-            .or_insert_with(|| RateLimiter::new(self.policy.rate_per_sec, 2.0))
-            .acquire(probe.clock);
+            .or_insert_with(|| (epoch, RateLimiter::new(self.policy.rate_per_sec, 2.0)));
+        if *tag != epoch {
+            limiter.reset();
+            *tag = epoch;
+        }
+        let wait = limiter.acquire(probe.clock);
         probe.clock += wait;
         probe.queries += 1;
         match self
@@ -289,7 +349,7 @@ impl Scanner {
                 if ex.message.rcode() == Rcode::ServFail {
                     probe.stats.servfails += 1;
                 }
-                probe.breaker.record_success(addr);
+                probe.scratch.breaker.record_success(addr);
                 probe.health.entry(addr).or_default().successes += 1;
                 Some(ex.message)
             }
@@ -305,7 +365,7 @@ impl Scanner {
                         ScanError::Hostile(HostileCause::BudgetExceeded)
                     }
                 });
-                probe.breaker.record_failure(addr, probe.clock);
+                probe.scratch.breaker.record_failure(addr, probe.clock);
                 probe.health.entry(addr).or_default().failures += 1;
                 None
             }
@@ -322,7 +382,7 @@ impl Scanner {
         servers: &[Addr],
         ds: &[DsData],
     ) -> Option<Vec<DnskeyData>> {
-        if let Some(cached) = self.key_cache.lock().get(zone) {
+        if let Some(cached) = self.key_shard(zone).lock().get(zone) {
             // Bailiwick rule: a cached key set only serves owners inside
             // its provenance. A well-formed entry has provenance == owner;
             // anything else is a poisoned insert and is ignored.
@@ -332,7 +392,7 @@ impl Scanner {
         }
         let keys = self.fetch_keys_uncached(probe, zone, servers, ds);
         if let Some(k) = &keys {
-            self.key_cache.lock().insert(
+            self.key_shard(zone).lock().insert(
                 zone.clone(),
                 KeyCacheEntry {
                     keys: k.clone(),
@@ -443,16 +503,25 @@ impl Scanner {
 
     /// Scan one zone.
     pub fn scan_zone(&self, zone: &Name) -> ZoneScan {
-        self.scan_zone_pass(zone, 0).0
+        let mut scratch = WorkerScratch::new(&self.policy);
+        self.scan_zone_pass(&mut scratch, zone, 0).0
     }
 
     /// Scan one zone as pass `pass` (0 = main, ≥1 = re-scan), returning
     /// the result together with the scan's side effects on shared state.
-    fn scan_zone_pass(&self, zone: &Name, pass: u32) -> (ZoneScan, ZoneEffects) {
-        let mut probe = self.new_probe(zone, pass);
+    fn scan_zone_pass(
+        &self,
+        scratch: &mut WorkerScratch,
+        zone: &Name,
+        pass: u32,
+    ) -> (ZoneScan, ZoneEffects) {
+        let mut probe = self.new_probe(scratch, zone, pass);
         let mut scan = self.scan_zone_inner(zone, &mut probe);
-        // Seal: fold the meter's budget totals into the zone's stats and
-        // merge the probe-local health deltas into the global tracker.
+        // Seal: fold the meter's budget totals into the zone's stats,
+        // drain the meter's cache-insert log (the resolver attributed
+        // every shared-cache insert this zone paid for to its meter),
+        // and merge the probe-local health deltas into the global
+        // tracker.
         let io = probe.meter.io();
         scan.retry_stats.datagrams = io.datagrams as u32;
         scan.retry_stats.tcp_fallbacks = io.tcp_fallbacks as u32;
@@ -462,9 +531,11 @@ impl Scanner {
         for (addr, delta) in &health {
             self.health.merge(*addr, *delta);
         }
+        let cache_log = probe.meter.take_cache_log();
         let effects = ZoneEffects {
             key_inserts: std::mem::take(&mut probe.key_inserts),
-            addr_inserts: self.resolver.drain_address_log(),
+            addr_inserts: cache_log.addr_inserts,
+            referral_inserts: cache_log.referral_inserts,
             health,
         };
         (scan, effects)
@@ -529,8 +600,8 @@ impl Scanner {
                 self.resolver
                     .addresses_of_at_with(Some(&probe.meter), probe.clock, ns)
             {
-                for a in addrs {
-                    targets.push((ns.clone(), a));
+                for a in addrs.iter() {
+                    targets.push((ns.clone(), *a));
                 }
             }
         }
@@ -946,6 +1017,7 @@ impl Scanner {
                 let completed = &completed;
                 s.spawn(move || {
                     let mut local_time: SimMicros = 0;
+                    let mut scratch = WorkerScratch::new(&me.policy);
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -957,7 +1029,7 @@ impl Scanner {
                         if completed.contains(&seeds[i]) {
                             continue;
                         }
-                        let (scan, effects) = me.scan_zone_pass(&seeds[i], 0);
+                        let (scan, effects) = me.scan_zone_pass(&mut scratch, &seeds[i], 0);
                         local_time += scan.elapsed;
                         if let Some(sink) = sink {
                             let event = ZoneEvent {
@@ -991,6 +1063,7 @@ impl Scanner {
         // completed pass stamps `rescans`, so a resumed run can tell
         // which zones pass `p` already covered in an earlier life.
         if !stop.load(Ordering::Relaxed) {
+            let mut scratch = WorkerScratch::new(&self.policy);
             'passes: for pass in 1..=self.policy.rescan_passes {
                 let pending: Vec<usize> = zones
                     .iter()
@@ -1005,7 +1078,8 @@ impl Scanner {
                     break;
                 }
                 for i in pending {
-                    let (mut fresh, effects) = self.scan_zone_pass(&zones[i].name, pass);
+                    let (mut fresh, effects) =
+                        self.scan_zone_pass(&mut scratch, &zones[i].name, pass);
                     let duration_delta = fresh.elapsed;
                     simulated_duration += duration_delta;
                     let old = &zones[i];
@@ -1060,7 +1134,7 @@ impl Scanner {
     /// the cache state they would have seen in the uninterrupted run.
     pub fn restore_effects(&self, effects: &ZoneEffects) {
         for (zone, keys) in &effects.key_inserts {
-            self.key_cache.lock().insert(
+            self.key_shard(zone).lock().insert(
                 zone.clone(),
                 KeyCacheEntry {
                     keys: keys.clone(),
@@ -1069,7 +1143,10 @@ impl Scanner {
             );
         }
         for (ns, addrs) in &effects.addr_inserts {
-            self.resolver.seed_address(ns.clone(), addrs.clone());
+            self.resolver.seed_address(ns.clone(), (**addrs).clone());
+        }
+        for (cut, data) in &effects.referral_inserts {
+            self.resolver.seed_referral(cut.clone(), (**data).clone());
         }
         for (addr, delta) in &effects.health {
             self.health.merge(*addr, *delta);

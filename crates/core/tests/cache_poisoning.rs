@@ -1,14 +1,16 @@
 //! Cache-poisoning regression suite (DESIGN.md §6c).
 //!
-//! Both shared caches in the scanner stack are provenance-tagged: the
-//! scanner's DNSKEY cache and the resolver's NS-address cache. An entry
-//! may only be consulted for owners *inside* its provenance. These tests
-//! plant poisoned entries directly through the test hooks and prove they
-//! are dead weight: lookups ignore them, evidence is re-fetched from the
-//! network, and classifications match an unpoisoned scan bit for bit.
+//! All three shared caches in the scanner stack are provenance-tagged:
+//! the scanner's DNSKEY cache, the resolver's NS-address cache, and the
+//! resolver's delegation cache. An entry may only be consulted for
+//! owners *inside* its provenance (for referral data: cuts strictly
+//! below it). These tests plant poisoned entries directly through the
+//! test hooks and prove they are dead weight: lookups ignore them,
+//! evidence is re-fetched from the network, and classifications match an
+//! unpoisoned scan bit for bit.
 
 use bootscan::operator::OperatorTable;
-use bootscan::{ScanPolicy, Scanner};
+use bootscan::{ReferralData, ScanPolicy, Scanner};
 use dns_ecosystem::{build, DnssecState, Ecosystem, EcosystemConfig};
 use dns_wire::name::Name;
 use dns_wire::rdata::DnskeyData;
@@ -114,5 +116,57 @@ fn poisoned_address_cache_entries_are_never_consulted() {
         snap.per_dest.get(&attacker).copied().unwrap_or(0),
         0,
         "{zone}: scanner sent traffic to a poisoned (out-of-provenance) address"
+    );
+}
+
+#[test]
+fn poisoned_delegation_cache_entries_are_never_consulted() {
+    let eco = build(EcosystemConfig::tiny(7));
+    let zone = secured_zone(&eco);
+
+    let clean = scanner_for(&eco).scan_all(std::slice::from_ref(&zone));
+    let baseline = serde_json::to_string(&clean.zones[0]).unwrap();
+
+    // Plant referral data redirecting the zone's cut — and its TLD's cut
+    // — to an attacker server, tagged with an out-of-bailiwick
+    // provenance. The delegation cache only serves a cut that is a
+    // strict subdomain of the entry's provenance, so these must be dead
+    // weight: the walk falls back to the root and re-derives the chain
+    // from the network.
+    let attacker = Addr::V4(Ipv4Addr::new(10, 200, 0, 88));
+    let scanner = scanner_for(&eco);
+    let foreign = Name::parse("zzadv").unwrap();
+    for cut in [zone.clone(), zone.parent().unwrap()] {
+        let parent = cut.parent().unwrap_or_else(Name::root);
+        scanner.resolver().seed_referral_with_provenance(
+            cut.clone(),
+            ReferralData {
+                parent_apex: parent,
+                ns_names: vec![Name::parse("ns.zzadv").unwrap()],
+                ds: None,
+                ds_rrsigs: vec![],
+                child_servers: vec![attacker],
+                parent_servers: vec![attacker],
+            },
+            foreign.clone(),
+        );
+    }
+
+    let poisoned = scanner.scan_all(std::slice::from_ref(&zone));
+    assert_eq!(
+        baseline,
+        serde_json::to_string(&poisoned.zones[0]).unwrap(),
+        "{zone}: poisoned delegation-cache entries changed the scan outcome"
+    );
+    assert!(
+        !poisoned.zones[0].degraded,
+        "{zone}: scan through a poisoned delegation cache must stay clean"
+    );
+    // The attacker server must never have seen a single datagram.
+    let snap = eco.net.stats().snapshot();
+    assert_eq!(
+        snap.per_dest.get(&attacker).copied().unwrap_or(0),
+        0,
+        "{zone}: scanner followed a poisoned (out-of-provenance) referral"
     );
 }

@@ -6,11 +6,14 @@
 //! [`RetryPolicy`] re-sends timed-out or malformed exchanges with
 //! exponential backoff and deterministic jitter.
 
+use crate::cachelog::{CacheLog, ReferralData};
 use crate::hostile::{HostileCause, HostileTally};
 use dns_wire::message::Message;
 use dns_wire::name::Name;
 use dns_wire::record::RecordType;
 use netsim::{Addr, DeterministicDraw, NetError, Network, SimMicros, Transport};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -159,12 +162,28 @@ impl IoCounters {
 /// The scanner creates one meter per zone so every datagram and byte —
 /// including TCP-fallback retransmissions after truncation and the cost
 /// of exchanges that ultimately *failed* — is charged to exactly one
-/// zone's budget. The meter also carries its own query-ID sequence, so
-/// metered work draws no IDs from the client's shared counter and two
-/// zones' wire traffic is independent of scan order.
+/// zone's budget. The meter also owns the query-ID derivation for its
+/// scope: an ID is a pure function of the meter's seed and the query's
+/// (server, qname, qtype, occurrence) coordinates, so metered work draws
+/// no IDs from the client's shared counter, two zones' wire traffic is
+/// independent of scan order, and — crucially for the delegation cache —
+/// a query's payload does not change when *other* queries in the same
+/// scope are elided by a cache hit.
+///
+/// The meter also collects the [`CacheLog`] of resolver-cache inserts
+/// performed on its behalf, so the scanner can journal each zone's exact
+/// cache side effects even when workers share the caches.
 #[derive(Debug)]
 pub struct QueryMeter {
-    next_id: AtomicU16,
+    /// Seed for the per-query ID derivation.
+    id_seed: u64,
+    /// (server, qname-hash, qtype) → how many logical queries with those
+    /// coordinates have drawn an ID so far. The occurrence number keeps
+    /// repeat queries (health re-probes, CNAME re-walks) distinct while
+    /// staying independent of anything *between* them.
+    issued: Mutex<HashMap<(Addr, u64, u16), u32>>,
+    /// Resolver-cache inserts made while working under this meter.
+    cache_log: Mutex<CacheLog>,
     datagrams: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
@@ -181,15 +200,17 @@ pub struct QueryMeter {
 }
 
 impl QueryMeter {
-    /// A fresh meter whose first query will use `start_id`, no budget.
-    pub fn new(start_id: u16) -> Self {
-        QueryMeter::with_budget(start_id, 0)
+    /// A fresh meter deriving its query IDs from `id_seed`, no budget.
+    pub fn new(id_seed: u64) -> Self {
+        QueryMeter::with_budget(id_seed, 0)
     }
 
     /// A fresh meter with a logical-query budget (0 = unlimited).
-    pub fn with_budget(start_id: u16, budget: u64) -> Self {
+    pub fn with_budget(id_seed: u64, budget: u64) -> Self {
         QueryMeter {
-            next_id: AtomicU16::new(start_id),
+            id_seed,
+            issued: Mutex::new(HashMap::new()),
+            cache_log: Mutex::new(CacheLog::default()),
             datagrams: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
@@ -200,9 +221,45 @@ impl QueryMeter {
         }
     }
 
-    /// The next query ID in this meter's private sequence (wrapping).
-    pub fn next_id(&self) -> u16 {
-        self.next_id.fetch_add(1, Ordering::Relaxed)
+    /// The ID for one logical query: a deterministic function of the
+    /// meter seed and (server, qname, qtype, occurrence). Eliding a query
+    /// elsewhere in the scope (a delegation-cache hit skipping the
+    /// root/TLD hops) therefore never shifts the IDs — and hence the wire
+    /// payloads — of the queries that do go out.
+    pub fn id_for(&self, server: Addr, qname: &Name, qtype: RecordType) -> u16 {
+        let occurrence = {
+            let mut issued = self.issued.lock();
+            let n = issued
+                .entry((server, qname.fnv64(), qtype.code()))
+                .or_insert(0);
+            *n += 1;
+            *n
+        };
+        DeterministicDraw::new(
+            self.id_seed ^ 0x1d5e_ed00,
+            &[
+                &server.to_bytes(),
+                &qname.fnv64().to_be_bytes(),
+                &qtype.code().to_be_bytes(),
+                &occurrence.to_be_bytes(),
+            ],
+        )
+        .below(0x1_0000) as u16
+    }
+
+    /// Record an address-cache insert made on this meter's behalf.
+    pub fn log_addr_insert(&self, ns: Name, addrs: Arc<Vec<Addr>>) {
+        self.cache_log.lock().addr_inserts.push((ns, addrs));
+    }
+
+    /// Record a delegation-cache insert made on this meter's behalf.
+    pub fn log_referral_insert(&self, cut: Name, data: Arc<ReferralData>) {
+        self.cache_log.lock().referral_inserts.push((cut, data));
+    }
+
+    /// Take the cache-insert log accumulated so far, leaving it empty.
+    pub fn take_cache_log(&self) -> CacheLog {
+        std::mem::take(&mut *self.cache_log.lock())
     }
 
     /// The configured logical-query budget (0 = unlimited).
@@ -357,7 +414,7 @@ impl DnsClient {
             }
         }
         let id = match meter {
-            Some(m) => m.next_id(),
+            Some(m) => m.id_for(server, qname, qtype),
             None => self.next_id.fetch_add(1, Ordering::Relaxed),
         };
         let q = Message::query(id, qname.clone(), qtype, dnssec_ok);
@@ -895,12 +952,45 @@ mod tests {
                 true,
             )
             .unwrap();
-        assert_eq!(m.message.header.id, 500);
+        // A metered ID is derived, not drawn from the shared counter: a
+        // second meter with the same seed reproduces it exactly.
+        let meter2 = QueryMeter::new(500);
+        let m2 = c
+            .query_at_with(
+                Some(&meter2),
+                0,
+                addr,
+                &name!("www.t.test"),
+                RecordType::A,
+                true,
+            )
+            .unwrap();
+        assert_eq!(m.message.header.id, m2.message.header.id);
         // The next unmetered query still gets the first shared ID.
         let g = c
             .query(addr, &name!("www.t.test"), RecordType::A, true)
             .unwrap();
         assert_eq!(g.message.header.id, 1);
+    }
+
+    #[test]
+    fn derived_ids_are_stable_coordinates_not_a_sequence() {
+        let q = name!("www.t.test");
+        let a1 = Addr::V4(Ipv4Addr::new(192, 0, 2, 53));
+        let a2 = Addr::V4(Ipv4Addr::new(192, 0, 2, 54));
+        let m = QueryMeter::new(7);
+        let first = m.id_for(a1, &q, RecordType::A);
+        let other_dst = m.id_for(a2, &q, RecordType::A);
+        let repeat = m.id_for(a1, &q, RecordType::A);
+        // Re-asking the same question draws a fresh occurrence number.
+        assert_ne!(first, repeat);
+        // A different server's ID stream is independent: asking it did
+        // not shift the repeat above, and eliding it entirely leaves the
+        // first-server IDs untouched.
+        let n = QueryMeter::new(7);
+        assert_eq!(n.id_for(a1, &q, RecordType::A), first);
+        assert_eq!(n.id_for(a1, &q, RecordType::A), repeat);
+        let _ = other_dst;
     }
 
     #[test]

@@ -10,7 +10,34 @@
 //! zone apex that produced it so a record can never serve a name outside
 //! its provenance. `Resolver::with_hardening(.., false)` restores the
 //! trusting pre-hardening walk (kept for the amplification ablation).
+//!
+//! ## Caching (DESIGN.md §7)
+//!
+//! Two caches share [`CACHE_SHARDS`]-way striped storage keyed by
+//! `fnv64(name) % N`, so concurrent workers rarely contend on the same
+//! lock:
+//!
+//! * the **address cache** — NS hostname → addresses, as before, now
+//!   `Arc`-shared so a hit costs a pointer bump, not a `Vec` clone;
+//! * the **delegation cache** — zone cut → [`ReferralData`] (NS set, DS
+//!   presence *or absence*, glue, the servers on both sides). A walk
+//!   first looks up the deepest cached ancestor of its QNAME whose
+//!   parent chain closes at the root, reconstructs those [`ChainLink`]s
+//!   without any network traffic, and wire-walks only the remainder —
+//!   root and TLD servers are hit O(distinct zone cuts) instead of
+//!   O(zones × queries).
+//!
+//! Both caches are pure accelerators: every entry is a deterministic
+//! function of the simulated world, so a hit changes *when* datagrams go
+//! out, never *what* any response contains — classifications are
+//! invariant under cache state. Entries carry the same provenance tags
+//! as the poisoning-hardened address cache (referral data is believed
+//! only when spoken by a proper ancestor of the cut), and every insert
+//! made under a [`QueryMeter`] is logged to that meter's
+//! [`CacheLog`](crate::cachelog::CacheLog) so the crash-recovery journal
+//! can replay identical cache state on resume.
 
+use crate::cachelog::ReferralData;
 use crate::client::{ClientErrorKind, DnsClient, QueryMeter};
 use crate::hostile::HostileCause;
 use dns_wire::message::{Message, Rcode};
@@ -22,6 +49,11 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// Stripe count for the shared caches. A power of two so the modulo
+/// compiles to a mask; 16 stripes keep 8 workers' collision probability
+/// low without bloating the resolver.
+const CACHE_SHARDS: usize = 16;
 
 /// Root server hints: the addresses of the (simulated) root servers.
 #[derive(Debug, Clone)]
@@ -100,26 +132,35 @@ impl std::error::Error for ResolverError {}
 /// servers supplied them. A cached datum is only consulted for names
 /// inside that provenance, so a poisoned insert can never leak across
 /// bailiwicks.
-struct CacheEntry {
-    addrs: Vec<Addr>,
+struct AddrEntry {
+    addrs: Arc<Vec<Addr>>,
     provenance: Name,
 }
 
+/// One delegation-cache entry: the referral data for a zone cut plus the
+/// apex of the zone that spoke it. Consulted only when the provenance is
+/// a proper ancestor of the cut — the same bailiwick discipline as the
+/// address cache, so an out-of-provenance insert is dead weight.
+struct DelegationEntry {
+    data: Arc<ReferralData>,
+    provenance: Name,
+}
+
+/// One stripe of the shared caches; which stripe a name lands in is
+/// `fnv64(name) % CACHE_SHARDS`.
 #[derive(Default)]
-struct Cache {
+struct CacheShard {
     /// ns hostname → addresses, provenance-tagged.
-    addresses: HashMap<Name, CacheEntry>,
-    /// Inserts made by resolution (not by [`Resolver::seed_address`]),
-    /// in insertion order — drained by the scanner so a recovery journal
-    /// can replay exactly the cache side effects each zone produced.
-    insert_log: Vec<(Name, Vec<Addr>)>,
+    addresses: HashMap<Name, AddrEntry>,
+    /// zone cut → referral data, provenance-tagged.
+    delegations: HashMap<Name, DelegationEntry>,
 }
 
 /// The iterative resolver.
 pub struct Resolver {
     client: Arc<DnsClient>,
     roots: RootHints,
-    cache: Mutex<Cache>,
+    shards: Vec<Mutex<CacheShard>>,
     max_referrals: usize,
     max_depth: usize,
     hardened: bool,
@@ -142,13 +183,20 @@ impl Resolver {
         Resolver {
             client,
             roots,
-            cache: Mutex::new(Cache::default()),
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
             max_referrals: 32,
             max_depth: 6,
             hardened,
             max_ns_fanout: 16,
             max_alias_hops: 4,
         }
+    }
+
+    /// The stripe holding `name`'s cache entries.
+    fn shard(&self, name: &Name) -> &Mutex<CacheShard> {
+        &self.shards[(name.fnv64() % CACHE_SHARDS as u64) as usize]
     }
 
     /// Whether the hardening layer is active.
@@ -254,9 +302,11 @@ impl Resolver {
         if depth > self.max_depth {
             return Err(ResolverError::TooManyReferrals);
         }
-        let mut servers = self.roots.addrs.clone();
-        let mut zone_apex = Name::root();
-        let mut chain: Vec<ChainLink> = Vec::new();
+        // Warm start: reconstruct the deepest cached ancestor chain of
+        // qname and wire-walk only the remainder. A cold walk from the
+        // root and a warm one converge on identical referral data — the
+        // cache elides hops, it never changes what the tail sees.
+        let (mut chain, mut zone_apex, mut servers) = self.cached_descent(qname, qtype);
         let mut elapsed: SimMicros = 0;
         let mut queries: u32 = 0;
 
@@ -406,13 +456,9 @@ impl Resolver {
             }
             if addrs.is_empty() {
                 for ns in &ns_names {
-                    addrs.extend(self.addresses_of_inner(
-                        meter,
-                        now + elapsed,
-                        ns,
-                        depth + 1,
-                        visited,
-                    )?);
+                    let resolved =
+                        self.addresses_of_inner(meter, now + elapsed, ns, depth + 1, visited)?;
+                    addrs.extend(resolved.iter().copied());
                     if !addrs.is_empty() {
                         break;
                     }
@@ -421,29 +467,122 @@ impl Resolver {
             if addrs.is_empty() {
                 return Err(ResolverError::NoAddresses(cut));
             }
-            chain.push(ChainLink {
+            // The cut is crossed: record it in the chain and publish the
+            // referral data so later walks can skip this hop. Inserts
+            // overwrite (an unusable poisoned entry is replaced by the
+            // organic re-fetch, exactly like the address cache) and are
+            // logged to the meter for journal replay.
+            let data = Arc::new(ReferralData {
                 parent_apex: zone_apex.clone(),
-                child_apex: cut.clone(),
+                ns_names,
                 ds: if ds.is_empty() { None } else { Some(ds) },
                 ds_rrsigs,
-                ns_names,
                 child_servers: addrs.clone(),
-                parent_servers: servers.clone(),
+                parent_servers: std::mem::take(&mut servers),
             });
+            chain.push(ChainLink {
+                parent_apex: data.parent_apex.clone(),
+                child_apex: cut.clone(),
+                ds: data.ds.clone(),
+                ds_rrsigs: data.ds_rrsigs.clone(),
+                ns_names: data.ns_names.clone(),
+                child_servers: data.child_servers.clone(),
+                parent_servers: data.parent_servers.clone(),
+            });
+            self.shard(&cut).lock().delegations.insert(
+                cut.clone(),
+                DelegationEntry {
+                    data: Arc::clone(&data),
+                    provenance: data.parent_apex.clone(),
+                },
+            );
+            if let Some(m) = meter {
+                m.log_referral_insert(cut.clone(), Arc::clone(&data));
+            }
             zone_apex = cut;
             servers = addrs;
         }
         Err(ResolverError::TooManyReferrals)
     }
 
+    /// The warm-start point for a walk to (qname, qtype): the deepest
+    /// cached ancestor cut of qname whose parent chain closes at the
+    /// root, reconstructed as ready-made [`ChainLink`]s, plus the apex
+    /// and servers to resume from. Falls back to the root hints when no
+    /// usable chain exists.
+    ///
+    /// A DS query must stop at the *parent* side of its cut (the parent
+    /// answers DS authoritatively; the child never sees a referral for
+    /// it), so qname itself is not a candidate cut for DS.
+    fn cached_descent(&self, qname: &Name, qtype: RecordType) -> (Vec<ChainLink>, Name, Vec<Addr>) {
+        let total = qname.label_count();
+        let mut skip = usize::from(qtype == RecordType::Ds);
+        while total > skip {
+            if let Some(start) = self.chain_from(qname, total - skip) {
+                return start;
+            }
+            skip += 1;
+        }
+        (Vec::new(), Name::root(), self.roots.addrs.clone())
+    }
+
+    /// Try to rebuild the full root→cut chain for the ancestor of
+    /// `qname` with `labels` labels, following each entry's
+    /// `parent_apex` upwards. `None` if any hop is missing or fails the
+    /// provenance rule.
+    fn chain_from(&self, qname: &Name, labels: usize) -> Option<(Vec<ChainLink>, Name, Vec<Addr>)> {
+        let mut cut = qname.clone();
+        while cut.label_count() > labels {
+            cut = cut.parent()?;
+        }
+        let apex = cut.clone();
+        let mut links_rev: Vec<ChainLink> = Vec::new();
+        let mut servers: Option<Vec<Addr>> = None;
+        loop {
+            let data = {
+                let shard = self.shard(&cut).lock();
+                let e = shard.delegations.get(&cut)?;
+                // Bailiwick rule, mirroring the address cache: referral
+                // data for a cut is believed only when it was spoken by
+                // a proper ancestor of that cut.
+                if !cut.is_strict_subdomain_of(&e.provenance) {
+                    return None;
+                }
+                Arc::clone(&e.data)
+            };
+            if servers.is_none() {
+                servers = Some(data.child_servers.clone());
+            }
+            links_rev.push(ChainLink {
+                parent_apex: data.parent_apex.clone(),
+                child_apex: cut,
+                ds: data.ds.clone(),
+                ds_rrsigs: data.ds_rrsigs.clone(),
+                ns_names: data.ns_names.clone(),
+                child_servers: data.child_servers.clone(),
+                parent_servers: data.parent_servers.clone(),
+            });
+            if data.parent_apex.label_count() == 0 {
+                break;
+            }
+            cut = data.parent_apex.clone();
+        }
+        links_rev.reverse();
+        Some((links_rev, apex, servers?))
+    }
+
     /// Resolve the addresses of a nameserver hostname (cached).
-    pub fn addresses_of(&self, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
+    pub fn addresses_of(&self, ns: &Name) -> Result<Arc<Vec<Addr>>, ResolverError> {
         self.addresses_of_at_with(None, 0, ns)
     }
 
     /// Like [`addresses_of`](Self::addresses_of), starting at virtual
     /// time `now`.
-    pub fn addresses_of_at(&self, now: SimMicros, ns: &Name) -> Result<Vec<Addr>, ResolverError> {
+    pub fn addresses_of_at(
+        &self,
+        now: SimMicros,
+        ns: &Name,
+    ) -> Result<Arc<Vec<Addr>>, ResolverError> {
         self.addresses_of_at_with(None, now, ns)
     }
 
@@ -454,7 +593,7 @@ impl Resolver {
         meter: Option<&QueryMeter>,
         now: SimMicros,
         ns: &Name,
-    ) -> Result<Vec<Addr>, ResolverError> {
+    ) -> Result<Arc<Vec<Addr>>, ResolverError> {
         let mut visited = Vec::new();
         self.addresses_of_inner(meter, now, ns, 0, &mut visited)
     }
@@ -466,12 +605,15 @@ impl Resolver {
         ns: &Name,
         depth: usize,
         visited: &mut Vec<Name>,
-    ) -> Result<Vec<Addr>, ResolverError> {
-        if let Some(e) = self.cache.lock().addresses.get(ns) {
-            // Bailiwick rule: a cached datum only serves names inside the
-            // zone that produced it.
-            if ns.is_subdomain_of(&e.provenance) {
-                return Ok(e.addrs.clone());
+    ) -> Result<Arc<Vec<Addr>>, ResolverError> {
+        {
+            let shard = self.shard(ns).lock();
+            if let Some(e) = shard.addresses.get(ns) {
+                // Bailiwick rule: a cached datum only serves names inside
+                // the zone that produced it.
+                if ns.is_subdomain_of(&e.provenance) {
+                    return Ok(Arc::clone(&e.addrs));
+                }
             }
         }
         if self.hardened && visited.iter().any(|v| v == ns) {
@@ -506,15 +648,21 @@ impl Resolver {
             }
         }
         visited.pop();
-        let mut cache = self.cache.lock();
-        cache.addresses.insert(
+        // One allocation, shared three ways: the cache entry, the meter
+        // log and the caller all hold the same `Arc`. The meter append
+        // happens outside the shard lock — the old global cache cloned
+        // the full vector twice inside its critical section.
+        let addrs = Arc::new(addrs);
+        self.shard(ns).lock().addresses.insert(
             ns.clone(),
-            CacheEntry {
-                addrs: addrs.clone(),
+            AddrEntry {
+                addrs: Arc::clone(&addrs),
                 provenance,
             },
         );
-        cache.insert_log.push((ns.clone(), addrs.clone()));
+        if let Some(m) = meter {
+            m.log_addr_insert(ns.clone(), Arc::clone(&addrs));
+        }
         Ok(addrs)
     }
 
@@ -525,10 +673,13 @@ impl Resolver {
     /// that name and nothing else.
     pub fn seed_address(&self, ns: Name, addrs: Vec<Addr>) {
         let provenance = ns.clone();
-        self.cache
-            .lock()
-            .addresses
-            .insert(ns, CacheEntry { addrs, provenance });
+        self.shard(&ns).lock().addresses.insert(
+            ns,
+            AddrEntry {
+                addrs: Arc::new(addrs),
+                provenance,
+            },
+        );
     }
 
     /// Insert an address-cache entry with an explicit provenance tag —
@@ -536,16 +687,36 @@ impl Resolver {
     /// entry whose provenance does not contain the hostname must never be
     /// consulted).
     pub fn seed_address_with_provenance(&self, ns: Name, addrs: Vec<Addr>, provenance: Name) {
-        self.cache
-            .lock()
-            .addresses
-            .insert(ns, CacheEntry { addrs, provenance });
+        self.shard(&ns).lock().addresses.insert(
+            ns,
+            AddrEntry {
+                addrs: Arc::new(addrs),
+                provenance,
+            },
+        );
     }
 
-    /// Take the address-cache inserts made by resolution since the last
-    /// drain, in insertion order.
-    pub fn drain_address_log(&self) -> Vec<(Name, Vec<Addr>)> {
-        std::mem::take(&mut self.cache.lock().insert_log)
+    /// Pre-seed the delegation cache with referral data for `cut`, as
+    /// journal recovery does when replaying a completed zone's logged
+    /// inserts. Not logged. Provenance is the parent apex, exactly as an
+    /// organic insert records it.
+    pub fn seed_referral(&self, cut: Name, data: ReferralData) {
+        let provenance = data.parent_apex.clone();
+        self.seed_referral_with_provenance(cut, data, provenance);
+    }
+
+    /// Insert a delegation-cache entry with an explicit provenance tag —
+    /// test hook for the cache-poisoning regression suite (referral data
+    /// whose provenance is not a proper ancestor of the cut must never
+    /// be consulted).
+    pub fn seed_referral_with_provenance(&self, cut: Name, data: ReferralData, provenance: Name) {
+        self.shard(&cut).lock().delegations.insert(
+            cut,
+            DelegationEntry {
+                data: Arc::new(data),
+                provenance,
+            },
+        );
     }
 
     fn query_first_responsive(

@@ -14,11 +14,13 @@
 //!   needs (signed, unsigned, invalid, island are derived from these plus
 //!   the DS/DNSKEY presence data).
 
+pub mod cachelog;
 pub mod client;
 pub mod hostile;
 pub mod iterate;
 pub mod validate;
 
+pub use cachelog::{CacheLog, ReferralData};
 pub use client::{
     ClientError, ClientErrorKind, DnsClient, Exchange, IoCounters, QueryMeter, RetryPolicy,
 };

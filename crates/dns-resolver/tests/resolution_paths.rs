@@ -179,7 +179,7 @@ fn seeded_addresses_bypass_resolution() {
     let got = resolver
         .addresses_of(&Name::parse("seeded.example").unwrap())
         .unwrap();
-    assert_eq!(got, vec![fake]);
+    assert_eq!(*got, vec![fake]);
 }
 
 /// A malicious/broken server that answers every query with a referral to

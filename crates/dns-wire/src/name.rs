@@ -7,6 +7,19 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv64_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// Maximum length of a single label in octets (RFC 1035 §2.3.4).
 pub const MAX_LABEL_LEN: usize = 63;
@@ -43,18 +56,92 @@ impl std::error::Error for NameError {}
 
 /// A fully-qualified domain name.
 ///
-/// Internally a vector of lowercase label byte-strings, most significant
-/// label last (i.e. `["www", "example", "com"]`). Equality and ordering are
-/// case-insensitive by construction.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+/// Stored as its canonical (lowercase) uncompressed wire encoding behind
+/// an `Arc`, with the label count and an FNV-1a hash computed once at
+/// construction: clones are refcount bumps, hashing is a single `u64`
+/// write, and equality short-circuits on the cached hash. Equality and
+/// ordering are case-insensitive by construction.
+#[derive(Clone)]
 pub struct Name {
-    labels: Vec<Vec<u8>>,
+    /// Canonical lowercase uncompressed encoding, including the root byte.
+    wire: Arc<[u8]>,
+    /// FNV-1a of `wire`, computed once.
+    hash: u64,
+    /// Number of labels (the root has zero; max 127 for a 255-octet name).
+    labels: u8,
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.wire == other.wire
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl Default for Name {
+    fn default() -> Self {
+        Name::root()
+    }
+}
+
+/// Label-by-label ordering from the *left* (the historical derive order
+/// of the label-vector representation; `BTreeSet<Name>` seed compilation
+/// depends on it, e.g. `zz…`-prefixed names sorting after the benign
+/// populations).
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let mut a = self.labels();
+        let mut b = other.labels();
+        loop {
+            match (a.next(), b.next()) {
+                (Some(x), Some(y)) => match x.cmp(y) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                },
+                (None, None) => return std::cmp::Ordering::Equal,
+                (None, Some(_)) => return std::cmp::Ordering::Less,
+                (Some(_), None) => return std::cmp::Ordering::Greater,
+            }
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl Name {
     /// The root name (zero labels).
     pub fn root() -> Self {
-        Name { labels: Vec::new() }
+        Name::from_canonical_wire(vec![0], 0)
+    }
+
+    /// Wrap an already-canonical (lowercase, validated) wire encoding.
+    fn from_canonical_wire(wire: Vec<u8>, labels: u8) -> Self {
+        let hash = fnv64_bytes(&wire);
+        Name {
+            wire: wire.into(),
+            hash,
+            labels,
+        }
+    }
+
+    /// Crate-internal: build from a canonical lowercase wire buffer the
+    /// caller assembled (message decoding), skipping re-validation. The
+    /// buffer must be a well-formed uncompressed encoding ≤255 octets
+    /// with every label 1–63 octets and already lowercased.
+    pub(crate) fn from_decoded_wire(wire: Vec<u8>, labels: u8) -> Self {
+        debug_assert!(wire.len() <= MAX_NAME_LEN && wire.last() == Some(&0));
+        Name::from_canonical_wire(wire, labels)
     }
 
     /// Build a name from raw label byte-strings (first = leftmost).
@@ -66,7 +153,8 @@ impl Name {
         I: IntoIterator<Item = L>,
         L: AsRef<[u8]>,
     {
-        let mut out = Vec::new();
+        let mut wire = Vec::with_capacity(32);
+        let mut count = 0u16;
         for l in labels {
             let l = l.as_ref();
             if l.is_empty() {
@@ -75,14 +163,15 @@ impl Name {
             if l.len() > MAX_LABEL_LEN {
                 return Err(NameError::LabelTooLong(l.len()));
             }
-            out.push(l.iter().map(|b| b.to_ascii_lowercase()).collect());
+            wire.push(l.len() as u8);
+            wire.extend(l.iter().map(|b| b.to_ascii_lowercase()));
+            count += 1;
         }
-        let name = Name { labels: out };
-        let wl = name.wire_len();
-        if wl > MAX_NAME_LEN {
-            return Err(NameError::NameTooLong(wl));
+        wire.push(0);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong(wire.len()));
         }
-        Ok(name)
+        Ok(Name::from_canonical_wire(wire, count as u8))
     }
 
     /// Parse presentation format (`www.example.com.` or `www.example.com`).
@@ -145,49 +234,82 @@ impl Name {
 
     /// Number of labels (the root has zero).
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.labels as usize
     }
 
     /// Whether this is the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.labels == 0
+    }
+
+    /// The cached FNV-1a hash of the canonical wire encoding — the
+    /// stable key the striped caches shard on.
+    pub fn fnv64(&self) -> u64 {
+        self.hash
+    }
+
+    /// The canonical uncompressed wire encoding, borrowed.
+    pub fn wire_bytes(&self) -> &[u8] {
+        &self.wire
     }
 
     /// Iterate over labels, leftmost first.
     pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
-        self.labels.iter().map(|l| l.as_slice())
+        LabelIter {
+            wire: &self.wire,
+            pos: 0,
+        }
+    }
+
+    /// Byte offset in `wire` where label `k` (0-based, leftmost first)
+    /// starts; `k == label_count()` gives the root byte.
+    fn label_offset(&self, k: usize) -> usize {
+        let mut pos = 0usize;
+        for _ in 0..k {
+            pos += self.wire[pos] as usize + 1;
+        }
+        pos
     }
 
     /// The leftmost label, if any.
     pub fn first_label(&self) -> Option<&[u8]> {
-        self.labels.first().map(|l| l.as_slice())
+        if self.labels == 0 {
+            None
+        } else {
+            Some(&self.wire[1..1 + self.wire[0] as usize])
+        }
     }
 
     /// Length of the uncompressed wire encoding, including the root byte.
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+        self.wire.len()
     }
 
     /// Parent name (one label stripped from the left); `None` at the root.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
+        if self.labels == 0 {
             None
         } else {
-            Some(Name {
-                labels: self.labels[1..].to_vec(),
-            })
+            let skip = self.wire[0] as usize + 1;
+            Some(Name::from_canonical_wire(
+                self.wire[skip..].to_vec(),
+                self.labels - 1,
+            ))
         }
     }
 
     /// True if `self` equals `ancestor` or is underneath it.
     ///
-    /// Every name is a subdomain of the root.
+    /// Every name is a subdomain of the root. The comparison is on label
+    /// boundaries: a wire-byte suffix match alone would falsely accept
+    /// names whose label *contents* happen to embed the ancestor's length
+    /// bytes.
     pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
-        if ancestor.labels.len() > self.labels.len() {
+        if ancestor.labels > self.labels {
             return false;
         }
-        let skip = self.labels.len() - ancestor.labels.len();
-        self.labels[skip..] == ancestor.labels[..]
+        let skip = self.label_offset((self.labels - ancestor.labels) as usize);
+        self.wire[skip..] == ancestor.wire[..]
     }
 
     /// Strictly below `ancestor` (subdomain but not equal).
@@ -197,21 +319,31 @@ impl Name {
 
     /// Prepend a single label, e.g. `"_dsboot"` in front of a child name.
     pub fn prepend_label(&self, label: &[u8]) -> Result<Name, NameError> {
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
-        labels.push(label.to_vec());
-        labels.extend(self.labels.iter().cloned());
-        Name::from_labels(labels)
+        if label.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(NameError::LabelTooLong(label.len()));
+        }
+        let mut wire = Vec::with_capacity(1 + label.len() + self.wire.len());
+        wire.push(label.len() as u8);
+        wire.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        wire.extend_from_slice(&self.wire);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong(wire.len()));
+        }
+        Ok(Name::from_canonical_wire(wire, self.labels + 1))
     }
 
     /// Concatenate: `self` + `suffix` (self's labels first).
     pub fn concat(&self, suffix: &Name) -> Result<Name, NameError> {
-        let labels = self
-            .labels
-            .iter()
-            .chain(suffix.labels.iter())
-            .cloned()
-            .collect::<Vec<_>>();
-        Name::from_labels(labels)
+        let mut wire = Vec::with_capacity(self.wire.len() - 1 + suffix.wire.len());
+        wire.extend_from_slice(&self.wire[..self.wire.len() - 1]);
+        wire.extend_from_slice(&suffix.wire);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong(wire.len()));
+        }
+        Ok(Name::from_canonical_wire(wire, self.labels + suffix.labels))
     }
 
     /// Strip `suffix` from the right, returning the remaining prefix labels
@@ -220,50 +352,53 @@ impl Name {
         if !self.is_subdomain_of(suffix) {
             return None;
         }
-        Some(self.labels[..self.labels.len() - suffix.labels.len()].to_vec())
+        Some(
+            self.labels()
+                .take((self.labels - suffix.labels) as usize)
+                .map(|l| l.to_vec())
+                .collect(),
+        )
     }
 
     /// Canonical DNSSEC ordering (RFC 4034 §6.1): compare label-by-label
     /// from the *right* (most significant first), each label as a
     /// lowercase octet string; absent labels sort first.
     pub fn canonical_cmp(&self, other: &Name) -> std::cmp::Ordering {
-        let a = &self.labels;
-        let b = &other.labels;
-        let n = a.len().min(b.len());
+        // Label start offsets on the stack: a 255-octet name has ≤127
+        // labels and every offset fits a byte.
+        let mut offs_a = [0u8; 128];
+        let mut offs_b = [0u8; 128];
+        let na = collect_offsets(&self.wire, &mut offs_a);
+        let nb = collect_offsets(&other.wire, &mut offs_b);
+        let n = na.min(nb);
         for i in 1..=n {
-            let la = &a[a.len() - i];
-            let lb = &b[b.len() - i];
+            let la = label_at(&self.wire, offs_a[na - i] as usize);
+            let lb = label_at(&other.wire, offs_b[nb - i] as usize);
             match la.cmp(lb) {
                 std::cmp::Ordering::Equal => continue,
                 o => return o,
             }
         }
-        a.len().cmp(&b.len())
+        na.cmp(&nb)
     }
 
     /// Encode without compression into `out`.
     pub fn write_uncompressed(&self, out: &mut Vec<u8>) {
-        for l in &self.labels {
-            out.push(l.len() as u8);
-            out.extend_from_slice(l);
-        }
-        out.push(0);
+        out.extend_from_slice(&self.wire);
     }
 
     /// The uncompressed wire encoding as a fresh vector.
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut v = Vec::with_capacity(self.wire_len());
-        self.write_uncompressed(&mut v);
-        v
+        self.wire.to_vec()
     }
 
     /// Presentation format with a trailing dot; the root is `"."`.
     pub fn to_string_fqdn(&self) -> String {
-        if self.labels.is_empty() {
+        if self.labels == 0 {
             return ".".to_string();
         }
         let mut s = String::new();
-        for l in &self.labels {
+        for l in self.labels() {
             for &b in l {
                 match b {
                     // Master-file metacharacters must be escaped so the
@@ -281,6 +416,43 @@ impl Name {
         }
         s
     }
+}
+
+/// Iterator over the labels of a canonical wire encoding.
+struct LabelIter<'a> {
+    wire: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let len = self.wire[self.pos] as usize;
+        if len == 0 {
+            return None;
+        }
+        let start = self.pos + 1;
+        self.pos = start + len;
+        Some(&self.wire[start..start + len])
+    }
+}
+
+/// Fill `offs` with the start offset of every label in `wire`; returns
+/// the label count.
+fn collect_offsets(wire: &[u8], offs: &mut [u8; 128]) -> usize {
+    let mut pos = 0usize;
+    let mut n = 0usize;
+    while wire[pos] != 0 {
+        offs[n] = pos as u8;
+        n += 1;
+        pos += wire[pos] as usize + 1;
+    }
+    n
+}
+
+/// The label starting at `pos` in `wire`.
+fn label_at(wire: &[u8], pos: usize) -> &[u8] {
+    &wire[pos + 1..pos + 1 + wire[pos] as usize]
 }
 
 impl fmt::Display for Name {

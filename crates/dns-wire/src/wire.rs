@@ -123,7 +123,11 @@ impl<'a> WireReader<'a> {
     /// if one is used). Pointers must point strictly backwards, which also
     /// rules out loops; a hop budget guards against pathological chains.
     pub fn read_name(&mut self) -> Result<Name, WireError> {
-        let mut labels: Vec<Vec<u8>> = Vec::new();
+        // Decode straight into the canonical flat wire form (lowercased,
+        // length-prefixed labels + root byte): one allocation per name,
+        // no per-label vectors.
+        let mut wire: Vec<u8> = Vec::with_capacity(32);
+        let mut label_count = 0u8;
         let mut pos = self.pos;
         // End of the name as stored inline; set when the first pointer is
         // followed.
@@ -150,7 +154,13 @@ impl<'a> WireReader<'a> {
                     if wire_len > crate::name::MAX_NAME_LEN {
                         return Err(WireError::Name(NameError::NameTooLong(wire_len)));
                     }
-                    labels.push(self.buf[pos + 1..end].to_vec());
+                    wire.push(len as u8);
+                    wire.extend(
+                        self.buf[pos + 1..end]
+                            .iter()
+                            .map(|b| b.to_ascii_lowercase()),
+                    );
+                    label_count += 1;
                     pos = end;
                 }
                 0xc0 => {
@@ -172,16 +182,21 @@ impl<'a> WireReader<'a> {
             }
         }
         self.pos = resume.unwrap_or(pos);
-        Ok(Name::from_labels(labels)?)
+        wire.push(0);
+        // Label length ≤63 is guaranteed by the 0x00 tag check, emptiness
+        // by `len == 0` terminating, and the total by the in-loop cap —
+        // the buffer is canonical by construction.
+        Ok(Name::from_decoded_wire(wire, label_count))
     }
 }
 
 /// Message writer with label compression.
 pub struct WireWriter {
     buf: Vec<u8>,
-    /// Offsets of previously written names, keyed by the name suffix they
-    /// start; only offsets < 0x4000 are usable as pointer targets.
-    offsets: HashMap<Name, usize>,
+    /// Offsets of previously written names, keyed by the canonical wire
+    /// bytes of the name suffix they start; only offsets < 0x4000 are
+    /// usable as pointer targets.
+    offsets: HashMap<Vec<u8>, usize>,
     /// When false (inside RDATA of types whose RDATA must not be
     /// compressed per RFC 3597 §4), names are written uncompressed.
     compress: bool,
@@ -255,38 +270,38 @@ impl WireWriter {
             return;
         }
         // Walk suffixes from the full name down, looking for a known one.
-        let labels: Vec<&[u8]> = name.labels().collect();
-        for skip in 0..=labels.len() {
-            let suffix = Name::from_labels(labels[skip..].iter().copied())
-                .expect("suffix of a valid name is valid");
-            if skip == labels.len() {
-                // Root: write remaining labels then the zero byte.
-                break;
-            }
-            if let Some(&off) = self.offsets.get(&suffix) {
+        // Suffix keys are slices of the name's canonical wire form — no
+        // intermediate `Name` construction on this path.
+        let wire = name.wire_bytes();
+        let mut starts: Vec<usize> = Vec::with_capacity(name.label_count());
+        let mut pos = 0usize;
+        while wire[pos] != 0 {
+            starts.push(pos);
+            pos += wire[pos] as usize + 1;
+        }
+        for (skip, &start) in starts.iter().enumerate() {
+            if let Some(&off) = self.offsets.get(&wire[start..]) {
                 // Emit labels up to `skip`, then a pointer.
-                for (i, l) in labels[..skip].iter().enumerate() {
+                for &s in &starts[..skip] {
                     let here = self.buf.len();
                     if here < 0x4000 {
-                        let partial = Name::from_labels(labels[i..].iter().copied()).unwrap();
-                        self.offsets.entry(partial).or_insert(here);
+                        self.offsets.entry(wire[s..].to_vec()).or_insert(here);
                     }
-                    self.buf.push(l.len() as u8);
-                    self.buf.extend_from_slice(l);
+                    self.buf
+                        .extend_from_slice(&wire[s..s + wire[s] as usize + 1]);
                 }
                 self.write_u16(0xc000 | off as u16);
                 return;
             }
         }
         // No suffix known: write all labels, remembering each suffix.
-        for (i, l) in labels.iter().enumerate() {
+        for &s in &starts {
             let here = self.buf.len();
             if here < 0x4000 {
-                let partial = Name::from_labels(labels[i..].iter().copied()).unwrap();
-                self.offsets.entry(partial).or_insert(here);
+                self.offsets.entry(wire[s..].to_vec()).or_insert(here);
             }
-            self.buf.push(l.len() as u8);
-            self.buf.extend_from_slice(l);
+            self.buf
+                .extend_from_slice(&wire[s..s + wire[s] as usize + 1]);
         }
         self.buf.push(0);
     }

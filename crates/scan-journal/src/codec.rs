@@ -15,12 +15,13 @@ use bootscan::types::{
     AbClass, CannotReason, CdsClass, CdsSeen, DnssecClass, NsObservation, SignalObservation,
     SignalViolation, ZoneScan,
 };
-use bootscan::{AddrHealth, RetryStats, ZoneEffects, ZoneEvent};
+use bootscan::{AddrHealth, ReferralData, RetryStats, ZoneEffects, ZoneEvent};
 use dns_wire::name::Name;
-use dns_wire::rdata::{DnskeyData, DsData};
+use dns_wire::rdata::{DnskeyData, DsData, RrsigData};
 use netsim::Addr;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
 
 /// Why a checksum-valid payload failed to decode. In a healthy journal
 /// this never happens (the CRC already vouches for the bytes); it
@@ -131,6 +132,43 @@ impl Enc {
         self.u8(d.algorithm);
         self.u8(d.digest_type);
         self.bytes(&d.digest);
+    }
+    fn rrsig(&mut self, s: &RrsigData) {
+        self.u16(s.type_covered);
+        self.u8(s.algorithm);
+        self.u8(s.labels);
+        self.u32(s.original_ttl);
+        self.u32(s.expiration);
+        self.u32(s.inception);
+        self.u16(s.key_tag);
+        self.name(&s.signer_name);
+        self.bytes(&s.signature);
+    }
+    fn addrs(&mut self, v: &[Addr]) {
+        self.u32(v.len() as u32);
+        for a in v {
+            self.addr(a);
+        }
+    }
+    fn referral(&mut self, r: &ReferralData) {
+        self.name(&r.parent_apex);
+        self.names(&r.ns_names);
+        match &r.ds {
+            None => self.u8(0),
+            Some(ds) => {
+                self.u8(1);
+                self.u32(ds.len() as u32);
+                for d in ds {
+                    self.ds(d);
+                }
+            }
+        }
+        self.u32(r.ds_rrsigs.len() as u32);
+        for s in &r.ds_rrsigs {
+            self.rrsig(s);
+        }
+        self.addrs(&r.child_servers);
+        self.addrs(&r.parent_servers);
     }
     fn cds_seen(&mut self, c: &CdsSeen) {
         match c {
@@ -308,10 +346,12 @@ impl Enc {
         self.u32(e.addr_inserts.len() as u32);
         for (name, addrs) in &e.addr_inserts {
             self.name(name);
-            self.u32(addrs.len() as u32);
-            for a in addrs {
-                self.addr(a);
-            }
+            self.addrs(addrs);
+        }
+        self.u32(e.referral_inserts.len() as u32);
+        for (cut, data) in &e.referral_inserts {
+            self.name(cut);
+            self.referral(data);
         }
         self.u32(e.health.len() as u32);
         for (addr, h) in &e.health {
@@ -436,6 +476,43 @@ impl<'a> Dec<'a> {
             algorithm: self.u8()?,
             digest_type: self.u8()?,
             digest: self.bytes()?,
+        })
+    }
+    fn rrsig(&mut self) -> Result<RrsigData> {
+        Ok(RrsigData {
+            type_covered: self.u16()?,
+            algorithm: self.u8()?,
+            labels: self.u8()?,
+            original_ttl: self.u32()?,
+            expiration: self.u32()?,
+            inception: self.u32()?,
+            key_tag: self.u16()?,
+            signer_name: self.name()?,
+            signature: self.bytes()?,
+        })
+    }
+    fn addrs(&mut self) -> Result<Vec<Addr>> {
+        let n = self.count()?;
+        (0..n).map(|_| self.addr()).collect()
+    }
+    fn referral(&mut self) -> Result<ReferralData> {
+        Ok(ReferralData {
+            parent_apex: self.name()?,
+            ns_names: self.names()?,
+            ds: match self.u8()? {
+                0 => None,
+                1 => {
+                    let n = self.count()?;
+                    Some((0..n).map(|_| self.ds()).collect::<Result<_>>()?)
+                }
+                t => return Err(CodecError::BadTag("referral ds presence", t)),
+            },
+            ds_rrsigs: {
+                let n = self.count()?;
+                (0..n).map(|_| self.rrsig()).collect::<Result<_>>()?
+            },
+            child_servers: self.addrs()?,
+            parent_servers: self.addrs()?,
         })
     }
     fn cds_seen(&mut self) -> Result<CdsSeen> {
@@ -608,9 +685,12 @@ impl<'a> Dec<'a> {
         let n = self.count()?;
         for _ in 0..n {
             let name = self.name()?;
-            let k = self.count()?;
-            let addrs = (0..k).map(|_| self.addr()).collect::<Result<_>>()?;
-            e.addr_inserts.push((name, addrs));
+            e.addr_inserts.push((name, Arc::new(self.addrs()?)));
+        }
+        let n = self.count()?;
+        for _ in 0..n {
+            let cut = self.name()?;
+            e.referral_inserts.push((cut, Arc::new(self.referral()?)));
         }
         let n = self.count()?;
         for _ in 0..n {
@@ -739,11 +819,54 @@ pub(crate) mod tests {
                 key_inserts: vec![(name!("zone.example"), vec![key])],
                 addr_inserts: vec![(
                     name!("ns1.example"),
-                    vec![
+                    Arc::new(vec![
                         Addr::V4(Ipv4Addr::new(192, 0, 2, 1)),
                         Addr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)),
-                    ],
+                    ]),
                 )],
+                referral_inserts: vec![
+                    (
+                        name!("zone.example"),
+                        Arc::new(ReferralData {
+                            parent_apex: name!("example"),
+                            ns_names: vec![name!("ns1.example"), name!("ns2.example")],
+                            ds: Some(vec![DsData {
+                                key_tag: 4711,
+                                algorithm: 13,
+                                digest_type: 2,
+                                digest: vec![9; 32],
+                            }]),
+                            ds_rrsigs: vec![RrsigData {
+                                type_covered: 43,
+                                algorithm: 13,
+                                labels: 2,
+                                original_ttl: 3600,
+                                expiration: 1_700_086_400,
+                                inception: 1_700_000_000,
+                                key_tag: 1234,
+                                signer_name: name!("example"),
+                                signature: vec![7; 64],
+                            }],
+                            child_servers: vec![Addr::V4(Ipv4Addr::new(192, 0, 2, 1))],
+                            parent_servers: vec![Addr::V6(Ipv6Addr::new(
+                                0x2001, 0xdb8, 0, 0, 0, 0, 0, 0x35,
+                            ))],
+                        }),
+                    ),
+                    (
+                        // An insecure delegation: `ds: None` is itself
+                        // cached state (the negative DS answer).
+                        name!("unsigned.example"),
+                        Arc::new(ReferralData {
+                            parent_apex: name!("example"),
+                            ns_names: vec![name!("ns.unsigned.example")],
+                            ds: None,
+                            ds_rrsigs: vec![],
+                            child_servers: vec![],
+                            parent_servers: vec![Addr::V4(Ipv4Addr::new(192, 0, 2, 53))],
+                        }),
+                    ),
+                ],
                 health: vec![(
                     Addr::V4(Ipv4Addr::new(192, 0, 2, 1)),
                     AddrHealth {
@@ -774,6 +897,7 @@ pub(crate) mod tests {
         }
         assert_eq!(a.effects.key_inserts, b.effects.key_inserts);
         assert_eq!(a.effects.addr_inserts, b.effects.addr_inserts);
+        assert_eq!(a.effects.referral_inserts, b.effects.referral_inserts);
         assert_eq!(a.effects.health, b.effects.health);
     }
 

@@ -42,7 +42,9 @@ use std::path::Path;
 pub const JOURNAL_MAGIC: [u8; 4] = *b"BSJ1";
 /// Current format version (bumped on any codec or framing change).
 /// v2: `RetryStats` grew logical-query and per-cause hostile counters.
-pub const FORMAT_VERSION: u16 = 2;
+/// v3: `ZoneEffects` grew delegation-cache inserts (`referral_inserts`),
+///     replayed on resume alongside the address-cache inserts.
+pub const FORMAT_VERSION: u16 = 3;
 /// Default journal file name inside a run directory.
 pub const JOURNAL_FILE: &str = "journal.bsj";
 
