@@ -10,6 +10,8 @@
 //! 3. registers Criterion measurements for the computational pieces
 //!    (classification, report aggregation, per-zone scanning).
 
+#![forbid(unsafe_code)]
+
 use bootscan::operator::OperatorTable;
 use bootscan::{ScanPolicy, ScanResults, Scanner};
 use dns_ecosystem::{build, Ecosystem, EcosystemConfig};

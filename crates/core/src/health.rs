@@ -17,7 +17,7 @@
 use netsim::{Addr, SimMicros};
 use parking_lot::Mutex;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct BreakerState {
@@ -32,7 +32,7 @@ pub struct CircuitBreaker {
     threshold: u32,
     /// Virtual µs the breaker stays open before a half-open probe.
     cooldown: SimMicros,
-    state: HashMap<Addr, BreakerState>,
+    state: BTreeMap<Addr, BreakerState>,
 }
 
 impl CircuitBreaker {
@@ -40,7 +40,7 @@ impl CircuitBreaker {
         CircuitBreaker {
             threshold,
             cooldown,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
         }
     }
 
@@ -142,7 +142,7 @@ pub struct AddrHealth {
 /// Global, observation-only per-address health statistics.
 #[derive(Debug, Default)]
 pub struct HealthTracker {
-    map: Mutex<HashMap<Addr, AddrHealth>>,
+    map: Mutex<BTreeMap<Addr, AddrHealth>>,
 }
 
 impl HealthTracker {

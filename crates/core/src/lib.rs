@@ -42,6 +42,8 @@
 //! println!("{}", bootscan::report::figure1(&results).render());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod classify;
 pub mod error;

@@ -6,7 +6,7 @@ use crate::operator::Identified;
 use crate::scanner::ScanResults;
 use crate::types::*;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Figure 1: DNSSEC status and bootstrapping-possibility breakdown.
@@ -141,7 +141,7 @@ pub struct Table1Row {
 
 /// Table 1: DNSSEC among the top-N DNS operators by domain count.
 pub fn table1(results: &ScanResults, top_n: usize) -> Vec<Table1Row> {
-    let mut map: HashMap<String, Table1Row> = HashMap::new();
+    let mut map: BTreeMap<String, Table1Row> = BTreeMap::new();
     for z in results.resolved() {
         let Identified::Single(op) = &z.operator else {
             continue;
@@ -214,8 +214,8 @@ pub struct Table2Row {
 
 /// Table 2: the top-N operators publishing CDS RRs.
 pub fn table2(results: &ScanResults, top_n: usize, swiss_ops: &[String]) -> Vec<Table2Row> {
-    let mut cds: HashMap<String, u64> = HashMap::new();
-    let mut portfolio: HashMap<String, u64> = HashMap::new();
+    let mut cds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut portfolio: BTreeMap<String, u64> = BTreeMap::new();
     for z in results.resolved() {
         let Identified::Single(op) = &z.operator else {
             continue;
@@ -295,7 +295,7 @@ pub struct Table3 {
 }
 
 pub fn table3(results: &ScanResults, named: &[&str]) -> Table3 {
-    let mut cols: HashMap<String, Table3Col> = HashMap::new();
+    let mut cols: BTreeMap<String, Table3Col> = BTreeMap::new();
     for z in results.resolved() {
         if z.ab == AbClass::NoSignal {
             continue;

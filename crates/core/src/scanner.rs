@@ -255,6 +255,14 @@ impl Scanner {
         &self.key_cache[(name.fnv64() % KEY_SHARDS as u64) as usize]
     }
 
+    /// Sole approved write path into the shared key cache. Every entry
+    /// carries its provenance tag; audited by bootscan-lint (V001),
+    /// which forbids raw map inserts anywhere else.
+    fn cache_validated_keys(&self, owner: &Name, entry: KeyCacheEntry) {
+        // bootscan-allow(V001): the one approved provenance-tagged insert into the key cache
+        self.key_shard(owner).lock().insert(owner.clone(), entry);
+    }
+
     /// The operator table (exposed for reports).
     pub fn operator_table(&self) -> &OperatorTable {
         &self.table
@@ -275,9 +283,7 @@ impl Scanner {
     /// key-cache entry with an explicit provenance tag. An entry whose
     /// provenance does not contain the owner must never be consulted.
     pub fn poison_key_cache(&self, owner: Name, keys: Vec<DnskeyData>, provenance: Name) {
-        self.key_shard(&owner)
-            .lock()
-            .insert(owner, KeyCacheEntry { keys, provenance });
+        self.cache_validated_keys(&owner, KeyCacheEntry { keys, provenance });
     }
 
     /// A fresh probe for one scan of `zone`, borrowing the worker's
@@ -392,8 +398,8 @@ impl Scanner {
         }
         let keys = self.fetch_keys_uncached(probe, zone, servers, ds);
         if let Some(k) = &keys {
-            self.key_shard(zone).lock().insert(
-                zone.clone(),
+            self.cache_validated_keys(
+                zone,
                 KeyCacheEntry {
                     keys: k.clone(),
                     provenance: zone.clone(),
@@ -1134,8 +1140,8 @@ impl Scanner {
     /// the cache state they would have seen in the uninterrupted run.
     pub fn restore_effects(&self, effects: &ZoneEffects) {
         for (zone, keys) in &effects.key_inserts {
-            self.key_shard(zone).lock().insert(
-                zone.clone(),
+            self.cache_validated_keys(
+                zone,
                 KeyCacheEntry {
                     keys: keys.clone(),
                     provenance: zone.clone(),

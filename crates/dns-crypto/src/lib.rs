@@ -22,6 +22,8 @@
 //! anyone holding the public key; that is irrelevant to the measurement
 //! (DESIGN.md §2 records the substitution).
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm;
 pub mod ds;
 pub mod keys;

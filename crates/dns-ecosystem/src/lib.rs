@@ -21,6 +21,8 @@
 //!   (zone files via CZDS/AXFR, top lists, CT-log-derived ccTLD samples
 //!   at 43–80 % coverage).
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod psl;
 pub mod seeds;

@@ -2,12 +2,12 @@
 //! public suffix in the Mozilla Public Suffix List").
 
 use dns_wire::name::Name;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A set of public suffixes.
 #[derive(Debug, Clone, Default)]
 pub struct PublicSuffixList {
-    suffixes: HashSet<Name>,
+    suffixes: BTreeSet<Name>,
 }
 
 impl PublicSuffixList {

@@ -15,7 +15,7 @@ use crate::psl::PublicSuffixList;
 use crate::truth::ZoneTruth;
 use dns_wire::name::Name;
 use netsim::DeterministicDraw;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One zone-file entry: zone files carry NS information, so the
 /// all-in-domain exclusion can be applied pre-scan (§3).
@@ -29,11 +29,11 @@ pub struct SeedEntry {
 #[derive(Debug, Clone, Default)]
 pub struct SeedLists {
     /// Full zone files per suffix (CZDS gTLDs, AXFR and private ccTLDs).
-    pub zone_files: HashMap<Name, Vec<SeedEntry>>,
+    pub zone_files: BTreeMap<Name, Vec<SeedEntry>>,
     /// Four overlapping top lists (Tranco/Majestic/Umbrella/Radar-like).
     pub top_lists: Vec<Vec<Name>>,
     /// CT-log-derived partial lists for suffixes without zone files.
-    pub ct_logs: HashMap<Name, Vec<Name>>,
+    pub ct_logs: BTreeMap<Name, Vec<Name>>,
 }
 
 /// Suffixes covered only via CT logs in the paper (.de, .nl).

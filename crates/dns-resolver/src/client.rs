@@ -285,11 +285,13 @@ impl QueryMeter {
 
     /// Tally a hostile event observed while working under this meter.
     pub fn note_hostile(&self, cause: HostileCause) {
+        // bootscan-allow(P002): fixed-arity tally array; HostileCause::index() < ALL.len() by construction
         self.hostile[cause.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of the per-cause hostile-event counters.
     pub fn hostile(&self) -> HostileTally {
+        // bootscan-allow(P002): fixed-arity tally array; HostileCause::index() < ALL.len() by construction
         let at = |c: HostileCause| self.hostile[c.index()].load(Ordering::Relaxed);
         HostileTally {
             mismatched_replies: at(HostileCause::MismatchedReply),
@@ -625,10 +627,11 @@ fn accept_reply(query: &Message, reply: &mut Message) -> Result<u32, ()> {
         Some(q) => q,
         None => return Err(()),
     };
-    if reply.questions.len() != 1
-        || reply.questions[0].name != q.name
-        || reply.questions[0].rtype != q.rtype
-    {
+    let rq = match reply.questions.first() {
+        Some(rq) => rq,
+        None => return Err(()),
+    };
+    if reply.questions.len() != 1 || rq.name != q.name || rq.rtype != q.rtype {
         return Err(());
     }
     let before = reply.answers.len();

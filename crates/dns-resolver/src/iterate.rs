@@ -196,7 +196,24 @@ impl Resolver {
 
     /// The stripe holding `name`'s cache entries.
     fn shard(&self, name: &Name) -> &Mutex<CacheShard> {
+        // bootscan-allow(P002): stripe index is fnv64 % CACHE_SHARDS and the vec holds exactly CACHE_SHARDS stripes
         &self.shards[(name.fnv64() % CACHE_SHARDS as u64) as usize]
+    }
+
+    /// Sole approved write path into the shared address cache. Every
+    /// entry carries its provenance tag; audited by bootscan-lint (V001),
+    /// which forbids raw map inserts anywhere else.
+    fn cache_address(&self, ns: &Name, entry: AddrEntry) {
+        // bootscan-allow(V001): the one approved provenance-tagged insert into the address cache
+        self.shard(ns).lock().addresses.insert(ns.clone(), entry);
+    }
+
+    /// Sole approved write path into the shared delegation cache — the
+    /// V001 provenance discipline, same as [`Self::cache_address`].
+    fn cache_delegation(&self, cut: &Name, entry: DelegationEntry) {
+        let mut shard = self.shard(cut).lock();
+        // bootscan-allow(V001): the one approved provenance-tagged insert into the delegation cache
+        shard.delegations.insert(cut.clone(), entry);
     }
 
     /// Whether the hardening layer is active.
@@ -351,7 +368,7 @@ impl Resolver {
                 .iter()
                 .filter(|r| r.rtype() == RecordType::Ns)
                 .collect();
-            if ns_all.is_empty() {
+            let Some(first_ns) = ns_all.first() else {
                 // Neither authoritative nor a referral — treat as lame.
                 return Ok(Resolution {
                     rcode: msg.rcode(),
@@ -363,8 +380,8 @@ impl Resolver {
                     elapsed,
                     queries,
                 });
-            }
-            let cut = ns_all[0].name.clone();
+            };
+            let cut = first_ns.name.clone();
             let ns_records: Vec<&Record> = if self.hardened {
                 // Only NS records owned by the cut name delegate; stray NS
                 // rows at other names are injected padding.
@@ -489,8 +506,8 @@ impl Resolver {
                 child_servers: data.child_servers.clone(),
                 parent_servers: data.parent_servers.clone(),
             });
-            self.shard(&cut).lock().delegations.insert(
-                cut.clone(),
+            self.cache_delegation(
+                &cut,
                 DelegationEntry {
                     data: Arc::clone(&data),
                     provenance: data.parent_apex.clone(),
@@ -653,8 +670,8 @@ impl Resolver {
         // happens outside the shard lock — the old global cache cloned
         // the full vector twice inside its critical section.
         let addrs = Arc::new(addrs);
-        self.shard(ns).lock().addresses.insert(
-            ns.clone(),
+        self.cache_address(
+            ns,
             AddrEntry {
                 addrs: Arc::clone(&addrs),
                 provenance,
@@ -673,13 +690,7 @@ impl Resolver {
     /// that name and nothing else.
     pub fn seed_address(&self, ns: Name, addrs: Vec<Addr>) {
         let provenance = ns.clone();
-        self.shard(&ns).lock().addresses.insert(
-            ns,
-            AddrEntry {
-                addrs: Arc::new(addrs),
-                provenance,
-            },
-        );
+        self.seed_address_with_provenance(ns, addrs, provenance);
     }
 
     /// Insert an address-cache entry with an explicit provenance tag —
@@ -687,8 +698,8 @@ impl Resolver {
     /// entry whose provenance does not contain the hostname must never be
     /// consulted).
     pub fn seed_address_with_provenance(&self, ns: Name, addrs: Vec<Addr>, provenance: Name) {
-        self.shard(&ns).lock().addresses.insert(
-            ns,
+        self.cache_address(
+            &ns,
             AddrEntry {
                 addrs: Arc::new(addrs),
                 provenance,
@@ -710,8 +721,8 @@ impl Resolver {
     /// whose provenance is not a proper ancestor of the cut must never
     /// be consulted).
     pub fn seed_referral_with_provenance(&self, cut: Name, data: ReferralData, provenance: Name) {
-        self.shard(&cut).lock().delegations.insert(
-            cut,
+        self.cache_delegation(
+            &cut,
             DelegationEntry {
                 data: Arc::new(data),
                 provenance,

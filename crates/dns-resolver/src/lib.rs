@@ -14,6 +14,8 @@
 //!   needs (signed, unsigned, invalid, island are derived from these plus
 //!   the DS/DNSKEY presence data).
 
+#![forbid(unsafe_code)]
+
 pub mod cachelog;
 pub mod client;
 pub mod hostile;

@@ -1,0 +1,128 @@
+//! The compressing message writer (RFC 1035 §4.1.4).
+//!
+//! Split out of [`crate::wire`] so the panic-safety lint scope can cover
+//! the decode module without the encoder: a [`WireWriter`] only ever
+//! consumes `Name` values whose canonical wire buffers were validated at
+//! construction, so its internal offset arithmetic is in-bounds by
+//! invariant, never by the grace of network input. Roundtrip coverage
+//! stays with the reader tests in `wire.rs`.
+
+use crate::name::Name;
+use std::collections::HashMap;
+
+/// Message writer with label compression.
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// Offsets of previously written names, keyed by the canonical wire
+    /// bytes of the name suffix they start; only offsets < 0x4000 are
+    /// usable as pointer targets.
+    offsets: HashMap<Vec<u8>, usize>,
+    /// When false (inside RDATA of types whose RDATA must not be
+    /// compressed per RFC 3597 §4), names are written uncompressed.
+    compress: bool,
+}
+
+impl Default for WireWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireWriter {
+    pub fn new() -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(512),
+            offsets: HashMap::new(),
+            compress: true,
+        }
+    }
+
+    /// Current length of the encoded message.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and return the message bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn write_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Overwrite a previously-written u16 (e.g. RDLENGTH backpatching).
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Run `f` with compression disabled (for RDATA of "new" types whose
+    /// embedded names must be uncompressed, RFC 3597 §4).
+    pub fn without_compression<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.compress;
+        self.compress = false;
+        let r = f(self);
+        self.compress = prev;
+        r
+    }
+
+    /// Write a domain name, emitting a compression pointer when a suffix of
+    /// it has been written before.
+    pub fn write_name(&mut self, name: &Name) {
+        if !self.compress {
+            name.write_uncompressed(&mut self.buf);
+            return;
+        }
+        // Walk suffixes from the full name down, looking for a known one.
+        // Suffix keys are slices of the name's canonical wire form — no
+        // intermediate `Name` construction on this path.
+        let wire = name.wire_bytes();
+        let mut starts: Vec<usize> = Vec::with_capacity(name.label_count());
+        let mut pos = 0usize;
+        while wire[pos] != 0 {
+            starts.push(pos);
+            pos += wire[pos] as usize + 1;
+        }
+        for (skip, &start) in starts.iter().enumerate() {
+            if let Some(&off) = self.offsets.get(&wire[start..]) {
+                // Emit labels up to `skip`, then a pointer.
+                for &s in &starts[..skip] {
+                    let here = self.buf.len();
+                    if here < 0x4000 {
+                        self.offsets.entry(wire[s..].to_vec()).or_insert(here);
+                    }
+                    self.buf
+                        .extend_from_slice(&wire[s..s + wire[s] as usize + 1]);
+                }
+                self.write_u16(0xc000 | off as u16);
+                return;
+            }
+        }
+        // No suffix known: write all labels, remembering each suffix.
+        for &s in &starts {
+            let here = self.buf.len();
+            if here < 0x4000 {
+                self.offsets.entry(wire[s..].to_vec()).or_insert(here);
+            }
+            self.buf
+                .extend_from_slice(&wire[s..s + wire[s] as usize + 1]);
+        }
+        self.buf.push(0);
+    }
+}

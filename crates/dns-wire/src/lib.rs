@@ -19,7 +19,10 @@
 //! The crate is deliberately synchronous and allocation-conscious in the
 //! spirit of `smoltcp`: simple, explicit framing with no macro tricks.
 
+#![forbid(unsafe_code)]
+
 pub mod canonical;
+pub mod compress;
 pub mod message;
 pub mod name;
 pub mod presentation;

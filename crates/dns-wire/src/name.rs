@@ -182,47 +182,38 @@ impl Name {
         if s.is_empty() || s == "." {
             return Ok(Name::root());
         }
-        let bytes = s.as_bytes();
+        let mut rest = s.as_bytes();
         let mut labels: Vec<Vec<u8>> = Vec::new();
         let mut cur: Vec<u8> = Vec::new();
-        let mut i = 0;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'\\' => {
-                    if i + 1 >= bytes.len() {
-                        return Err(NameError::BadEscape);
+        while let Some((&b, tail)) = rest.split_first() {
+            match b {
+                b'\\' => match tail {
+                    [c, tail @ ..] if !c.is_ascii_digit() => {
+                        cur.push(*c);
+                        rest = tail;
                     }
-                    let c = bytes[i + 1];
-                    if c.is_ascii_digit() {
-                        if i + 3 >= bytes.len()
-                            || !bytes[i + 2].is_ascii_digit()
-                            || !bytes[i + 3].is_ascii_digit()
-                        {
-                            return Err(NameError::BadEscape);
-                        }
-                        let v = (bytes[i + 1] - b'0') as u32 * 100
-                            + (bytes[i + 2] - b'0') as u32 * 10
-                            + (bytes[i + 3] - b'0') as u32;
+                    [d1, d2, d3, tail @ ..] if d2.is_ascii_digit() && d3.is_ascii_digit() => {
+                        let v = (*d1 - b'0') as u32 * 100
+                            + (*d2 - b'0') as u32 * 10
+                            + (*d3 - b'0') as u32;
                         if v > 255 {
                             return Err(NameError::BadEscape);
                         }
                         cur.push(v as u8);
-                        i += 4;
-                    } else {
-                        cur.push(c);
-                        i += 2;
+                        rest = tail;
                     }
-                }
+                    _ => return Err(NameError::BadEscape),
+                },
                 b'.' => {
                     if cur.is_empty() {
                         return Err(NameError::EmptyLabel);
                     }
                     labels.push(std::mem::take(&mut cur));
-                    i += 1;
+                    rest = tail;
                 }
                 b => {
                     cur.push(b);
-                    i += 1;
+                    rest = tail;
                 }
             }
         }
@@ -266,17 +257,21 @@ impl Name {
     fn label_offset(&self, k: usize) -> usize {
         let mut pos = 0usize;
         for _ in 0..k {
-            pos += self.wire[pos] as usize + 1;
+            match self.wire.get(pos) {
+                Some(&len) => pos += len as usize + 1,
+                None => break,
+            }
         }
         pos
     }
 
     /// The leftmost label, if any.
     pub fn first_label(&self) -> Option<&[u8]> {
-        if self.labels == 0 {
+        let (&len, rest) = self.wire.split_first()?;
+        if len == 0 {
             None
         } else {
-            Some(&self.wire[1..1 + self.wire[0] as usize])
+            rest.get(..len as usize)
         }
     }
 
@@ -288,14 +283,11 @@ impl Name {
     /// Parent name (one label stripped from the left); `None` at the root.
     pub fn parent(&self) -> Option<Name> {
         if self.labels == 0 {
-            None
-        } else {
-            let skip = self.wire[0] as usize + 1;
-            Some(Name::from_canonical_wire(
-                self.wire[skip..].to_vec(),
-                self.labels - 1,
-            ))
+            return None;
         }
+        let skip = *self.wire.first()? as usize + 1;
+        let tail = self.wire.get(skip..)?;
+        Some(Name::from_canonical_wire(tail.to_vec(), self.labels - 1))
     }
 
     /// True if `self` equals `ancestor` or is underneath it.
@@ -309,7 +301,7 @@ impl Name {
             return false;
         }
         let skip = self.label_offset((self.labels - ancestor.labels) as usize);
-        self.wire[skip..] == ancestor.wire[..]
+        self.wire.get(skip..) == Some(&*ancestor.wire)
     }
 
     /// Strictly below `ancestor` (subdomain but not equal).
@@ -338,7 +330,9 @@ impl Name {
     /// Concatenate: `self` + `suffix` (self's labels first).
     pub fn concat(&self, suffix: &Name) -> Result<Name, NameError> {
         let mut wire = Vec::with_capacity(self.wire.len() - 1 + suffix.wire.len());
-        wire.extend_from_slice(&self.wire[..self.wire.len() - 1]);
+        if let Some((_root, stem)) = self.wire.split_last() {
+            wire.extend_from_slice(stem);
+        }
         wire.extend_from_slice(&suffix.wire);
         if wire.len() > MAX_NAME_LEN {
             return Err(NameError::NameTooLong(wire.len()));
@@ -372,8 +366,12 @@ impl Name {
         let nb = collect_offsets(&other.wire, &mut offs_b);
         let n = na.min(nb);
         for i in 1..=n {
-            let la = label_at(&self.wire, offs_a[na - i] as usize);
-            let lb = label_at(&other.wire, offs_b[nb - i] as usize);
+            let la = offs_a
+                .get(na - i)
+                .map_or(&[] as &[u8], |&p| label_at(&self.wire, p as usize));
+            let lb = offs_b
+                .get(nb - i)
+                .map_or(&[] as &[u8], |&p| label_at(&other.wire, p as usize));
             match la.cmp(lb) {
                 std::cmp::Ordering::Equal => continue,
                 o => return o,
@@ -427,13 +425,14 @@ struct LabelIter<'a> {
 impl<'a> Iterator for LabelIter<'a> {
     type Item = &'a [u8];
     fn next(&mut self) -> Option<&'a [u8]> {
-        let len = self.wire[self.pos] as usize;
+        let len = *self.wire.get(self.pos)? as usize;
         if len == 0 {
             return None;
         }
         let start = self.pos + 1;
+        let label = self.wire.get(start..start + len)?;
         self.pos = start + len;
-        Some(&self.wire[start..start + len])
+        Some(label)
     }
 }
 
@@ -442,17 +441,25 @@ impl<'a> Iterator for LabelIter<'a> {
 fn collect_offsets(wire: &[u8], offs: &mut [u8; 128]) -> usize {
     let mut pos = 0usize;
     let mut n = 0usize;
-    while wire[pos] != 0 {
-        offs[n] = pos as u8;
+    while let Some(&len) = wire.get(pos) {
+        if len == 0 {
+            break;
+        }
+        match offs.get_mut(n) {
+            Some(slot) => *slot = pos as u8,
+            // A canonical name has ≤127 labels; defend anyway.
+            None => break,
+        }
         n += 1;
-        pos += wire[pos] as usize + 1;
+        pos += len as usize + 1;
     }
     n
 }
 
-/// The label starting at `pos` in `wire`.
+/// The label starting at `pos` in `wire` (empty if out of bounds).
 fn label_at(wire: &[u8], pos: usize) -> &[u8] {
-    &wire[pos + 1..pos + 1 + wire[pos] as usize]
+    let len = wire.get(pos).copied().unwrap_or(0) as usize;
+    wire.get(pos + 1..pos + 1 + len).unwrap_or(&[])
 }
 
 impl fmt::Display for Name {
@@ -479,6 +486,7 @@ impl FromStr for Name {
 #[macro_export]
 macro_rules! name {
     ($s:expr) => {
+        // bootscan-allow(P001): compile-time literal helper for tests and examples; never fed network input
         $crate::name::Name::parse($s).expect("invalid name literal")
     };
 }

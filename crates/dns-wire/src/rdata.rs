@@ -435,8 +435,11 @@ impl RData {
                 if rdlen != 4 {
                     return Err(WireError::BadValue("A rdlength"));
                 }
-                let b = r.read_bytes(4)?;
-                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+                let b: [u8; 4] = r
+                    .read_bytes(4)?
+                    .try_into()
+                    .map_err(|_| WireError::BadValue("A rdlength"))?;
+                RData::A(Ipv4Addr::from(b))
             }
             RecordType::Aaaa => {
                 if rdlen != 16 {
@@ -638,8 +641,13 @@ pub fn unhex(s: &str) -> Option<Vec<u8>> {
     if !s.len().is_multiple_of(2) {
         return None;
     }
-    (0..s.len() / 2)
-        .map(|i| u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok())
+    let nib = |b: u8| (b as char).to_digit(16).map(|v| v as u8);
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| match pair {
+            [hi, lo] => Some(nib(*hi)? << 4 | nib(*lo)?),
+            _ => None,
+        })
         .collect()
 }
 

@@ -56,7 +56,7 @@ impl TypeBitmap {
             if let Some(last) = last {
                 out.push(w);
                 out.push((last + 1) as u8);
-                out.extend_from_slice(&bits[..=last]);
+                out.extend(bits.iter().take(last + 1));
             }
             *bits = [0u8; 32];
         };
@@ -69,7 +69,9 @@ impl TypeBitmap {
                 window = Some(w);
             }
             let lo = (t & 0xff) as usize;
-            bits[lo / 8] |= 0x80 >> (lo % 8);
+            if let Some(byte) = bits.get_mut(lo / 8) {
+                *byte |= 0x80 >> (lo % 8);
+            }
         }
         if let Some(w) = window {
             flush(w, &mut bits, out);
@@ -79,14 +81,11 @@ impl TypeBitmap {
     /// Decode from a complete RDATA tail.
     pub fn read(buf: &[u8]) -> Result<Self, WireError> {
         let mut types = BTreeSet::new();
-        let mut i = 0;
+        let mut rest = buf;
         let mut prev_window: Option<u8> = None;
-        while i < buf.len() {
-            if i + 2 > buf.len() {
-                return Err(WireError::Truncated);
-            }
-            let window = buf[i];
-            let len = buf[i + 1] as usize;
+        while let Some((&window, tail)) = rest.split_first() {
+            let (&len, tail) = tail.split_first().ok_or(WireError::Truncated)?;
+            let len = len as usize;
             if len == 0 || len > 32 {
                 return Err(WireError::BadValue("type bitmap window length"));
             }
@@ -96,18 +95,18 @@ impl TypeBitmap {
                 }
             }
             prev_window = Some(window);
-            i += 2;
-            if i + len > buf.len() {
+            if tail.len() < len {
                 return Err(WireError::Truncated);
             }
-            for (byte_idx, &b) in buf[i..i + len].iter().enumerate() {
+            let (bits, tail) = tail.split_at(len);
+            for (byte_idx, &b) in bits.iter().enumerate() {
                 for bit in 0..8 {
                     if b & (0x80 >> bit) != 0 {
                         types.insert((window as u16) << 8 | (byte_idx as u16 * 8 + bit as u16));
                     }
                 }
             }
-            i += len;
+            rest = tail;
         }
         Ok(TypeBitmap { types })
     }

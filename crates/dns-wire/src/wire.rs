@@ -1,9 +1,13 @@
 //! Low-level wire framing: a bounds-checked reader with compression-pointer
-//! support and a writer that performs label compression (RFC 1035 §4.1.4).
+//! support. The compressing writer lives in [`crate::compress`] (encoding
+//! consumes only locally-validated buffers, so it sits outside the
+//! panic-safety lint scope that covers this decode module); its
+//! [`WireWriter`] is re-exported here for compatibility.
 
 use crate::name::{Name, NameError};
-use std::collections::HashMap;
 use std::fmt;
+
+pub use crate::compress::WireWriter;
 
 /// Errors while encoding or decoding wire format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,10 +92,7 @@ impl<'a> WireReader<'a> {
     }
 
     pub fn read_u8(&mut self) -> Result<u8, WireError> {
-        if self.pos >= self.buf.len() {
-            return Err(WireError::Truncated);
-        }
-        let v = self.buf[self.pos];
+        let v = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
         Ok(v)
     }
@@ -109,10 +110,10 @@ impl<'a> WireReader<'a> {
     }
 
     pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = self
+            .buf
+            .get(self.pos..self.pos.checked_add(n).ok_or(WireError::Truncated)?)
+            .ok_or(WireError::Truncated)?;
         self.pos += n;
         Ok(s)
     }
@@ -147,19 +148,13 @@ impl<'a> WireReader<'a> {
                         break;
                     }
                     let end = pos + 1 + len;
-                    if end > self.buf.len() {
-                        return Err(WireError::Truncated);
-                    }
+                    let label = self.buf.get(pos + 1..end).ok_or(WireError::Truncated)?;
                     wire_len += 1 + len;
                     if wire_len > crate::name::MAX_NAME_LEN {
                         return Err(WireError::Name(NameError::NameTooLong(wire_len)));
                     }
                     wire.push(len as u8);
-                    wire.extend(
-                        self.buf[pos + 1..end]
-                            .iter()
-                            .map(|b| b.to_ascii_lowercase()),
-                    );
+                    wire.extend(label.iter().map(|b| b.to_ascii_lowercase()));
                     label_count += 1;
                     pos = end;
                 }
@@ -187,123 +182,6 @@ impl<'a> WireReader<'a> {
         // by `len == 0` terminating, and the total by the in-loop cap —
         // the buffer is canonical by construction.
         Ok(Name::from_decoded_wire(wire, label_count))
-    }
-}
-
-/// Message writer with label compression.
-pub struct WireWriter {
-    buf: Vec<u8>,
-    /// Offsets of previously written names, keyed by the canonical wire
-    /// bytes of the name suffix they start; only offsets < 0x4000 are
-    /// usable as pointer targets.
-    offsets: HashMap<Vec<u8>, usize>,
-    /// When false (inside RDATA of types whose RDATA must not be
-    /// compressed per RFC 3597 §4), names are written uncompressed.
-    compress: bool,
-}
-
-impl Default for WireWriter {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl WireWriter {
-    pub fn new() -> Self {
-        WireWriter {
-            buf: Vec::with_capacity(512),
-            offsets: HashMap::new(),
-            compress: true,
-        }
-    }
-
-    /// Current length of the encoded message.
-    pub fn len(&self) -> usize {
-        self.buf.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
-    }
-
-    /// Finish and return the message bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
-    }
-
-    pub fn write_u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    pub fn write_u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
-    }
-
-    pub fn write_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
-    }
-
-    pub fn write_bytes(&mut self, b: &[u8]) {
-        self.buf.extend_from_slice(b);
-    }
-
-    /// Overwrite a previously-written u16 (e.g. RDLENGTH backpatching).
-    pub fn patch_u16(&mut self, at: usize, v: u16) {
-        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
-    }
-
-    /// Run `f` with compression disabled (for RDATA of "new" types whose
-    /// embedded names must be uncompressed, RFC 3597 §4).
-    pub fn without_compression<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
-        let prev = self.compress;
-        self.compress = false;
-        let r = f(self);
-        self.compress = prev;
-        r
-    }
-
-    /// Write a domain name, emitting a compression pointer when a suffix of
-    /// it has been written before.
-    pub fn write_name(&mut self, name: &Name) {
-        if !self.compress {
-            name.write_uncompressed(&mut self.buf);
-            return;
-        }
-        // Walk suffixes from the full name down, looking for a known one.
-        // Suffix keys are slices of the name's canonical wire form — no
-        // intermediate `Name` construction on this path.
-        let wire = name.wire_bytes();
-        let mut starts: Vec<usize> = Vec::with_capacity(name.label_count());
-        let mut pos = 0usize;
-        while wire[pos] != 0 {
-            starts.push(pos);
-            pos += wire[pos] as usize + 1;
-        }
-        for (skip, &start) in starts.iter().enumerate() {
-            if let Some(&off) = self.offsets.get(&wire[start..]) {
-                // Emit labels up to `skip`, then a pointer.
-                for &s in &starts[..skip] {
-                    let here = self.buf.len();
-                    if here < 0x4000 {
-                        self.offsets.entry(wire[s..].to_vec()).or_insert(here);
-                    }
-                    self.buf
-                        .extend_from_slice(&wire[s..s + wire[s] as usize + 1]);
-                }
-                self.write_u16(0xc000 | off as u16);
-                return;
-            }
-        }
-        // No suffix known: write all labels, remembering each suffix.
-        for &s in &starts {
-            let here = self.buf.len();
-            if here < 0x4000 {
-                self.offsets.entry(wire[s..].to_vec()).or_insert(here);
-            }
-            self.buf
-                .extend_from_slice(&wire[s..s + wire[s] as usize + 1]);
-        }
-        self.buf.push(0);
     }
 }
 

@@ -1,0 +1,19 @@
+//! `bootscan-lint` — the workspace invariant checker (DESIGN.md §8).
+//!
+//! A zero-dependency, offline static-analysis pass that mechanically
+//! enforces the reproduction's load-bearing invariants: determinism of
+//! the evidence plane (D-rules), panic-safety of hostile-input paths
+//! (P-rules), cache-write provenance (V001), error-taxonomy
+//! exhaustiveness (E001), and suppression hygiene (U/J/X rules).
+//!
+//! Run it with `cargo run -p bootscan-lint` from anywhere inside the
+//! workspace; it exits non-zero if any invariant is violated.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use engine::{glob_match, run, Finding, Report};

@@ -1,0 +1,65 @@
+//! CLI entry point: `bootscan-lint [workspace-root]`.
+//!
+//! With no argument, walks upward from the current directory to the
+//! first `Cargo.toml` declaring `[workspace]`. Prints one
+//! `file:line: [RULE] message` diagnostic per violation and exits 1
+//! if any are found.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("bootscan-lint: no workspace root found (no ancestor Cargo.toml with [workspace]); pass a path explicitly");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let report = match bootscan_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bootscan-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if report.clean() {
+        println!(
+            "bootscan-lint: {} files scanned, all invariants hold",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bootscan-lint: {} files scanned, {} violation(s)",
+            report.files_scanned,
+            report.findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: degradation reporting that names every taxonomy variant;
+//! the one wildcard arm is deliberately kept and justified (E001
+//! suppression path).
+
+use crate::hostile::HostileCause;
+
+pub enum ScanError {
+    Timeout,
+    Refused,
+    Poisoned,
+}
+
+pub fn record(e: &ScanError) -> &'static str {
+    match e {
+        ScanError::Timeout => "timeout",
+        ScanError::Refused => "refused",
+        ScanError::Poisoned => "poisoned",
+    }
+}
+
+pub fn note_hostile(c: &HostileCause) -> &'static str {
+    match c {
+        HostileCause::Lie => "lie",
+        HostileCause::Truncation => "truncation",
+        // bootscan-allow(E001): fixture — future-proofing arm kept deliberately
+        _ => "other",
+    }
+}

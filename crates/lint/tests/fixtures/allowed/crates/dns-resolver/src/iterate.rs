@@ -1,0 +1,15 @@
+//! Fixture: the approved provenance-tagged cache-insert wrapper (V001
+//! allowed case).
+
+use std::collections::BTreeMap;
+
+pub struct Cache {
+    pub addresses: BTreeMap<u32, u32>,
+}
+
+impl Cache {
+    pub fn cache_address(&mut self, k: u32, v: u32) {
+        // bootscan-allow(V001): fixture — the one approved insert wrapper
+        self.addresses.insert(k, v);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: decode-path panics carried by justified suppressions
+//! (P001, P002 allowed cases).
+
+pub fn first_byte(buf: &[u8]) -> u8 {
+    // bootscan-allow(P002): fixture — caller guarantees a non-empty buffer
+    buf[0]
+}
+
+pub fn first_again(buf: &[u8]) -> u8 {
+    // bootscan-allow(P001): fixture — emptiness ruled out by the caller's length check
+    buf.first().copied().unwrap()
+}

@@ -1,0 +1,2 @@
+// bootscan-allow(U001): fixture — exercises the suppressed crate-root path
+pub fn noop() {}

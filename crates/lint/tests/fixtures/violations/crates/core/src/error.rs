@@ -1,0 +1,26 @@
+//! Fixture: degradation reporting that drops a `ScanError` variant and
+//! a `HostileCause` variant behind wildcard arms (E001, four findings:
+//! two missing variants + two wildcard arms).
+
+use crate::hostile::HostileCause;
+
+pub enum ScanError {
+    Timeout,
+    Refused,
+    Poisoned,
+}
+
+pub fn record(e: &ScanError) -> &'static str {
+    match e {
+        ScanError::Timeout => "timeout",
+        ScanError::Refused => "refused",
+        _ => "other",
+    }
+}
+
+pub fn note_hostile(c: &HostileCause) -> &'static str {
+    match c {
+        HostileCause::Lie => "lie",
+        _ => "other",
+    }
+}

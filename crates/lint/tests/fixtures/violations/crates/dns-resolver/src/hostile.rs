@@ -1,0 +1,7 @@
+//! Fixture: the hostile-behaviour taxonomy referenced by the E001
+//! cross-file check.
+
+pub enum HostileCause {
+    Lie,
+    Truncation,
+}

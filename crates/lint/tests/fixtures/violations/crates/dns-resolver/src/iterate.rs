@@ -1,0 +1,12 @@
+//! Fixture: a raw insert into an address cache outside the approved
+//! provenance-tagged wrapper (V001).
+
+use std::collections::BTreeMap;
+
+pub struct Cache {
+    pub addresses: BTreeMap<u32, u32>,
+}
+
+pub fn poke(c: &mut Cache) {
+    c.addresses.insert(1, 2);
+}

@@ -1,0 +1,12 @@
+//! Fixture: a decode path that panics on hostile input (P001, P002)
+//! and carries a reason-less suppression (X002 — which also leaves the
+//! P001 finding live, since an empty reason never suppresses).
+
+pub fn first_byte(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn first_checked_badly(buf: &[u8]) -> u8 {
+    // bootscan-allow(P001):
+    buf.first().copied().unwrap()
+}

@@ -1,0 +1,33 @@
+//! The live workspace must satisfy its own invariants: running the
+//! lint over the repository root yields zero findings. This is the
+//! test that keeps the codebase honest — any new ambient clock, hash
+//! iteration, decode-path panic, raw cache insert, or stale
+//! suppression fails the suite with a file:line diagnostic.
+
+use bootscan_lint::run;
+use std::path::Path;
+
+#[test]
+fn workspace_satisfies_all_invariants() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels under the workspace root");
+    let report = run(root).expect("scan workspace");
+    assert!(
+        report.clean(),
+        "workspace invariant violations:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually saw the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned",
+        report.files_scanned
+    );
+}

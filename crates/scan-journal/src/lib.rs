@@ -43,6 +43,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod checkpoint;
 mod codec;
 mod crc;

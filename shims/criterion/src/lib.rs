@@ -8,6 +8,8 @@
 //! analysis, plotting, or CLI filtering. Good enough to run the
 //! artifact benches and print comparable numbers without network access.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -9,6 +9,8 @@
 //! Deserialization is intentionally absent — nothing in the workspace
 //! deserializes.
 
+#![forbid(unsafe_code)]
+
 #[cfg(feature = "derive")]
 pub use serde_derive::Serialize;
 

@@ -5,6 +5,8 @@
 //! deterministic: object fields keep insertion order and floats format the
 //! same way on every run.
 
+#![forbid(unsafe_code)]
+
 use serde::{ser, Serialize, Serializer};
 use std::fmt;
 

@@ -18,6 +18,8 @@
 //! | [`dns_ecosystem`] | the synthetic Internet, calibrated to the paper |
 //! | [`bootscan`] | the scanner + classification + reports (the paper's system) |
 
+#![forbid(unsafe_code)]
+
 pub use bootscan;
 pub use dns_crypto;
 pub use dns_ecosystem;
