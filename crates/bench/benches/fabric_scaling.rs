@@ -1,0 +1,260 @@
+//! Fabric scaling baseline: zones/sec through the distributed scan
+//! fabric at 1/2/4/8 workers, plus the merge peak-RSS proxy
+//! (`FabricOps::peak_resident_zones`), spliced into `BENCH_scan.json`
+//! as the `fabric` section.
+//!
+//! No criterion: one fabric run per worker count is the workload, and
+//! the deterministic metrics (zones, logical queries, evidence digest,
+//! peak resident zones) are what matters — the bench also *asserts* the
+//! fabric's headline invariant, that the merged report is byte-identical
+//! across worker counts, so a perf run doubles as a cheap determinism
+//! smoke test.
+//!
+//! Environment:
+//! * `BOOTSCAN_BENCH_WORLD`   — `paper_default` (default) or `tiny`.
+//! * `BOOTSCAN_SCALE`         — paper-world scale divisor (default 10 000).
+//! * `BOOTSCAN_BENCH_WORKERS` — comma-separated worker counts (1,2,4,8).
+//! * `BOOTSCAN_BENCH_SHARDS`  — shard count, fixed across runs (32).
+//! * `BOOTSCAN_BENCH_OUT`     — JSON path to splice into (default
+//!   `BENCH_scan.json` at the workspace root).
+
+use bench::scanner_for;
+use bootscan::ScanPolicy;
+use dns_ecosystem::{build, EcosystemConfig};
+use scan_fabric::{run_fabric, FabricConfig, FabricFaultPlan, NullMergeSink};
+use serde_json::Value;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Fixed fabric run id: the bench measures throughput, not recovery, so
+/// every run starts from an empty journal under a fresh state dir.
+const RUN_ID: u64 = 0xFAB_BE7C;
+
+struct Run {
+    workers: usize,
+    zones: u64,
+    build_secs: f64,
+    fabric_secs: f64,
+    zones_per_sec: f64,
+    total_queries: u64,
+    virtual_makespan_us: u64,
+    peak_resident_zones: usize,
+    largest_shard: usize,
+    evidence_digest: u64,
+    report_json: String,
+}
+
+fn world_config() -> (String, EcosystemConfig) {
+    let world =
+        std::env::var("BOOTSCAN_BENCH_WORLD").unwrap_or_else(|_| "paper_default".to_string());
+    let cfg = match world.as_str() {
+        "tiny" => EcosystemConfig::tiny(42),
+        _ => EcosystemConfig::paper_default(bench::bench_scale()),
+    };
+    (world, cfg)
+}
+
+fn worker_list() -> Vec<usize> {
+    std::env::var("BOOTSCAN_BENCH_WORKERS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn shard_count() -> u32 {
+    std::env::var("BOOTSCAN_BENCH_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &u32| n >= 1)
+        .unwrap_or(32)
+}
+
+/// Build a fresh world and push it through the fabric once. Fresh world
+/// per run: every shard scanner starts cold, so worker counts compete on
+/// equal footing and the merged report must come out byte-identical.
+fn run_once(cfg: &EcosystemConfig, workers: usize, shards: u32) -> Run {
+    let t0 = Instant::now();
+    let eco = build(cfg.clone());
+    let seeds = eco.seeds.compile(&eco.psl);
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let state_root = std::env::temp_dir().join(format!(
+        "bootscan-fabric-bench-{}-w{workers}",
+        std::process::id()
+    ));
+    let factory = || scanner_for(&eco, ScanPolicy::default());
+    let fabric = FabricConfig {
+        workers,
+        shards,
+        ..FabricConfig::default()
+    };
+
+    let t1 = Instant::now();
+    let output = run_fabric(
+        &factory,
+        &seeds,
+        &state_root,
+        RUN_ID,
+        &fabric,
+        &FabricFaultPlan::none(),
+        &mut NullMergeSink,
+    )
+    .expect("fabric run");
+    let fabric_secs = t1.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&state_root);
+
+    let report_json = serde_json::to_string(&output.report).expect("report serializes");
+    Run {
+        workers,
+        zones: output.report.zones_total,
+        build_secs,
+        fabric_secs,
+        zones_per_sec: output.report.zones_total as f64 / fabric_secs,
+        total_queries: output.report.total_queries,
+        virtual_makespan_us: output.report.virtual_makespan_us,
+        peak_resident_zones: output.ops.peak_resident_zones,
+        largest_shard: output.ops.largest_shard,
+        evidence_digest: output.report.evidence_digest,
+        report_json,
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn run_json(r: &Run) -> Value {
+    obj(vec![
+        ("workers", Value::U64(r.workers as u64)),
+        ("zones", Value::U64(r.zones)),
+        ("zones_per_sec", Value::F64(r.zones_per_sec)),
+        ("total_queries", Value::U64(r.total_queries)),
+        ("virtual_makespan_us", Value::U64(r.virtual_makespan_us)),
+        (
+            "peak_resident_zones",
+            Value::U64(r.peak_resident_zones as u64),
+        ),
+        ("largest_shard", Value::U64(r.largest_shard as u64)),
+        ("evidence_digest", Value::U64(r.evidence_digest)),
+        (
+            "phases",
+            obj(vec![
+                ("build_secs", Value::F64(r.build_secs)),
+                ("fabric_secs", Value::F64(r.fabric_secs)),
+            ]),
+        ),
+    ])
+}
+
+/// Anchor relative `BOOTSCAN_BENCH_*` paths to the workspace root (cargo
+/// runs bench binaries with the package directory as cwd).
+fn from_workspace_root(path: &str) -> PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+/// Splice `"fabric": {...}` into an existing `BENCH_scan.json` as its
+/// last top-level key. The serde_json shim has no deserializer, so this
+/// is textual: the fabric section is always appended last, which makes a
+/// previously spliced section recognisable (and replaceable) by its
+/// `,\n  "fabric":` prefix.
+fn splice_fabric(existing: Option<&str>, fabric: &Value) -> String {
+    let pretty = serde_json::to_string_pretty(fabric).expect("fabric section serializes");
+    // Re-indent the section one level deep.
+    let nested = pretty.replace('\n', "\n  ");
+    match existing {
+        Some(text) => {
+            let base = match text.rfind(",\n  \"fabric\":") {
+                Some(idx) => &text[..idx],
+                None => {
+                    let end = text.rfind('}').expect("existing JSON has a closing brace");
+                    text[..end].trim_end().trim_end_matches(',')
+                }
+            };
+            format!("{base},\n  \"fabric\": {nested}\n}}\n")
+        }
+        None => format!("{{\n  \"fabric\": {nested}\n}}\n"),
+    }
+}
+
+fn main() {
+    let (world, cfg) = world_config();
+    let workers = worker_list();
+    let shards = shard_count();
+    eprintln!("[fabric_scaling] world={world} shards={shards} workers={workers:?}");
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &w in &workers {
+        let r = run_once(&cfg, w, shards);
+        eprintln!(
+            "[fabric_scaling] w={w}: {} zones in {:.2}s ({:.1} zones/sec), \
+             {} logical queries, peak resident {} zones (largest shard {})",
+            r.zones,
+            r.fabric_secs,
+            r.zones_per_sec,
+            r.total_queries,
+            r.peak_resident_zones,
+            r.largest_shard
+        );
+        runs.push(r);
+    }
+
+    // The headline fabric invariant, checked on every bench run: the
+    // merged report must not depend on how many workers produced it.
+    let reference = &runs[0];
+    let identical = runs.iter().all(|r| r.report_json == reference.report_json);
+    assert!(
+        identical,
+        "merged report differs across worker counts — fabric determinism broken"
+    );
+    // Peak-RSS proxy: the streaming merge must never hold more than one
+    // shard's zones at a time.
+    for r in &runs {
+        assert!(
+            r.peak_resident_zones <= r.largest_shard,
+            "w={}: merge held {} zones, largest shard is {}",
+            r.workers,
+            r.peak_resident_zones,
+            r.largest_shard
+        );
+    }
+    eprintln!(
+        "[fabric_scaling] merged reports byte-identical across {:?} workers \
+         (evidence digest {:#018x})",
+        workers, reference.evidence_digest
+    );
+
+    let fabric_doc = obj(vec![
+        ("world", Value::String(world)),
+        ("scale", Value::U64(bench::bench_scale())),
+        ("shards", Value::U64(shards as u64)),
+        (
+            "byte_identical_across_worker_counts",
+            Value::Bool(identical),
+        ),
+        (
+            "runs",
+            Value::Array(runs.iter().map(run_json).collect::<Vec<_>>()),
+        ),
+    ]);
+
+    let out_path = std::env::var("BOOTSCAN_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_scan.json", env!("CARGO_MANIFEST_DIR")));
+    let out_file = from_workspace_root(&out_path);
+    let existing = std::fs::read_to_string(&out_file).ok();
+    let spliced = splice_fabric(existing.as_deref(), &fabric_doc);
+    std::fs::write(&out_file, spliced).expect("write BENCH_scan.json");
+    eprintln!("[fabric_scaling] spliced fabric section into {out_path}");
+}

@@ -28,40 +28,49 @@ pub struct Figure1 {
 
 /// Build Figure 1 from scan results.
 pub fn figure1(results: &ScanResults) -> Figure1 {
-    let mut f = Figure1 {
-        indeterminate: results
-            .zones
-            .iter()
-            .filter(|z| z.dnssec == DnssecClass::Indeterminate)
-            .count() as u64,
-        ..Figure1::default()
-    };
-    for z in results.resolved() {
-        f.resolved += 1;
-        match z.dnssec {
-            DnssecClass::Unsigned => f.unsigned += 1,
-            DnssecClass::Secured => f.secured += 1,
-            DnssecClass::Invalid => f.invalid += 1,
-            DnssecClass::Island => {
-                f.islands += 1;
-                match z.cds {
-                    CdsClass::Absent => f.island_without_cds += 1,
-                    CdsClass::Delete => f.island_cds_delete += 1,
-                    CdsClass::MismatchesDnskey | CdsClass::BadSignature => {
-                        f.island_invalid_cds += 1
-                    }
-                    CdsClass::Valid => f.island_bootstrappable += 1,
-                    // NS disagreement: conservatively not bootstrappable.
-                    CdsClass::Inconsistent => f.island_invalid_cds += 1,
-                }
-            }
-            DnssecClass::Unresolvable | DnssecClass::Indeterminate => {}
-        }
+    let mut f = Figure1::default();
+    for z in &results.zones {
+        f.absorb(z);
     }
     f
 }
 
 impl Figure1 {
+    /// Fold one zone into the figure. [`figure1`] is this over every
+    /// zone; the fabric's streaming merge calls it per zone as results
+    /// arrive, so the figure is assembled without ever materializing
+    /// the full zone list in one memory image.
+    pub fn absorb(&mut self, z: &ZoneScan) {
+        match z.dnssec {
+            DnssecClass::Indeterminate => {
+                self.indeterminate += 1;
+                return;
+            }
+            DnssecClass::Unresolvable => return,
+            _ => {}
+        }
+        self.resolved += 1;
+        match z.dnssec {
+            DnssecClass::Unsigned => self.unsigned += 1,
+            DnssecClass::Secured => self.secured += 1,
+            DnssecClass::Invalid => self.invalid += 1,
+            DnssecClass::Island => {
+                self.islands += 1;
+                match z.cds {
+                    CdsClass::Absent => self.island_without_cds += 1,
+                    CdsClass::Delete => self.island_cds_delete += 1,
+                    CdsClass::MismatchesDnskey | CdsClass::BadSignature => {
+                        self.island_invalid_cds += 1
+                    }
+                    CdsClass::Valid => self.island_bootstrappable += 1,
+                    // NS disagreement: conservatively not bootstrappable.
+                    CdsClass::Inconsistent => self.island_invalid_cds += 1,
+                }
+            }
+            DnssecClass::Unresolvable | DnssecClass::Indeterminate => {}
+        }
+    }
+
     pub fn render(&self) -> String {
         let pct = |n: u64| {
             if self.resolved == 0 {
@@ -652,28 +661,13 @@ pub struct DegradationReport {
 }
 
 pub fn degradation(results: &ScanResults) -> DegradationReport {
-    let mut r = DegradationReport {
-        total_zones: results.zones.len() as u64,
-        ..DegradationReport::default()
-    };
+    let mut r = DegradationReport::default();
     for z in &results.zones {
-        let s = &z.retry_stats;
-        r.total_failures += s.failures as u64;
-        r.total_timeouts += s.timeouts as u64;
-        r.total_malformed += s.malformed as u64;
-        r.total_servfails += s.servfails as u64;
-        r.total_retries += s.retries as u64;
-        r.total_breaker_skips += s.breaker_skips as u64;
-        r.total_rescans += s.rescans as u64;
-        if z.dnssec == DnssecClass::Indeterminate {
-            r.indeterminate_zones += 1;
-        }
-        if z.degraded || z.dnssec == DnssecClass::Indeterminate {
-            r.degraded_zones += 1;
+        if r.absorb_counters(z) {
             r.zones.push(DegradedZone {
                 name: z.name.to_string_fqdn(),
                 class: z.dnssec,
-                stats: *s,
+                stats: z.retry_stats,
             });
         }
     }
@@ -684,6 +678,32 @@ pub fn degradation(results: &ScanResults) -> DegradationReport {
 }
 
 impl DegradationReport {
+    /// Fold one zone's counters into the report, *without* recording a
+    /// [`DegradedZone`] entry; returns whether the zone qualifies for
+    /// one. [`degradation`] is this plus the entry push; the fabric's
+    /// streaming merge keeps only the counters (O(1) state per report)
+    /// and lets its caller decide whether to materialize the per-zone
+    /// degradation list.
+    pub fn absorb_counters(&mut self, z: &ZoneScan) -> bool {
+        self.total_zones += 1;
+        let s = &z.retry_stats;
+        self.total_failures += s.failures as u64;
+        self.total_timeouts += s.timeouts as u64;
+        self.total_malformed += s.malformed as u64;
+        self.total_servfails += s.servfails as u64;
+        self.total_retries += s.retries as u64;
+        self.total_breaker_skips += s.breaker_skips as u64;
+        self.total_rescans += s.rescans as u64;
+        if z.dnssec == DnssecClass::Indeterminate {
+            self.indeterminate_zones += 1;
+        }
+        let degraded = z.degraded || z.dnssec == DnssecClass::Indeterminate;
+        if degraded {
+            self.degraded_zones += 1;
+        }
+        degraded
+    }
+
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(

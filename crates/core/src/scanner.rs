@@ -998,7 +998,38 @@ impl Scanner {
         sink: Option<&dyn ProgressSink>,
         resume: Option<ResumeState>,
     ) -> ScanResults {
-        let workers = self.policy.parallelism.max(1);
+        self.scan_with_workers(seeds, sink, resume, self.policy.parallelism.max(1))
+    }
+
+    /// Scan one fabric shard: exactly [`scan_all_with`](Self::scan_all_with)
+    /// but pinned to a single in-scanner worker regardless of
+    /// `policy.parallelism`.
+    ///
+    /// The distributed scan fabric (`scan-fabric`) gives every shard a
+    /// *fresh* scanner (cold caches) and scans it sequentially; shard
+    /// results are then a pure function of (world, shard seed slice,
+    /// policy) — independent of which fabric worker ran the shard, how
+    /// many workers exist, and how often the shard was killed and
+    /// resumed. That per-shard determinism extends to the *full* zone
+    /// records including cost counters, which is what makes the merged
+    /// fabric report byte-identical across worker counts and fault
+    /// plans (see `tests/fabric_recovery.rs`).
+    pub fn scan_shard_with(
+        self: &Arc<Self>,
+        seeds: &[Name],
+        sink: Option<&dyn ProgressSink>,
+        resume: Option<ResumeState>,
+    ) -> ScanResults {
+        self.scan_with_workers(seeds, sink, resume, 1)
+    }
+
+    fn scan_with_workers(
+        self: &Arc<Self>,
+        seeds: &[Name],
+        sink: Option<&dyn ProgressSink>,
+        resume: Option<ResumeState>,
+        workers: usize,
+    ) -> ScanResults {
         let mut base_duration: SimMicros = 0;
         let mut completed: HashSet<Name> = HashSet::new();
         let mut carried: Vec<ZoneScan> = Vec::new();

@@ -31,6 +31,6 @@ pub mod truth;
 
 pub use build::{build, Ecosystem, OperatorInfo};
 pub use psl::PublicSuffixList;
-pub use seeds::SeedLists;
+pub use seeds::{shard_of, SeedLists};
 pub use spec::{AdversaryArchetype, AdversaryOpSpec, EcosystemConfig, OperatorSpec};
 pub use truth::{CdsState, DnssecState, SignalDefect, SignalTruth, ZoneTruth};

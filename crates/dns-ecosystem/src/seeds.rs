@@ -117,12 +117,39 @@ impl SeedLists {
         out.into_iter().collect()
     }
 
+    /// [`compile`](Self::compile) restricted to one fabric shard: the
+    /// compiled list filtered to zones whose [`shard_of`] assignment is
+    /// `shard`, in canonical DNS order — exactly the slice the fabric's
+    /// shard plan dispatches, so a worker may compile only its own
+    /// shard. The union over `shard in 0..shards` is exactly
+    /// `compile()` (same dedup, same exclusions), and the shards are
+    /// pairwise disjoint — so a distributed scan over all shards visits
+    /// every zone exactly once.
+    pub fn compile_shard(&self, psl: &PublicSuffixList, shard: u32, shards: u32) -> Vec<Name> {
+        let mut out: Vec<Name> = self
+            .compile(psl)
+            .into_iter()
+            .filter(|n| shard_of(n, shards) == shard)
+            .collect();
+        out.sort_by(|a, b| a.canonical_cmp(b));
+        out
+    }
+
     /// Total raw entries across all sources (before dedup).
     pub fn total_entries(&self) -> usize {
         self.zone_files.values().map(Vec::len).sum::<usize>()
             + self.ct_logs.values().map(Vec::len).sum::<usize>()
             + self.top_lists.iter().map(Vec::len).sum::<usize>()
     }
+}
+
+/// Stable shard assignment for a zone: FNV-1a 64 of the canonical wire
+/// name, reduced mod `shards`. `Name` caches this hash, and the scheme
+/// is bit-for-bit the one `scan_journal::zone_shard` uses for
+/// checkpoint buckets — the fabric's zone-space partition and the
+/// journal's checkpoint partition agree by construction.
+pub fn shard_of(name: &Name, shards: u32) -> u32 {
+    (name.fnv64() % u64::from(shards.max(1))) as u32
 }
 
 #[cfg(test)]
@@ -199,6 +226,42 @@ mod tests {
             // ~5 % of 401 each; loose band.
             assert!(l.len() < 80, "{}", l.len());
         }
+    }
+
+    #[test]
+    fn shards_partition_the_compiled_list() {
+        let psl = PublicSuffixList::simulated();
+        let lists = SeedLists::generate(&many_truths(), &psl, 1);
+        let full = lists.compile(&psl);
+        for shards in [1u32, 2, 4, 7] {
+            let mut union: Vec<Name> = Vec::new();
+            let mut seen: BTreeSet<Name> = BTreeSet::new();
+            for k in 0..shards {
+                let part = lists.compile_shard(&psl, k, shards);
+                for n in &part {
+                    assert_eq!(shard_of(n, shards), k);
+                    assert!(seen.insert(n.clone()), "{n:?} in two shards");
+                }
+                union.extend(part);
+            }
+            union.sort_by(|a, b| a.canonical_cmp(b));
+            let mut sorted_full = full.clone();
+            sorted_full.sort_by(|a, b| a.canonical_cmp(b));
+            assert_eq!(union, sorted_full, "shards={shards} union != compile");
+        }
+    }
+
+    #[test]
+    fn shard_of_matches_checkpoint_bucketing() {
+        // Same FNV-1a constants and input as scan-journal's checkpoint
+        // bucketing: partition agreement is load-bearing for the fabric.
+        let n = Name::parse("agreement.example").unwrap();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in n.to_wire() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(shard_of(&n, 8), (h % 8) as u32);
     }
 
     #[test]

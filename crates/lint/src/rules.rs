@@ -45,11 +45,15 @@ pub struct Rule {
 }
 
 /// Evidence-plane crates: everything whose output feeds the report.
+/// scan-fabric is included whole: its merge path folds journal events
+/// into the byte-compared report, so hash-order iteration or ambient
+/// state anywhere in the crate can corrupt the determinism contract.
 const EVIDENCE_SRC: &[&str] = &[
     "crates/core/src/**",
     "crates/dns-resolver/src/**",
     "crates/dns-ecosystem/src/**",
     "crates/scan-journal/src/**",
+    "crates/scan-fabric/src/**",
 ];
 
 /// Decode paths (hostile bytes) and response-acceptance paths
@@ -60,6 +64,10 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/dns-resolver/src/validate.rs",
     "crates/dns-resolver/src/iterate.rs",
     "crates/dns-resolver/src/hostile.rs",
+    // The fabric's channel frame decoder: worker pipes become real OS
+    // pipes when workers move out of process, so these bytes are as
+    // untrusted as network datagrams.
+    "crates/scan-fabric/src/protocol.rs",
 ];
 
 /// Files inside the dns-wire tree that never see network bytes:
@@ -101,6 +109,7 @@ pub fn catalog() -> Vec<Rule> {
                 "crates/dns-resolver/src/**",
                 "crates/dns-ecosystem/src/**",
                 "crates/scan-journal/src/**",
+                "crates/scan-fabric/src/**",
                 "crates/dns-wire/src/**",
             ],
             exclude: &[],

@@ -35,6 +35,9 @@ fn violations_tree_trips_every_rule() {
         ("P002", "crates/dns-wire/src/decode.rs", 6),
         ("X002", "crates/dns-wire/src/decode.rs", 10),
         ("P001", "crates/dns-wire/src/decode.rs", 11),
+        ("P002", "crates/scan-fabric/src/protocol.rs", 6),
+        ("P002", "crates/scan-fabric/src/protocol.rs", 10),
+        ("P001", "crates/scan-fabric/src/protocol.rs", 10),
     ];
     let mut want: Vec<(String, String, u32)> = want
         .iter()
@@ -71,7 +74,7 @@ fn allowed_tree_scans_clean() {
         "justified suppressions should silence every finding:\n{:#?}",
         report.findings
     );
-    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.files_scanned, 7);
 }
 
 #[test]

@@ -1,0 +1,12 @@
+//! Fixture: the same fabric frame decoder written hostile-input-safe —
+//! every read is bounds-checked and every failure degrades to `None`
+//! instead of aborting the coordinator.
+
+pub fn frame_tag(buf: &[u8]) -> Option<u8> {
+    buf.get(4).copied()
+}
+
+pub fn frame_len(buf: &[u8]) -> Option<u32> {
+    let word = buf.get(0..4)?;
+    Some(u32::from_le_bytes(word.try_into().ok()?))
+}

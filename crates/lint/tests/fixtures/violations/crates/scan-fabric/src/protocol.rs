@@ -1,0 +1,11 @@
+//! Fixture: a fabric frame decoder that panics on hostile channel
+//! bytes (P001, P002). Worker pipes are an untrusted-input surface:
+//! once workers are separate processes, these bytes cross a real pipe.
+
+pub fn frame_tag(buf: &[u8]) -> u8 {
+    buf[4]
+}
+
+pub fn frame_len(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[0..4].try_into().unwrap())
+}

@@ -1,0 +1,424 @@
+//! The coordinator: shard dispatch, lease supervision, deterministic
+//! work-stealing, and the final merge.
+//!
+//! The coordinator is intentionally *not* deterministic in its
+//! scheduling — which worker gets which shard, when a lease expires,
+//! how often a shard is retried all depend on real thread timing. The
+//! fabric's determinism lives one layer down: every shard attempt is a
+//! sequential scan by a fresh scanner resuming from the shard journal,
+//! so the journal's final content (and therefore the merged report) is
+//! a pure function of (world, shard plan, policy) no matter what the
+//! coordinator did along the way. Scheduling noise lands in
+//! [`FabricOps`]; the byte-compared [`MergedReport`] cannot see it.
+
+use crate::channel::{pipe, PipeReader, PipeWriter, Polled, WakeSet};
+use crate::faults::FabricFaultPlan;
+use crate::merge::{FabricOps, MergeSink, MergedReport, StreamingMerge};
+use crate::protocol::Msg;
+use crate::shard::ShardPlan;
+use crate::worker::{worker_main, Fence, ScannerFactory, WorkerCtx};
+use scan_journal::{recover, shard_header, shard_state_dir};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fabric sizing and failure-detection knobs.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Zone-space shards. More shards than workers gives the
+    /// coordinator stealable units when a worker dies; shard count (not
+    /// worker count) fixes the partition, so reports are comparable
+    /// across fleet sizes only when `shards` matches.
+    pub shards: u32,
+    /// Attempts per shard before it is abandoned (its zones then
+    /// surface as explicit Indeterminate placeholders).
+    pub max_attempts: u32,
+    /// Heartbeat every N journaled events (0 = no heartbeats).
+    pub heartbeat_every: u64,
+    /// Quiet poll ticks (of `poll_wait` each) before a worker's lease
+    /// is revoked and its shard stolen.
+    pub lease_timeout_polls: u32,
+    /// How long one coordinator poll tick parks waiting for worker
+    /// messages.
+    pub poll_wait: Duration,
+    /// Replacement workers the coordinator may spawn when workers die
+    /// (each replacement gets a fresh worker id, like a new process
+    /// pid). Once exhausted, losses shrink the fleet; if the fleet
+    /// empties, unfinished shards are abandoned — never lost silently.
+    pub max_respawns: u32,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            workers: 4,
+            shards: 8,
+            max_attempts: 4,
+            heartbeat_every: 1,
+            lease_timeout_polls: 40,
+            poll_wait: Duration::from_millis(25),
+            max_respawns: 64,
+        }
+    }
+}
+
+/// The fabric's output: the deterministic report and the operational
+/// (scheduling-dependent) counters, strictly separated.
+#[derive(Debug)]
+pub struct FabricOutput {
+    pub report: MergedReport,
+    pub ops: FabricOps,
+}
+
+/// A shard waiting to run: retry round-robin state.
+#[derive(Debug, Clone, Copy)]
+struct PendingShard {
+    shard: u32,
+    attempt: u32,
+    /// Coordinator round this entry becomes eligible (retry backoff).
+    ready_round: u64,
+}
+
+/// What a worker slot is doing.
+struct WorkerSlot {
+    tx: PipeWriter,
+    rx: PipeReader,
+    fence: Arc<Fence>,
+    alive: bool,
+    running: Option<RunningShard>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunningShard {
+    shard: u32,
+    attempt: u32,
+    lease: u64,
+    silent_polls: u32,
+}
+
+/// Everything a spawned worker thread borrows from the fabric run.
+#[derive(Clone, Copy)]
+struct SpawnEnv<'env> {
+    run_id: u64,
+    heartbeat_every: u64,
+    factory: ScannerFactory<'env>,
+    plan: &'env ShardPlan,
+    state_root: &'env Path,
+    faults: &'env FabricFaultPlan,
+}
+
+/// Spawn one worker thread (initial fleet member or replacement) with
+/// its own pipes and write fence.
+fn spawn_slot<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    id: u32,
+    env: SpawnEnv<'env>,
+    wake: &Arc<WakeSet>,
+) -> WorkerSlot {
+    let (to_worker, worker_inbox) = pipe(None);
+    let (worker_out, from_worker) = pipe(Some(Arc::clone(wake)));
+    let fence = Arc::new(Fence::default());
+    let thread_fence = Arc::clone(&fence);
+    scope.spawn(move || {
+        worker_main(
+            WorkerCtx {
+                worker: id,
+                run_id: env.run_id,
+                factory: env.factory,
+                plan: env.plan,
+                state_root: env.state_root,
+                faults: env.faults,
+                fence: &thread_fence,
+                heartbeat_every: env.heartbeat_every,
+            },
+            worker_inbox,
+            worker_out,
+        )
+    });
+    WorkerSlot {
+        tx: to_worker,
+        rx: from_worker,
+        fence,
+        alive: true,
+        running: None,
+    }
+}
+
+/// Run a full fabric scan: shard `seeds`, dispatch to workers, survive
+/// whatever `faults` injects, and stream-merge the shard journals into
+/// the final report.
+///
+/// `state_root` holds one journal directory per shard; rerunning with
+/// the same root resumes whatever a previous (killed) fabric run left
+/// there, exactly like `scan-journal` resume.
+pub fn run_fabric(
+    factory: ScannerFactory<'_>,
+    seeds: &[dns_wire::name::Name],
+    state_root: &Path,
+    run_id: u64,
+    config: &FabricConfig,
+    faults: &FabricFaultPlan,
+    sink: &mut dyn MergeSink,
+) -> io::Result<FabricOutput> {
+    let plan = ShardPlan::new(seeds, config.shards);
+    let workers = config.workers.max(1);
+    let mut ops = FabricOps {
+        workers_spawned: workers as u32,
+        attempts: vec![0; plan.shards() as usize],
+        largest_shard: plan.largest_shard(),
+        ..FabricOps::default()
+    };
+
+    let wake = WakeSet::new();
+    let mut abandoned: BTreeSet<u32> = BTreeSet::new();
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        let env = SpawnEnv {
+            run_id,
+            heartbeat_every: config.heartbeat_every,
+            factory,
+            plan: &plan,
+            state_root,
+            faults,
+        };
+        let mut next_worker_id: u32 = 0;
+        let mut respawns_left = config.max_respawns;
+        let mut slots: Vec<WorkerSlot> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            slots.push(spawn_slot(scope, next_worker_id, env, &wake));
+            next_worker_id += 1;
+        }
+
+        let mut pending: Vec<PendingShard> = (0..plan.shards())
+            .map(|shard| PendingShard {
+                shard,
+                attempt: 0,
+                ready_round: 0,
+            })
+            .collect();
+        let mut completed: BTreeSet<u32> = BTreeSet::new();
+        let mut lease_counter: u64 = 0;
+        let mut round: u64 = 0;
+        let mut wake_cursor: u64 = 0;
+
+        let requeue = |pending: &mut Vec<PendingShard>,
+                       abandoned: &mut BTreeSet<u32>,
+                       ops: &mut FabricOps,
+                       shard: u32,
+                       next_attempt: u32,
+                       round: u64| {
+            if next_attempt >= config.max_attempts {
+                abandoned.insert(shard);
+                ops.shards_abandoned += 1;
+            } else {
+                // Exponential backoff in coordinator rounds, capped.
+                let backoff = 1u64 << next_attempt.min(3);
+                pending.push(PendingShard {
+                    shard,
+                    attempt: next_attempt,
+                    ready_round: round + backoff,
+                });
+                ops.reassignments += 1;
+            }
+        };
+
+        while (completed.len() + abandoned.len()) < plan.shards() as usize {
+            // If every worker is gone, nothing pending can ever run.
+            if slots.iter().all(|s| !s.alive) {
+                for p in pending.drain(..) {
+                    if !completed.contains(&p.shard) && abandoned.insert(p.shard) {
+                        ops.shards_abandoned += 1;
+                    }
+                }
+                break;
+            }
+
+            // Assign eligible pending shards to idle live workers,
+            // lowest shard id first (deterministic preference).
+            pending.sort_by_key(|p| (p.ready_round, p.shard));
+            for slot in slots.iter_mut() {
+                if !slot.alive || slot.running.is_some() {
+                    continue;
+                }
+                let Some(pos) = pending.iter().position(|p| p.ready_round <= round) else {
+                    break;
+                };
+                let p = pending.remove(pos);
+                lease_counter += 1;
+                if let Some(a) = ops.attempts.get_mut(p.shard as usize) {
+                    *a += 1;
+                }
+                slot.tx.send(&Msg::Assign {
+                    shard: p.shard,
+                    attempt: p.attempt,
+                    lease: lease_counter,
+                });
+                slot.running = Some(RunningShard {
+                    shard: p.shard,
+                    attempt: p.attempt,
+                    lease: lease_counter,
+                    silent_polls: 0,
+                });
+            }
+
+            let woke = wake.wait(&mut wake_cursor, config.poll_wait);
+            round += 1;
+
+            // Drain every live worker's pipe.
+            let mut lost_this_round = 0u32;
+            for slot in slots.iter_mut() {
+                if !slot.alive {
+                    continue;
+                }
+                loop {
+                    let polled = match slot.rx.try_recv() {
+                        Ok(polled) => polled,
+                        // Corrupt channel: treat the worker as lost.
+                        Err(_) => Polled::Closed,
+                    };
+                    match polled {
+                        Polled::Empty => break,
+                        Polled::Closed => {
+                            slot.alive = false;
+                            ops.workers_lost += 1;
+                            lost_this_round += 1;
+                            if let Some(run) = slot.running.take() {
+                                // Died holding a shard: fence the lease
+                                // (a formality — the thread is gone) and
+                                // steal the shard.
+                                slot.fence.revoke_through(run.lease);
+                                requeue(
+                                    &mut pending,
+                                    &mut abandoned,
+                                    &mut ops,
+                                    run.shard,
+                                    run.attempt + 1,
+                                    round,
+                                );
+                            }
+                            break;
+                        }
+                        Polled::Msg(msg) => {
+                            // Any frame proves liveness.
+                            if let Some(run) = slot.running.as_mut() {
+                                run.silent_polls = 0;
+                            }
+                            match msg {
+                                Msg::ShardDone { shard, lease, .. } => {
+                                    let current = slot
+                                        .running
+                                        .map(|r| r.lease == lease && r.shard == shard)
+                                        .unwrap_or(false);
+                                    if current {
+                                        slot.running = None;
+                                        if completed.insert(shard) {
+                                            ops.shards_completed += 1;
+                                        }
+                                    }
+                                    // Stale Done (lease already revoked):
+                                    // the reassigned attempt will re-report
+                                    // from the same journal; ignore.
+                                }
+                                Msg::ShardFailed { shard, lease, .. } => {
+                                    let current = slot
+                                        .running
+                                        .map(|r| r.lease == lease && r.shard == shard)
+                                        .unwrap_or(false);
+                                    if current {
+                                        let run = slot.running.take();
+                                        if let Some(run) = run {
+                                            slot.fence.revoke_through(run.lease);
+                                            requeue(
+                                                &mut pending,
+                                                &mut abandoned,
+                                                &mut ops,
+                                                run.shard,
+                                                run.attempt + 1,
+                                                round,
+                                            );
+                                        }
+                                    }
+                                    // Stale failure (e.g. Fenced after we
+                                    // already stole the shard): the worker
+                                    // is simply idle again.
+                                }
+                                // Hello / Heartbeat / unexpected: liveness only.
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Replace the fallen, budget permitting. Replacements get
+            // fresh worker ids (like new pids), so a fault plan that
+            // condemned the dead worker does not condemn its successor.
+            for _ in 0..lost_this_round {
+                if respawns_left == 0 {
+                    break;
+                }
+                respawns_left -= 1;
+                slots.push(spawn_slot(scope, next_worker_id, env, &wake));
+                next_worker_id += 1;
+                ops.workers_spawned += 1;
+            }
+
+            // Lease supervision: only quiet ticks (no worker said
+            // anything at all) count toward expiry, so a busy fabric
+            // never expires a slow-but-heartbeating worker.
+            if !woke {
+                for slot in slots.iter_mut() {
+                    if !slot.alive {
+                        continue;
+                    }
+                    let Some(run) = slot.running.as_mut() else {
+                        continue;
+                    };
+                    run.silent_polls += 1;
+                    if run.silent_polls > config.lease_timeout_polls {
+                        let run = *run;
+                        // Revoke first: after this, the worker cannot
+                        // append under the old lease, so the shard's
+                        // journal is safe to hand elsewhere.
+                        slot.fence.revoke_through(run.lease);
+                        slot.running = None;
+                        ops.lease_expiries += 1;
+                        requeue(
+                            &mut pending,
+                            &mut abandoned,
+                            &mut ops,
+                            run.shard,
+                            run.attempt + 1,
+                            round,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Orderly shutdown; dropping the writers EOFs every inbox.
+        for slot in &slots {
+            if slot.alive {
+                slot.tx.send(&Msg::Shutdown);
+            }
+        }
+        drop(slots);
+        Ok(())
+    })?;
+
+    // Merge phase: one shard's journal at a time, in shard-id order.
+    let mut merge = StreamingMerge::new();
+    for shard in 0..plan.shards() {
+        let zones = plan.zones(shard);
+        let dir = shard_state_dir(state_root, shard);
+        let recovery = recover(&dir, shard_header(run_id, shard, zones))?;
+        merge.absorb_shard(zones, recovery.events, abandoned.contains(&shard), sink)?;
+    }
+    let (report, peak_resident) = merge.finish();
+    ops.peak_resident_zones = peak_resident;
+    Ok(FabricOutput { report, ops })
+}

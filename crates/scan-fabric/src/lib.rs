@@ -1,0 +1,53 @@
+//! scan-fabric: a fault-tolerant coordinator/worker scan fabric.
+//!
+//! The fabric shards the zone space with the same fnv64 bucketing the
+//! checkpoint store uses, dispatches shards to N workers over a framed
+//! byte protocol (threads today; the protocol is process-agnostic, so
+//! separate-process workers are a transport swap, not a redesign), and
+//! stream-merges per-shard journals into one report with bounded
+//! memory — at most one shard's evidence plane is resident at a time.
+//!
+//! # Determinism contract
+//!
+//! Every shard attempt scans its zones **sequentially** with a **fresh
+//! scanner** (cold caches), resuming from the shard's own write-ahead
+//! journal. The shard journal's final contents are therefore a pure
+//! function of (world, shard plan, policy) — independent of worker
+//! count, scheduling, retries, and injected faults. Since the merge
+//! walks shards in id order and zones in plan order, the merged report
+//! is **byte-identical** across fleet sizes and fault plans (for the
+//! same shard count). Scheduling-dependent observability lives in
+//! [`FabricOps`], which is deliberately excluded from byte comparison.
+//!
+//! # Failure semantics
+//!
+//! Workers hold time-limited leases enforced by a write [`Fence`]: a
+//! journal append lands only while its lease is live, and lease
+//! revocation linearizes with appends, so a stolen shard can never see
+//! a torn write from its previous owner. Dead workers (EOF on their
+//! pipe) and hung workers (lease expiry after quiet heartbeat polls)
+//! both cause deterministic work-stealing: the shard is requeued with
+//! capped exponential backoff and resumed — not restarted — from its
+//! journal. A shard that exhausts its attempt budget degrades to
+//! explicit [`DnssecClass::Indeterminate`] placeholders for its zones
+//! (never silent loss), named in `MergedReport::abandoned_zones`.
+//!
+//! [`DnssecClass::Indeterminate`]: bootscan::DnssecClass::Indeterminate
+
+#![forbid(unsafe_code)]
+
+mod channel;
+mod coordinator;
+mod faults;
+mod merge;
+mod protocol;
+mod shard;
+mod worker;
+
+pub use channel::{pipe, PipeReader, PipeWriter, Polled, WakeSet};
+pub use coordinator::{run_fabric, FabricConfig, FabricOutput};
+pub use faults::{FabricFaultPlan, WorkerFault};
+pub use merge::{CollectSink, FabricOps, MergeSink, MergedReport, NullMergeSink, StreamingMerge};
+pub use protocol::{encode_msg, FailReason, FrameDecoder, FrameError, Msg, MAX_PAYLOAD};
+pub use shard::ShardPlan;
+pub use worker::{Fence, ScannerFactory};

@@ -1,0 +1,342 @@
+//! Bounded-memory streaming merge: shard journals → one final report.
+//!
+//! The merge never materializes the full zone list. It loads **one
+//! shard's** recovered events at a time, reduces them to
+//! latest-per-zone, emits the zones in canonical order to a
+//! [`MergeSink`], folds them into O(1) aggregate state ([`Figure1`],
+//! degradation counters, totals, rolling digests), and drops the shard
+//! before touching the next. Peak residency is therefore the largest
+//! shard, regardless of world size — the property that unlocks
+//! registry-scale worlds under a fixed memory ceiling
+//! (`peak_resident_zones` is tracked and asserted in tests).
+//!
+//! **Determinism contract.** Every shard is scanned sequentially by a
+//! fresh scanner, so a shard's journal content is a pure function of
+//! (world, shard seed slice, policy) — independent of worker count,
+//! scheduling, and how many times the shard was killed and resumed.
+//! The merge visits shards in shard-id order and zones in canonical
+//! order, so the [`MergedReport`] is byte-identical across worker
+//! counts and fault plans (`tests/fabric_recovery.rs`).
+
+use bootscan::report::{DegradationReport, Figure1};
+use bootscan::{
+    AbClass, AddrHealth, CdsClass, DnssecClass, Identified, RetryStats, ScanResults, ZoneEvent,
+    ZoneScan,
+};
+use dns_wire::name::Name;
+use netsim::Addr;
+use scan_journal::fnv64;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io;
+
+/// Receives merged zones one at a time, in canonical order.
+///
+/// Implementations decide how much to retain: [`NullMergeSink`] keeps
+/// nothing (the aggregate report is enough for the paper's tables),
+/// [`CollectSink`] materializes a full [`ScanResults`] for callers
+/// that want per-zone access and can afford the memory.
+pub trait MergeSink {
+    fn on_zone(&mut self, zone: &ZoneScan);
+}
+
+/// Keep nothing; the aggregates in [`MergedReport`] are the output.
+#[derive(Debug, Default)]
+pub struct NullMergeSink;
+
+impl MergeSink for NullMergeSink {
+    fn on_zone(&mut self, _zone: &ZoneScan) {}
+}
+
+/// Materialize every merged zone (trades the memory bound away).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    pub zones: Vec<ZoneScan>,
+}
+
+impl MergeSink for CollectSink {
+    fn on_zone(&mut self, zone: &ZoneScan) {
+        self.zones.push(zone.clone());
+    }
+}
+
+impl CollectSink {
+    /// Package the collected zones as a [`ScanResults`], using the
+    /// merged report's virtual makespan as the scan duration.
+    pub fn into_results(self, report: &MergedReport) -> ScanResults {
+        let total_queries = self.zones.iter().map(|z| u64::from(z.queries)).sum();
+        ScanResults {
+            zones: self.zones,
+            simulated_duration: report.virtual_makespan_us,
+            total_queries,
+        }
+    }
+}
+
+/// The merged final report: everything the paper's analysis reads,
+/// plus digests strong enough that byte-equality of two serialized
+/// `MergedReport`s implies byte-equality of the full zone streams they
+/// summarize.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct MergedReport {
+    /// Zones in the merged stream (= seed list size).
+    pub zones_total: u64,
+    /// Figure 1 aggregate, folded zone by zone.
+    pub figure1: Figure1,
+    /// Degradation counters (the per-zone degraded list is not
+    /// materialized — O(1) merge state only).
+    pub degradation: DegradationReport,
+    pub total_queries: u64,
+    /// Virtual time of the slowest shard (what a fully parallel fabric
+    /// would take).
+    pub virtual_makespan_us: u64,
+    /// Summed virtual time across shards (what one worker would take).
+    pub virtual_total_us: u64,
+    /// FNV-1a over the serialized full zone records, in emission order.
+    pub zone_stream_digest: u64,
+    /// Same, with cost counters zeroed (the PR-4 evidence plane).
+    pub evidence_digest: u64,
+    /// FNV-1a over the accumulated per-address health table.
+    pub health_digest: u64,
+    /// Zones emitted as explicit Indeterminate placeholders because
+    /// their shard exhausted its attempt budget. Never silent: each is
+    /// also named in `abandoned_zones`.
+    pub indeterminate_placeholders: u64,
+    /// FQDNs of abandoned zones, in emission order.
+    pub abandoned_zones: Vec<String>,
+}
+
+/// Operational (non-deterministic) counters for one fabric run. Kept
+/// separate from [`MergedReport`] on purpose: reassignment counts vary
+/// with scheduling and faults, and must never leak into the
+/// byte-compared report.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FabricOps {
+    pub workers_spawned: u32,
+    pub workers_lost: u32,
+    pub lease_expiries: u32,
+    pub reassignments: u32,
+    pub shards_completed: u32,
+    pub shards_abandoned: u32,
+    /// Attempts consumed per shard (index = shard id).
+    pub attempts: Vec<u32>,
+    /// Peak zones resident in the merge at any instant.
+    pub peak_resident_zones: usize,
+    /// Size of the largest shard — the theoretical residency bound the
+    /// peak must stay within.
+    pub largest_shard: usize,
+}
+
+/// Streaming merge state. Absorb shards in shard-id order, then
+/// [`finish`](Self::finish).
+pub struct StreamingMerge {
+    report: MergedReport,
+    health: BTreeMap<Addr, AddrHealth>,
+    peak_resident: usize,
+}
+
+impl Default for StreamingMerge {
+    fn default() -> Self {
+        StreamingMerge::new()
+    }
+}
+
+impl StreamingMerge {
+    pub fn new() -> StreamingMerge {
+        StreamingMerge {
+            report: MergedReport::default(),
+            health: BTreeMap::new(),
+            peak_resident: 0,
+        }
+    }
+
+    /// Fold one shard's recovered journal events into the merge.
+    /// `zones` is the shard's seed slice in canonical order;
+    /// `abandoned` marks a shard whose attempt budget ran out (its
+    /// unscanned zones become explicit Indeterminate placeholders).
+    /// The events are consumed and dropped before this returns — the
+    /// residency bound.
+    pub fn absorb_shard(
+        &mut self,
+        zones: &[Name],
+        events: Vec<(u64, ZoneEvent)>,
+        abandoned: bool,
+        sink: &mut dyn MergeSink,
+    ) -> io::Result<()> {
+        // Latest-per-zone: a re-scan pass event supersedes the main
+        // pass for the same zone, exactly like ResumeState.
+        let mut latest: BTreeMap<Vec<u8>, ZoneScan> = BTreeMap::new();
+        let mut shard_duration: u64 = 0;
+        for (_, event) in events {
+            shard_duration += event.duration_delta;
+            for (addr, delta) in &event.effects.health {
+                let h = self.health.entry(*addr).or_default();
+                h.successes += delta.successes;
+                h.failures += delta.failures;
+                h.breaker_skips += delta.breaker_skips;
+            }
+            latest.insert(event.scan.name.to_wire(), event.scan);
+        }
+        self.peak_resident = self.peak_resident.max(latest.len());
+        for name in zones {
+            match latest.remove(&name.to_wire()) {
+                Some(zone) => self.emit(&zone, sink),
+                None if abandoned => {
+                    let placeholder = indeterminate_placeholder(name);
+                    self.report.indeterminate_placeholders += 1;
+                    self.report.abandoned_zones.push(name.to_string_fqdn());
+                    self.emit(&placeholder, sink);
+                }
+                None => {
+                    // A completed shard must cover its whole slice; a
+                    // hole here is journal corruption, not degradation.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("completed shard is missing zone {}", name.to_string_fqdn()),
+                    ));
+                }
+            }
+        }
+        self.report.virtual_makespan_us = self.report.virtual_makespan_us.max(shard_duration);
+        self.report.virtual_total_us += shard_duration;
+        Ok(())
+    }
+
+    fn emit(&mut self, zone: &ZoneScan, sink: &mut dyn MergeSink) {
+        self.report.zones_total += 1;
+        self.report.total_queries += u64::from(zone.queries);
+        self.report.figure1.absorb(zone);
+        self.report.degradation.absorb_counters(zone);
+        let full = serde_json::to_string(zone).unwrap_or_default();
+        self.report.zone_stream_digest = fnv64(&[
+            &self.report.zone_stream_digest.to_le_bytes(),
+            full.as_bytes(),
+        ]);
+        let mut evidence = zone.clone();
+        evidence.queries = 0;
+        evidence.elapsed = 0;
+        evidence.retry_stats = RetryStats::default();
+        let ev = serde_json::to_string(&evidence).unwrap_or_default();
+        self.report.evidence_digest =
+            fnv64(&[&self.report.evidence_digest.to_le_bytes(), ev.as_bytes()]);
+        sink.on_zone(zone);
+    }
+
+    /// Seal the report. Returns it plus the observed peak residency.
+    pub fn finish(mut self) -> (MergedReport, usize) {
+        let mut digest: u64 = 0;
+        for (addr, h) in &self.health {
+            digest = fnv64(&[
+                &digest.to_le_bytes(),
+                &addr.to_bytes(),
+                &h.successes.to_le_bytes(),
+                &h.failures.to_le_bytes(),
+                &h.breaker_skips.to_le_bytes(),
+            ]);
+        }
+        self.report.health_digest = digest;
+        (self.report, self.peak_resident)
+    }
+}
+
+/// The explicit "we could not scan this" record for an abandoned
+/// shard's zone: Indeterminate and degraded, never silently dropped.
+fn indeterminate_placeholder(name: &Name) -> ZoneScan {
+    ZoneScan {
+        name: name.clone(),
+        ns_names: Vec::new(),
+        parent_ds: Vec::new(),
+        ns_observations: Vec::new(),
+        signal_observations: Vec::new(),
+        dnssec: DnssecClass::Indeterminate,
+        cds: CdsClass::Absent,
+        ab: AbClass::NoSignal,
+        operator: Identified::Unknown,
+        queries: 0,
+        elapsed: 0,
+        sampled: false,
+        retry_stats: RetryStats::default(),
+        degraded: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name;
+
+    fn event_for(zone: &str, queries: u32) -> (u64, ZoneEvent) {
+        let scan = ZoneScan {
+            queries,
+            dnssec: DnssecClass::Unsigned,
+            degraded: false,
+            ..indeterminate_placeholder(&name!(zone))
+        };
+        (
+            0,
+            ZoneEvent {
+                pass: 0,
+                duration_delta: 10,
+                scan,
+                effects: Default::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn merge_is_order_stable_and_counts_everything() {
+        let zones = vec![name!("a.example"), name!("b.example")];
+        let events = vec![event_for("a.example", 3), event_for("b.example", 4)];
+        let mut m = StreamingMerge::new();
+        let mut sink = CollectSink::default();
+        m.absorb_shard(&zones, events, false, &mut sink).unwrap();
+        let (report, peak) = m.finish();
+        assert_eq!(report.zones_total, 2);
+        assert_eq!(report.total_queries, 7);
+        assert_eq!(report.figure1.unsigned, 2);
+        assert_eq!(peak, 2);
+        assert_eq!(sink.zones.len(), 2);
+        assert!(report.abandoned_zones.is_empty());
+    }
+
+    #[test]
+    fn abandoned_shard_zones_become_explicit_placeholders() {
+        let zones = vec![name!("a.example"), name!("b.example")];
+        // Only a.example got scanned before the shard was abandoned.
+        let events = vec![event_for("a.example", 3)];
+        let mut m = StreamingMerge::new();
+        let mut sink = NullMergeSink;
+        m.absorb_shard(&zones, events, true, &mut sink).unwrap();
+        let (report, _) = m.finish();
+        assert_eq!(report.zones_total, 2);
+        assert_eq!(report.indeterminate_placeholders, 1);
+        assert_eq!(report.abandoned_zones, vec!["b.example.".to_string()]);
+        assert_eq!(report.figure1.indeterminate, 1);
+        assert_eq!(report.degradation.degraded_zones, 1);
+    }
+
+    #[test]
+    fn completed_shard_with_missing_zone_is_corruption() {
+        let zones = vec![name!("a.example"), name!("b.example")];
+        let events = vec![event_for("a.example", 3)];
+        let mut m = StreamingMerge::new();
+        let err = m
+            .absorb_shard(&zones, events, false, &mut NullMergeSink)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rescan_events_supersede_main_pass() {
+        let zones = vec![name!("a.example")];
+        let mut better = event_for("a.example", 9);
+        better.0 = 1;
+        better.1.pass = 1;
+        let events = vec![event_for("a.example", 3), better];
+        let mut m = StreamingMerge::new();
+        let mut sink = CollectSink::default();
+        m.absorb_shard(&zones, events, false, &mut sink).unwrap();
+        assert_eq!(sink.zones.len(), 1);
+        assert_eq!(sink.zones.first().map(|z| z.queries), Some(9));
+    }
+}

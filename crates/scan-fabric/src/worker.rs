@@ -1,0 +1,353 @@
+//! The worker side of the fabric: lease-fenced shard scanning.
+//!
+//! A worker owns nothing between assignments. On `Assign(shard,
+//! attempt, lease)` it recovers the shard's journal from the shard
+//! state directory, builds a **fresh scanner** from the factory (cold
+//! caches — the per-shard determinism contract), replays recovered
+//! side effects, and scans the shard sequentially, journaling every
+//! zone event write-ahead.
+//!
+//! **Fencing.** Every journal append happens while holding the
+//! worker's [`Fence`] lock, and only if the append's lease has not
+//! been revoked. The coordinator's revoke takes the same lock — so
+//! once `revoke` returns, no append under the old lease can ever land,
+//! and the shard's journal can be handed to another worker without
+//! torn-write races. A fenced worker is *not* dead: it reports
+//! `ShardFailed(Fenced)` and waits for new work.
+
+use crate::channel::{PipeReader, PipeWriter};
+use crate::faults::{FabricFaultPlan, WorkerFault};
+use crate::protocol::{FailReason, Msg};
+use crate::shard::ShardPlan;
+use bootscan::scanner::Scanner;
+use bootscan::{ProgressSink, ZoneEvent};
+use scan_journal::{recover, shard_header, shard_state_dir, JournalSink};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Builds a fresh scanner for one shard attempt. Fabric workers never
+/// share scanner state: cold caches per shard are what make shard
+/// results independent of scheduling.
+pub type ScannerFactory<'a> = &'a (dyn Fn() -> Arc<Scanner> + Sync);
+
+/// Write fence for one worker's current lease.
+#[derive(Debug, Default)]
+pub struct Fence {
+    /// Highest revoked lease id (leases are globally unique and
+    /// monotonically increasing, so `lease <= revoked` means dead).
+    revoked: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Fence {
+    /// Run `f` (a journal append) under the fence, unless `lease` has
+    /// been revoked. Returns `None` when fenced.
+    pub fn with_lease<T>(&self, lease: u64, f: impl FnOnce() -> T) -> Option<T> {
+        let revoked = self.revoked.lock().unwrap_or_else(PoisonError::into_inner);
+        if lease <= *revoked {
+            return None;
+        }
+        // The lock is held across `f`: a concurrent revoke blocks until
+        // this append completes, and every later append sees it.
+        Some(f())
+    }
+
+    /// Revoke every lease up to and including `lease`. After this
+    /// returns, no append under a revoked lease can land.
+    pub fn revoke_through(&self, lease: u64) {
+        let mut revoked = self.revoked.lock().unwrap_or_else(PoisonError::into_inner);
+        if lease > *revoked {
+            *revoked = lease;
+        }
+        drop(revoked);
+        self.cv.notify_all();
+    }
+
+    /// Block until `lease` is revoked (used by the `Stall` fault to
+    /// simulate a hung worker that only "dies" once its lease expires).
+    pub fn wait_revoked(&self, lease: u64) {
+        let mut revoked = self.revoked.lock().unwrap_or_else(PoisonError::into_inner);
+        while lease > *revoked {
+            revoked = self
+                .cv
+                .wait(revoked)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Why a shard attempt ended without `ShardDone`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptEnd {
+    /// Injected death: the worker thread must exit (simulated SIGKILL).
+    Died,
+    /// Lease revoked mid-scan.
+    Fenced,
+    /// Shard journal unwritable.
+    JournalIo,
+}
+
+struct SinkState {
+    /// Events journaled by *this attempt* (resumed events don't count:
+    /// fault event-indices are per-attempt, which keeps kill points
+    /// meaningful on re-runs).
+    events: u64,
+    end: Option<AttemptEnd>,
+}
+
+/// The per-attempt [`ProgressSink`]: fence-guarded journal append,
+/// heartbeats, and fault injection.
+struct ShardSink<'a> {
+    inner: JournalSink,
+    fence: &'a Fence,
+    lease: u64,
+    fault: Option<WorkerFault>,
+    out: &'a PipeWriter,
+    worker: u32,
+    shard: u32,
+    heartbeat_every: u64,
+    state_dir: PathBuf,
+    state: Mutex<SinkState>,
+}
+
+impl ShardSink<'_> {
+    fn end(&self) -> Option<AttemptEnd> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .end
+    }
+}
+
+impl ProgressSink for ShardSink<'_> {
+    fn on_zone(&self, event: &ZoneEvent) -> bool {
+        let k = {
+            let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.events
+        };
+        match self.fault {
+            Some(WorkerFault::Kill { at_event }) if k == at_event => {
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                state.end = Some(AttemptEnd::Died);
+                return false;
+            }
+            Some(WorkerFault::Stall { at_event }) if k == at_event => {
+                // Hang until the coordinator gives up on us, then die.
+                self.fence.wait_revoked(self.lease);
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                state.end = Some(AttemptEnd::Died);
+                return false;
+            }
+            Some(WorkerFault::SlowDrain) => std::thread::yield_now(),
+            _ => {}
+        }
+        match self
+            .fence
+            .with_lease(self.lease, || self.inner.on_zone(event))
+        {
+            None => {
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                state.end = Some(AttemptEnd::Fenced);
+                return false;
+            }
+            Some(false) => {
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                state.end = Some(AttemptEnd::JournalIo);
+                return false;
+            }
+            Some(true) => {}
+        }
+        let events = {
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.events += 1;
+            state.events
+        };
+        if let Some(WorkerFault::KillDuringCheckpoint { at_event }) = self.fault {
+            if k == at_event {
+                // Die mid-checkpoint: the checkpoint gets written, then
+                // a power-cut artifact — one bucket truncated to zero
+                // length. Recovery must shrug this off (tolerated when
+                // the bucket was empty; journal-first fallback when it
+                // was not).
+                let _ = self.inner.checkpoint_now();
+                truncate_one_bucket(&self.state_dir);
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                state.end = Some(AttemptEnd::Died);
+                return false;
+            }
+        }
+        if self.heartbeat_every > 0 && events % self.heartbeat_every == 0 {
+            self.out.send(&Msg::Heartbeat {
+                worker: self.worker,
+                shard: self.shard,
+                lease: self.lease,
+                events,
+            });
+        }
+        true
+    }
+}
+
+/// Truncate one checkpoint bucket file to zero length, preferring an
+/// empty (header-only) bucket so the tolerated-debris recovery path is
+/// exercised; falls back to any bucket (checkpoint invalidated, journal
+/// authoritative). Best effort: a missing checkpoint truncates nothing.
+fn truncate_one_bucket(dir: &Path) {
+    let mut fallback: Option<PathBuf> = None;
+    for k in 0..JournalSink::DEFAULT_SHARDS {
+        let p = scan_journal::shard_path(dir, k);
+        match fs::metadata(&p) {
+            Ok(m) if m.len() == 18 => {
+                let _ = fs::write(&p, b"");
+                return;
+            }
+            Ok(_) => fallback = fallback.or(Some(p)),
+            Err(_) => {}
+        }
+    }
+    if let Some(p) = fallback {
+        let _ = fs::write(&p, b"");
+    }
+}
+
+/// Everything a worker thread needs.
+pub(crate) struct WorkerCtx<'a> {
+    pub worker: u32,
+    pub run_id: u64,
+    pub factory: ScannerFactory<'a>,
+    pub plan: &'a ShardPlan,
+    pub state_root: &'a Path,
+    pub faults: &'a FabricFaultPlan,
+    pub fence: &'a Fence,
+    pub heartbeat_every: u64,
+}
+
+/// The worker thread body: serve assignments until shutdown or death.
+/// Returning from this function drops the out-pipe writer — the
+/// coordinator observes EOF, exactly like a SIGKILL'd process.
+pub(crate) fn worker_main(ctx: WorkerCtx<'_>, mut inbox: PipeReader, out: PipeWriter) {
+    out.send(&Msg::Hello {
+        worker: ctx.worker,
+        run_id: ctx.run_id,
+    });
+    loop {
+        let msg = match inbox.recv_blocking() {
+            Ok(Some(msg)) => msg,
+            // Coordinator gone or channel corrupt: exit.
+            Ok(None) | Err(_) => return,
+        };
+        let (shard, attempt, lease) = match msg {
+            Msg::Shutdown => return,
+            Msg::Assign {
+                shard,
+                attempt,
+                lease,
+            } => (shard, attempt, lease),
+            // Unexpected message kinds are ignored (forward compat).
+            _ => continue,
+        };
+        if ctx.faults.worker_dead(ctx.worker) {
+            // Permanently dead worker: dies the moment it gets work.
+            return;
+        }
+        match run_shard(&ctx, &out, shard, attempt, lease) {
+            Ok(Some((zones, queries, duration))) => out.send(&Msg::ShardDone {
+                worker: ctx.worker,
+                shard,
+                lease,
+                zones,
+                queries,
+                duration,
+            }),
+            // KillBeforeHandoff: work is journaled, report never sent.
+            Ok(None) => return,
+            Err(AttemptEnd::Died) => return,
+            Err(AttemptEnd::Fenced) => out.send(&Msg::ShardFailed {
+                worker: ctx.worker,
+                shard,
+                lease,
+                reason: FailReason::Fenced,
+            }),
+            Err(AttemptEnd::JournalIo) => out.send(&Msg::ShardFailed {
+                worker: ctx.worker,
+                shard,
+                lease,
+                reason: FailReason::JournalIo,
+            }),
+        }
+    }
+}
+
+/// One shard attempt: recover → fresh scanner → replay effects →
+/// sequential scan with the fence-guarded journal sink.
+fn run_shard(
+    ctx: &WorkerCtx<'_>,
+    out: &PipeWriter,
+    shard: u32,
+    attempt: u32,
+    lease: u64,
+) -> Result<Option<(u64, u64, u64)>, AttemptEnd> {
+    let zones = ctx.plan.zones(shard);
+    let dir = shard_state_dir(ctx.state_root, shard);
+    let header = shard_header(ctx.run_id, shard, zones);
+    let recovery = recover(&dir, header).map_err(|_| AttemptEnd::JournalIo)?;
+    let scanner = (ctx.factory)();
+    recovery.apply_to(&scanner);
+    let resume = recovery.resume_state();
+    let inner = JournalSink::resume(&dir, &recovery).map_err(|_| AttemptEnd::JournalIo)?;
+    let fault = ctx.faults.fault_for(shard, attempt);
+    let sink = ShardSink {
+        inner,
+        fence: ctx.fence,
+        lease,
+        fault,
+        out,
+        worker: ctx.worker,
+        shard,
+        heartbeat_every: ctx.heartbeat_every,
+        state_dir: dir,
+        state: Mutex::new(SinkState {
+            events: 0,
+            end: None,
+        }),
+    };
+    let results = scanner.scan_shard_with(zones, Some(&sink), Some(resume));
+    if let Some(end) = sink.end() {
+        return Err(end);
+    }
+    if matches!(fault, Some(WorkerFault::KillBeforeHandoff)) {
+        return Ok(None);
+    }
+    Ok(Some((
+        results.zones.len() as u64,
+        results.total_queries,
+        results.simulated_duration,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_blocks_appends_after_revoke() {
+        let fence = Fence::default();
+        assert_eq!(fence.with_lease(5, || 1), Some(1));
+        fence.revoke_through(5);
+        assert_eq!(fence.with_lease(5, || 1), None);
+        // A newer lease on the same fence still works.
+        assert_eq!(fence.with_lease(6, || 2), Some(2));
+    }
+
+    #[test]
+    fn wait_revoked_unblocks_on_revoke() {
+        let fence = Arc::new(Fence::default());
+        let f2 = Arc::clone(&fence);
+        let t = std::thread::spawn(move || f2.wait_revoked(3));
+        fence.revoke_through(3);
+        t.join().unwrap();
+        // Already-revoked leases return immediately.
+        fence.wait_revoked(2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the shard assignment (satellite of the fabric
+//! PR): the fnv64 sharding must be **stable** across runs and input
+//! orders, **total** (every zone lands in exactly one shard), and
+//! reasonably **balanced** on the worlds the paper actually scans.
+
+use dns_ecosystem::{build, shard_of, EcosystemConfig};
+use dns_wire::name::Name;
+use proptest::prelude::*;
+use scan_fabric::ShardPlan;
+
+/// Canonically sort and deduplicate, like the compiled seed lists the
+/// fabric actually shards (ShardPlan keeps duplicates by design).
+fn dedup(mut names: Vec<Name>) -> Vec<Name> {
+    names.sort_by(|a, b| a.canonical_cmp(b));
+    names.dedup();
+    names
+}
+
+/// Arbitrary syntactically valid DNS names: 1–3 lowercase labels.
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec("[a-z]{1,8}", 1..=3).prop_map(|labels| {
+        Name::parse(&format!("{}.", labels.join("."))).expect("generated name parses")
+    })
+}
+
+proptest! {
+    /// Stability: the shard of a name is a pure function of the name
+    /// and the shard count — recomputing it, or rebuilding the plan
+    /// from a permuted seed list, never moves a zone.
+    #[test]
+    fn shard_assignment_is_stable(names in proptest::collection::vec(arb_name(), 1..80),
+                                  shards in 1u32..12,
+                                  rot in 0usize..80) {
+        let names = dedup(names);
+        let plan = ShardPlan::new(&names, shards);
+        let mut rotated = names.clone();
+        rotated.rotate_left(rot % names.len().max(1));
+        let replanned = ShardPlan::new(&rotated, shards);
+        for k in 0..shards {
+            prop_assert_eq!(plan.zones(k), replanned.zones(k),
+                "input order leaked into shard {}", k);
+        }
+        for name in &names {
+            prop_assert_eq!(shard_of(name, shards), shard_of(name, shards));
+        }
+    }
+
+    /// Totality: every seed is in exactly one shard, and the plan
+    /// contains nothing else.
+    #[test]
+    fn shard_assignment_is_total(names in proptest::collection::vec(arb_name(), 1..80),
+                                 shards in 1u32..12) {
+        let names = dedup(names);
+        let plan = ShardPlan::new(&names, shards);
+        prop_assert_eq!(plan.total(), names.len(), "plan lost or invented zones");
+        for name in &names {
+            let home = shard_of(name, shards);
+            let mut found = 0usize;
+            for k in 0..shards {
+                let hits = plan.zones(k).iter().filter(|z| *z == name).count();
+                if k == home {
+                    prop_assert_eq!(hits, 1, "zone missing from its home shard");
+                } else {
+                    prop_assert_eq!(hits, 0, "zone leaked into shard {}", k);
+                }
+                found += hits;
+            }
+            prop_assert_eq!(found, 1);
+        }
+    }
+
+    /// Balance on bulk inputs: with enough names per bucket the fnv64
+    /// partition stays within 2× of the mean (the bound the paper-world
+    /// test below pins on real seed lists).
+    #[test]
+    fn shard_assignment_balances_bulk_inputs(salt in 0u64..1000, shards in 2u32..8) {
+        // 64 names per shard on average, deterministically derived.
+        let names: Vec<Name> = (0..shards as u64 * 64)
+            .map(|i| Name::parse(&format!("z{}-{salt}.example.", i)).unwrap())
+            .collect();
+        let plan = ShardPlan::new(&names, shards);
+        let mean = names.len() as f64 / shards as f64;
+        for k in 0..shards {
+            let size = plan.zones(k).len() as f64;
+            prop_assert!(size <= 2.0 * mean,
+                "shard {} holds {} zones, mean {}", k, size, mean);
+        }
+    }
+}
+
+/// Balance on the real paper-world seed lists: across several world
+/// seeds, no shard of the compiled seed list exceeds 2× the mean.
+/// Deterministic (world building is seeded), so this is a regression
+/// pin rather than a statistical test.
+#[test]
+fn paper_world_seed_lists_shard_within_twice_the_mean() {
+    for world_seed in [3u64, 7, 42] {
+        let eco = build(EcosystemConfig::tiny(world_seed));
+        let seeds = eco.seeds.compile(&eco.psl);
+        for shards in [2u32, 4] {
+            let plan = ShardPlan::new(&seeds, shards);
+            let mean = seeds.len() as f64 / shards as f64;
+            for k in 0..shards {
+                let size = plan.zones(k).len() as f64;
+                assert!(
+                    size <= 2.0 * mean,
+                    "world {world_seed}, {shards} shards: shard {k} holds {size} zones (mean {mean})"
+                );
+            }
+        }
+    }
+}
+
+/// The plan and the ecosystem's shard-aware seed iteration agree: a
+/// worker asking the seed layer for its shard gets exactly the plan's
+/// slice.
+#[test]
+fn shard_plan_matches_ecosystem_shard_iteration() {
+    let eco = build(EcosystemConfig::tiny(42));
+    let seeds = eco.seeds.compile(&eco.psl);
+    for shards in [1u32, 4, 8] {
+        let plan = ShardPlan::new(&seeds, shards);
+        for k in 0..shards {
+            let via_eco = eco.seeds.compile_shard(&eco.psl, k, shards);
+            assert_eq!(
+                plan.zones(k),
+                via_eco.as_slice(),
+                "{shards}-way shard {k} disagrees between plan and seed layer"
+            );
+        }
+    }
+}

@@ -37,9 +37,13 @@ pub fn shard_path(dir: &Path, k: u32) -> PathBuf {
     dir.join(format!("shard-{k}.bsc"))
 }
 
-/// Stable shard assignment for a zone.
-fn zone_shard(name: &Name, shards: u32) -> u32 {
-    (fnv64(&[&name.to_wire()]) % shards as u64) as u32
+/// Stable shard assignment for a zone: FNV-1a of the canonical wire
+/// name, reduced mod `shards`. This is the scheme the distributed scan
+/// fabric (`scan-fabric`) generalizes for zone-space partitioning, so
+/// it is public: checkpoint buckets and fabric shards agree by
+/// construction.
+pub fn zone_shard(name: &Name, shards: u32) -> u32 {
+    (fnv64(&[&name.to_wire()]) % shards.max(1) as u64) as u32
 }
 
 /// Write a checkpoint covering `entries` (which must be the full
@@ -147,8 +151,14 @@ pub fn read_checkpoint(
     let mut entries: Vec<(u64, ZoneEvent)> = Vec::new();
     for (k, &count) in counts.iter().enumerate() {
         match read_shard(&shard_path(dir, k as u32), run_id, k as u32, count) {
-            Some(mut shard_entries) => entries.append(&mut shard_entries),
-            None => return Ok(None),
+            ShardRead::Entries(mut shard_entries) => entries.append(&mut shard_entries),
+            // A shard the manifest says is empty owes recovery nothing:
+            // whether its file is missing, zero-length, or a truncated
+            // header stub (a worker killed between create and the
+            // rename-commit, or a power cut that kept the rename but
+            // lost the data), the checkpoint is still whole.
+            ShardRead::Absent if count == 0 => {}
+            ShardRead::Absent | ShardRead::Invalid => return Ok(None),
         }
     }
     entries.sort_by_key(|e| e.0);
@@ -170,41 +180,65 @@ pub fn read_checkpoint(
     Ok(Some(entries))
 }
 
-fn read_shard(path: &Path, run_id: u64, index: u32, count: u64) -> Option<Vec<(u64, ZoneEvent)>> {
+/// What a shard file contributed to checkpoint recovery.
+enum ShardRead {
+    /// A fully validated entry list (matching the manifest's count).
+    Entries(Vec<(u64, ZoneEvent)>),
+    /// The file is missing or too short to even hold a shard header —
+    /// the debris a kill between `File::create` and the rename-commit
+    /// (or a power cut reordering rename vs data) leaves behind. Benign
+    /// when the manifest expected nothing from this shard.
+    Absent,
+    /// The file exists with a plausible length but fails validation
+    /// (foreign header, bad CRC, count mismatch): the checkpoint as a
+    /// whole cannot be trusted.
+    Invalid,
+}
+
+fn read_shard(path: &Path, run_id: u64, index: u32, count: u64) -> ShardRead {
     let mut raw = Vec::new();
-    File::open(path).ok()?.read_to_end(&mut raw).ok()?;
-    if raw.len() < 18
-        || raw[0..4] != SHARD_MAGIC
+    match File::open(path).and_then(|mut f| f.read_to_end(&mut raw)) {
+        Ok(_) => {}
+        Err(_) => return ShardRead::Absent,
+    }
+    if raw.len() < 18 {
+        // Zero-length or header-only stub: never committed content.
+        return ShardRead::Absent;
+    }
+    if raw[0..4] != SHARD_MAGIC
         || u16::from_le_bytes(raw[4..6].try_into().unwrap()) != FORMAT_VERSION
         || u64::from_le_bytes(raw[6..14].try_into().unwrap()) != run_id
         || u32::from_le_bytes(raw[14..18].try_into().unwrap()) != index
     {
-        return None;
+        return ShardRead::Invalid;
     }
     let mut entries = Vec::new();
     let mut pos = 18usize;
     while pos < raw.len() {
         if raw.len() - pos < 8 {
-            return None;
+            return ShardRead::Invalid;
         }
         let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap());
         let crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().unwrap());
         if !(8..=MAX_FRAME).contains(&len) || raw.len() - pos - 8 < len as usize {
-            return None;
+            return ShardRead::Invalid;
         }
         let payload = &raw[pos + 8..pos + 8 + len as usize];
         if crc32(payload) != crc {
-            return None;
+            return ShardRead::Invalid;
         }
         let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
-        let event = decode_event(&payload[8..]).ok()?;
+        let event = match decode_event(&payload[8..]) {
+            Ok(event) => event,
+            Err(_) => return ShardRead::Invalid,
+        };
         entries.push((seq, event));
         pos += 8 + len as usize;
     }
     if entries.len() as u64 != count {
-        return None;
+        return ShardRead::Invalid;
     }
-    Some(entries)
+    ShardRead::Entries(entries)
 }
 
 #[cfg(test)]
@@ -315,6 +349,55 @@ mod tests {
         write_checkpoint(&dir, HDR, &events(8), 3).unwrap();
         fs::remove_file(shard_path(&dir, 1)).unwrap();
         assert!(read_checkpoint(&dir, HDR).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_shard_debris_is_tolerated() {
+        // A worker killed between `File::create` and the rename-commit
+        // (or a power cut that keeps the rename but loses the data)
+        // leaves a zero-length or header-stub shard file. When the
+        // manifest expected nothing from that shard, the checkpoint is
+        // still whole.
+        let dir = tmpdir("debris");
+        // One event over many shards guarantees empty shards exist.
+        write_checkpoint(&dir, HDR, &events(1), 8).unwrap();
+        let empty: Vec<u32> = (0..8)
+            .filter(|&k| fs::metadata(shard_path(&dir, k)).unwrap().len() == 18)
+            .collect();
+        assert!(empty.len() >= 3, "1 zone over 8 shards leaves >=3 empty");
+        // Zero-length file.
+        fs::write(shard_path(&dir, empty[0]), b"").unwrap();
+        // Truncated header stub (shorter than the 18-byte header).
+        fs::write(shard_path(&dir, empty[1]), &b"BSCS\x03\x00"[..]).unwrap();
+        // Missing entirely.
+        fs::remove_file(shard_path(&dir, empty[2])).unwrap();
+        let back = read_checkpoint(&dir, HDR).unwrap().expect("valid");
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn truncated_populated_shard_invalidates_checkpoint() {
+        // The same debris on a shard the manifest says holds entries is
+        // real data loss: the checkpoint must be rejected.
+        let dir = tmpdir("truncated");
+        write_checkpoint(&dir, HDR, &events(8), 2).unwrap();
+        let populated = (0..2)
+            .find(|&k| fs::metadata(shard_path(&dir, k)).unwrap().len() > 18)
+            .expect("some shard holds entries");
+        fs::write(shard_path(&dir, populated), b"").unwrap();
+        assert!(read_checkpoint(&dir, HDR).unwrap().is_none());
+    }
+
+    #[test]
+    fn zone_shard_is_total_and_stable() {
+        for i in 0..64u32 {
+            let n = name!(&format!("zone-{i}.example"));
+            let k = zone_shard(&n, 4);
+            assert!(k < 4);
+            assert_eq!(k, zone_shard(&n, 4), "assignment must be stable");
+        }
+        // shards == 0 is clamped, not a divide-by-zero.
+        assert_eq!(zone_shard(&name!("a.example"), 0), 0);
     }
 
     #[test]

@@ -51,11 +51,13 @@ mod crc;
 mod journal;
 mod recover;
 
-pub use checkpoint::{read_checkpoint, shard_path, write_checkpoint, MANIFEST_FILE};
+pub use checkpoint::{read_checkpoint, shard_path, write_checkpoint, zone_shard, MANIFEST_FILE};
 pub use codec::{decode_event, encode_event, CodecError};
 pub use crc::{crc32, fnv64};
 pub use journal::{
     read_journal, truncate_torn_tail, JournalHeader, JournalRead, JournalWriter, TailStatus,
     FORMAT_VERSION, JOURNAL_FILE, JOURNAL_MAGIC,
 };
-pub use recover::{fingerprint_names, recover, JournalSink, Recovery};
+pub use recover::{
+    fingerprint_names, recover, shard_header, shard_run_id, shard_state_dir, JournalSink, Recovery,
+};

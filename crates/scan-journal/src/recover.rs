@@ -47,6 +47,37 @@ pub fn fingerprint_names(names: &[Name]) -> u64 {
     fnv64(&chunks)
 }
 
+/// State directory for one fabric shard under a fabric run root. Each
+/// shard journals independently — a worker killed mid-shard corrupts at
+/// most its own shard directory, and the coordinator can hand the
+/// directory to a different worker on reassignment.
+pub fn shard_state_dir(root: &Path, shard: u32) -> PathBuf {
+    root.join(format!("shard-{shard:04}"))
+}
+
+/// Run id for one fabric shard's journal, derived from the fabric run
+/// id. Namespacing the run id per shard means a shard journal can never
+/// be mistaken for (or resumed against) a sibling shard's — `recover`
+/// treats a mismatched run id as a foreign journal, a hard error.
+pub fn shard_run_id(fabric_run_id: u64, shard: u32) -> u64 {
+    fnv64(&[
+        b"fabric-shard",
+        &fabric_run_id.to_le_bytes(),
+        &shard.to_le_bytes(),
+    ])
+}
+
+/// Journal header for one fabric shard: namespaced run id plus the
+/// fingerprint of *this shard's* seed slice, so reshuffling the shard
+/// plan (different shard count, different seed list) invalidates every
+/// stale shard directory instead of silently mis-resuming.
+pub fn shard_header(fabric_run_id: u64, shard: u32, shard_seeds: &[Name]) -> JournalHeader {
+    JournalHeader {
+        run_id: shard_run_id(fabric_run_id, shard),
+        fingerprint: fingerprint_names(shard_seeds),
+    }
+}
+
 /// Everything recovered from a run directory.
 #[derive(Debug)]
 pub struct Recovery {
@@ -536,6 +567,47 @@ mod tests {
             rec.events.is_empty(),
             "a non-contiguous survivor set must not be trusted"
         );
+    }
+
+    #[test]
+    fn shard_namespacing_keeps_shard_journals_foreign_to_each_other() {
+        // Two shards of the same fabric run get distinct run ids…
+        assert_ne!(shard_run_id(42, 0), shard_run_id(42, 1));
+        // …and the same shard of two fabric runs does too.
+        assert_ne!(shard_run_id(42, 0), shard_run_id(43, 0));
+        // Stable across calls (it is pure FNV).
+        assert_eq!(shard_run_id(42, 3), shard_run_id(42, 3));
+
+        // A journal written under shard 0's header is a *hard error*
+        // when recovered with shard 1's header — cross-shard resume can
+        // never happen silently.
+        let dir = tmpdir("shardns");
+        let seeds = vec![name!("a.example"), name!("b.example")];
+        let h0 = shard_header(42, 0, &seeds);
+        let sink = JournalSink::create(&dir, h0).unwrap();
+        journal_events(&sink, &[event_for("a.example", 0, 10)]);
+        drop(sink);
+        let err = recover(&dir, shard_header(42, 1, &seeds)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Same shard, different seed slice: also foreign.
+        let err = recover(&dir, shard_header(42, 0, &seeds[..1])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The matching header recovers cleanly.
+        assert_eq!(recover(&dir, h0).unwrap().events.len(), 1);
+    }
+
+    #[test]
+    fn shard_state_dirs_are_disjoint_and_sorted() {
+        let root = Path::new("/tmp/fabric");
+        assert_eq!(
+            shard_state_dir(root, 0),
+            Path::new("/tmp/fabric/shard-0000")
+        );
+        assert_eq!(
+            shard_state_dir(root, 12),
+            Path::new("/tmp/fabric/shard-0012")
+        );
+        assert_ne!(shard_state_dir(root, 1), shard_state_dir(root, 10));
     }
 
     #[test]

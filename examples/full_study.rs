@@ -15,6 +15,11 @@
 //! # same command after an interruption resumes where it stopped and
 //! # produces the identical report:
 //! BOOTSCAN_JOURNAL=scan-state cargo run --release --example full_study
+//! # distributed: shard the zone space across N fabric workers
+//! # (DESIGN.md §9). The merged report is byte-identical to the
+//! # single-worker run; killed or hung workers have their shards
+//! # stolen and resumed from per-shard journals:
+//! BOOTSCAN_WORKERS=4 cargo run --release --example full_study
 //! ```
 //!
 //! Prints Figure 1, Tables 1–3, the §4.2 CDS census, the §4.3 potential
@@ -23,14 +28,21 @@
 
 use bootscan::{budget, policy, report, ScanPolicy};
 use dns_ecosystem::{AdversaryArchetype, EcosystemConfig};
-use dnssec_bootstrap::{run_study, run_study_resumable};
+use dnssec_bootstrap::{run_study, run_study_fabric, run_study_resumable, scan_fabric};
 
 fn main() {
     let scale: u64 = std::env::var("BOOTSCAN_SCALE")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1000);
-    let parallelism: usize = std::env::var("BOOTSCAN_WORKERS")
+    // BOOTSCAN_WORKERS=<n> shards the scan across the distributed fabric
+    // (n > 1); BOOTSCAN_PARALLELISM keeps the in-process concurrent-walk
+    // knob of the classic single-scanner path.
+    let workers: usize = std::env::var("BOOTSCAN_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let parallelism: usize = std::env::var("BOOTSCAN_PARALLELISM")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
@@ -67,13 +79,46 @@ fn main() {
     // given directory and an interrupted run resumes from it (identical
     // final report — see tests/crash_recovery.rs). Delete the directory
     // to start over; changing the scale or seed list is refused.
-    let (eco, results) = match std::env::var("BOOTSCAN_JOURNAL") {
-        Ok(dir) => {
-            let dir = std::path::PathBuf::from(dir);
-            eprintln!("journaling scan progress to {} …", dir.display());
-            run_study_resumable(config, policy, &dir).expect("scan journal")
+    //
+    // With BOOTSCAN_WORKERS > 1 the zone space is sharded across the
+    // distributed fabric instead (DESIGN.md §9): per-shard journals land
+    // under the state dir (BOOTSCAN_JOURNAL if set, else a scale-keyed
+    // temp dir), a re-run resumes every incomplete shard, and the merged
+    // report is byte-identical to the single-worker run — see
+    // tests/fabric_recovery.rs.
+    let (eco, results) = if workers > 1 {
+        let dir = std::env::var("BOOTSCAN_JOURNAL")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| std::env::temp_dir().join(format!("bootscan-fabric-{scale}")));
+        eprintln!(
+            "fabric scan: {workers} workers, shard state in {} …",
+            dir.display()
+        );
+        let fabric = scan_fabric::FabricConfig {
+            workers,
+            ..scan_fabric::FabricConfig::default()
+        };
+        let (eco, output, results) =
+            run_study_fabric(config, policy, &dir, &fabric).expect("fabric scan");
+        eprintln!(
+            "fabric: {} shards over {} workers ({} reassignments, {} lease expiries), \
+             merge peak {} resident zones",
+            output.ops.attempts.len(),
+            output.ops.workers_spawned,
+            output.ops.reassignments,
+            output.ops.lease_expiries,
+            output.ops.peak_resident_zones
+        );
+        (eco, results)
+    } else {
+        match std::env::var("BOOTSCAN_JOURNAL") {
+            Ok(dir) => {
+                let dir = std::path::PathBuf::from(dir);
+                eprintln!("journaling scan progress to {} …", dir.display());
+                run_study_resumable(config, policy, &dir).expect("scan journal")
+            }
+            Err(_) => run_study(config, policy),
         }
-        Err(_) => run_study(config, policy),
     };
     eprintln!(
         "built + scanned {} zones in {:.1}s (real time)",

@@ -28,6 +28,7 @@ pub use dns_server;
 pub use dns_wire;
 pub use dns_zone;
 pub use netsim;
+pub use scan_fabric;
 pub use scan_journal;
 
 /// Convenience: build a world, scan it, and return (ecosystem, results).
@@ -97,6 +98,61 @@ pub fn run_study_resumable(
     let sink = scan_journal::JournalSink::resume(state_dir, &recovery)?;
     let results = scanner.scan_all_with(&seeds, Some(&sink), Some(recovery.resume_state()));
     Ok((eco, results))
+}
+
+/// `run_study` on the distributed scan fabric: shard the zone space,
+/// scan the shards on `fabric.workers` workers with per-shard journals
+/// under `state_root`, and stream-merge the results.
+///
+/// The merged report is byte-identical across worker counts (and across
+/// worker crashes — see `tests/fabric_recovery.rs`), so `workers` is a
+/// pure throughput knob. Like [`run_study_resumable`], pointing an
+/// existing state root at a different world is a hard error, and a
+/// killed run resumes from its shard journals instead of restarting.
+pub fn run_study_fabric(
+    config: dns_ecosystem::EcosystemConfig,
+    policy: bootscan::ScanPolicy,
+    state_root: &std::path::Path,
+    fabric: &scan_fabric::FabricConfig,
+) -> std::io::Result<(
+    dns_ecosystem::Ecosystem,
+    scan_fabric::FabricOutput,
+    bootscan::ScanResults,
+)> {
+    let run_id = config.seed ^ config.scale;
+    let eco = dns_ecosystem::build(config);
+    let table = bootscan::OperatorTable::from_operators(
+        eco.operators
+            .iter()
+            .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+    );
+    let seeds = eco.seeds.compile(&eco.psl);
+    let net = std::sync::Arc::clone(&eco.net);
+    let roots = eco.roots.clone();
+    let anchors = eco.anchors.clone();
+    let now = eco.now;
+    let factory = move || {
+        std::sync::Arc::new(bootscan::Scanner::new(
+            std::sync::Arc::clone(&net),
+            roots.clone(),
+            anchors.clone(),
+            table.clone(),
+            now,
+            policy.clone(),
+        ))
+    };
+    let mut sink = scan_fabric::CollectSink::default();
+    let output = scan_fabric::run_fabric(
+        &factory,
+        &seeds,
+        state_root,
+        run_id,
+        fabric,
+        &scan_fabric::FabricFaultPlan::none(),
+        &mut sink,
+    )?;
+    let results = sink.into_results(&output.report);
+    Ok((eco, output, results))
 }
 
 #[cfg(test)]

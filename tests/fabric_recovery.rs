@@ -1,0 +1,439 @@
+//! Headline fabric fault-tolerance validation: the coordinator/worker
+//! scan fabric must produce a merged report **byte-identical** to the
+//! single-worker run — with no faults, under worker kills at every
+//! interesting point (including kill-during-checkpoint and
+//! kill-during-merge-handoff), with permanently dead workers whose
+//! shards are stolen by survivors, and with hung workers whose leases
+//! expire. A shard that exhausts its attempt budget must degrade to
+//! *explicit* Indeterminate placeholders, never silent loss. The merge
+//! must stay bounded: never more than one shard's evidence plane
+//! resident at once.
+//!
+//! The world is the standard chaos-profiled tiny ecosystem (retries,
+//! open breakers, degraded zones, re-scan passes all exercised), scaled
+//! up to the paper's 1:10,000 world in release builds.
+
+use bootscan::operator::OperatorTable;
+use bootscan::{report, RetryStats, ScanPolicy, Scanner, ZoneScan};
+use dns_ecosystem::{build, Ecosystem, EcosystemConfig};
+use netsim::FaultPlan;
+use scan_fabric::{
+    run_fabric, CollectSink, FabricConfig, FabricFaultPlan, FabricOps, MergedReport, ShardPlan,
+    WorkerFault,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD_SEED: u64 = 42;
+const CHAOS_SEED: u64 = 0xC4A0;
+const RUN_ID: u64 = 0xFAB_0001;
+const SHARDS: u32 = 8;
+
+/// Fast failure detection for tests: short poll ticks, small quiet
+/// budget, default attempt budget.
+fn test_config(workers: usize) -> FabricConfig {
+    FabricConfig {
+        workers,
+        shards: SHARDS,
+        max_attempts: 4,
+        heartbeat_every: 1,
+        lease_timeout_polls: 25,
+        poll_wait: Duration::from_millis(4),
+        max_respawns: 64,
+    }
+}
+
+/// Fresh chaos-profiled world (same profile as `crash_recovery.rs`).
+fn fresh_world() -> Ecosystem {
+    let eco = build(EcosystemConfig::tiny(WORLD_SEED));
+    let plan = FaultPlan::standard_chaos(CHAOS_SEED, &eco.net.bound_addrs());
+    eco.net.set_faults(plan);
+    eco
+}
+
+fn scanner_factory(eco: &Ecosystem) -> impl Fn() -> Arc<Scanner> + Sync + '_ {
+    let table = OperatorTable::from_operators(
+        eco.operators
+            .iter()
+            .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+    );
+    move || {
+        Arc::new(Scanner::new(
+            Arc::clone(&eco.net),
+            eco.roots.clone(),
+            eco.anchors.clone(),
+            table.clone(),
+            eco.now,
+            ScanPolicy {
+                parallelism: 1,
+                ..ScanPolicy::default()
+            },
+        ))
+    }
+}
+
+fn run_dir(case: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("fabric-recovery-{}-{case}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// One full fabric run against a fresh chaos world: (serialized merged
+/// report, ops counters, collected zone stream).
+fn fabric_run(
+    workers: usize,
+    faults: FabricFaultPlan,
+    case: &str,
+) -> (MergedReport, FabricOps, Vec<ZoneScan>) {
+    let eco = fresh_world();
+    let factory = scanner_factory(&eco);
+    let seeds = eco.seeds.compile(&eco.psl);
+    let dir = run_dir(case);
+    let mut sink = CollectSink::default();
+    let out = run_fabric(
+        &factory,
+        &seeds,
+        &dir,
+        RUN_ID,
+        &test_config(workers),
+        &faults,
+        &mut sink,
+    )
+    .expect("fabric run");
+    let _ = fs::remove_dir_all(&dir);
+    (out.report, out.ops, sink.zones)
+}
+
+fn report_bytes(report: &MergedReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+/// A zone's evidence-plane serialization (cost counters zeroed — the
+/// PR-4 cache contract: caches may change costs, never evidence).
+fn evidence_of(zone: &ZoneScan) -> String {
+    let mut z = zone.clone();
+    z.queries = 0;
+    z.elapsed = 0;
+    z.retry_stats = RetryStats::default();
+    serde_json::to_string(&z).expect("zone serializes")
+}
+
+#[test]
+fn merged_report_is_byte_identical_across_worker_counts() {
+    let (reference, ops, zones) = fabric_run(1, FabricFaultPlan::none(), "wc-1");
+    let expected = report_bytes(&reference);
+    assert!(reference.zones_total > 0, "fabric scanned nothing");
+    assert_eq!(zones.len() as u64, reference.zones_total);
+    assert!(reference.abandoned_zones.is_empty());
+    assert_eq!(ops.shards_completed, SHARDS);
+    for workers in [2, 4, 8] {
+        let (got, ops, _) = fabric_run(workers, FabricFaultPlan::none(), &format!("wc-{workers}"));
+        assert_eq!(
+            expected,
+            report_bytes(&got),
+            "merged report diverged at {workers} workers"
+        );
+        assert_eq!(ops.workers_lost, 0);
+        assert_eq!(ops.shards_abandoned, 0);
+    }
+}
+
+#[test]
+fn fabric_matches_the_classic_scanner_on_the_evidence_plane() {
+    // The classic in-process scan shares warm caches across all zones,
+    // so cost counters legitimately differ; the evidence plane and the
+    // derived report artifacts must not. Benign world: chaos faults are
+    // windowed in virtual time, so a walk's *evidence* under chaos
+    // depends on the walk's virtual start time, which legitimately
+    // differs between one long scan and per-shard scans — fabric
+    // determinism under chaos is pinned against the 1-worker fabric
+    // reference by the other tests instead.
+    let eco = build(EcosystemConfig::tiny(WORLD_SEED));
+    let factory = scanner_factory(&eco);
+    let seeds = eco.seeds.compile(&eco.psl);
+    let scanner = factory();
+    let classic = scanner.scan_all(&seeds);
+
+    let dir = run_dir("vs-classic");
+    let mut sink = CollectSink::default();
+    let out = run_fabric(
+        &factory,
+        &seeds,
+        &dir,
+        RUN_ID,
+        &test_config(4),
+        &FabricFaultPlan::none(),
+        &mut sink,
+    )
+    .expect("fabric run");
+    let _ = fs::remove_dir_all(&dir);
+    let (merged, fabric_zones) = (out.report, sink.zones);
+    assert_eq!(fabric_zones.len(), classic.zones.len());
+
+    let collect = |zones: &[ZoneScan]| -> Vec<String> {
+        let mut v: Vec<(Vec<u8>, String)> = zones
+            .iter()
+            .map(|z| (z.name.to_wire(), evidence_of(z)))
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, e)| e).collect()
+    };
+    assert_eq!(
+        collect(&classic.zones),
+        collect(&fabric_zones),
+        "fabric evidence plane diverged from the classic scanner"
+    );
+    // Derived report artifacts agree too.
+    let classic_fig1 = serde_json::to_string(&report::figure1(&classic)).unwrap();
+    let fabric_fig1 = serde_json::to_string(&merged.figure1).unwrap();
+    assert_eq!(classic_fig1, fabric_fig1, "figure 1 diverged");
+}
+
+#[test]
+fn worker_kills_at_every_point_merge_byte_identically() {
+    let (reference, _, _) = fabric_run(4, FabricFaultPlan::none(), "kill-ref");
+    let expected = report_bytes(&reference);
+
+    // Enumerate kill points from the actual shard geometry so every
+    // injected fault genuinely fires: first event, last event, and
+    // mid-checkpoint of each populated shard, plus the merge-handoff
+    // kill on every shard (which fires even for empty shards).
+    let eco = fresh_world();
+    let seeds = eco.seeds.compile(&eco.psl);
+    let plan = ShardPlan::new(&seeds, SHARDS);
+    let mut cases: Vec<(String, u32, WorkerFault)> = Vec::new();
+    for shard in 0..SHARDS {
+        let zones = plan.zones(shard).len() as u64;
+        cases.push((
+            format!("handoff-{shard}"),
+            shard,
+            WorkerFault::KillBeforeHandoff,
+        ));
+        if zones > 0 {
+            cases.push((
+                format!("first-{shard}"),
+                shard,
+                WorkerFault::Kill { at_event: 0 },
+            ));
+            cases.push((
+                format!("ckpt-{shard}"),
+                shard,
+                WorkerFault::KillDuringCheckpoint { at_event: 0 },
+            ));
+        }
+        if zones > 1 {
+            cases.push((
+                format!("last-{shard}"),
+                shard,
+                WorkerFault::Kill {
+                    at_event: zones - 1,
+                },
+            ));
+        }
+    }
+    assert!(
+        cases.len() >= 20,
+        "only {} kill points derived from the shard geometry",
+        cases.len()
+    );
+
+    let mut fired = 0usize;
+    for (tag, shard, fault) in &cases {
+        let faults = FabricFaultPlan::none().with_fault(*shard, 0, *fault);
+        let (got, ops, _) = fabric_run(4, faults, &format!("kill-{tag}"));
+        assert_eq!(
+            expected,
+            report_bytes(&got),
+            "merged report diverged after kill {tag}"
+        );
+        // Every derived kill point must actually cost a worker its life
+        // and force a shard reassignment.
+        assert!(ops.workers_lost >= 1, "{tag}: no worker died");
+        assert!(ops.reassignments >= 1, "{tag}: shard was never stolen");
+        fired += 1;
+    }
+    assert!(fired >= 20, "only {fired} kill points actually fired");
+}
+
+#[test]
+fn seeded_fault_storms_merge_byte_identically() {
+    let (reference, _, _) = fabric_run(4, FabricFaultPlan::none(), "storm-ref");
+    let expected = report_bytes(&reference);
+    for seed in [1u64, 2, 3] {
+        let faults = FabricFaultPlan::seeded(seed, SHARDS, 4);
+        assert!(faults.injected() > 0, "seed {seed} injected nothing");
+        let (got, _, _) = fabric_run(4, faults, &format!("storm-{seed}"));
+        assert_eq!(
+            expected,
+            report_bytes(&got),
+            "merged report diverged under seeded fault storm {seed}"
+        );
+    }
+}
+
+#[test]
+fn permanently_dead_workers_lose_no_work() {
+    let (reference, _, _) = fabric_run(4, FabricFaultPlan::none(), "dead-ref");
+    let expected = report_bytes(&reference);
+
+    // One worker dead on arrival; then half the fleet.
+    for (tag, faults) in [
+        ("one", FabricFaultPlan::none().kill_worker(1)),
+        ("two", FabricFaultPlan::none().kill_worker(0).kill_worker(2)),
+    ] {
+        let (got, ops, _) = fabric_run(4, faults, &format!("dead-{tag}"));
+        assert_eq!(
+            expected,
+            report_bytes(&got),
+            "survivors failed to reproduce the report ({tag} dead)"
+        );
+        assert!(ops.workers_lost >= 1, "{tag}: dead worker not observed");
+        assert_eq!(ops.shards_completed, SHARDS, "{tag}: shards went missing");
+        assert_eq!(ops.shards_abandoned, 0);
+    }
+}
+
+#[test]
+fn hung_workers_are_fenced_and_their_shards_stolen() {
+    let (reference, _, _) = fabric_run(4, FabricFaultPlan::none(), "stall-ref");
+    let expected = report_bytes(&reference);
+
+    let eco = fresh_world();
+    let seeds = eco.seeds.compile(&eco.psl);
+    let plan = ShardPlan::new(&seeds, SHARDS);
+    let shard = (0..SHARDS)
+        .find(|&s| plan.zones(s).len() > 1)
+        .expect("a shard with at least two zones");
+
+    let faults = FabricFaultPlan::none().with_fault(shard, 0, WorkerFault::Stall { at_event: 1 });
+    let (got, ops, _) = fabric_run(4, faults, "stall");
+    assert_eq!(
+        expected,
+        report_bytes(&got),
+        "lease expiry + steal diverged from the reference report"
+    );
+    assert!(
+        ops.lease_expiries >= 1,
+        "stalled worker's lease never expired"
+    );
+    assert!(ops.reassignments >= 1, "stalled shard was never stolen");
+    assert_eq!(ops.shards_completed, SHARDS);
+}
+
+#[test]
+fn slow_drain_workers_are_not_mistaken_for_dead() {
+    let (reference, _, _) = fabric_run(4, FabricFaultPlan::none(), "slow-ref");
+    let expected = report_bytes(&reference);
+    let mut faults = FabricFaultPlan::none();
+    for shard in 0..SHARDS {
+        faults = faults.with_fault(shard, 0, WorkerFault::SlowDrain);
+    }
+    let (got, ops, _) = fabric_run(4, faults, "slow");
+    assert_eq!(expected, report_bytes(&got));
+    // Heartbeats must have kept every lease alive.
+    assert_eq!(ops.lease_expiries, 0, "a heartbeating worker was expired");
+    assert_eq!(ops.workers_lost, 0);
+}
+
+#[test]
+fn exhausted_attempt_budget_degrades_to_explicit_indeterminate() {
+    let eco = fresh_world();
+    let seeds = eco.seeds.compile(&eco.psl);
+    let plan = ShardPlan::new(&seeds, SHARDS);
+    let doomed = (0..SHARDS)
+        .find(|&s| !plan.zones(s).is_empty())
+        .expect("a populated shard");
+    let doomed_zones: Vec<String> = plan
+        .zones(doomed)
+        .iter()
+        .map(|n| n.to_string_fqdn())
+        .collect();
+
+    // Kill every attempt of one shard. 8 workers so the 4 sacrificed
+    // threads leave survivors for the other shards.
+    let mut faults = FabricFaultPlan::none();
+    for attempt in 0..4 {
+        faults = faults.with_fault(doomed, attempt, WorkerFault::Kill { at_event: 0 });
+    }
+    let (got, ops, zones) = fabric_run(8, faults, "abandoned");
+
+    assert_eq!(ops.shards_abandoned, 1);
+    assert_eq!(ops.workers_lost, 4, "each failed attempt costs one worker");
+    assert_eq!(got.zones_total as usize, seeds.len(), "zones went missing");
+    assert_eq!(
+        got.abandoned_zones, doomed_zones,
+        "abandonment must name its zones"
+    );
+    assert_eq!(got.indeterminate_placeholders as usize, doomed_zones.len());
+    assert!(got.figure1.indeterminate >= got.indeterminate_placeholders);
+    // The emitted stream carries explicit Indeterminate records.
+    let placeholders: Vec<&ZoneScan> = zones
+        .iter()
+        .filter(|z| doomed_zones.contains(&z.name.to_string_fqdn()))
+        .collect();
+    assert_eq!(placeholders.len(), doomed_zones.len());
+    for z in placeholders {
+        assert_eq!(z.dnssec, bootscan::DnssecClass::Indeterminate);
+        assert!(z.degraded, "placeholder must be marked degraded");
+    }
+}
+
+#[test]
+fn merge_memory_is_bounded_by_the_largest_shard() {
+    let (report, ops, _) = fabric_run(4, FabricFaultPlan::none(), "bounded");
+    assert!(ops.peak_resident_zones >= 1);
+    assert!(
+        ops.peak_resident_zones <= ops.largest_shard,
+        "merge held {} zones, largest shard is {}",
+        ops.peak_resident_zones,
+        ops.largest_shard
+    );
+    assert!(
+        (ops.largest_shard as u64) < report.zones_total,
+        "sharding degenerated: one shard holds the whole world"
+    );
+}
+
+/// The paper-scale check: in release builds, a 1:10,000 world (tens of
+/// thousands of zones) scanned by a 4-worker fabric under a seeded
+/// fault storm must byte-match the single-worker run. Debug builds
+/// (tier-1 CI) fall back to the tiny world so the test stays fast.
+#[test]
+fn paper_scale_fabric_is_worker_count_and_fault_invariant() {
+    let config = if cfg!(debug_assertions) {
+        EcosystemConfig::tiny(42)
+    } else {
+        EcosystemConfig::paper_default(10_000)
+    };
+    let eco = build(config);
+    let factory = scanner_factory(&eco);
+    let seeds = eco.seeds.compile(&eco.psl);
+
+    let run = |workers: usize, faults: &FabricFaultPlan, case: &str| -> (String, FabricOps) {
+        let dir = run_dir(case);
+        let out = run_fabric(
+            &factory,
+            &seeds,
+            &dir,
+            RUN_ID ^ 0x5CA1E,
+            &test_config(workers),
+            faults,
+            &mut scan_fabric::NullMergeSink,
+        )
+        .expect("fabric run");
+        let _ = fs::remove_dir_all(&dir);
+        (report_bytes(&out.report), out.ops)
+    };
+
+    let (reference, ops) = run(1, &FabricFaultPlan::none(), "paper-1w");
+    assert_eq!(ops.shards_completed, SHARDS);
+    let (four, _) = run(4, &FabricFaultPlan::none(), "paper-4w");
+    assert_eq!(reference, four, "worker count leaked into the report");
+    let storm = FabricFaultPlan::seeded(7, SHARDS, 8);
+    let (faulted, ops) = run(4, &storm, "paper-4w-faults");
+    assert_eq!(reference, faulted, "fault storm leaked into the report");
+    assert_eq!(ops.shards_abandoned, 0);
+}
