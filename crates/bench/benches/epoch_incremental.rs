@@ -1,0 +1,312 @@
+//! Longitudinal cold-vs-incremental baseline: for every epoch of a
+//! seeded-churn study, the logical-query cost of the incremental
+//! re-scan next to a full cold scan of the same world state, spliced
+//! into `BENCH_scan.json` as the `epochs` section.
+//!
+//! No criterion: the study is the workload, and the deterministic
+//! metrics (logical queries, delta-set size, evidence bytes) are what
+//! matters. The bench also *asserts* the two longitudinal headline
+//! invariants on every run, so a perf run doubles as a determinism
+//! smoke test:
+//! * every epoch's incremental evidence is byte-identical to the cold
+//!   scan's, and
+//! * every incremental epoch costs ≤ 25 % of its cold equivalent's
+//!   logical queries.
+//!
+//! Environment:
+//! * `BOOTSCAN_BENCH_WORLD`      — `paper_default` (default) or `tiny`.
+//! * `BOOTSCAN_SCALE`            — paper-world scale divisor (default 10 000).
+//! * `BOOTSCAN_BENCH_EPOCHS`     — epoch count (default 5).
+//! * `BOOTSCAN_BENCH_CHURN_SEED` — churn seed (default 7).
+//! * `BOOTSCAN_BENCH_OUT`        — JSON path to splice into (default
+//!   `BENCH_scan.json` at the workspace root).
+//! * `BOOTSCAN_BENCH_WRITE_BASELINE` — also write the flat `key=value`
+//!   baseline file the gate consumes.
+//! * `BOOTSCAN_BENCH_BASELINE`   — committed baseline to gate against.
+//! * `BOOTSCAN_BENCH_GATE`      — with `BASELINE`: exit nonzero if a
+//!   deterministic metric regresses >20 % vs the baseline.
+
+use bench::scanner_for;
+use bootscan::ScanPolicy;
+use dns_ecosystem::{apply_churn, build, ChurnPlan, EcosystemConfig};
+use scan_epochs::{canonical_evidence, run_study, StudyConfig};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+struct EpochCost {
+    epoch: u32,
+    fresh: usize,
+    churned: usize,
+    zones: usize,
+    incremental_queries: u64,
+    cold_queries: u64,
+    cold_secs: f64,
+}
+
+fn world_config() -> (String, EcosystemConfig) {
+    let world =
+        std::env::var("BOOTSCAN_BENCH_WORLD").unwrap_or_else(|_| "paper_default".to_string());
+    let cfg = match world.as_str() {
+        "tiny" => EcosystemConfig::tiny(42),
+        _ => EcosystemConfig::paper_default(bench::bench_scale()),
+    };
+    (world, cfg)
+}
+
+fn epoch_count() -> u32 {
+    std::env::var("BOOTSCAN_BENCH_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &u32| n >= 2)
+        .unwrap_or(5)
+}
+
+fn churn_seed() -> u64 {
+    std::env::var("BOOTSCAN_BENCH_CHURN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Cold reference for one epoch: independent world, same churn plans
+/// replayed up to the epoch, full scan with a fresh scanner.
+fn cold_scan(cfg: &EcosystemConfig, study: &StudyConfig, epoch: u32) -> (String, u64, usize, f64) {
+    let t = Instant::now();
+    let mut eco = build(cfg.clone());
+    for e in 1..=epoch {
+        let plan = ChurnPlan::generate(&eco, &study.churn, study.churn_seed, e);
+        apply_churn(&mut eco, &plan);
+    }
+    let scanner = scanner_for(&eco, ScanPolicy::default());
+    let mut seeds = eco.seeds.compile(&eco.psl);
+    seeds.sort_by(|a, b| a.canonical_cmp(b));
+    seeds.dedup();
+    let results = scanner.scan_all(&seeds);
+    (
+        canonical_evidence(&results.zones),
+        results.total_queries,
+        results.zones.len(),
+        t.elapsed().as_secs_f64(),
+    )
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn epoch_json(c: &EpochCost) -> Value {
+    obj(vec![
+        ("epoch", Value::U64(c.epoch as u64)),
+        ("zones", Value::U64(c.zones as u64)),
+        ("fresh", Value::U64(c.fresh as u64)),
+        ("churned", Value::U64(c.churned as u64)),
+        ("incremental_queries", Value::U64(c.incremental_queries)),
+        ("cold_queries", Value::U64(c.cold_queries)),
+        (
+            "incremental_fraction",
+            Value::F64(c.incremental_queries as f64 / c.cold_queries.max(1) as f64),
+        ),
+        ("cold_secs", Value::F64(c.cold_secs)),
+    ])
+}
+
+fn baseline_lines(world: &str, costs: &[EpochCost]) -> String {
+    let mut out = format!("world={world}\n");
+    for c in costs {
+        let e = c.epoch;
+        out.push_str(&format!(
+            "e{e}.incremental_queries={}\n",
+            c.incremental_queries
+        ));
+        out.push_str(&format!("e{e}.cold_queries={}\n", c.cold_queries));
+        out.push_str(&format!("e{e}.fresh={}\n", c.fresh));
+    }
+    out
+}
+
+fn parse_baseline(text: &str) -> BTreeMap<String, String> {
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            if l.is_empty() || l.starts_with('#') {
+                return None;
+            }
+            l.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+fn from_workspace_root(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+/// Splice `"epochs": {...}` into an existing `BENCH_scan.json` as its
+/// last top-level key (the same textual idiom as the `fabric` splice —
+/// the serde_json shim has no deserializer).
+fn splice_epochs(existing: Option<&str>, epochs: &Value) -> String {
+    let pretty = serde_json::to_string_pretty(epochs).expect("epochs section serializes");
+    let nested = pretty.replace('\n', "\n  ");
+    match existing {
+        Some(text) => {
+            let base = match text.rfind(",\n  \"epochs\":") {
+                Some(idx) => &text[..idx],
+                None => {
+                    let end = text.rfind('}').expect("existing JSON has a closing brace");
+                    text[..end].trim_end().trim_end_matches(',')
+                }
+            };
+            format!("{base},\n  \"epochs\": {nested}\n}}\n")
+        }
+        None => format!("{{\n  \"epochs\": {nested}\n}}\n"),
+    }
+}
+
+fn main() {
+    let (world, cfg) = world_config();
+    let epochs = epoch_count();
+    let seed = churn_seed();
+    let study = StudyConfig::new(epochs, seed);
+    eprintln!("[epoch_incremental] world={world} epochs={epochs} churn_seed={seed}");
+
+    let state = std::env::temp_dir().join(format!("bootscan-epoch-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let t = Instant::now();
+    let series =
+        run_study(cfg.clone(), ScanPolicy::default(), &study, &state).expect("longitudinal study");
+    let study_secs = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&state);
+
+    let mut costs: Vec<EpochCost> = Vec::new();
+    for report in &series.epochs {
+        let (cold_evidence, cold_queries, zones, cold_secs) = cold_scan(&cfg, &study, report.epoch);
+        // Headline invariant 1: evidence-plane byte-equality with cold.
+        assert_eq!(
+            report.canonical_evidence(),
+            cold_evidence,
+            "epoch {}: incremental evidence diverged from cold scan",
+            report.epoch
+        );
+        let c = EpochCost {
+            epoch: report.epoch,
+            fresh: report.fresh.len(),
+            churned: report.churned.len(),
+            zones,
+            incremental_queries: report.queries,
+            cold_queries,
+            cold_secs,
+        };
+        eprintln!(
+            "[epoch_incremental] e{}: {} fresh of {} zones ({} churned), \
+             {} incremental vs {} cold logical queries ({:.1} %)",
+            c.epoch,
+            c.fresh,
+            c.zones,
+            c.churned,
+            c.incremental_queries,
+            c.cold_queries,
+            100.0 * c.incremental_queries as f64 / c.cold_queries.max(1) as f64
+        );
+        // Headline invariant 2: every incremental epoch costs ≤ 25 % of
+        // its cold equivalent (epoch 0 *is* the cold scan).
+        if c.epoch > 0 {
+            assert!(
+                c.incremental_queries * 4 <= c.cold_queries,
+                "epoch {}: incremental {} > 25% of cold {}",
+                c.epoch,
+                c.incremental_queries,
+                c.cold_queries
+            );
+        }
+        costs.push(c);
+    }
+    eprintln!(
+        "[epoch_incremental] study ran {epochs} epochs in {study_secs:.2}s; \
+         both headline invariants held"
+    );
+
+    let mut doc = vec![
+        ("world", Value::String(world.clone())),
+        ("scale", Value::U64(bench::bench_scale())),
+        ("epochs", Value::U64(epochs as u64)),
+        ("churn_seed", Value::U64(seed)),
+        ("study_secs", Value::F64(study_secs)),
+        (
+            "study_zones_per_sec",
+            Value::F64(costs.iter().map(|c| c.fresh).sum::<usize>() as f64 / study_secs),
+        ),
+        ("byte_identical_to_cold", Value::Bool(true)),
+        (
+            "per_epoch",
+            Value::Array(costs.iter().map(epoch_json).collect::<Vec<_>>()),
+        ),
+    ];
+
+    let baseline = std::env::var("BOOTSCAN_BENCH_BASELINE").ok().map(|path| {
+        let text = std::fs::read_to_string(from_workspace_root(&path))
+            .unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+        parse_baseline(&text)
+    });
+    if baseline.is_some() {
+        doc.push(("gated", Value::Bool(true)));
+    }
+
+    let out_path = std::env::var("BOOTSCAN_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_scan.json", env!("CARGO_MANIFEST_DIR")));
+    let out_file = from_workspace_root(&out_path);
+    let existing = std::fs::read_to_string(&out_file).ok();
+    let spliced = splice_epochs(
+        existing.as_deref(),
+        &obj(doc.into_iter().collect::<Vec<_>>()),
+    );
+    std::fs::write(&out_file, spliced).expect("write BENCH_scan.json");
+    eprintln!("[epoch_incremental] spliced epochs section into {out_path}");
+
+    if let Ok(path) = std::env::var("BOOTSCAN_BENCH_WRITE_BASELINE") {
+        std::fs::write(from_workspace_root(&path), baseline_lines(&world, &costs))
+            .expect("write baseline");
+        eprintln!("[epoch_incremental] wrote baseline {path}");
+    }
+
+    // Regression gate: deterministic metrics only (logical queries are a
+    // pure function of world + seeds), so a slow runner can never fail
+    // the build — only a real efficiency regression can.
+    if std::env::var("BOOTSCAN_BENCH_GATE").is_ok() {
+        let base = baseline.expect("BOOTSCAN_BENCH_GATE requires BOOTSCAN_BENCH_BASELINE");
+        let mut failures = Vec::new();
+        for c in &costs {
+            let key = format!("e{}.incremental_queries", c.epoch);
+            let Some(b) = base.get(&key).and_then(|v| v.parse::<u64>().ok()) else {
+                continue;
+            };
+            // >20 % above baseline = regression.
+            if c.incremental_queries * 5 > b * 6 {
+                failures.push(format!(
+                    "{key}: {} vs baseline {b} (>20% regression)",
+                    c.incremental_queries
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!(
+                "[epoch_incremental] REGRESSION:\n  {}",
+                failures.join("\n  ")
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[epoch_incremental] regression gate passed");
+    }
+}

@@ -182,6 +182,12 @@ struct Probe<'w> {
 struct KeyCacheEntry {
     keys: Vec<DnskeyData>,
     provenance: Name,
+    /// Virtual-time expiry: the entry is never consulted at or past
+    /// this instant and is evicted lazily (DESIGN.md §10). Organic
+    /// inserts stamp insert-time + [`dns_resolver::CACHE_TTL_MICROS`];
+    /// journal replay stamps `SimMicros::MAX` (the replayed run must see
+    /// exactly the cache the interrupted run had).
+    expires_at: SimMicros,
 }
 
 /// The scanner. Thread-safe: share via `Arc` across workers.
@@ -283,7 +289,35 @@ impl Scanner {
     /// key-cache entry with an explicit provenance tag. An entry whose
     /// provenance does not contain the owner must never be consulted.
     pub fn poison_key_cache(&self, owner: Name, keys: Vec<DnskeyData>, provenance: Name) {
-        self.cache_validated_keys(&owner, KeyCacheEntry { keys, provenance });
+        self.cache_validated_keys(
+            &owner,
+            KeyCacheEntry {
+                keys,
+                provenance,
+                expires_at: SimMicros::MAX,
+            },
+        );
+    }
+
+    /// Seed the validated-key cache with an explicit virtual-time expiry
+    /// — the epoch carry-over path, mirroring
+    /// [`Resolver::seed_address_until`](dns_resolver::Resolver::seed_address_until):
+    /// a carried entry keeps only its *remaining* validity.
+    pub fn seed_validated_keys_until(
+        &self,
+        owner: Name,
+        keys: Vec<DnskeyData>,
+        expires_at: SimMicros,
+    ) {
+        let provenance = owner.clone();
+        self.cache_validated_keys(
+            &owner,
+            KeyCacheEntry {
+                keys,
+                provenance,
+                expires_at,
+            },
+        );
     }
 
     /// A fresh probe for one scan of `zone`, borrowing the worker's
@@ -388,12 +422,19 @@ impl Scanner {
         servers: &[Addr],
         ds: &[DsData],
     ) -> Option<Vec<DnskeyData>> {
-        if let Some(cached) = self.key_shard(zone).lock().get(zone) {
-            // Bailiwick rule: a cached key set only serves owners inside
-            // its provenance. A well-formed entry has provenance == owner;
-            // anything else is a poisoned insert and is ignored.
-            if zone.is_subdomain_of(&cached.provenance) {
-                return Some(cached.keys.clone());
+        {
+            let mut shard = self.key_shard(zone).lock();
+            if let Some(cached) = shard.get(zone) {
+                if cached.expires_at <= probe.clock {
+                    // Expired: never consulted, evicted lazily.
+                    shard.remove(zone);
+                } else if zone.is_subdomain_of(&cached.provenance) {
+                    // Bailiwick rule: a cached key set only serves owners
+                    // inside its provenance. A well-formed entry has
+                    // provenance == owner; anything else is a poisoned
+                    // insert and is ignored.
+                    return Some(cached.keys.clone());
+                }
             }
         }
         let keys = self.fetch_keys_uncached(probe, zone, servers, ds);
@@ -403,6 +444,7 @@ impl Scanner {
                 KeyCacheEntry {
                     keys: k.clone(),
                     provenance: zone.clone(),
+                    expires_at: probe.clock.saturating_add(dns_resolver::CACHE_TTL_MICROS),
                 },
             );
             probe.key_inserts.push((zone.clone(), k.clone()));
@@ -1176,6 +1218,9 @@ impl Scanner {
                 KeyCacheEntry {
                     keys: keys.clone(),
                     provenance: zone.clone(),
+                    // Replay must reproduce the interrupted run's cache
+                    // state verbatim; expiry is an epoch-level concern.
+                    expires_at: SimMicros::MAX,
                 },
             );
         }

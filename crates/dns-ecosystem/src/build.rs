@@ -44,6 +44,24 @@ pub struct OperatorInfo {
     pub host_addrs: Vec<Vec<Addr>>,
 }
 
+/// The zone-shaping knobs of one operator, retained from its spec so
+/// the churn model can rebuild a customer zone exactly the way this
+/// operator would have built it (same denial flavour, same CDS policy,
+/// same signal behaviour). Index-aligned with [`Ecosystem::operators`].
+#[derive(Debug, Clone, Copy)]
+pub struct OperatorFlavor {
+    /// NSEC3 denial chains instead of NSEC.
+    pub nsec3: bool,
+    /// CDS/CDNSKEY publication policy.
+    pub cds_publication: dns_zone::CdsPublication,
+    /// Publishes CSYNC alongside CDS for signed zones.
+    pub publish_csync: bool,
+    /// Operates RFC 9615 signal zones.
+    pub signal_enabled: bool,
+    /// Legacy (pre-RFC 3597) software — excluded from churn migration.
+    pub pre_rfc3597: bool,
+}
+
 /// The built world.
 pub struct Ecosystem {
     pub net: Arc<Network>,
@@ -65,6 +83,19 @@ pub struct Ecosystem {
     /// Signing keys per TLD, needed to re-sign a TLD zone after a DS
     /// installation.
     pub tld_keys: HashMap<Name, ZoneKeys>,
+    /// Per-operator zone stores, index-aligned with `operators` (one
+    /// store per NS hostname). The churn model's write surface: a
+    /// customer zone lives in the stores of the hosts that serve it.
+    pub operator_stores: Vec<Vec<Arc<dns_server::ZoneStore>>>,
+    /// Per-operator zone-shaping knobs, index-aligned with `operators`.
+    pub operator_flavors: Vec<OperatorFlavor>,
+    /// Signing keys per operator base zone. Signal churn re-signs a base
+    /// zone with its *original* keys, so the DS at the TLD — and every
+    /// cached validated key set — stays valid across the mutation.
+    pub base_keys: HashMap<Name, ZoneKeys>,
+    /// Planted signal-RRSIG defects per base zone `(badsig, expired)`,
+    /// re-applied verbatim whenever churn re-signs that base.
+    pub base_defects: HashMap<Name, (Vec<Name>, Vec<Name>)>,
 }
 
 impl Ecosystem {
@@ -91,6 +122,10 @@ struct OpRuntime {
     /// Signal names whose RRSIGs must be corrupted / expired post-signing.
     defect_badsig: Vec<Name>,
     defect_expired: Vec<Name>,
+    /// Signing keys per base zone, retained for the churn model.
+    /// A plain list (not a map): insertion order is build order, and the
+    /// finish loop folds it into the `Ecosystem::base_keys` map.
+    base_key_list: Vec<(Name, ZoneKeys)>,
 }
 
 struct Builder {
@@ -154,6 +189,36 @@ pub fn build(cfg: EcosystemConfig) -> Ecosystem {
     b.build_adversaries();
     let (roots, anchors, registry_stores, tld_keys) = b.finish_registries();
     let seeds = SeedLists::generate(&b.truth, &b.psl, b.cfg.seed ^ 0x5eed);
+    let mut operator_stores = Vec::with_capacity(b.ops.len());
+    let mut operator_flavors = Vec::with_capacity(b.ops.len());
+    let mut base_keys = HashMap::new();
+    let mut base_defects = HashMap::new();
+    for o in &b.ops {
+        operator_stores.push(o.stores.clone());
+        operator_flavors.push(OperatorFlavor {
+            nsec3: o.spec.nsec3,
+            cds_publication: o.spec.cds_publication,
+            publish_csync: o.spec.publish_csync,
+            signal_enabled: o.spec.signal_enabled,
+            pre_rfc3597: o.spec.quirks.pre_rfc3597,
+        });
+        for (base, keys) in &o.base_key_list {
+            base_keys.insert(base.clone(), keys.clone());
+            let badsig: Vec<Name> = o
+                .defect_badsig
+                .iter()
+                .filter(|n| n.is_subdomain_of(base))
+                .cloned()
+                .collect();
+            let expired: Vec<Name> = o
+                .defect_expired
+                .iter()
+                .filter(|n| n.is_subdomain_of(base))
+                .cloned()
+                .collect();
+            base_defects.insert(base.clone(), (badsig, expired));
+        }
+    }
     Ecosystem {
         net: b.net,
         roots,
@@ -165,6 +230,10 @@ pub fn build(cfg: EcosystemConfig) -> Ecosystem {
         now: b.cfg.now,
         registry_stores,
         tld_keys,
+        operator_stores,
+        operator_flavors,
+        base_keys,
+        base_defects,
     }
 }
 
@@ -303,6 +372,7 @@ impl Builder {
                 pending_signal: HashMap::new(),
                 defect_badsig: Vec::new(),
                 defect_expired: Vec::new(),
+                base_key_list: Vec::new(),
             });
         }
     }
@@ -901,6 +971,9 @@ impl Builder {
                 }
                 let signed = self.ops[op_idx].spec.signal_enabled;
                 let keys = ZoneKeys::generate(&mut self.rng, Algorithm::EcdsaP256Sha256);
+                self.ops[op_idx]
+                    .base_key_list
+                    .push((base.clone(), keys.clone()));
                 if signed {
                     self.signer().sign(&mut z, &keys);
                     // Apply planted signal-signature defects.
@@ -1295,7 +1368,7 @@ impl Builder {
 }
 
 /// Address record for a simulated address.
-fn rdata_for(addr: Addr) -> RData {
+pub(crate) fn rdata_for(addr: Addr) -> RData {
     match addr {
         Addr::V4(a) => RData::A(a),
         Addr::V6(a) => RData::Aaaa(a),
@@ -1303,7 +1376,7 @@ fn rdata_for(addr: Addr) -> RData {
 }
 
 /// Flip signature bytes of RRSIGs at `name` covering `types`.
-fn corrupt_rrsigs_at(zone: &mut Zone, name: &Name, types: &[RecordType]) {
+pub(crate) fn corrupt_rrsigs_at(zone: &mut Zone, name: &Name, types: &[RecordType]) {
     if let Some(mut set) = zone.remove_rrset(name, RecordType::Rrsig) {
         for rd in set.rdatas.iter_mut() {
             if let RData::Rrsig(sig) = rd {
@@ -1321,7 +1394,7 @@ fn corrupt_rrsigs_at(zone: &mut Zone, name: &Name, types: &[RecordType]) {
 }
 
 /// Rewrite RRSIG windows at `name` to be expired as of `now`.
-fn expire_rrsigs_at(zone: &mut Zone, name: &Name, now: UnixTime) {
+pub(crate) fn expire_rrsigs_at(zone: &mut Zone, name: &Name, now: UnixTime) {
     if let Some(mut set) = zone.remove_rrset(name, RecordType::Rrsig) {
         for rd in set.rdatas.iter_mut() {
             if let RData::Rrsig(sig) = rd {

@@ -1,0 +1,841 @@
+//! Seeded churn: the deployment-over-time model (DESIGN.md §10).
+//!
+//! The paper measures *adoption trends* — zones adopting DNSSEC,
+//! publishing CDS, operators turning RFC 9615 signaling on and off,
+//! NS sets migrating between operators. [`ChurnPlan::generate`] decides,
+//! as a pure function of `(world truth, seed, epoch)`, which eligible
+//! zones transition this epoch; [`apply_churn`] performs those
+//! transitions as deterministic world mutation and returns a
+//! [`ChurnLog`] of ground-truth deltas plus the set of zone cuts whose
+//! cached delegation/key state the mutation invalidated.
+//!
+//! Two invariants make the longitudinal tier testable:
+//!
+//! * **Purity.** The plan depends only on the truth table, the churn
+//!   seed and the epoch number; applying the same plan to two
+//!   identically-built worlds produces identical worlds (zone stores,
+//!   TLD zones, truth) — pinned by `tests/churn_determinism.rs`.
+//! * **Locality.** Zones untouched by an epoch's plan keep their zone
+//!   content byte-identical: re-signing is incremental (a TLD's edited
+//!   DS RRsets, a base zone's changed signal names) and always uses the
+//!   *retained* original keys at the *original* `eco.now`, so unchanged
+//!   RRsets keep byte-identical RRSIGs.
+//!
+//! Eligibility is deliberately conservative: only benign, single-
+//! operator, out-of-domain, non-legacy zones in plain states (no
+//! planted defect) churn. The planted defect tiers are the controlled
+//! experiment — churning them would unpin the paper-shape tests.
+
+use crate::build::{corrupt_rrsigs_at, expire_rrsigs_at, rdata_for, Ecosystem};
+use crate::truth::{CdsState, DnssecState, SignalDefect, SignalTruth};
+use dns_crypto::{Algorithm, DigestType};
+use dns_wire::name::Name;
+use dns_wire::rdata::{DsData, RData, SoaData};
+use dns_wire::record::{Record, RecordType};
+use dns_zone::signer::Denial;
+use dns_zone::{signal, Zone, ZoneKeys, ZoneSigner};
+use netsim::DeterministicDraw;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Per-epoch transition rates. Each eligible zone draws once per epoch;
+/// the applicable transitions for its current state are laid out on
+/// `[0, 1)` in a fixed order and the draw picks at most one.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Unsigned, no CDS → Island with valid CDS (operator signs the
+    /// zone and publishes CDS — the bootstrappable pool grows).
+    pub adopt: f64,
+    /// Island with valid CDS → Secured (the registry/registrar installs
+    /// the DS — a bootstrap completes).
+    pub bootstrap: f64,
+    /// Secured or Island → Unsigned (the zone abandons DNSSEC: signing
+    /// stripped, CDS withdrawn, DS removed, signal withdrawn).
+    pub abandon: f64,
+    /// CDS published (Island without CDS) or withdrawn (any zone with
+    /// valid CDS).
+    pub cds_flip: f64,
+    /// RFC 9615 signal records published (AB-operator zones with valid
+    /// CDS) or withdrawn (zones with clean published signals).
+    pub signal_flip: f64,
+    /// NS-set migration to a different (non-legacy) operator, with
+    /// fresh keys — operators re-key on migration.
+    pub migrate: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            adopt: 0.04,
+            bootstrap: 0.10,
+            abandon: 0.02,
+            cds_flip: 0.03,
+            signal_flip: 0.03,
+            migrate: 0.02,
+        }
+    }
+}
+
+/// One planned transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Unsigned (no CDS) → Island + valid CDS.
+    AdoptIsland,
+    /// Island + valid CDS → Secured: DS installed at the parent from
+    /// the zone's CDS. The zone itself is untouched.
+    CompleteBootstrap,
+    /// Secured/Island → Unsigned: signing stripped, CDS and signal
+    /// withdrawn, DS removed.
+    AbandonDnssec,
+    /// Island without CDS → Island + valid CDS.
+    PublishCds,
+    /// Valid CDS withdrawn (signing state kept; a published signal is
+    /// withdrawn with it — signal material mirrors CDS).
+    WithdrawCds,
+    /// Publish RFC 9615 signal records for a zone with valid CDS under
+    /// an AB operator.
+    PublishSignal,
+    /// Withdraw a zone's (clean) signal records.
+    WithdrawSignal,
+    /// Migrate the NS set to operator `to_op` (re-keyed).
+    MigrateNs { to_op: usize },
+}
+
+/// The planned transitions of one epoch — a pure function of
+/// `(truth table, seed, epoch)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnPlan {
+    pub seed: u64,
+    pub epoch: u32,
+    /// `(zone, action)` in truth-table order.
+    pub events: Vec<(Name, ChurnAction)>,
+}
+
+/// A zone's churn-relevant truth fields, before/after one transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthSnapshot {
+    pub operator: usize,
+    pub dnssec: DnssecState,
+    pub cds: CdsState,
+    pub signal: SignalTruth,
+}
+
+/// One applied transition's ground-truth delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnDelta {
+    pub zone: Name,
+    pub action: ChurnAction,
+    pub before: TruthSnapshot,
+    pub after: TruthSnapshot,
+}
+
+/// Everything one epoch's churn did to the world.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnLog {
+    pub epoch: u32,
+    /// Ground-truth deltas, in applied (truth-table) order.
+    pub deltas: Vec<ChurnDelta>,
+    /// Zone cuts whose cached delegation/address/key state the mutation
+    /// may have invalidated (sorted, deduplicated). The epoch service
+    /// drops carried cache entries at or below any of these cuts.
+    pub invalidated_cuts: Vec<Name>,
+}
+
+impl ChurnLog {
+    /// The zones this epoch's churn touched, in applied order.
+    pub fn churned_zones(&self) -> Vec<Name> {
+        self.deltas.iter().map(|d| d.zone.clone()).collect()
+    }
+}
+
+/// Is this zone in the conservative churn-eligible pool?
+fn eligible(t: &crate::truth::ZoneTruth) -> bool {
+    t.adversary.is_none()
+        && !t.in_domain_ns
+        && !t.legacy_ns
+        && t.second_operator.is_none()
+        && matches!(
+            t.dnssec,
+            DnssecState::Unsigned | DnssecState::Secured | DnssecState::Island
+        )
+        && matches!(t.cds, CdsState::None | CdsState::Valid)
+        && matches!(
+            t.signal,
+            SignalTruth::NotPublished | SignalTruth::Published(SignalDefect::None)
+        )
+}
+
+impl ChurnPlan {
+    /// Decide this epoch's transitions. Pure: two calls with the same
+    /// `(eco.truth, seed, epoch)` return identical plans, and the draw
+    /// for each zone is independent of every other zone's.
+    pub fn generate(eco: &Ecosystem, cfg: &ChurnConfig, seed: u64, epoch: u32) -> ChurnPlan {
+        // Migration candidates: non-legacy operators with a real fleet.
+        let migration_targets: Vec<usize> = eco
+            .operator_flavors
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| !f.pre_rfc3597 && eco.operators[*i].hosts.len() >= 2)
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut events = Vec::new();
+        for t in &eco.truth {
+            if !eligible(t) {
+                continue;
+            }
+            let flavor = &eco.operator_flavors[t.operator];
+            // Applicable transitions for the current state, fixed order.
+            let mut applicable: Vec<(ChurnAction, f64)> = Vec::new();
+            if t.dnssec == DnssecState::Unsigned && t.cds == CdsState::None {
+                applicable.push((ChurnAction::AdoptIsland, cfg.adopt));
+            }
+            if t.dnssec == DnssecState::Island && t.cds == CdsState::Valid {
+                applicable.push((ChurnAction::CompleteBootstrap, cfg.bootstrap));
+            }
+            if matches!(t.dnssec, DnssecState::Secured | DnssecState::Island) {
+                applicable.push((ChurnAction::AbandonDnssec, cfg.abandon));
+            }
+            if t.dnssec == DnssecState::Island && t.cds == CdsState::None {
+                applicable.push((ChurnAction::PublishCds, cfg.cds_flip));
+            }
+            if t.cds == CdsState::Valid {
+                applicable.push((ChurnAction::WithdrawCds, cfg.cds_flip));
+            }
+            if flavor.signal_enabled
+                && t.signal == SignalTruth::NotPublished
+                && t.cds == CdsState::Valid
+            {
+                applicable.push((ChurnAction::PublishSignal, cfg.signal_flip));
+            }
+            if t.signal == SignalTruth::Published(SignalDefect::None) {
+                applicable.push((ChurnAction::WithdrawSignal, cfg.signal_flip));
+            }
+            let targets: Vec<usize> = migration_targets
+                .iter()
+                .copied()
+                .filter(|&i| i != t.operator)
+                .collect();
+            if !targets.is_empty() {
+                // Placeholder target; resolved from a follow-up draw below
+                // so the rate draw stays one-per-zone.
+                applicable.push((ChurnAction::MigrateNs { to_op: usize::MAX }, cfg.migrate));
+            }
+
+            let d = DeterministicDraw::new(
+                seed,
+                &[b"churn-plan", &epoch.to_le_bytes(), &t.name.to_wire()],
+            );
+            let u = d.unit();
+            let mut acc = 0.0;
+            for (action, rate) in applicable {
+                acc += rate;
+                if u < acc {
+                    let action = match action {
+                        ChurnAction::MigrateNs { .. } => {
+                            let pick = d.next().below(targets.len() as u64) as usize;
+                            ChurnAction::MigrateNs {
+                                to_op: targets[pick],
+                            }
+                        }
+                        other => other,
+                    };
+                    events.push((t.name.clone(), action));
+                    break;
+                }
+            }
+        }
+        ChurnPlan {
+            seed,
+            epoch,
+            events,
+        }
+    }
+}
+
+/// The batched world edits of one `apply_churn` run: TLD zones and
+/// operator base zones are cloned lazily, edited in place, and
+/// re-installed (base zones re-signed) once at the end.
+struct EditSession {
+    /// TLD apex → working copy.
+    tlds: BTreeMap<Name, Zone>,
+    /// Base apex → (operator index, working copy).
+    bases: BTreeMap<Name, (usize, Zone)>,
+    invalidated: BTreeSet<Name>,
+}
+
+impl EditSession {
+    fn tld_mut<'a>(&'a mut self, eco: &Ecosystem, tld: &Name) -> Option<&'a mut Zone> {
+        if !self.tlds.contains_key(tld) {
+            let store = eco.registry_stores.get(tld)?;
+            let zone = store.get(tld)?;
+            self.tlds.insert(tld.clone(), (*zone).clone());
+        }
+        self.tlds.get_mut(tld)
+    }
+
+    fn base_mut<'a>(
+        &'a mut self,
+        eco: &Ecosystem,
+        op_idx: usize,
+        base: &Name,
+    ) -> Option<&'a mut Zone> {
+        if !self.bases.contains_key(base) {
+            let store = eco.operator_stores[op_idx].first()?;
+            let zone = store.get(base)?;
+            self.bases.insert(base.clone(), (op_idx, (*zone).clone()));
+        }
+        self.bases.get_mut(base).map(|(_, z)| z)
+    }
+}
+
+/// The SOA every generated zone carries (mirrors the builder's).
+fn soa(apex: &Name) -> Record {
+    Record::new(
+        apex.clone(),
+        3600,
+        RData::Soa(SoaData {
+            mname: Name::parse("ns.invalid").unwrap(),
+            rname: Name::parse("hostmaster.invalid").unwrap(),
+            serial: 20_250_401,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1_209_600,
+            minimum: 300,
+        }),
+    )
+}
+
+/// Leaf signer honouring the operator's denial flavour (mirrors the
+/// builder's `leaf_signer`).
+fn leaf_signer(now: dns_crypto::UnixTime, nsec3: bool) -> ZoneSigner {
+    let s = ZoneSigner::new(now);
+    if nsec3 {
+        s.with_denial(Denial::Nsec3 {
+            iterations: 0,
+            salt: [0x5a, 0x17, 0xed, 0x01],
+        })
+    } else {
+        s
+    }
+}
+
+/// Indices of the operator hosts serving `zone`, in the zone's own NS
+/// RRset order (i.e. the order the builder assigned them).
+fn serving_host_idxs(eco: &Ecosystem, op_idx: usize, zone: &Name) -> Vec<usize> {
+    let Some(z) = eco.operator_stores[op_idx].iter().find_map(|s| s.get(zone)) else {
+        return Vec::new();
+    };
+    let mut idxs = Vec::new();
+    if let Some(ns) = z.rrset(zone, RecordType::Ns) {
+        for rd in &ns.rdatas {
+            if let RData::Ns(n) = rd {
+                if let Some(i) = eco.operators[op_idx].hosts.iter().position(|h| h == n) {
+                    if !idxs.contains(&i) {
+                        idxs.push(i);
+                    }
+                }
+            }
+        }
+    }
+    idxs
+}
+
+/// The zone's current CDS/CDNSKEY records (the signal material).
+fn cds_material(zone: &Zone, apex: &Name) -> Vec<Record> {
+    let mut out = Vec::new();
+    for rt in [RecordType::Cds, RecordType::Cdnskey] {
+        if let Some(set) = zone.rrset(apex, rt) {
+            out.extend(set.records());
+        }
+    }
+    out
+}
+
+/// Remove the zone's signal records from every base zone of `op_idx`
+/// that carries them.
+fn withdraw_signal(eco: &Ecosystem, session: &mut EditSession, op_idx: usize, zone: &Name) {
+    let hosts = eco.operators[op_idx].hosts.clone();
+    for host in &hosts {
+        let Ok(sig_name) = signal::signal_name(zone, host) else {
+            continue;
+        };
+        let Some(base) = eco.psl.registrable_part(host) else {
+            continue;
+        };
+        let Some(basez) = session.base_mut(eco, op_idx, &base) else {
+            continue;
+        };
+        for rt in [RecordType::Cds, RecordType::Cdnskey, RecordType::Rrsig] {
+            basez.remove_rrset(&sig_name, rt);
+        }
+    }
+}
+
+/// Publish signal records for `zone` under the given operator hosts.
+fn publish_signal(
+    eco: &Ecosystem,
+    session: &mut EditSession,
+    op_idx: usize,
+    zone: &Name,
+    host_idxs: &[usize],
+    material: &[Record],
+) {
+    for &h in host_idxs {
+        let host = eco.operators[op_idx].hosts[h].clone();
+        let Ok(recs) = signal::signal_records(zone, &host, material) else {
+            continue;
+        };
+        let Some(base) = eco.psl.registrable_part(&host) else {
+            continue;
+        };
+        let Some(basez) = session.base_mut(eco, op_idx, &base) else {
+            continue;
+        };
+        for r in recs {
+            basez.add(r);
+        }
+    }
+}
+
+/// Replace the DS RRset (and its RRSIG) for `zone` inside its TLD with
+/// `ds` (empty = remove), re-signing incrementally with the retained TLD
+/// keys so every other RRset keeps its original signature bytes.
+fn set_ds(eco: &Ecosystem, session: &mut EditSession, zone: &Name, ds: &[DsData]) {
+    let Some(tld) = zone.parent() else { return };
+    let Some(keys) = eco.tld_keys.get(&tld) else {
+        return;
+    };
+    let now = eco.now;
+    let keys = keys.clone();
+    let Some(tldz) = session.tld_mut(eco, &tld) else {
+        return;
+    };
+    tldz.remove_rrset(zone, RecordType::Ds);
+    if let Some(sigs) = tldz.remove_rrset(zone, RecordType::Rrsig) {
+        for rec in sigs.records() {
+            if let RData::Rrsig(s) = &rec.rdata {
+                if s.type_covered != RecordType::Ds.code() {
+                    tldz.add(rec);
+                }
+            }
+        }
+    }
+    if !ds.is_empty() {
+        for d in ds {
+            tldz.add(Record::new(zone.clone(), 3600, RData::Ds(d.clone())));
+        }
+        if let Some(set) = tldz.rrset(zone, RecordType::Ds).cloned() {
+            let sig = ZoneSigner::new(now).sign_rrset_record(&set, &keys, &tld);
+            tldz.add(sig);
+        }
+    }
+}
+
+/// Replace the delegation NS RRset for `zone` inside its TLD (and add
+/// glue for the new hosts; glue is additive — operator host glue is
+/// shared world infrastructure).
+fn set_delegation_ns(
+    eco: &Ecosystem,
+    session: &mut EditSession,
+    zone: &Name,
+    op_idx: usize,
+    host_idxs: &[usize],
+) {
+    let Some(tld) = zone.parent() else { return };
+    let hosts = eco.operators[op_idx].hosts.clone();
+    let host_addrs = eco.operators[op_idx].host_addrs.clone();
+    let Some(tldz) = session.tld_mut(eco, &tld) else {
+        return;
+    };
+    tldz.remove_rrset(zone, RecordType::Ns);
+    for &h in host_idxs {
+        tldz.add(Record::new(zone.clone(), 3600, RData::Ns(hosts[h].clone())));
+        for &a in &host_addrs[h] {
+            tldz.add(Record::new(hosts[h].clone(), 3600, rdata_for(a)));
+        }
+    }
+}
+
+/// Rebuild a customer zone from scratch with fresh keys and install it
+/// into the given hosts' stores (removing it from every other store of
+/// `op_idx` first). Returns the keys when the zone is signed.
+#[allow(clippy::too_many_arguments)]
+// Retained: each argument is one independently-varied axis of the rebuild;
+// collapsing them into a struct would just move the noise.
+fn rebuild_zone(
+    eco: &mut Ecosystem,
+    rng: &mut StdRng,
+    zone: &Name,
+    op_idx: usize,
+    host_idxs: &[usize],
+    dnssec: DnssecState,
+    cds: CdsState,
+) -> Option<ZoneKeys> {
+    let flavor = eco.operator_flavors[op_idx];
+    let mut z = Zone::new(zone.clone());
+    z.add(soa(zone));
+    for &h in host_idxs {
+        z.add(Record::new(
+            zone.clone(),
+            3600,
+            RData::Ns(eco.operators[op_idx].hosts[h].clone()),
+        ));
+    }
+    let signed = matches!(dnssec, DnssecState::Secured | DnssecState::Island);
+    let need_keys = signed || cds == CdsState::Valid;
+    let keys = need_keys.then(|| ZoneKeys::generate(rng, Algorithm::EcdsaP256Sha256));
+    if cds == CdsState::Valid {
+        if let Some(k) = &keys {
+            for r in k.cds_records(zone, 300, flavor.cds_publication) {
+                z.add(r);
+            }
+        }
+    }
+    if flavor.publish_csync && signed {
+        z.add(dns_zone::csync_record(zone, 300, 20_250_401, false));
+    }
+    if signed {
+        if let Some(k) = &keys {
+            leaf_signer(eco.now, flavor.nsec3).sign(&mut z, k);
+        }
+    }
+    let arc = Arc::new(z);
+    for (i, store) in eco.operator_stores[op_idx].iter().enumerate() {
+        if host_idxs.contains(&i) {
+            store.insert_shared(Arc::clone(&arc));
+        } else {
+            store.remove(zone);
+        }
+    }
+    keys
+}
+
+/// Strip every DNSSEC-generated RRset from a zone, returning a clean
+/// unsigned copy (dropping now-empty NSEC3 owner names with it).
+fn unsigned_copy(z: &Zone) -> Zone {
+    let mut out = Zone::new(z.apex().clone());
+    for r in z.records() {
+        if !matches!(
+            r.rtype(),
+            RecordType::Rrsig
+                | RecordType::Nsec
+                | RecordType::Nsec3
+                | RecordType::Nsec3param
+                | RecordType::Dnskey
+        ) {
+            out.add(r);
+        }
+    }
+    out
+}
+
+/// Apply one epoch's planned transitions to the world. Returns the
+/// ground-truth deltas and the invalidated zone cuts. Deterministic:
+/// identical `(world, plan)` inputs produce identical worlds and logs.
+pub fn apply_churn(eco: &mut Ecosystem, plan: &ChurnPlan) -> ChurnLog {
+    // Fresh keys for rebuilt zones come from a churn-epoch RNG, drawn in
+    // event order — operators re-key on every rebuild/migration, which
+    // keeps the builder's key stream untouched.
+    let mut rng = StdRng::seed_from_u64(
+        DeterministicDraw::new(plan.seed, &[b"churn-keys", &plan.epoch.to_le_bytes()]).raw(),
+    );
+    let mut session = EditSession {
+        tlds: BTreeMap::new(),
+        bases: BTreeMap::new(),
+        invalidated: BTreeSet::new(),
+    };
+    let index: HashMap<Name, usize> = eco
+        .truth
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name.clone(), i))
+        .collect();
+    let mut deltas = Vec::new();
+
+    for (zone, action) in &plan.events {
+        let Some(&ti) = index.get(zone) else { continue };
+        let before = {
+            let t = &eco.truth[ti];
+            TruthSnapshot {
+                operator: t.operator,
+                dnssec: t.dnssec,
+                cds: t.cds,
+                signal: t.signal,
+            }
+        };
+        let op = before.operator;
+        let host_idxs = serving_host_idxs(eco, op, zone);
+        if host_idxs.is_empty() {
+            continue;
+        }
+        let had_signal = before.signal == SignalTruth::Published(SignalDefect::None);
+        let mut after = before;
+
+        match *action {
+            ChurnAction::AdoptIsland => {
+                let keys = rebuild_zone(
+                    eco,
+                    &mut rng,
+                    zone,
+                    op,
+                    &host_idxs,
+                    DnssecState::Island,
+                    CdsState::Valid,
+                );
+                after.dnssec = DnssecState::Island;
+                after.cds = CdsState::Valid;
+                if had_signal {
+                    // Signal material mirrors CDS: refresh it.
+                    withdraw_signal(eco, &mut session, op, zone);
+                    if let Some(k) = &keys {
+                        let flavor = eco.operator_flavors[op];
+                        let material = k.cds_records(zone, 300, flavor.cds_publication);
+                        publish_signal(eco, &mut session, op, zone, &host_idxs, &material);
+                    }
+                }
+                session.invalidated.insert(zone.clone());
+            }
+            ChurnAction::CompleteBootstrap => {
+                // DS content from the zone's CDS, exactly as an RFC 9615
+                // registry would install it. The zone is untouched.
+                let ds: Vec<DsData> = eco.operator_stores[op]
+                    .iter()
+                    .find_map(|s| s.get(zone))
+                    .and_then(|z| z.rrset(zone, RecordType::Cds).cloned())
+                    .map(|set| {
+                        set.rdatas
+                            .iter()
+                            .filter_map(|rd| match rd {
+                                RData::Cds(d) => Some(d.clone()),
+                                _ => None,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if ds.is_empty() {
+                    continue;
+                }
+                set_ds(eco, &mut session, zone, &ds);
+                after.dnssec = DnssecState::Secured;
+                session.invalidated.insert(zone.clone());
+            }
+            ChurnAction::AbandonDnssec => {
+                rebuild_zone(
+                    eco,
+                    &mut rng,
+                    zone,
+                    op,
+                    &host_idxs,
+                    DnssecState::Unsigned,
+                    CdsState::None,
+                );
+                if before.dnssec == DnssecState::Secured {
+                    set_ds(eco, &mut session, zone, &[]);
+                }
+                if had_signal {
+                    withdraw_signal(eco, &mut session, op, zone);
+                    after.signal = SignalTruth::NotPublished;
+                }
+                after.dnssec = DnssecState::Unsigned;
+                after.cds = CdsState::None;
+                session.invalidated.insert(zone.clone());
+            }
+            ChurnAction::PublishCds | ChurnAction::WithdrawCds => {
+                let new_cds = if *action == ChurnAction::PublishCds {
+                    CdsState::Valid
+                } else {
+                    CdsState::None
+                };
+                let keys =
+                    rebuild_zone(eco, &mut rng, zone, op, &host_idxs, before.dnssec, new_cds);
+                if before.dnssec == DnssecState::Secured {
+                    // Re-keyed: the DS must follow the new keys.
+                    let ds = keys
+                        .as_ref()
+                        .map(|k| vec![k.ds_data(zone, DigestType::Sha256)])
+                        .unwrap_or_default();
+                    set_ds(eco, &mut session, zone, &ds);
+                }
+                if had_signal {
+                    withdraw_signal(eco, &mut session, op, zone);
+                    if new_cds == CdsState::Valid {
+                        if let Some(k) = &keys {
+                            let flavor = eco.operator_flavors[op];
+                            let material = k.cds_records(zone, 300, flavor.cds_publication);
+                            publish_signal(eco, &mut session, op, zone, &host_idxs, &material);
+                        }
+                    } else {
+                        after.signal = SignalTruth::NotPublished;
+                    }
+                }
+                after.cds = new_cds;
+                session.invalidated.insert(zone.clone());
+            }
+            ChurnAction::PublishSignal => {
+                let material = eco.operator_stores[op]
+                    .iter()
+                    .find_map(|s| s.get(zone))
+                    .map(|z| cds_material(&z, zone))
+                    .unwrap_or_default();
+                if material.is_empty() {
+                    continue;
+                }
+                publish_signal(eco, &mut session, op, zone, &host_idxs, &material);
+                after.signal = SignalTruth::Published(SignalDefect::None);
+            }
+            ChurnAction::WithdrawSignal => {
+                withdraw_signal(eco, &mut session, op, zone);
+                after.signal = SignalTruth::NotPublished;
+            }
+            ChurnAction::MigrateNs { to_op } => {
+                if to_op >= eco.operators.len() || to_op == op {
+                    continue;
+                }
+                // Deterministic host pair at the new operator.
+                let n = eco.operators[to_op].hosts.len() as u64;
+                let d = DeterministicDraw::new(
+                    plan.seed,
+                    &[b"churn-migrate", &plan.epoch.to_le_bytes(), &zone.to_wire()],
+                );
+                let h0 = d.below(n) as usize;
+                let h1 = ((h0 as u64 + 1 + d.next().below(n - 1)) % n) as usize;
+                let new_hosts = vec![h0, h1];
+
+                // Tear down at the old operator.
+                for store in &eco.operator_stores[op] {
+                    store.remove(zone);
+                }
+                if had_signal {
+                    withdraw_signal(eco, &mut session, op, zone);
+                    after.signal = SignalTruth::NotPublished;
+                }
+
+                // Rebuild (re-keyed) at the new operator.
+                let keys = rebuild_zone(
+                    eco,
+                    &mut rng,
+                    zone,
+                    to_op,
+                    &new_hosts,
+                    before.dnssec,
+                    before.cds,
+                );
+                set_delegation_ns(eco, &mut session, zone, to_op, &new_hosts);
+                if before.dnssec == DnssecState::Secured {
+                    let ds = keys
+                        .as_ref()
+                        .map(|k| vec![k.ds_data(zone, DigestType::Sha256)])
+                        .unwrap_or_default();
+                    set_ds(eco, &mut session, zone, &ds);
+                }
+                if had_signal
+                    && before.cds == CdsState::Valid
+                    && eco.operator_flavors[to_op].signal_enabled
+                {
+                    if let Some(k) = &keys {
+                        let flavor = eco.operator_flavors[to_op];
+                        let material = k.cds_records(zone, 300, flavor.cds_publication);
+                        publish_signal(eco, &mut session, to_op, zone, &new_hosts, &material);
+                        after.signal = SignalTruth::Published(SignalDefect::None);
+                    }
+                }
+                after.operator = to_op;
+                session.invalidated.insert(zone.clone());
+            }
+        }
+
+        // Commit the truth delta.
+        {
+            let t = &mut eco.truth[ti];
+            t.operator = after.operator;
+            t.dnssec = after.dnssec;
+            t.cds = after.cds;
+            t.signal = after.signal;
+        }
+        deltas.push(ChurnDelta {
+            zone: zone.clone(),
+            action: *action,
+            before,
+            after,
+        });
+    }
+
+    // Install edited TLD zones (clone-modify-replace; atomic per zone
+    // from the servers' view).
+    for (tld, zone) in std::mem::take(&mut session.tlds) {
+        if let Some(store) = eco.registry_stores.get(&tld) {
+            store.insert(zone);
+        }
+    }
+    // Re-sign and install edited base zones with their retained keys at
+    // the original `eco.now`: unchanged RRsets keep byte-identical
+    // RRSIGs, planted defects are re-applied verbatim.
+    for (base, (op_idx, zone)) in std::mem::take(&mut session.bases) {
+        let signed = eco.operator_flavors[op_idx].signal_enabled;
+        let mut z = if signed { unsigned_copy(&zone) } else { zone };
+        if signed {
+            if let Some(keys) = eco.base_keys.get(&base) {
+                ZoneSigner::new(eco.now).sign(&mut z, keys);
+                if let Some((badsig, expired)) = eco.base_defects.get(&base) {
+                    for n in badsig {
+                        corrupt_rrsigs_at(&mut z, n, &[RecordType::Cds, RecordType::Cdnskey]);
+                    }
+                    for n in expired {
+                        expire_rrsigs_at(&mut z, n, eco.now);
+                    }
+                }
+            }
+        }
+        let arc = Arc::new(z);
+        for store in &eco.operator_stores[op_idx] {
+            store.insert_shared(Arc::clone(&arc));
+        }
+    }
+
+    ChurnLog {
+        epoch: plan.epoch,
+        deltas,
+        invalidated_cuts: session.invalidated.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::spec::EcosystemConfig;
+
+    #[test]
+    fn plan_is_pure() {
+        let eco = build(EcosystemConfig::tiny(42));
+        let cfg = ChurnConfig::default();
+        let a = ChurnPlan::generate(&eco, &cfg, 7, 3);
+        let b = ChurnPlan::generate(&eco, &cfg, 7, 3);
+        assert_eq!(a, b);
+        let c = ChurnPlan::generate(&eco, &cfg, 8, 3);
+        let d = ChurnPlan::generate(&eco, &cfg, 7, 4);
+        // Different seed or epoch shifts at least the draw stream; the
+        // tiny world has enough eligible zones that plans differ.
+        assert!(a != c || a != d);
+    }
+
+    #[test]
+    fn apply_updates_truth_to_match_deltas() {
+        let mut eco = build(EcosystemConfig::tiny(42));
+        let cfg = ChurnConfig::default();
+        let plan = ChurnPlan::generate(&eco, &cfg, 7, 0);
+        assert!(!plan.events.is_empty(), "tiny world must churn");
+        let log = apply_churn(&mut eco, &plan);
+        assert_eq!(log.epoch, 0);
+        for d in &log.deltas {
+            let t = eco.truth_of(&d.zone).expect("churned zone exists");
+            assert_eq!(t.operator, d.after.operator, "{}", d.zone);
+            assert_eq!(t.dnssec, d.after.dnssec, "{}", d.zone);
+            assert_eq!(t.cds, d.after.cds, "{}", d.zone);
+            assert_eq!(t.signal, d.after.signal, "{}", d.zone);
+        }
+    }
+}

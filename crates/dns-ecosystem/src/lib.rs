@@ -17,6 +17,10 @@
 //!   signed, signal zones populated, TLD/root zones delegating
 //!   everything, servers registered on a [`netsim::Network`], trust
 //!   anchors exported.
+//! * [`churn`] — the deployment-over-time model: seeded per-epoch
+//!   transitions (DNSSEC adoption/abandonment, CDS and RFC 9615 signal
+//!   flips, NS migrations) applied as deterministic world mutation with
+//!   a ground-truth delta log, feeding the longitudinal scan tier.
 //! * [`seeds`] — synthetic seed sources with the paper's structure
 //!   (zone files via CZDS/AXFR, top lists, CT-log-derived ccTLD samples
 //!   at 43–80 % coverage).
@@ -24,12 +28,16 @@
 #![forbid(unsafe_code)]
 
 pub mod build;
+pub mod churn;
 pub mod psl;
 pub mod seeds;
 pub mod spec;
 pub mod truth;
 
-pub use build::{build, Ecosystem, OperatorInfo};
+pub use build::{build, Ecosystem, OperatorFlavor, OperatorInfo};
+pub use churn::{
+    apply_churn, ChurnAction, ChurnConfig, ChurnDelta, ChurnLog, ChurnPlan, TruthSnapshot,
+};
 pub use psl::PublicSuffixList;
 pub use seeds::{shard_of, SeedLists};
 pub use spec::{AdversaryArchetype, AdversaryOpSpec, EcosystemConfig, OperatorSpec};

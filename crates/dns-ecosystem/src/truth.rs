@@ -72,7 +72,7 @@ pub enum SignalTruth {
 }
 
 /// Everything the generator decided about one zone.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ZoneTruth {
     pub name: Name,
     /// Index into the ecosystem's operator table (primary operator).

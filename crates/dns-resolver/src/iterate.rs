@@ -55,6 +55,14 @@ use std::sync::Arc;
 /// low without bloating the resolver.
 const CACHE_SHARDS: usize = 16;
 
+/// Validity window stamped on organic cache inserts, in virtual
+/// microseconds: one hour, matching the TTL the ecosystem puts on NS
+/// and address RRsets. Within a single scan every zone's virtual clock
+/// stays far below this, so single-epoch behavior is unchanged; across
+/// epochs (where virtual time advances by hours) stale entries stop
+/// being consulted and are evicted lazily.
+pub const CACHE_TTL_MICROS: SimMicros = 3_600_000_000;
+
 /// Root server hints: the addresses of the (simulated) root servers.
 #[derive(Debug, Clone)]
 pub struct RootHints {
@@ -135,6 +143,9 @@ impl std::error::Error for ResolverError {}
 struct AddrEntry {
     addrs: Arc<Vec<Addr>>,
     provenance: Name,
+    /// Virtual-time expiry: the entry is never consulted at or past
+    /// this instant and is evicted lazily when a lookup finds it stale.
+    expires_at: SimMicros,
 }
 
 /// One delegation-cache entry: the referral data for a zone cut plus the
@@ -144,6 +155,8 @@ struct AddrEntry {
 struct DelegationEntry {
     data: Arc<ReferralData>,
     provenance: Name,
+    /// Virtual-time expiry, same semantics as [`AddrEntry::expires_at`].
+    expires_at: SimMicros,
 }
 
 /// One stripe of the shared caches; which stripe a name lands in is
@@ -323,7 +336,7 @@ impl Resolver {
         // qname and wire-walk only the remainder. A cold walk from the
         // root and a warm one converge on identical referral data — the
         // cache elides hops, it never changes what the tail sees.
-        let (mut chain, mut zone_apex, mut servers) = self.cached_descent(qname, qtype);
+        let (mut chain, mut zone_apex, mut servers) = self.cached_descent(qname, qtype, now);
         let mut elapsed: SimMicros = 0;
         let mut queries: u32 = 0;
 
@@ -511,6 +524,7 @@ impl Resolver {
                 DelegationEntry {
                     data: Arc::clone(&data),
                     provenance: data.parent_apex.clone(),
+                    expires_at: (now + elapsed).saturating_add(CACHE_TTL_MICROS),
                 },
             );
             if let Some(m) = meter {
@@ -531,11 +545,16 @@ impl Resolver {
     /// A DS query must stop at the *parent* side of its cut (the parent
     /// answers DS authoritatively; the child never sees a referral for
     /// it), so qname itself is not a candidate cut for DS.
-    fn cached_descent(&self, qname: &Name, qtype: RecordType) -> (Vec<ChainLink>, Name, Vec<Addr>) {
+    fn cached_descent(
+        &self,
+        qname: &Name,
+        qtype: RecordType,
+        now: SimMicros,
+    ) -> (Vec<ChainLink>, Name, Vec<Addr>) {
         let total = qname.label_count();
         let mut skip = usize::from(qtype == RecordType::Ds);
         while total > skip {
-            if let Some(start) = self.chain_from(qname, total - skip) {
+            if let Some(start) = self.chain_from(qname, total - skip, now) {
                 return start;
             }
             skip += 1;
@@ -547,7 +566,12 @@ impl Resolver {
     /// `qname` with `labels` labels, following each entry's
     /// `parent_apex` upwards. `None` if any hop is missing or fails the
     /// provenance rule.
-    fn chain_from(&self, qname: &Name, labels: usize) -> Option<(Vec<ChainLink>, Name, Vec<Addr>)> {
+    fn chain_from(
+        &self,
+        qname: &Name,
+        labels: usize,
+        now: SimMicros,
+    ) -> Option<(Vec<ChainLink>, Name, Vec<Addr>)> {
         let mut cut = qname.clone();
         while cut.label_count() > labels {
             cut = cut.parent()?;
@@ -557,8 +581,14 @@ impl Resolver {
         let mut servers: Option<Vec<Addr>> = None;
         loop {
             let data = {
-                let shard = self.shard(&cut).lock();
+                let mut shard = self.shard(&cut).lock();
                 let e = shard.delegations.get(&cut)?;
+                // Validity rule: an expired entry is never consulted and
+                // is evicted on the spot (lazy eviction — DESIGN.md §10).
+                if e.expires_at <= now {
+                    shard.delegations.remove(&cut);
+                    return None;
+                }
                 // Bailiwick rule, mirroring the address cache: referral
                 // data for a cut is believed only when it was spoken by
                 // a proper ancestor of that cut.
@@ -624,11 +654,14 @@ impl Resolver {
         visited: &mut Vec<Name>,
     ) -> Result<Arc<Vec<Addr>>, ResolverError> {
         {
-            let shard = self.shard(ns).lock();
+            let mut shard = self.shard(ns).lock();
             if let Some(e) = shard.addresses.get(ns) {
-                // Bailiwick rule: a cached datum only serves names inside
-                // the zone that produced it.
-                if ns.is_subdomain_of(&e.provenance) {
+                if e.expires_at <= now {
+                    // Expired: never consulted, evicted lazily.
+                    shard.addresses.remove(ns);
+                } else if ns.is_subdomain_of(&e.provenance) {
+                    // Bailiwick rule: a cached datum only serves names
+                    // inside the zone that produced it.
                     return Ok(Arc::clone(&e.addrs));
                 }
             }
@@ -675,6 +708,7 @@ impl Resolver {
             AddrEntry {
                 addrs: Arc::clone(&addrs),
                 provenance,
+                expires_at: now.saturating_add(CACHE_TTL_MICROS),
             },
         );
         if let Some(m) = meter {
@@ -693,16 +727,35 @@ impl Resolver {
         self.seed_address_with_provenance(ns, addrs, provenance);
     }
 
+    /// [`seed_address`](Self::seed_address) with an explicit virtual-time
+    /// expiry — the epoch service uses this to carry cache entries across
+    /// epochs with their *remaining* validity, so a carried entry expires
+    /// at exactly the same virtual instant it would have in a single
+    /// continuous run.
+    pub fn seed_address_until(&self, ns: Name, addrs: Vec<Addr>, expires_at: SimMicros) {
+        let provenance = ns.clone();
+        self.cache_address(
+            &ns,
+            AddrEntry {
+                addrs: Arc::new(addrs),
+                provenance,
+                expires_at,
+            },
+        );
+    }
+
     /// Insert an address-cache entry with an explicit provenance tag —
     /// test hook for the cache-poisoning regression suite (a poisoned
     /// entry whose provenance does not contain the hostname must never be
-    /// consulted).
+    /// consulted). Seeded entries never expire: journal replay must
+    /// reproduce the interrupted run's cache state verbatim.
     pub fn seed_address_with_provenance(&self, ns: Name, addrs: Vec<Addr>, provenance: Name) {
         self.cache_address(
             &ns,
             AddrEntry {
                 addrs: Arc::new(addrs),
                 provenance,
+                expires_at: SimMicros::MAX,
             },
         );
     }
@@ -716,16 +769,33 @@ impl Resolver {
         self.seed_referral_with_provenance(cut, data, provenance);
     }
 
+    /// [`seed_referral`](Self::seed_referral) with an explicit
+    /// virtual-time expiry — the epoch carry-over path, mirroring
+    /// [`seed_address_until`](Self::seed_address_until).
+    pub fn seed_referral_until(&self, cut: Name, data: ReferralData, expires_at: SimMicros) {
+        let provenance = data.parent_apex.clone();
+        self.cache_delegation(
+            &cut,
+            DelegationEntry {
+                data: Arc::new(data),
+                provenance,
+                expires_at,
+            },
+        );
+    }
+
     /// Insert a delegation-cache entry with an explicit provenance tag —
     /// test hook for the cache-poisoning regression suite (referral data
     /// whose provenance is not a proper ancestor of the cut must never
-    /// be consulted).
+    /// be consulted). Seeded entries never expire: journal replay must
+    /// reproduce the interrupted run's cache state verbatim.
     pub fn seed_referral_with_provenance(&self, cut: Name, data: ReferralData, provenance: Name) {
         self.cache_delegation(
             &cut,
             DelegationEntry {
                 data: Arc::new(data),
                 provenance,
+                expires_at: SimMicros::MAX,
             },
         );
     }

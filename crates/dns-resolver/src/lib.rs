@@ -27,5 +27,5 @@ pub use client::{
     ClientError, ClientErrorKind, DnsClient, Exchange, IoCounters, QueryMeter, RetryPolicy,
 };
 pub use hostile::{HostileCause, HostileTally};
-pub use iterate::{ChainLink, Resolution, Resolver, ResolverError, RootHints};
+pub use iterate::{ChainLink, Resolution, Resolver, ResolverError, RootHints, CACHE_TTL_MICROS};
 pub use validate::{validate_resolution, Security};

@@ -48,12 +48,15 @@ pub struct Rule {
 /// scan-fabric is included whole: its merge path folds journal events
 /// into the byte-compared report, so hash-order iteration or ambient
 /// state anywhere in the crate can corrupt the determinism contract.
+/// scan-epochs likewise: it folds carried evidence and journal replays
+/// into per-epoch reports that must stay byte-identical to cold scans.
 const EVIDENCE_SRC: &[&str] = &[
     "crates/core/src/**",
     "crates/dns-resolver/src/**",
     "crates/dns-ecosystem/src/**",
     "crates/scan-journal/src/**",
     "crates/scan-fabric/src/**",
+    "crates/scan-epochs/src/**",
 ];
 
 /// Decode paths (hostile bytes) and response-acceptance paths
@@ -110,6 +113,7 @@ pub fn catalog() -> Vec<Rule> {
                 "crates/dns-ecosystem/src/**",
                 "crates/scan-journal/src/**",
                 "crates/scan-fabric/src/**",
+                "crates/scan-epochs/src/**",
                 "crates/dns-wire/src/**",
             ],
             exclude: &[],

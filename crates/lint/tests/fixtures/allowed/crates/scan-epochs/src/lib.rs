@@ -1,0 +1,15 @@
+//! Fixture: the longitudinal service written to the determinism
+//! contract — BTree collections only, configuration through explicit
+//! arguments. Never compiled; consumed only by the bootscan-lint
+//! integration tests.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub fn carried_names(ledger: &BTreeMap<u32, u32>) -> Vec<u32> {
+    ledger.keys().copied().collect()
+}
+
+pub fn epoch_count(configured: usize) -> usize {
+    configured.max(1)
+}

@@ -1,0 +1,202 @@
+//! The carry-over ledger: cache effects remembered across epochs.
+//!
+//! Every journaled [`ZoneEvent`](bootscan::ZoneEvent) carries the cache
+//! inserts its zone scan performed ([`ZoneEffects`]). The ledger records
+//! them stamped with the epoch that learned them; at the next epoch's
+//! start, each entry is seeded into the fresh scanner with its
+//! **remaining validity** — `(learn time + TTL) − now` in virtual time —
+//! so a carried entry expires at exactly the same virtual instant it
+//! would have in one continuous run. Expired entries are never seeded
+//! (the lazy-eviction analog of the in-scanner expiry check), and
+//! churn-invalidated entries are dropped the moment the churn log names
+//! their zone cut.
+//!
+//! Health deltas are deliberately **not** carried: a fresh health
+//! tracker per epoch is what a cold scan would see, and health, unlike
+//! the caches, is not a pure function of the world (it encodes failure
+//! history). Within-epoch crash resume still replays health via
+//! [`Recovery::apply_to`](scan_journal::Recovery::apply_to) — that path
+//! must reproduce the interrupted epoch verbatim.
+
+use bootscan::scanner::Scanner;
+use bootscan::ZoneEffects;
+use dns_resolver::ReferralData;
+use dns_wire::name::Name;
+use dns_wire::rdata::DnskeyData;
+use netsim::{Addr, SimMicros};
+use std::sync::Arc;
+
+/// One cache insert remembered from a past epoch.
+#[derive(Debug, Clone)]
+enum CarriedInsert {
+    /// Validated-DNSKEY cache: zone apex → keys.
+    Keys(Name, Vec<DnskeyData>),
+    /// Resolver address cache: NS hostname → addresses.
+    Addrs(Name, Arc<Vec<Addr>>),
+    /// Resolver delegation cache: zone cut → referral data.
+    Referral(Name, Arc<ReferralData>),
+}
+
+impl CarriedInsert {
+    fn name(&self) -> &Name {
+        match self {
+            CarriedInsert::Keys(n, _)
+            | CarriedInsert::Addrs(n, _)
+            | CarriedInsert::Referral(n, _) => n,
+        }
+    }
+}
+
+/// Cache inserts carried across epochs, in journal order, each stamped
+/// with the epoch that learned it.
+#[derive(Debug, Clone, Default)]
+pub struct CarryLedger {
+    entries: Vec<(u32, CarriedInsert)>,
+}
+
+impl CarryLedger {
+    pub fn new() -> Self {
+        CarryLedger::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record one zone event's cache effects, learned during `epoch`.
+    /// Order matters: seeding replays entries in absorption order, so
+    /// later inserts overwrite earlier ones exactly as the live caches
+    /// did.
+    pub fn absorb(&mut self, epoch: u32, effects: &ZoneEffects) {
+        for (zone, keys) in &effects.key_inserts {
+            self.entries
+                .push((epoch, CarriedInsert::Keys(zone.clone(), keys.clone())));
+        }
+        for (ns, addrs) in &effects.addr_inserts {
+            self.entries
+                .push((epoch, CarriedInsert::Addrs(ns.clone(), Arc::clone(addrs))));
+        }
+        for (cut, data) in &effects.referral_inserts {
+            self.entries.push((
+                epoch,
+                CarriedInsert::Referral(cut.clone(), Arc::clone(data)),
+            ));
+        }
+    }
+
+    /// Drop every entry at or below one of the churn-invalidated zone
+    /// cuts. Called before an epoch's scan with that epoch's
+    /// [`ChurnLog::invalidated_cuts`](dns_ecosystem::ChurnLog) — a
+    /// churned zone's keys and referral must never be consulted again,
+    /// no matter how much validity they had left.
+    pub fn invalidate(&mut self, cuts: &[Name]) {
+        if cuts.is_empty() {
+            return;
+        }
+        self.entries
+            .retain(|(_, ins)| !cuts.iter().any(|c| ins.name().is_subdomain_of(c)));
+    }
+
+    /// Drop entries already expired at virtual time `now` (epoch start).
+    /// Seeding skips them anyway; pruning keeps the ledger from growing
+    /// without bound over long studies.
+    pub fn prune_expired(&mut self, now: SimMicros, ttl: SimMicros, spacing: SimMicros) {
+        self.entries.retain(|(epoch, _)| {
+            let learned = (*epoch as SimMicros).saturating_mul(spacing);
+            learned.saturating_add(ttl) > now
+        });
+    }
+
+    /// Seed every still-valid entry into a fresh scanner for the epoch
+    /// starting at virtual time `now`. The entry's expiry is translated
+    /// into the scanner's local clock (which starts each epoch at 0):
+    /// `remaining = (learn time + TTL) − now`. Entries with no validity
+    /// left are skipped — never consulted, exactly like an in-scanner
+    /// expired entry.
+    pub fn seed_into(&self, scanner: &Scanner, now: SimMicros, ttl: SimMicros, spacing: SimMicros) {
+        for (epoch, ins) in &self.entries {
+            let learned = (*epoch as SimMicros).saturating_mul(spacing);
+            let expires_at_world = learned.saturating_add(ttl);
+            let Some(remaining) = expires_at_world.checked_sub(now).filter(|r| *r > 0) else {
+                continue;
+            };
+            match ins {
+                CarriedInsert::Keys(zone, keys) => {
+                    scanner.seed_validated_keys_until(zone.clone(), keys.clone(), remaining);
+                }
+                CarriedInsert::Addrs(ns, addrs) => {
+                    scanner
+                        .resolver()
+                        .seed_address_until(ns.clone(), (**addrs).clone(), remaining);
+                }
+                CarriedInsert::Referral(cut, data) => {
+                    scanner.resolver().seed_referral_until(
+                        cut.clone(),
+                        (**data).clone(),
+                        remaining,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn effects(zone: &str) -> ZoneEffects {
+        let referral = ReferralData {
+            parent_apex: name("example"),
+            ns_names: Vec::new(),
+            ds: None,
+            ds_rrsigs: Vec::new(),
+            child_servers: Vec::new(),
+            parent_servers: Vec::new(),
+        };
+        ZoneEffects {
+            key_inserts: vec![(name(zone), Vec::new())],
+            addr_inserts: Vec::new(),
+            referral_inserts: vec![(name(zone), Arc::new(referral))],
+            health: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn invalidation_drops_at_and_below_cut() {
+        let mut ledger = CarryLedger::new();
+        ledger.absorb(0, &effects("a.example"));
+        ledger.absorb(0, &effects("sub.a.example"));
+        ledger.absorb(0, &effects("b.example"));
+        assert_eq!(ledger.len(), 6);
+        ledger.invalidate(&[name("a.example")]);
+        assert_eq!(ledger.len(), 2, "a.example and its subdomain dropped");
+        ledger.invalidate(&[]);
+        assert_eq!(ledger.len(), 2);
+    }
+
+    #[test]
+    fn pruning_respects_remaining_validity() {
+        let spacing = 1_800_000_000; // 30 min
+        let ttl = 3_600_000_000; // 1 h
+        let mut ledger = CarryLedger::new();
+        ledger.absorb(0, &effects("a.example"));
+        ledger.absorb(1, &effects("b.example"));
+        // At epoch 2's start (t = 2·spacing = TTL), epoch-0 entries have
+        // exactly zero validity left — expired, pruned; epoch-1 entries
+        // have half a TTL left.
+        ledger.prune_expired(2 * spacing, ttl, spacing);
+        assert_eq!(ledger.len(), 2);
+        ledger.prune_expired(3 * spacing, ttl, spacing);
+        assert_eq!(ledger.len(), 0);
+    }
+}

@@ -59,5 +59,6 @@ pub use journal::{
     FORMAT_VERSION, JOURNAL_FILE, JOURNAL_MAGIC,
 };
 pub use recover::{
-    fingerprint_names, recover, shard_header, shard_run_id, shard_state_dir, JournalSink, Recovery,
+    epoch_header, epoch_run_id, epoch_state_dir, fingerprint_names, recover, shard_header,
+    shard_run_id, shard_state_dir, JournalSink, Recovery,
 };

@@ -78,6 +78,36 @@ pub fn shard_header(fabric_run_id: u64, shard: u32, shard_seeds: &[Name]) -> Jou
     }
 }
 
+/// State directory for one longitudinal epoch under a study run root.
+/// Each epoch journals independently: a process killed mid-epoch leaves
+/// at most a torn *epoch* directory behind, and resume re-enters exactly
+/// that epoch — committed epochs are never re-opened.
+pub fn epoch_state_dir(root: &Path, epoch: u32) -> PathBuf {
+    root.join(format!("epoch-{epoch:04}"))
+}
+
+/// Run id for one epoch's journal, derived from the study run id. As
+/// with fabric shards, namespacing makes a neighbouring epoch's journal
+/// a foreign journal — `recover` hard-errors instead of mis-resuming.
+pub fn epoch_run_id(study_run_id: u64, epoch: u32) -> u64 {
+    fnv64(&[
+        b"scan-epoch",
+        &study_run_id.to_le_bytes(),
+        &epoch.to_le_bytes(),
+    ])
+}
+
+/// Journal header for one longitudinal epoch: namespaced run id plus the
+/// fingerprint of *this epoch's delta scan set*, so a changed churn seed
+/// or epoch plan invalidates the stale epoch directory instead of
+/// silently resuming a different epoch's work.
+pub fn epoch_header(study_run_id: u64, epoch: u32, delta_seeds: &[Name]) -> JournalHeader {
+    JournalHeader {
+        run_id: epoch_run_id(study_run_id, epoch),
+        fingerprint: fingerprint_names(delta_seeds),
+    }
+}
+
 /// Everything recovered from a run directory.
 #[derive(Debug)]
 pub struct Recovery {

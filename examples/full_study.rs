@@ -20,6 +20,12 @@
 //! # single-worker run; killed or hung workers have their shards
 //! # stolen and resumed from per-shard journals:
 //! BOOTSCAN_WORKERS=4 cargo run --release --example full_study
+//! # longitudinal: after the headline tables, run N epochs of seeded
+//! # churn with incremental re-scans (DESIGN.md §10) and print the
+//! # per-epoch adoption-trend table. Epoch state journals under
+//! # BOOTSCAN_JOURNAL (or a temp dir), so an interrupted study resumes
+//! # into the same epoch:
+//! BOOTSCAN_EPOCHS=6 BOOTSCAN_CHURN_SEED=7 cargo run --release --example full_study
 //! ```
 //!
 //! Prints Figure 1, Tables 1–3, the §4.2 CDS census, the §4.3 potential
@@ -28,7 +34,10 @@
 
 use bootscan::{budget, policy, report, ScanPolicy};
 use dns_ecosystem::{AdversaryArchetype, EcosystemConfig};
-use dnssec_bootstrap::{run_study, run_study_fabric, run_study_resumable, scan_fabric};
+use dnssec_bootstrap::{
+    run_study, run_study_fabric, run_study_longitudinal, run_study_resumable, scan_epochs,
+    scan_fabric,
+};
 
 fn main() {
     let scale: u64 = std::env::var("BOOTSCAN_SCALE")
@@ -56,6 +65,18 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.0);
 
+    // BOOTSCAN_EPOCHS=<n> (n > 1) appends the longitudinal tier
+    // (DESIGN.md §10): n epochs of seeded churn with incremental
+    // re-scans, reported as a per-epoch adoption-trend table.
+    let epochs: u32 = std::env::var("BOOTSCAN_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let churn_seed: u64 = std::env::var("BOOTSCAN_CHURN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
     eprintln!("building ecosystem at 1:{scale} …");
     // bootscan-allow(D001): wall clock only reports how long the demo ran; it never enters evidence
     let t0 = std::time::Instant::now();
@@ -75,6 +96,7 @@ fn main() {
         parallelism,
         ..ScanPolicy::default()
     };
+    let longitudinal = (epochs > 1).then(|| (config.clone(), policy.clone()));
     // With BOOTSCAN_JOURNAL set, every zone outcome is journaled to the
     // given directory and an interrupted run resumes from it (identical
     // final report — see tests/crash_recovery.rs). Delete the directory
@@ -244,6 +266,23 @@ fn main() {
         }
         let budget = ScanPolicy::default().zone_query_budget;
         println!("per-zone query budget: {budget} (hardened scan; see tests/hostile_world.rs)\n");
+    }
+
+    if let Some((config, policy)) = longitudinal {
+        println!("================================================================");
+        println!("E8 — longitudinal study ({epochs} epochs, churn seed {churn_seed};");
+        println!("     DESIGN.md §10: epoch 0 is a cold scan, later epochs re-scan");
+        println!("     only the churned/stale/indeterminate delta set — every epoch");
+        println!("     byte-identical to a cold scan of the same world state)");
+        println!("================================================================");
+        let study = scan_epochs::StudyConfig::new(epochs, churn_seed);
+        let dir = std::env::var("BOOTSCAN_JOURNAL")
+            .map(|d| std::path::PathBuf::from(d).join("epochs"))
+            .unwrap_or_else(|_| std::env::temp_dir().join(format!("bootscan-epochs-{scale}")));
+        eprintln!("epoch state in {} …", dir.display());
+        let series =
+            run_study_longitudinal(config, policy, &study, &dir).expect("longitudinal study");
+        println!("{}", series.render_trend());
     }
 
     // Machine-readable dump for EXPERIMENTS.md bookkeeping.

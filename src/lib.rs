@@ -28,6 +28,7 @@ pub use dns_server;
 pub use dns_wire;
 pub use dns_zone;
 pub use netsim;
+pub use scan_epochs;
 pub use scan_fabric;
 pub use scan_journal;
 
@@ -153,6 +154,27 @@ pub fn run_study_fabric(
     )?;
     let results = sink.into_results(&output.report);
     Ok((eco, output, results))
+}
+
+/// `run_study` over time: the longitudinal tier. Runs
+/// `study.epochs` epochs against one world — epoch 0 is a full cold
+/// scan, every later epoch applies seeded churn and incrementally
+/// re-scans only the delta set (churned + stale + previously-
+/// `Indeterminate` zones), carrying caches and prior evidence forward
+/// under TTL/validity semantics.
+///
+/// Epochs journal under per-epoch namespaces inside `state_root`; a
+/// killed run resumes into the same epoch and reproduces the
+/// uninterrupted time series (see `tests/epoch_recovery.rs`). Every
+/// epoch's report is byte-identical to a cold scan of the same world
+/// state (see `tests/epoch_equivalence.rs`).
+pub fn run_study_longitudinal(
+    config: dns_ecosystem::EcosystemConfig,
+    policy: bootscan::ScanPolicy,
+    study: &scan_epochs::StudyConfig,
+    state_root: &std::path::Path,
+) -> std::io::Result<scan_epochs::TimeSeries> {
+    scan_epochs::run_study(config, policy, study, state_root)
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! The longitudinal headline contract (DESIGN.md §10): over an N-epoch
+//! run with seeded churn, **every epoch's incremental report is
+//! byte-identical to a cold from-scratch scan of the same world
+//! state**, while incremental epochs cost a small fraction of cold
+//! logical queries.
+//!
+//! The cold reference is produced by an *independent* world: built from
+//! the same config, churned by the same plans up to the same epoch, and
+//! scanned in full with a fresh scanner. Carried caches and carried
+//! evidence may change *when* datagrams are sent — never what the
+//! classifier concludes — so the two evidence planes must match to the
+//! byte. Budget-exhausted epochs are the one sanctioned divergence:
+//! deferred zones report `Indeterminate` plus a stale-evidence marker,
+//! and the report says so out loud.
+
+use bootscan::operator::OperatorTable;
+use bootscan::{DnssecClass, ScanPolicy, Scanner};
+use dns_ecosystem::{apply_churn, build, ChurnPlan, Ecosystem, EcosystemConfig};
+use scan_epochs::{canonical_evidence, run_study, StudyConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const EPOCHS: u32 = 6;
+const WORLD_SEED: u64 = 42;
+const CHURN_SEED: u64 = 7;
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("epoch-equiv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn scanner_for(eco: &Ecosystem) -> Arc<Scanner> {
+    let table = OperatorTable::from_operators(
+        eco.operators
+            .iter()
+            .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+    );
+    Arc::new(Scanner::new(
+        Arc::clone(&eco.net),
+        eco.roots.clone(),
+        eco.anchors.clone(),
+        table,
+        eco.now,
+        ScanPolicy::default(),
+    ))
+}
+
+/// Cold-scan the world state as of `epoch`: independent build, same
+/// churn plans replayed, full scan with a fresh scanner.
+fn cold_reference(study: &StudyConfig, epoch: u32) -> (String, u64) {
+    let mut eco = build(EcosystemConfig::tiny(WORLD_SEED));
+    for e in 1..=epoch {
+        let plan = ChurnPlan::generate(&eco, &study.churn, study.churn_seed, e);
+        apply_churn(&mut eco, &plan);
+    }
+    let scanner = scanner_for(&eco);
+    let mut seeds = eco.seeds.compile(&eco.psl);
+    seeds.sort_by(|a, b| a.canonical_cmp(b));
+    seeds.dedup();
+    let results = scanner.scan_all(&seeds);
+    (canonical_evidence(&results.zones), results.total_queries)
+}
+
+#[test]
+fn every_incremental_epoch_matches_a_cold_scan() {
+    let study = StudyConfig::new(EPOCHS, CHURN_SEED);
+    let dir = state_dir("headline");
+    let series = run_study(
+        EcosystemConfig::tiny(WORLD_SEED),
+        ScanPolicy::default(),
+        &study,
+        &dir,
+    )
+    .expect("study runs");
+    assert_eq!(series.epochs.len(), EPOCHS as usize);
+
+    let mut total_churned = 0usize;
+    let mut cold_q = Vec::new();
+    for report in &series.epochs {
+        let (cold_evidence, cold_queries) = cold_reference(&study, report.epoch);
+        assert_eq!(
+            report.canonical_evidence(),
+            cold_evidence,
+            "epoch {}: incremental report diverged from the cold scan",
+            report.epoch
+        );
+        assert!(report.stale.is_empty(), "no budget, no stale markers");
+        total_churned += report.churned.len();
+        cold_q.push(cold_queries);
+    }
+    assert!(
+        total_churned >= 10,
+        "only {total_churned} churn transitions across {EPOCHS} epochs"
+    );
+
+    // Cost plane: every incremental epoch is a small fraction of its
+    // cold equivalent (the bench pins the ≤25 % acceptance bound; the
+    // test leaves headroom so world tweaks don't flake it).
+    for (report, cold) in series.epochs.iter().zip(&cold_q).skip(1) {
+        assert!(
+            report.queries * 2 < *cold,
+            "epoch {}: incremental spent {} of {} cold logical queries",
+            report.epoch,
+            report.queries,
+            cold
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rerunning_a_committed_study_rescans_nothing_and_matches() {
+    let study = StudyConfig::new(4, CHURN_SEED);
+    let dir = state_dir("rerun");
+    let first = run_study(
+        EcosystemConfig::tiny(WORLD_SEED),
+        ScanPolicy::default(),
+        &study,
+        &dir,
+    )
+    .expect("first run");
+    // Second invocation over the same state root folds every committed
+    // epoch from its journal; the series must be byte-identical.
+    let second = run_study(
+        EcosystemConfig::tiny(WORLD_SEED),
+        ScanPolicy::default(),
+        &study,
+        &dir,
+    )
+    .expect("re-run");
+    assert_eq!(first.canonical_bytes(), second.canonical_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_budget_reports_stale_markers_not_old_evidence() {
+    let study = {
+        let mut s = StudyConfig::new(3, CHURN_SEED);
+        s.rescan_budget = Some(4);
+        s
+    };
+    let dir = state_dir("budget");
+    let series = run_study(
+        EcosystemConfig::tiny(WORLD_SEED),
+        ScanPolicy::default(),
+        &study,
+        &dir,
+    )
+    .expect("study runs");
+
+    // Epoch 0 scans the full seed list under a budget of 4: almost
+    // everything is deferred, and deferred zones surface as degraded
+    // Indeterminate markers — never as silently-reused old evidence
+    // (there is none) and never silently dropped.
+    let e0 = &series.epochs[0];
+    assert_eq!(e0.fresh.len(), 4);
+    assert!(!e0.stale.is_empty(), "budget must defer zones");
+    for name in &e0.stale {
+        let z = e0
+            .zones
+            .iter()
+            .find(|z| &z.name == name)
+            .expect("deferred zone stays in the report");
+        assert_eq!(z.dnssec, DnssecClass::Indeterminate, "{name}");
+        assert!(z.degraded, "{name}: stale marker must flag degradation");
+    }
+
+    // Deferred zones re-enter the delta set next epoch (they are
+    // Indeterminate), so the study drains the backlog budget-by-budget.
+    let e1 = &series.epochs[1];
+    assert_eq!(e1.fresh.len(), 4);
+    assert!(e1.fresh.iter().all(|n| e0.stale.contains(n)));
+    assert!(e1.stale.len() < e0.stale.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trend_table_renders_per_epoch_deltas() {
+    let study = StudyConfig::new(3, CHURN_SEED);
+    let dir = state_dir("trend");
+    let series = run_study(
+        EcosystemConfig::tiny(WORLD_SEED),
+        ScanPolicy::default(),
+        &study,
+        &dir,
+    )
+    .expect("study runs");
+    let rows = series.trend();
+    assert_eq!(rows.len(), 3);
+    assert!(rows[0].secured > 0, "tiny world plants secured zones");
+    let rendered = series.render_trend();
+    assert!(rendered.contains("bootstrappable"));
+    // Epoch rows after the first carry explicit deltas.
+    assert!(rendered.contains('('), "delta column missing:\n{rendered}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
