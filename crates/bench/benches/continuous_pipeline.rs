@@ -1,0 +1,324 @@
+//! Continuous-pipeline baseline: per-epoch logical-query cost and
+//! admission behaviour of a fabric-distributed continuous run under
+//! *calibrated* backpressure, spliced into `BENCH_scan.json` as the
+//! `continuous` section.
+//!
+//! No criterion: the continuous study is the workload, and the
+//! deterministic metrics (per-epoch logical queries, virtual makespans,
+//! which epochs pipelined or coalesced) are what matters. The bench
+//! also *asserts* the continuous headline invariant on every run, so a
+//! perf run doubles as a determinism smoke test: the full time series
+//! and the admission decision stream must be byte-identical between a
+//! 1-worker and a 4-worker fleet.
+//!
+//! The overlap is calibrated, not guessed: a 1-epoch probe run measures
+//! epoch 0's virtual makespan and arrivals are scheduled every
+//! `makespan / 3` with pipeline depth 1, which forces at least one
+//! pipelined and at least one coalesced epoch on every world.
+//!
+//! Environment:
+//! * `BOOTSCAN_BENCH_WORLD`      — `paper_default` (default) or `tiny`.
+//! * `BOOTSCAN_SCALE`            — paper-world scale divisor (default 10 000).
+//! * `BOOTSCAN_BENCH_EPOCHS`     — epoch count (default 5).
+//! * `BOOTSCAN_BENCH_CHURN_SEED` — churn seed (default 7).
+//! * `BOOTSCAN_BENCH_OUT`        — JSON path to splice into (default
+//!   `BENCH_scan.json` at the workspace root).
+//! * `BOOTSCAN_BENCH_WRITE_BASELINE` — also write the flat `key=value`
+//!   baseline file the gate consumes.
+//! * `BOOTSCAN_BENCH_BASELINE`   — committed baseline to gate against.
+//! * `BOOTSCAN_BENCH_GATE`      — with `BASELINE`: exit nonzero if a
+//!   deterministic metric regresses >20 % vs the baseline.
+
+use bootscan::ScanPolicy;
+use dns_ecosystem::EcosystemConfig;
+use scan_continuous::{render_decisions, run_continuous, ContinuousConfig, ContinuousOutput};
+use scan_fabric::FabricConfig;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+const RUN_ID: u64 = 0xBE_0001;
+
+fn world_config() -> (String, EcosystemConfig) {
+    let world =
+        std::env::var("BOOTSCAN_BENCH_WORLD").unwrap_or_else(|_| "paper_default".to_string());
+    let cfg = match world.as_str() {
+        "tiny" => EcosystemConfig::tiny(42),
+        _ => EcosystemConfig::paper_default(bench::bench_scale()),
+    };
+    (world, cfg)
+}
+
+fn epoch_count() -> u32 {
+    std::env::var("BOOTSCAN_BENCH_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &u32| n >= 3)
+        .unwrap_or(5)
+}
+
+fn churn_seed() -> u64 {
+    std::env::var("BOOTSCAN_BENCH_CHURN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+fn study(epochs: u32, spacing: u64, workers: usize) -> ContinuousConfig {
+    let mut cfg = ContinuousConfig::new(epochs, churn_seed());
+    cfg.run_id = RUN_ID;
+    cfg.epoch_spacing = spacing;
+    cfg.max_pipeline_depth = 1;
+    cfg.fabric = FabricConfig {
+        workers,
+        shards: 8,
+        max_attempts: 4,
+        heartbeat_every: 1,
+        lease_timeout_polls: 25,
+        poll_wait: Duration::from_millis(2),
+        max_respawns: 64,
+    };
+    cfg
+}
+
+fn run(cfg: &EcosystemConfig, continuous: &ContinuousConfig, tag: &str) -> (ContinuousOutput, f64) {
+    let state = std::env::temp_dir().join(format!(
+        "bootscan-continuous-bench-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&state);
+    let t = Instant::now();
+    let out = run_continuous(cfg.clone(), ScanPolicy::default(), continuous, &state)
+        .expect("continuous study");
+    let secs = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&state);
+    (out, secs)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn baseline_lines(world: &str, out: &ContinuousOutput) -> String {
+    let mut text = format!("world={world}\n");
+    text.push_str(&format!("skipped={}\n", out.series.skipped.len()));
+    for e in &out.series.epochs {
+        text.push_str(&format!("e{}.queries={}\n", e.epoch, e.queries));
+        text.push_str(&format!("e{}.fresh={}\n", e.epoch, e.fresh.len()));
+        text.push_str(&format!("e{}.makespan={}\n", e.epoch, e.simulated_duration));
+    }
+    text
+}
+
+fn parse_baseline(text: &str) -> BTreeMap<String, String> {
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            if l.is_empty() || l.starts_with('#') {
+                return None;
+            }
+            l.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+fn from_workspace_root(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+/// Splice `"continuous": {...}` into an existing `BENCH_scan.json` as
+/// its last top-level key (same textual idiom as the `fabric` and
+/// `epochs` splices — the serde_json shim has no deserializer).
+fn splice_continuous(existing: Option<&str>, section: &Value) -> String {
+    let pretty = serde_json::to_string_pretty(section).expect("continuous section serializes");
+    let nested = pretty.replace('\n', "\n  ");
+    match existing {
+        Some(text) => {
+            let base = match text.rfind(",\n  \"continuous\":") {
+                Some(idx) => &text[..idx],
+                None => {
+                    let end = text.rfind('}').expect("existing JSON has a closing brace");
+                    text[..end].trim_end().trim_end_matches(',')
+                }
+            };
+            format!("{base},\n  \"continuous\": {nested}\n}}\n")
+        }
+        None => format!("{{\n  \"continuous\": {nested}\n}}\n"),
+    }
+}
+
+fn main() {
+    let (world, cfg) = world_config();
+    let epochs = epoch_count();
+    eprintln!(
+        "[continuous_pipeline] world={world} epochs={epochs} churn_seed={}",
+        churn_seed()
+    );
+
+    // Calibrate: probe epoch 0's virtual makespan with no overlap, then
+    // schedule arrivals every makespan/3 at depth 1.
+    let probe = study(1, 86_400_000_000, 4);
+    let (probe_out, _) = run(&cfg, &probe, "probe");
+    let makespan0 = probe_out.series.epochs[0].simulated_duration;
+    let spacing = (makespan0 / 3).max(1);
+    eprintln!("[continuous_pipeline] probe makespan {makespan0} µs → arrival spacing {spacing} µs");
+
+    let (reference, ref_secs) = run(&cfg, &study(epochs, spacing, 1), "w1");
+    let (fleet, fleet_secs) = run(&cfg, &study(epochs, spacing, 4), "w4");
+
+    // Headline invariant: the fleet size is a pure throughput knob —
+    // time series and decision stream byte-identical at 1 vs 4 workers,
+    // even under backpressure.
+    assert_eq!(
+        reference.series.canonical_bytes(),
+        fleet.series.canonical_bytes(),
+        "time series diverged between 1 and 4 workers"
+    );
+    assert_eq!(
+        render_decisions(&reference.decisions),
+        render_decisions(&fleet.decisions),
+        "decision stream diverged between 1 and 4 workers"
+    );
+    // The calibrated overlap must actually exercise the pipeline: at
+    // least one coalesced epoch (the pipelined one is implied by the
+    // decision stream whenever depth 1 absorbs a late arrival).
+    assert!(
+        !reference.series.skipped.is_empty(),
+        "calibrated spacing produced no coalesced epoch"
+    );
+
+    for d in &reference.decisions {
+        eprintln!(
+            "[continuous_pipeline] {}",
+            render_decisions(std::slice::from_ref(d)).trim_end()
+        );
+    }
+    eprintln!(
+        "[continuous_pipeline] {} committed + {} coalesced epochs; \
+         1 worker {ref_secs:.2}s, 4 workers {fleet_secs:.2}s; invariants held",
+        reference.series.epochs.len(),
+        reference.series.skipped.len()
+    );
+
+    let per_epoch: Vec<Value> = reference
+        .series
+        .epochs
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("epoch", Value::U64(e.epoch as u64)),
+                ("fresh", Value::U64(e.fresh.len() as u64)),
+                ("churned", Value::U64(e.churned.len() as u64)),
+                ("queries", Value::U64(e.queries)),
+                ("makespan_us", Value::U64(e.simulated_duration)),
+            ])
+        })
+        .collect();
+    let skipped: Vec<Value> = reference
+        .series
+        .skipped
+        .iter()
+        .map(|s| {
+            obj(vec![
+                ("epoch", Value::U64(s.epoch as u64)),
+                ("behind", Value::U64(s.behind as u64)),
+                ("churned", Value::U64(s.churned.len() as u64)),
+            ])
+        })
+        .collect();
+
+    let mut doc = vec![
+        ("world", Value::String(world.clone())),
+        ("scale", Value::U64(bench::bench_scale())),
+        ("epochs", Value::U64(epochs as u64)),
+        ("churn_seed", Value::U64(churn_seed())),
+        ("spacing_us", Value::U64(spacing)),
+        ("pipeline_depth", Value::U64(1)),
+        ("worker_count_invariant", Value::Bool(true)),
+        ("secs_1_worker", Value::F64(ref_secs)),
+        ("secs_4_workers", Value::F64(fleet_secs)),
+        ("per_epoch", Value::Array(per_epoch)),
+        ("skipped", Value::Array(skipped)),
+    ];
+
+    let baseline = std::env::var("BOOTSCAN_BENCH_BASELINE").ok().map(|path| {
+        let text = std::fs::read_to_string(from_workspace_root(&path))
+            .unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+        parse_baseline(&text)
+    });
+    if baseline.is_some() {
+        doc.push(("gated", Value::Bool(true)));
+    }
+
+    let out_path = std::env::var("BOOTSCAN_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_scan.json", env!("CARGO_MANIFEST_DIR")));
+    let out_file = from_workspace_root(&out_path);
+    let existing = std::fs::read_to_string(&out_file).ok();
+    let spliced = splice_continuous(
+        existing.as_deref(),
+        &obj(doc.into_iter().collect::<Vec<_>>()),
+    );
+    std::fs::write(&out_file, spliced).expect("write BENCH_scan.json");
+    eprintln!("[continuous_pipeline] spliced continuous section into {out_path}");
+
+    if let Ok(path) = std::env::var("BOOTSCAN_BENCH_WRITE_BASELINE") {
+        std::fs::write(
+            from_workspace_root(&path),
+            baseline_lines(&world, &reference),
+        )
+        .expect("write baseline");
+        eprintln!("[continuous_pipeline] wrote baseline {path}");
+    }
+
+    // Regression gate: deterministic metrics only (logical queries and
+    // virtual makespans are pure functions of world + schedule), so a
+    // slow runner can never fail the build — only a real efficiency
+    // regression can. The skipped-epoch count is pinned exactly: a
+    // change in admission behaviour is a semantic change, not a perf
+    // wobble.
+    if std::env::var("BOOTSCAN_BENCH_GATE").is_ok() {
+        let base = baseline.expect("BOOTSCAN_BENCH_GATE requires BOOTSCAN_BENCH_BASELINE");
+        let mut failures = Vec::new();
+        if let Some(b) = base.get("skipped").and_then(|v| v.parse::<usize>().ok()) {
+            if reference.series.skipped.len() != b {
+                failures.push(format!(
+                    "skipped: {} vs baseline {b} (admission behaviour changed)",
+                    reference.series.skipped.len()
+                ));
+            }
+        }
+        for e in &reference.series.epochs {
+            for (metric, value) in [("queries", e.queries), ("makespan", e.simulated_duration)] {
+                let key = format!("e{}.{metric}", e.epoch);
+                let Some(b) = base.get(&key).and_then(|v| v.parse::<u64>().ok()) else {
+                    continue;
+                };
+                // >20 % above baseline = regression.
+                if value * 5 > b * 6 {
+                    failures.push(format!("{key}: {value} vs baseline {b} (>20% regression)"));
+                }
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!(
+                "[continuous_pipeline] REGRESSION:\n  {}",
+                failures.join("\n  ")
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[continuous_pipeline] regression gate passed");
+    }
+}

@@ -50,6 +50,9 @@ pub struct Rule {
 /// state anywhere in the crate can corrupt the determinism contract.
 /// scan-epochs likewise: it folds carried evidence and journal replays
 /// into per-epoch reports that must stay byte-identical to cold scans.
+/// scan-continuous sits on top of both — its admission decisions and
+/// epoch folds feed the byte-compared time series, so the same
+/// determinism contract applies.
 const EVIDENCE_SRC: &[&str] = &[
     "crates/core/src/**",
     "crates/dns-resolver/src/**",
@@ -57,6 +60,7 @@ const EVIDENCE_SRC: &[&str] = &[
     "crates/scan-journal/src/**",
     "crates/scan-fabric/src/**",
     "crates/scan-epochs/src/**",
+    "crates/scan-continuous/src/**",
 ];
 
 /// Decode paths (hostile bytes) and response-acceptance paths
@@ -114,6 +118,7 @@ pub fn catalog() -> Vec<Rule> {
                 "crates/scan-journal/src/**",
                 "crates/scan-fabric/src/**",
                 "crates/scan-epochs/src/**",
+                "crates/scan-continuous/src/**",
                 "crates/dns-wire/src/**",
             ],
             exclude: &[],

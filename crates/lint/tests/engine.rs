@@ -40,6 +40,8 @@ fn violations_tree_trips_every_rule() {
         ("P001", "crates/scan-fabric/src/protocol.rs", 10),
         ("D002", "crates/scan-epochs/src/lib.rs", 13),
         ("D003", "crates/scan-epochs/src/lib.rs", 17),
+        ("D002", "crates/scan-continuous/src/lib.rs", 13),
+        ("D003", "crates/scan-continuous/src/lib.rs", 17),
     ];
     let mut want: Vec<(String, String, u32)> = want
         .iter()
@@ -76,7 +78,7 @@ fn allowed_tree_scans_clean() {
         "justified suppressions should silence every finding:\n{:#?}",
         report.findings
     );
-    assert_eq!(report.files_scanned, 8);
+    assert_eq!(report.files_scanned, 9);
 }
 
 #[test]

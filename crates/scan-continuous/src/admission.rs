@@ -1,0 +1,170 @@
+//! The admission controller: explicit backpressure for the epoch
+//! pipeline.
+//!
+//! Epochs arrive on a fixed virtual-time schedule (`arrival = epoch ×
+//! spacing`) that may outpace draining: a registry-scale epoch can take
+//! longer than one spacing to scan. When the next observation arrives
+//! while earlier ones still drain, the controller either **pipelines**
+//! it — admits it with a late start, queued behind the draining epoch —
+//! or **coalesces** it into an explicit [`SkippedEpoch`] marker in the
+//! time series. It never silently drops a scheduled observation.
+//!
+//! [`admit`] is deliberately a *pure function* of `(drain clock,
+//! arrival, config)`. The drain clock itself is a fold over committed
+//! epochs' virtual makespans, which are journal-recoverable — so the
+//! whole decision stream is recomputable on crash resume and invariant
+//! across worker counts (the makespan is a max over *shards*, and the
+//! shard count, not the fleet size, fixes the partition). The proptests
+//! in this module pin all three properties.
+//!
+//! [`SkippedEpoch`]: scan_epochs::SkippedEpoch
+
+use netsim::SimMicros;
+
+/// Backpressure knobs, a strict subset of the continuous config (the
+/// controller must not see anything scheduling-dependent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Virtual time between scheduled epoch arrivals.
+    pub epoch_spacing: SimMicros,
+    /// How many spacings the pipeline may run behind before arrivals
+    /// coalesce. Depth 0 means any lag of a full spacing coalesces;
+    /// depth `u32::MAX` effectively never coalesces.
+    pub max_pipeline_depth: u32,
+}
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit the epoch, starting at `start` (its arrival time, or later
+    /// if it queued behind a draining epoch — `start > arrival` is what
+    /// "pipelined" means). `behind` is the backlog depth in spacings at
+    /// arrival.
+    Pipeline { start: SimMicros, behind: u32 },
+    /// Coalesce the epoch: it is never scanned; its churn is absorbed
+    /// by the next admitted epoch's delta set and the time series gets
+    /// an explicit `SkippedEpoch` marker.
+    Coalesce { behind: u32 },
+}
+
+/// Decide one epoch's admission. `clock` is the pipeline's drain clock
+/// — the virtual instant the previously admitted work finishes —
+/// and `arrival` the epoch's scheduled observation time. Pure: equal
+/// inputs give equal decisions, with no hidden state.
+pub fn admit(clock: SimMicros, arrival: SimMicros, cfg: &AdmissionConfig) -> Admission {
+    let spacing = cfg.epoch_spacing.max(1);
+    let lag = clock.saturating_sub(arrival);
+    let behind = u32::try_from(lag / spacing).unwrap_or(u32::MAX);
+    if behind > cfg.max_pipeline_depth {
+        Admission::Coalesce { behind }
+    } else {
+        Admission::Pipeline {
+            start: clock.max(arrival),
+            behind,
+        }
+    }
+}
+
+/// One epoch's decision as recorded by the study loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    pub epoch: u32,
+    pub arrival: SimMicros,
+    pub admission: Admission,
+}
+
+/// Canonical one-line-per-epoch rendering of a decision stream. Byte
+/// equality of two renderings means the two runs admitted, pipelined
+/// and coalesced identically — the cross-worker-count invariant the
+/// equivalence suite compares.
+pub fn render_decisions(decisions: &[Decision]) -> String {
+    let mut out = String::new();
+    for d in decisions {
+        match d.admission {
+            Admission::Pipeline { start, behind } => out.push_str(&format!(
+                "epoch {} arrival={} admitted start={} behind={}{}\n",
+                d.epoch,
+                d.arrival,
+                start,
+                behind,
+                if start > d.arrival {
+                    " (pipelined)"
+                } else {
+                    ""
+                },
+            )),
+            Admission::Coalesce { behind } => out.push_str(&format!(
+                "epoch {} arrival={} COALESCED behind={}\n",
+                d.epoch, d.arrival, behind,
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(spacing: SimMicros, depth: u32) -> AdmissionConfig {
+        AdmissionConfig {
+            epoch_spacing: spacing,
+            max_pipeline_depth: depth,
+        }
+    }
+
+    #[test]
+    fn on_time_arrivals_start_at_arrival() {
+        let c = cfg(100, 1);
+        assert_eq!(
+            admit(0, 0, &c),
+            Admission::Pipeline {
+                start: 0,
+                behind: 0
+            }
+        );
+        // Drained early: the pipeline idles until the arrival.
+        assert_eq!(
+            admit(40, 100, &c),
+            Admission::Pipeline {
+                start: 100,
+                behind: 0
+            }
+        );
+    }
+
+    #[test]
+    fn late_drain_pipelines_within_depth_and_coalesces_beyond() {
+        let c = cfg(100, 1);
+        // One spacing behind: pipelined with a late start.
+        assert_eq!(
+            admit(250, 100, &c),
+            Admission::Pipeline {
+                start: 250,
+                behind: 1
+            }
+        );
+        // Two spacings behind exceeds depth 1: coalesced.
+        assert_eq!(admit(320, 100, &c), Admission::Coalesce { behind: 2 });
+    }
+
+    #[test]
+    fn depth_zero_coalesces_any_full_spacing_of_lag() {
+        let c = cfg(100, 0);
+        assert_eq!(
+            admit(99, 0, &c),
+            Admission::Pipeline {
+                start: 99,
+                behind: 0
+            }
+        );
+        assert_eq!(admit(100, 0, &c), Admission::Coalesce { behind: 1 });
+    }
+
+    #[test]
+    fn zero_spacing_never_divides_by_zero() {
+        let c = cfg(0, 1);
+        // spacing clamps to 1; decision still total.
+        assert_eq!(admit(5, 3, &c), Admission::Coalesce { behind: 2 });
+    }
+}

@@ -1,0 +1,655 @@
+//! # scan-continuous — fabric-distributed continuous longitudinal scanning
+//!
+//! The longitudinal service (`scan-epochs`) scans one epoch at a time,
+//! sequentially, and assumes every epoch drains before the next one is
+//! due. A registry-scale deployment study has neither luxury: each
+//! epoch's delta set wants the whole worker fleet, and observations
+//! arrive on a fixed schedule that does not wait for the scanner. This
+//! crate composes the two distributed tiers into a *reconcile-loop
+//! study service*:
+//!
+//! 1. **Fabric-distributed epochs.** Each epoch's delta set is sharded
+//!    with the same fnv64 [`ShardPlan`] the one-shot fabric uses and
+//!    driven across a **persistent** worker fleet
+//!    ([`with_fleet`](scan_fabric::with_fleet)) — workers idle between
+//!    epochs instead of being torn down.
+//! 2. **Distributed carry-over.** The [`CarryLedger`] is partitioned by
+//!    each entry's *source zone* shard
+//!    ([`CarryLedger::partition`]), so a carried cache travels with the
+//!    shard that will re-scan its zone. Carried caches shape cost, never
+//!    classification — distribution cannot change any zone's record.
+//! 3. **Explicit backpressure.** Epoch arrivals follow virtual time
+//!    (`arrival = epoch × spacing`). The [`admission`] controller — a
+//!    pure function of (drain clock, arrival, config) — either
+//!    *pipelines* a late epoch behind the draining one or *coalesces* it
+//!    into an explicit [`SkippedEpoch`] marker whose churn the next
+//!    admitted epoch absorbs. A scheduled observation is never silently
+//!    dropped.
+//! 4. **Crash-resumable pipeline.** Every `(epoch, shard)` journals
+//!    under the nested [`Namespace`] (`epoch-NNNN/shard-NNNN`, chained
+//!    run ids), so epoch N−1's journal can never satisfy epoch N's
+//!    header — lease fencing extends across epoch boundaries by
+//!    construction. An epoch enters the time series only after its
+//!    `COMMIT` marker (which also records abandoned shards) is renamed
+//!    into place; a kill anywhere — mid-shard, between epochs, during
+//!    carry-over distribution, or while a coalesce decision is pending —
+//!    resumes to a byte-identical [`TimeSeries`]
+//!    (`tests/continuous_recovery.rs`), and every committed epoch stays
+//!    byte-identical to an independent cold scan of the same churned
+//!    world at any worker count (`tests/continuous_equivalence.rs`).
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+
+pub use admission::{admit, render_decisions, Admission, AdmissionConfig, Decision};
+
+use bootscan::operator::OperatorTable;
+use bootscan::scanner::Scanner;
+use bootscan::types::ZoneScan;
+use bootscan::ScanPolicy;
+use dns_ecosystem::{apply_churn, build, ChurnConfig, ChurnLog, ChurnPlan, EcosystemConfig};
+use dns_wire::name::Name;
+use netsim::SimMicros;
+use parking_lot::RwLock;
+use scan_epochs::{CarryLedger, EpochReport, SkippedEpoch, TimeSeries};
+use scan_fabric::{
+    indeterminate_placeholder, with_fleet, FabricConfig, FabricFaultPlan, FabricOps,
+    ShardAssignment, ShardPlan, ShardWork, WorkerFault,
+};
+use scan_journal::{recover, Namespace};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Injected coordinator crash points for the continuous kill matrix.
+/// Worker-level faults (kill / stall / checkpoint-torn mid-shard) are
+/// injected per epoch through [`ContinuousFaultPlan::epochs`] and
+/// survived *live* by the fleet; these three kill the coordinator
+/// itself — the study returns [`io::ErrorKind::Interrupted`] and a
+/// re-run against the same state root must resume byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContinuousKill {
+    /// Die after `epoch` committed, while the *next admitted* epoch's
+    /// carry-over is being distributed (ledger partitioned and published
+    /// to the fleet, nothing of the new epoch scanned or committed).
+    DuringCarryOver { epoch: u32 },
+    /// Die after `epoch`'s shards all drained and folded, before its
+    /// `COMMIT` marker lands — the classic torn epoch boundary.
+    BeforeCommit { epoch: u32 },
+    /// Die while `epoch`'s coalesce decision is pending: the admission
+    /// controller has decided to skip it, but the explicit marker has
+    /// not been recorded. Resume must re-derive the same decision from
+    /// the journal-recoverable drain clock and record the marker.
+    DuringCoalesce { epoch: u32 },
+}
+
+/// Fault injection for one continuous run: per-epoch fabric fault plans
+/// (worker-level, survived live) plus at most one coordinator kill.
+#[derive(Debug, Clone, Default)]
+pub struct ContinuousFaultPlan {
+    /// Fabric fault plan per epoch; epochs without an entry run clean.
+    pub epochs: BTreeMap<u32, FabricFaultPlan>,
+    /// Coordinator kill point, if any.
+    pub kill: Option<ContinuousKill>,
+}
+
+impl ContinuousFaultPlan {
+    pub fn none() -> Self {
+        ContinuousFaultPlan::default()
+    }
+
+    pub fn with_epoch_faults(mut self, epoch: u32, plan: FabricFaultPlan) -> Self {
+        self.epochs.insert(epoch, plan);
+        self
+    }
+
+    pub fn with_kill(mut self, kill: ContinuousKill) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+}
+
+/// Configuration of one continuous study.
+#[derive(Debug, Clone)]
+pub struct ContinuousConfig {
+    /// Scheduled observations, including the initial full scan
+    /// (epoch 0). Churn applies from epoch 1 onward — also to coalesced
+    /// epochs: the world does not wait for the scanner.
+    pub epochs: u32,
+    /// Seed of the churn model (independent of the world seed).
+    pub churn_seed: u64,
+    pub churn: ChurnConfig,
+    /// Study run id: the root of every epoch × shard journal namespace.
+    pub run_id: u64,
+    /// Virtual time between scheduled epoch arrivals.
+    pub epoch_spacing: SimMicros,
+    /// Cache-entry validity, matching the resolver's in-scan TTL.
+    pub cache_ttl: SimMicros,
+    /// Evidence validity: zones whose last fresh scan is older than
+    /// this are re-scanned even without churn.
+    pub evidence_ttl: SimMicros,
+    /// Backpressure bound: how many spacings the pipeline may run
+    /// behind before arrivals coalesce (see [`AdmissionConfig`]).
+    pub max_pipeline_depth: u32,
+    /// Fleet sizing and failure detection. `fabric.shards` fixes the
+    /// partition — reports are comparable across worker counts exactly
+    /// when the shard count matches.
+    pub fabric: FabricConfig,
+    /// Test-only fault injection.
+    pub faults: ContinuousFaultPlan,
+}
+
+impl ContinuousConfig {
+    pub fn new(epochs: u32, churn_seed: u64) -> Self {
+        ContinuousConfig {
+            epochs,
+            churn_seed,
+            churn: ChurnConfig::default(),
+            run_id: 1,
+            epoch_spacing: 1_800_000_000,
+            cache_ttl: dns_resolver::CACHE_TTL_MICROS,
+            evidence_ttl: 86_400_000_000,
+            max_pipeline_depth: 1,
+            fabric: FabricConfig::default(),
+            faults: ContinuousFaultPlan::none(),
+        }
+    }
+
+    /// The admission controller's view of this config.
+    pub fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            epoch_spacing: self.epoch_spacing,
+            max_pipeline_depth: self.max_pipeline_depth,
+        }
+    }
+}
+
+/// Everything a continuous run produces.
+#[derive(Debug)]
+pub struct ContinuousOutput {
+    /// Committed epochs plus explicit skipped-epoch markers.
+    pub series: TimeSeries,
+    /// One admission decision per scheduled epoch, in epoch order.
+    /// [`render_decisions`] of this stream is byte-identical across
+    /// worker counts and across crash resumes.
+    pub decisions: Vec<Decision>,
+    /// Operational (scheduling-dependent) counters, aggregated across
+    /// every driven epoch. Never byte-compared.
+    pub ops: FabricOps,
+}
+
+/// Marker file whose presence commits an epoch into the time series.
+/// Unlike the sequential service's marker it also records the shards
+/// the fleet abandoned, so a committed epoch folds back with the same
+/// explicit Indeterminate placeholders it reported live.
+const COMMIT_FILE: &str = "COMMIT";
+
+fn write_commit(dir: &Path, epoch: u32, abandoned: &BTreeSet<u32>) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut body = format!("epoch {epoch}\n");
+    if !abandoned.is_empty() {
+        let ids: Vec<String> = abandoned.iter().map(u32::to_string).collect();
+        body.push_str(&format!("abandoned {}\n", ids.join(",")));
+    }
+    let tmp = dir.join("COMMIT.tmp");
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, dir.join(COMMIT_FILE))
+}
+
+/// `Some(abandoned shards)` if the epoch committed, `None` otherwise.
+fn read_commit(dir: &Path) -> io::Result<Option<BTreeSet<u32>>> {
+    let text = match fs::read_to_string(dir.join(COMMIT_FILE)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut abandoned = BTreeSet::new();
+    for line in text.lines() {
+        if let Some(ids) = line.strip_prefix("abandoned ") {
+            for id in ids.split(',').filter(|s| !s.is_empty()) {
+                abandoned.insert(id.parse::<u32>().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt COMMIT marker: bad shard id {id:?}"),
+                    )
+                })?);
+            }
+        }
+    }
+    Ok(Some(abandoned))
+}
+
+fn killed(point: ContinuousKill) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Interrupted,
+        format!("injected kill: {point:?}"),
+    )
+}
+
+/// The current epoch as the fleet sees it: published by the reconcile
+/// loop right before `drive`, consulted by every shard assignment.
+struct EpochState {
+    epoch: u32,
+    /// Shard → seed slice (the epoch's delta plan).
+    zones: Vec<Arc<Vec<Name>>>,
+    /// Shard → carried-ledger partition, seeded into that shard's fresh
+    /// scanner.
+    parts: Vec<CarryLedger>,
+    /// The epoch's virtual start (its admitted `start`, not its
+    /// scheduled arrival), for remaining-validity translation.
+    now: SimMicros,
+}
+
+/// The continuous [`ShardWork`]: resolves `(epoch, shard)` against the
+/// published [`EpochState`]. A request for any *other* epoch resolves to
+/// `None` — the worker reports the shard back as fenced without ever
+/// opening a journal, which is the cross-epoch fencing guarantee at the
+/// assignment layer (the namespace scheme enforces it again at the
+/// journal layer).
+struct ContinuousWork {
+    factory: Box<dyn Fn() -> Arc<Scanner> + Send + Sync>,
+    root: PathBuf,
+    run_id: u64,
+    cache_ttl: SimMicros,
+    epoch_spacing: SimMicros,
+    faults: ContinuousFaultPlan,
+    state: RwLock<Option<EpochState>>,
+}
+
+impl ContinuousWork {
+    fn publish(&self, state: EpochState) {
+        *self.state.write() = Some(state);
+    }
+}
+
+impl ShardWork for ContinuousWork {
+    fn assignment(&self, epoch: u32, shard: u32) -> Option<ShardAssignment> {
+        let guard = self.state.read();
+        let st = guard.as_ref()?;
+        if st.epoch != epoch {
+            return None;
+        }
+        let zones = Arc::clone(st.zones.get(shard as usize)?);
+        let ns = Namespace::root(&self.root, self.run_id)
+            .epoch(epoch)
+            .shard(shard);
+        // Fresh scanner per attempt, deterministically pre-seeded with
+        // this shard's carried-ledger partition: shard results stay a
+        // pure function of (world, zones, carried state).
+        let scanner = (self.factory)();
+        if let Some(part) = st.parts.get(shard as usize) {
+            part.seed_into(&scanner, st.now, self.cache_ttl, self.epoch_spacing);
+        }
+        Some(ShardAssignment {
+            header: ns.header(&zones),
+            dir: ns.dir().to_path_buf(),
+            zones,
+            scanner,
+        })
+    }
+
+    fn fault(&self, epoch: u32, shard: u32, attempt: u32) -> Option<WorkerFault> {
+        self.faults
+            .epochs
+            .get(&epoch)
+            .and_then(|plan| plan.fault_for(shard, attempt))
+    }
+
+    fn worker_dead(&self, worker: u32) -> bool {
+        let guard = self.state.read();
+        let Some(st) = guard.as_ref() else {
+            return false;
+        };
+        self.faults
+            .epochs
+            .get(&st.epoch)
+            .map(|plan| plan.worker_dead(worker))
+            .unwrap_or(false)
+    }
+}
+
+/// What folding one epoch's shard journals yields.
+struct EpochFold {
+    /// Every zone record the epoch produced: journaled scans plus
+    /// explicit Indeterminate placeholders for abandoned shards' missing
+    /// zones, in shard-major order (re-sorted by the caller).
+    zones: Vec<ZoneScan>,
+    /// Names that got placeholders, canonical order.
+    stale: Vec<Name>,
+    /// Logical queries spent (cost plane), summed over kept records.
+    queries: u64,
+    /// The epoch's virtual makespan: max over shards of journaled
+    /// duration. Worker-count-invariant (the shard count fixes the
+    /// partition) and journal-recoverable — this is what advances the
+    /// admission controller's drain clock.
+    makespan: SimMicros,
+}
+
+/// Fold one epoch back from its shard journals — the *single* code path
+/// for both a freshly driven epoch and a committed epoch found on
+/// resume, which is what makes the two byte-identical. Ledger
+/// absorption runs in shard-major order (shard id, then journal order
+/// within the shard): deterministic and independent of which workers
+/// scanned what when.
+fn fold_epoch(
+    ns_epoch: &Namespace,
+    zones_per_shard: &[Arc<Vec<Name>>],
+    abandoned: &BTreeSet<u32>,
+    ledger: &mut CarryLedger,
+    epoch: u32,
+) -> io::Result<EpochFold> {
+    let mut zones = Vec::new();
+    let mut stale = Vec::new();
+    let mut queries = 0u64;
+    let mut makespan: SimMicros = 0;
+    for (k, shard_zones) in zones_per_shard.iter().enumerate() {
+        let shard = k as u32;
+        let ns = ns_epoch.shard(shard);
+        let recovery = recover(ns.dir(), ns.header(shard_zones))?;
+        for (_, event) in &recovery.events {
+            ledger.absorb(epoch, &event.scan.name, &event.effects);
+        }
+        let resume = recovery.resume_state();
+        makespan = makespan.max(resume.duration_so_far);
+        queries += resume.zones.iter().map(|z| z.queries as u64).sum::<u64>();
+        if abandoned.contains(&shard) {
+            // Gaps in an abandoned shard surface as explicit
+            // placeholders — mirror of the fabric merge, never silent.
+            let mut have: Vec<&Name> = resume.zones.iter().map(|z| &z.name).collect();
+            have.sort_by(|a, b| a.canonical_cmp(b));
+            for name in shard_zones.iter() {
+                if have.binary_search_by(|h| h.canonical_cmp(name)).is_err() {
+                    stale.push(name.clone());
+                    zones.push(indeterminate_placeholder(name));
+                }
+            }
+        } else if resume.zones.len() != shard_zones.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "epoch {epoch} shard {shard}: journal holds {}/{} zones but the \
+                     shard was not abandoned",
+                    resume.zones.len(),
+                    shard_zones.len()
+                ),
+            ));
+        }
+        zones.extend(resume.zones);
+    }
+    stale.sort_by(|a, b| a.canonical_cmp(b));
+    Ok(EpochFold {
+        zones,
+        stale,
+        queries,
+        makespan,
+    })
+}
+
+/// Prior evidence for one zone (same fold as the sequential service).
+struct Evidence {
+    scan: ZoneScan,
+    epoch: u32,
+}
+
+/// Run (or resume) a continuous fabric-distributed study.
+///
+/// Deterministic end to end at the evidence plane: the world is rebuilt
+/// from `world`, each epoch's churn is replayed from `(churn seed,
+/// epoch)`, the admission decision stream is recomputed from the
+/// journal-recoverable drain clock, committed epochs fold back from
+/// their shard journals without re-scanning, and the first uncommitted
+/// epoch is resumed exactly where it died. Two invocations over the
+/// same arguments and state root — interrupted anywhere, any number of
+/// times, at any worker count — produce byte-identical
+/// [`TimeSeries::canonical_bytes`] and [`render_decisions`] streams.
+pub fn run_continuous(
+    world: EcosystemConfig,
+    policy: ScanPolicy,
+    cfg: &ContinuousConfig,
+    state_root: &Path,
+) -> io::Result<ContinuousOutput> {
+    fs::create_dir_all(state_root)?;
+    let mut eco = build(world);
+    let mut seeds = eco.seeds.compile(&eco.psl);
+    seeds.sort_by(|a, b| a.canonical_cmp(b));
+    seeds.dedup();
+
+    // The factory captures Arc'd world handles, not `&eco`: churn
+    // mutates zone content through the shared stores, so scanners built
+    // mid-run see the churned world while the loop keeps `&mut eco`.
+    let factory: Box<dyn Fn() -> Arc<Scanner> + Send + Sync> = {
+        let net = Arc::clone(&eco.net);
+        let roots = eco.roots.clone();
+        let anchors = eco.anchors.clone();
+        let table = OperatorTable::from_operators(
+            eco.operators
+                .iter()
+                .map(|o| (o.name.as_str(), o.hosts.as_slice())),
+        );
+        let now = eco.now;
+        let policy = policy.clone();
+        Box::new(move || {
+            Arc::new(Scanner::new(
+                Arc::clone(&net),
+                roots.clone(),
+                anchors.clone(),
+                table.clone(),
+                now,
+                policy.clone(),
+            ))
+        })
+    };
+
+    let shards = cfg.fabric.shards.max(1);
+    let work = ContinuousWork {
+        factory,
+        root: state_root.to_path_buf(),
+        run_id: cfg.run_id,
+        cache_ttl: cfg.cache_ttl,
+        epoch_spacing: cfg.epoch_spacing,
+        faults: cfg.faults.clone(),
+        state: RwLock::new(None),
+    };
+
+    let admission_cfg = cfg.admission();
+    let mut ops = FabricOps {
+        workers_spawned: cfg.fabric.workers.max(1) as u32,
+        attempts: vec![0; shards as usize],
+        ..FabricOps::default()
+    };
+    let mut evidence: BTreeMap<Name, Evidence> = BTreeMap::new();
+    let mut ledger = CarryLedger::new();
+    let mut series = TimeSeries::default();
+    let mut decisions: Vec<Decision> = Vec::new();
+    // Churned zones from coalesced epochs, awaiting the next admitted
+    // epoch's delta set.
+    let mut pending_churned: Vec<Name> = Vec::new();
+    let mut drain: SimMicros = 0;
+    let mut last_committed: Option<u32> = None;
+
+    with_fleet(&work, cfg.run_id, &cfg.fabric, |fleet| {
+        for epoch in 0..cfg.epochs {
+            let arrival = (epoch as SimMicros).saturating_mul(cfg.epoch_spacing);
+
+            // -- Churn: the world mutates on schedule, admitted or not.
+            let churn: ChurnLog = if epoch == 0 {
+                ChurnLog::default()
+            } else {
+                let plan = ChurnPlan::generate(&eco, &cfg.churn, cfg.churn_seed, epoch);
+                apply_churn(&mut eco, &plan)
+            };
+            let churned: Vec<Name> = churn
+                .churned_zones()
+                .into_iter()
+                .filter(|z| seeds.binary_search_by(|s| s.canonical_cmp(z)).is_ok())
+                .collect();
+            // Carried caches hit by this window's churn are dead either
+            // way — a coalesced epoch's churn still invalidates.
+            ledger.invalidate(&churn.invalidated_cuts);
+
+            // -- Admission: pipeline or coalesce, never silently drop.
+            let decision = admit(drain, arrival, &admission_cfg);
+            decisions.push(Decision {
+                epoch,
+                arrival,
+                admission: decision,
+            });
+            let start = match decision {
+                Admission::Coalesce { behind } => {
+                    if cfg.faults.kill == Some(ContinuousKill::DuringCoalesce { epoch }) {
+                        return Err(killed(ContinuousKill::DuringCoalesce { epoch }));
+                    }
+                    pending_churned.extend(churned.iter().cloned());
+                    series.skipped.push(SkippedEpoch {
+                        epoch,
+                        arrival,
+                        behind,
+                        churned,
+                    });
+                    continue;
+                }
+                Admission::Pipeline { start, .. } => start,
+            };
+            let now = start;
+            ledger.prune_expired(now, cfg.cache_ttl, cfg.epoch_spacing);
+
+            // -- Delta set: churned (this window + absorbed coalesced
+            //    windows), expired, weak, and never-scanned zones.
+            let mut delta: Vec<Name> = if epoch == 0 {
+                seeds.clone()
+            } else {
+                let mut d = churned.clone();
+                d.append(&mut pending_churned);
+                for (name, ev) in &evidence {
+                    let age = now.saturating_sub((ev.epoch as SimMicros) * cfg.epoch_spacing);
+                    let expired = age >= cfg.evidence_ttl;
+                    let weak =
+                        ev.scan.degraded || ev.scan.dnssec == bootscan::DnssecClass::Indeterminate;
+                    if expired || weak {
+                        d.push(name.clone());
+                    }
+                }
+                for s in &seeds {
+                    if !evidence.contains_key(s) {
+                        d.push(s.clone());
+                    }
+                }
+                d
+            };
+            pending_churned.clear();
+            delta.sort_by(|a, b| a.canonical_cmp(b));
+            delta.dedup();
+
+            let plan = ShardPlan::new(&delta, shards);
+            ops.largest_shard = ops.largest_shard.max(plan.largest_shard());
+            let zones_per_shard: Vec<Arc<Vec<Name>>> = (0..shards)
+                .map(|k| Arc::new(plan.zones(k).to_vec()))
+                .collect();
+            let ns_epoch = Namespace::root(state_root, cfg.run_id).epoch(epoch);
+
+            // -- Drive or fold: committed epochs never re-scan.
+            let (abandoned, committed) = match read_commit(ns_epoch.dir())? {
+                Some(abandoned) => (abandoned, true),
+                None => {
+                    // Distribute carry-over: partition the ledger and
+                    // publish the epoch to the fleet. From this point a
+                    // worker can resolve (epoch, shard) — and only this
+                    // epoch.
+                    let parts = ledger.partition(shards);
+                    work.publish(EpochState {
+                        epoch,
+                        zones: zones_per_shard.clone(),
+                        parts,
+                        now,
+                    });
+                    if let Some(ContinuousKill::DuringCarryOver { epoch: at }) = cfg.faults.kill {
+                        if last_committed == Some(at) {
+                            return Err(killed(ContinuousKill::DuringCarryOver { epoch: at }));
+                        }
+                    }
+                    (fleet.drive(epoch, shards, &mut ops), false)
+                }
+            };
+
+            let fold = fold_epoch(&ns_epoch, &zones_per_shard, &abandoned, &mut ledger, epoch)?;
+            if !committed {
+                if cfg.faults.kill == Some(ContinuousKill::BeforeCommit { epoch }) {
+                    return Err(killed(ContinuousKill::BeforeCommit { epoch }));
+                }
+                write_commit(ns_epoch.dir(), epoch, &abandoned)?;
+            }
+            last_committed = Some(epoch);
+            drain = now.saturating_add(fold.makespan);
+
+            // -- Fold evidence: fresh results (and explicit
+            //    placeholders) overwrite; everyone else carries forward.
+            let stale = fold.stale;
+            for z in fold.zones {
+                evidence.insert(z.name.clone(), Evidence { scan: z, epoch });
+            }
+            let mut table: Vec<ZoneScan> = evidence.values().map(|e| e.scan.clone()).collect();
+            table.sort_by(|a, b| a.name.canonical_cmp(&b.name));
+            ops.peak_resident_zones = ops.peak_resident_zones.max(table.len());
+            let fresh: Vec<Name> = delta
+                .iter()
+                .filter(|n| stale.binary_search_by(|s| s.canonical_cmp(n)).is_err())
+                .cloned()
+                .collect();
+            series.epochs.push(EpochReport {
+                epoch,
+                zones: table,
+                fresh,
+                stale,
+                churned,
+                queries: fold.queries,
+                simulated_duration: fold.makespan,
+            });
+        }
+        Ok(())
+    })?;
+
+    Ok(ContinuousOutput {
+        series,
+        decisions,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_marker_roundtrips_abandoned_shards() {
+        let dir = std::env::temp_dir().join(format!(
+            "scan-continuous-commit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(read_commit(&dir).unwrap(), None, "no marker yet");
+        write_commit(&dir, 3, &BTreeSet::new()).unwrap();
+        assert_eq!(read_commit(&dir).unwrap(), Some(BTreeSet::new()));
+        let abandoned: BTreeSet<u32> = [1, 4, 7].into_iter().collect();
+        write_commit(&dir, 3, &abandoned).unwrap();
+        assert_eq!(read_commit(&dir).unwrap(), Some(abandoned));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_commit_marker_is_a_hard_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "scan-continuous-badcommit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(COMMIT_FILE), "epoch 3\nabandoned 1,x\n").unwrap();
+        assert!(read_commit(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

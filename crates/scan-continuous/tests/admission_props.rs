@@ -1,0 +1,151 @@
+//! Property tests for the admission controller (satellite of the
+//! continuous PR): [`admit`] must be a **pure, total function** of
+//! `(drain clock, arrival, config)` — no hidden state, no panics on any
+//! input — with the coalesce/pipeline boundary exactly where the config
+//! says it is. The integration side (coalesced epochs always surface as
+//! explicit `SkippedEpoch` markers carrying the churn they absorbed;
+//! decision streams byte-identical across worker counts) is pinned by
+//! `tests/continuous_equivalence.rs` at the workspace root; these
+//! properties pin the controller itself over the whole input space.
+
+use proptest::prelude::*;
+use scan_continuous::{admit, render_decisions, Admission, AdmissionConfig, Decision};
+
+fn cfg(spacing: u64, depth: u32) -> AdmissionConfig {
+    AdmissionConfig {
+        epoch_spacing: spacing,
+        max_pipeline_depth: depth,
+    }
+}
+
+proptest! {
+    /// Purity and totality: equal inputs give equal decisions, for any
+    /// clock/arrival/config — including spacing 0 (clamped to 1) and
+    /// clocks astronomically past the arrival (behind saturates).
+    #[test]
+    fn admit_is_pure_and_total(clock in any::<u64>(),
+                               arrival in any::<u64>(),
+                               spacing in any::<u64>(),
+                               depth in any::<u32>()) {
+        let c = cfg(spacing, depth);
+        prop_assert_eq!(admit(clock, arrival, &c), admit(clock, arrival, &c));
+    }
+
+    /// The decision boundary is exactly the config's: the backlog depth
+    /// is `(clock − arrival) / max(spacing, 1)` (saturating), and the
+    /// epoch coalesces iff that exceeds `max_pipeline_depth`. Admitted
+    /// epochs start at `max(clock, arrival)` — never before either.
+    #[test]
+    fn decision_boundary_matches_config(clock in any::<u64>(),
+                                        arrival in any::<u64>(),
+                                        spacing in any::<u64>(),
+                                        depth in any::<u32>()) {
+        let c = cfg(spacing, depth);
+        let lag = clock.saturating_sub(arrival);
+        let want_behind = u32::try_from(lag / spacing.max(1)).unwrap_or(u32::MAX);
+        match admit(clock, arrival, &c) {
+            Admission::Pipeline { start, behind } => {
+                prop_assert!(behind <= depth, "admitted past the depth limit");
+                prop_assert_eq!(behind, want_behind);
+                prop_assert_eq!(start, clock.max(arrival));
+            }
+            Admission::Coalesce { behind } => {
+                prop_assert!(behind > depth, "coalesced within the depth limit");
+                prop_assert_eq!(behind, want_behind);
+            }
+        }
+    }
+
+    /// An on-time arrival (clock ≤ arrival) is always admitted with no
+    /// backlog, starting exactly at its scheduled time: backpressure
+    /// can only ever defer or coalesce, never reorder or hurry.
+    #[test]
+    fn on_time_arrivals_always_admit_on_time(arrival in any::<u64>(),
+                                             early in any::<u64>(),
+                                             spacing in any::<u64>(),
+                                             depth in any::<u32>()) {
+        let clock = arrival.saturating_sub(early);
+        match admit(clock, arrival, &cfg(spacing, depth)) {
+            Admission::Pipeline { start, behind } => {
+                prop_assert_eq!(start, arrival);
+                prop_assert_eq!(behind, 0);
+            }
+            Admission::Coalesce { .. } => prop_assert!(false, "on-time arrival coalesced"),
+        }
+    }
+
+    /// Monotonicity in the drain clock: with arrival and config fixed,
+    /// a later clock never *un*-coalesces an epoch, and an admitted
+    /// start never moves earlier. (This is what makes the drain-clock
+    /// fold safe to recompute on resume: journal-folded makespans can
+    /// only reproduce the clock, and the decision is monotone in it.)
+    #[test]
+    fn later_clocks_never_soften_the_decision(clock in any::<u64>(),
+                                              bump in any::<u64>(),
+                                              arrival in any::<u64>(),
+                                              spacing in any::<u64>(),
+                                              depth in any::<u32>()) {
+        let c = cfg(spacing, depth);
+        let before = admit(clock, arrival, &c);
+        let after = admit(clock.saturating_add(bump), arrival, &c);
+        match (before, after) {
+            (Admission::Coalesce { .. }, Admission::Pipeline { .. }) => {
+                prop_assert!(false, "a later clock un-coalesced the epoch");
+            }
+            (Admission::Pipeline { start: s0, .. }, Admission::Pipeline { start: s1, .. }) => {
+                prop_assert!(s1 >= s0, "a later clock moved the start earlier");
+            }
+            _ => {}
+        }
+    }
+
+    /// Depth `u32::MAX` never coalesces (behind saturates at the same
+    /// bound), and depth 0 coalesces exactly when a full spacing of lag
+    /// has accumulated.
+    #[test]
+    fn depth_extremes(clock in any::<u64>(), arrival in any::<u64>(),
+                      spacing in 1u64..1_000_000) {
+        match admit(clock, arrival, &cfg(spacing, u32::MAX)) {
+            Admission::Pipeline { .. } => {}
+            Admission::Coalesce { .. } => prop_assert!(false, "depth MAX coalesced"),
+        }
+        let lagged = clock.saturating_sub(arrival) >= spacing;
+        match admit(clock, arrival, &cfg(spacing, 0)) {
+            Admission::Coalesce { .. } => prop_assert!(lagged),
+            Admission::Pipeline { .. } => prop_assert!(!lagged),
+        }
+    }
+
+    /// The canonical rendering is injective over the decision stream:
+    /// byte-equal renderings imply equal decisions (each line carries
+    /// every field, one line per decision), so comparing renderings in
+    /// the equivalence and recovery suites compares the decisions
+    /// themselves.
+    #[test]
+    fn rendering_is_injective(a in arb_decisions(), b in arb_decisions()) {
+        if render_decisions(&a) == render_decisions(&b) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+fn arb_admission() -> impl Strategy<Value = Admission> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(start, behind)| Admission::Pipeline { start, behind }),
+        any::<u32>().prop_map(|behind| Admission::Coalesce { behind }),
+    ]
+}
+
+fn arb_decisions() -> impl Strategy<Value = Vec<Decision>> {
+    proptest::collection::vec(
+        (any::<u32>(), any::<u64>(), arb_admission()).prop_map(|(epoch, arrival, admission)| {
+            Decision {
+                epoch,
+                arrival,
+                admission,
+            }
+        }),
+        0..6,
+    )
+}

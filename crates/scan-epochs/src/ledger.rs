@@ -47,11 +47,23 @@ impl CarriedInsert {
     }
 }
 
+/// One ledger entry: the insert, the epoch that learned it, and the
+/// **source zone** — the scanned zone whose event produced the insert.
+/// The source is what makes the ledger distributable: the continuous
+/// service partitions entries by the source zone's fabric shard, so a
+/// carried cache travels with the shard that will re-scan its zone.
+#[derive(Debug, Clone)]
+struct CarriedEntry {
+    epoch: u32,
+    source: Name,
+    insert: CarriedInsert,
+}
+
 /// Cache inserts carried across epochs, in journal order, each stamped
-/// with the epoch that learned it.
+/// with the epoch that learned it and the zone whose scan learned it.
 #[derive(Debug, Clone, Default)]
 pub struct CarryLedger {
-    entries: Vec<(u32, CarriedInsert)>,
+    entries: Vec<CarriedEntry>,
 }
 
 impl CarryLedger {
@@ -68,25 +80,49 @@ impl CarryLedger {
         self.entries.is_empty()
     }
 
-    /// Record one zone event's cache effects, learned during `epoch`.
-    /// Order matters: seeding replays entries in absorption order, so
-    /// later inserts overwrite earlier ones exactly as the live caches
-    /// did.
-    pub fn absorb(&mut self, epoch: u32, effects: &ZoneEffects) {
+    /// Record one zone event's cache effects, learned during `epoch` by
+    /// the scan of `source`. Order matters: seeding replays entries in
+    /// absorption order, so later inserts overwrite earlier ones exactly
+    /// as the live caches did.
+    pub fn absorb(&mut self, epoch: u32, source: &Name, effects: &ZoneEffects) {
         for (zone, keys) in &effects.key_inserts {
-            self.entries
-                .push((epoch, CarriedInsert::Keys(zone.clone(), keys.clone())));
+            self.entries.push(CarriedEntry {
+                epoch,
+                source: source.clone(),
+                insert: CarriedInsert::Keys(zone.clone(), keys.clone()),
+            });
         }
         for (ns, addrs) in &effects.addr_inserts {
-            self.entries
-                .push((epoch, CarriedInsert::Addrs(ns.clone(), Arc::clone(addrs))));
+            self.entries.push(CarriedEntry {
+                epoch,
+                source: source.clone(),
+                insert: CarriedInsert::Addrs(ns.clone(), Arc::clone(addrs)),
+            });
         }
         for (cut, data) in &effects.referral_inserts {
-            self.entries.push((
+            self.entries.push(CarriedEntry {
                 epoch,
-                CarriedInsert::Referral(cut.clone(), Arc::clone(data)),
-            ));
+                source: source.clone(),
+                insert: CarriedInsert::Referral(cut.clone(), Arc::clone(data)),
+            });
         }
+    }
+
+    /// Partition the ledger by the fabric shard of each entry's source
+    /// zone (`shard_of`, the same fnv64 bucketing `ShardPlan` uses).
+    /// Entry order is preserved within each partition, so seeding a
+    /// partition replays its inserts in the original journal order. The
+    /// evidence plane never reads carried caches (they shape cost, not
+    /// classification), so distribution cannot change any zone's record.
+    pub fn partition(&self, shards: u32) -> Vec<CarryLedger> {
+        let mut parts = vec![CarryLedger::new(); shards.max(1) as usize];
+        for entry in &self.entries {
+            let shard = dns_ecosystem::shard_of(&entry.source, shards) as usize;
+            if let Some(part) = parts.get_mut(shard) {
+                part.entries.push(entry.clone());
+            }
+        }
+        parts
     }
 
     /// Drop every entry at or below one of the churn-invalidated zone
@@ -99,15 +135,15 @@ impl CarryLedger {
             return;
         }
         self.entries
-            .retain(|(_, ins)| !cuts.iter().any(|c| ins.name().is_subdomain_of(c)));
+            .retain(|e| !cuts.iter().any(|c| e.insert.name().is_subdomain_of(c)));
     }
 
     /// Drop entries already expired at virtual time `now` (epoch start).
     /// Seeding skips them anyway; pruning keeps the ledger from growing
     /// without bound over long studies.
     pub fn prune_expired(&mut self, now: SimMicros, ttl: SimMicros, spacing: SimMicros) {
-        self.entries.retain(|(epoch, _)| {
-            let learned = (*epoch as SimMicros).saturating_mul(spacing);
+        self.entries.retain(|e| {
+            let learned = (e.epoch as SimMicros).saturating_mul(spacing);
             learned.saturating_add(ttl) > now
         });
     }
@@ -119,13 +155,13 @@ impl CarryLedger {
     /// left are skipped — never consulted, exactly like an in-scanner
     /// expired entry.
     pub fn seed_into(&self, scanner: &Scanner, now: SimMicros, ttl: SimMicros, spacing: SimMicros) {
-        for (epoch, ins) in &self.entries {
-            let learned = (*epoch as SimMicros).saturating_mul(spacing);
+        for entry in &self.entries {
+            let learned = (entry.epoch as SimMicros).saturating_mul(spacing);
             let expires_at_world = learned.saturating_add(ttl);
             let Some(remaining) = expires_at_world.checked_sub(now).filter(|r| *r > 0) else {
                 continue;
             };
-            match ins {
+            match &entry.insert {
                 CarriedInsert::Keys(zone, keys) => {
                     scanner.seed_validated_keys_until(zone.clone(), keys.clone(), remaining);
                 }
@@ -174,9 +210,9 @@ mod tests {
     #[test]
     fn invalidation_drops_at_and_below_cut() {
         let mut ledger = CarryLedger::new();
-        ledger.absorb(0, &effects("a.example"));
-        ledger.absorb(0, &effects("sub.a.example"));
-        ledger.absorb(0, &effects("b.example"));
+        ledger.absorb(0, &name("a.example"), &effects("a.example"));
+        ledger.absorb(0, &name("sub.a.example"), &effects("sub.a.example"));
+        ledger.absorb(0, &name("b.example"), &effects("b.example"));
         assert_eq!(ledger.len(), 6);
         ledger.invalidate(&[name("a.example")]);
         assert_eq!(ledger.len(), 2, "a.example and its subdomain dropped");
@@ -189,8 +225,8 @@ mod tests {
         let spacing = 1_800_000_000; // 30 min
         let ttl = 3_600_000_000; // 1 h
         let mut ledger = CarryLedger::new();
-        ledger.absorb(0, &effects("a.example"));
-        ledger.absorb(1, &effects("b.example"));
+        ledger.absorb(0, &name("a.example"), &effects("a.example"));
+        ledger.absorb(1, &name("b.example"), &effects("b.example"));
         // At epoch 2's start (t = 2·spacing = TTL), epoch-0 entries have
         // exactly zero validity left — expired, pruned; epoch-1 entries
         // have half a TTL left.
@@ -198,5 +234,40 @@ mod tests {
         assert_eq!(ledger.len(), 2);
         ledger.prune_expired(3 * spacing, ttl, spacing);
         assert_eq!(ledger.len(), 0);
+    }
+
+    #[test]
+    fn partition_routes_entries_by_source_shard_preserving_order() {
+        let shards = 4;
+        let sources = ["a.example", "b.example", "c.example", "d.example"];
+        let mut ledger = CarryLedger::new();
+        for s in sources {
+            ledger.absorb(0, &name(s), &effects(s));
+        }
+        let parts = ledger.partition(shards);
+        assert_eq!(parts.len(), shards as usize);
+        assert_eq!(
+            parts.iter().map(CarryLedger::len).sum::<usize>(),
+            ledger.len(),
+            "partitioning never drops an entry"
+        );
+        for s in sources {
+            let source = name(s);
+            let home = dns_ecosystem::shard_of(&source, shards) as usize;
+            for (k, part) in parts.iter().enumerate() {
+                let here = part.entries.iter().filter(|e| e.source == source).count();
+                assert_eq!(here, if k == home { 2 } else { 0 }, "{s} in shard {k}");
+            }
+        }
+        // Within a partition, absorption order is preserved.
+        for part in &parts {
+            let mut idx = Vec::new();
+            for e in &part.entries {
+                idx.push(sources.iter().position(|s| name(s) == e.source).unwrap());
+            }
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            assert_eq!(idx, sorted);
+        }
     }
 }

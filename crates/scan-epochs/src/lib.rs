@@ -37,7 +37,7 @@ pub mod ledger;
 pub mod report;
 
 pub use ledger::CarryLedger;
-pub use report::{canonical_evidence, EpochReport, TimeSeries, TrendRow};
+pub use report::{canonical_evidence, EpochReport, SkippedEpoch, TimeSeries, TrendRow};
 
 use bootscan::operator::OperatorTable;
 use bootscan::scanner::Scanner;
@@ -333,7 +333,7 @@ pub fn run_study(
         let (zones, queries, duration) = if committed {
             // Fold the journaled epoch back; the scanner never runs.
             for (_, event) in &recovery.events {
-                ledger.absorb(epoch, &event.effects);
+                ledger.absorb(epoch, &event.scan.name, &event.effects);
             }
             let resume = recovery.resume_state();
             let queries: u64 = resume.zones.iter().map(|z| z.queries as u64).sum();
@@ -345,7 +345,7 @@ pub fn run_study(
             let scanner = scanner_for(&eco, &policy);
             ledger.seed_into(&scanner, now, cfg.cache_ttl, cfg.epoch_spacing);
             for (_, event) in &recovery.events {
-                ledger.absorb(epoch, &event.effects);
+                ledger.absorb(epoch, &event.scan.name, &event.effects);
             }
             recovery.apply_to(&scanner);
             let resume = recovery.resume_state();
@@ -368,7 +368,7 @@ pub fn run_study(
             }
             sink.journal.checkpoint_now()?;
             for event in sink.into_captured() {
-                ledger.absorb(epoch, &event.effects);
+                ledger.absorb(epoch, &event.scan.name, &event.effects);
             }
             if let Some(KillPoint::BeforeCommit { epoch: at }) = cfg.fault {
                 if at == epoch {

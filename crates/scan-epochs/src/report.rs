@@ -118,10 +118,33 @@ pub struct TrendRow {
     pub queries: u64,
 }
 
-/// The full longitudinal run: one report per epoch, in epoch order.
+/// A scheduled observation the admission controller coalesced instead
+/// of scanning: the backlog exceeded the pipeline depth when it
+/// arrived. A skipped epoch is an *explicit* record — the time series
+/// never silently loses a scheduled observation — and it names the
+/// churn that hit the world during its window; the next admitted
+/// epoch's delta set absorbed exactly those zones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedEpoch {
+    pub epoch: u32,
+    /// Scheduled (virtual-time) arrival of the observation.
+    pub arrival: SimMicros,
+    /// How many epoch spacings the pipeline was behind at arrival.
+    pub behind: u32,
+    /// Zones churned during this epoch's window, canonical order —
+    /// absorbed into the next admitted epoch's delta set.
+    pub churned: Vec<Name>,
+}
+
+/// The full longitudinal run: one report per committed epoch plus one
+/// explicit marker per coalesced epoch, both in epoch order.
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     pub epochs: Vec<EpochReport>,
+    /// Scheduled observations coalesced under backpressure. Empty for
+    /// every run whose epochs all drained on time (in particular, every
+    /// pre-continuous study), so existing canonical bytes are unchanged.
+    pub skipped: Vec<SkippedEpoch>,
 }
 
 impl TimeSeries {
@@ -153,7 +176,24 @@ impl TimeSeries {
             }
         };
         let mut prev: Option<&TrendRow> = None;
+        let mut skipped = self.skipped.iter().peekable();
+        let skipped_row = |out: &mut String, s: &SkippedEpoch| {
+            out.push_str(&format!(
+                "{:5} | coalesced under backpressure ({} behind); {} churned zone(s) \
+                 absorbed by next epoch\n",
+                s.epoch,
+                s.behind,
+                s.churned.len(),
+            ));
+        };
         for r in &rows {
+            while let Some(s) = skipped.peek() {
+                if s.epoch >= r.epoch {
+                    break;
+                }
+                skipped_row(&mut out, s);
+                skipped.next();
+            }
             out.push_str(&format!(
                 "{:5} | {}| {}| {}| {} | {}| {:5} | {:5} | {:6}\n",
                 r.epoch,
@@ -168,18 +208,31 @@ impl TimeSeries {
             ));
             prev = Some(r);
         }
+        for s in skipped {
+            skipped_row(&mut out, s);
+        }
         out
     }
 
     /// Full deterministic serialization of the series: canonical
-    /// evidence plus the cost plane and the fresh/stale/churned sets.
-    /// Two series with equal bytes went through identical epochs —
-    /// including identical per-epoch costs — which is what the
-    /// crash-recovery matrix compares (at `parallelism = 1`, where
+    /// evidence plus the cost plane and the fresh/stale/churned sets,
+    /// with coalesced observations interleaved at their epoch position
+    /// as explicit `SKIPPED` lines. Two series with equal bytes went
+    /// through identical epochs — including identical per-epoch costs
+    /// and identical admission decisions — which is what the
+    /// crash-recovery matrices compare (at `parallelism = 1`, where
     /// resumed costs are exactly reproducible).
     pub fn canonical_bytes(&self) -> String {
         let mut out = String::new();
+        let mut skipped = self.skipped.iter().peekable();
         for e in &self.epochs {
+            while let Some(s) = skipped.peek() {
+                if s.epoch >= e.epoch {
+                    break;
+                }
+                push_skipped(&mut out, s);
+                skipped.next();
+            }
             out.push_str(&format!(
                 "== epoch {} fresh={:?} stale={:?} churned={:?} queries={} duration={}\n{}\n",
                 e.epoch,
@@ -191,6 +244,19 @@ impl TimeSeries {
                 e.canonical_evidence(),
             ));
         }
+        for s in skipped {
+            push_skipped(&mut out, s);
+        }
         out
     }
+}
+
+fn push_skipped(out: &mut String, s: &SkippedEpoch) {
+    out.push_str(&format!(
+        "== epoch {} SKIPPED arrival={} behind={} churned={:?}\n",
+        s.epoch,
+        s.arrival,
+        s.behind,
+        s.churned.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+    ));
 }

@@ -238,6 +238,7 @@ mod tests {
         let (tx, mut rx) = pipe(None);
         tx.send(&Msg::ShardFailed {
             worker: 0,
+            epoch: 0,
             shard: 1,
             lease: 2,
             reason: FailReason::JournalIo,

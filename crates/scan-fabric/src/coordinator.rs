@@ -10,13 +10,26 @@
 //! a pure function of (world, shard plan, policy) no matter what the
 //! coordinator did along the way. Scheduling noise lands in
 //! [`FabricOps`]; the byte-compared [`MergedReport`] cannot see it.
+//!
+//! Two entry points share one engine:
+//!
+//! * [`run_fabric`] — one epoch, one shard plan, merge at the end (the
+//!   PR-6 API, unchanged).
+//! * [`with_fleet`] — a persistent worker fleet the caller *drives*
+//!   epoch by epoch ([`FleetHandle::drive`]); the continuous study
+//!   service pipelines successive epochs through the same fleet.
+//!   Leases stay globally monotonic across drives, so cross-epoch
+//!   fencing composes with the per-epoch journal namespaces: a shard
+//!   stolen in epoch N−1 and resumed in epoch N holds a lease no
+//!   epoch-N−1 assignment can outrank, and its epoch-N−1 directory is
+//!   foreign to every epoch-N header.
 
 use crate::channel::{pipe, PipeReader, PipeWriter, Polled, WakeSet};
-use crate::faults::FabricFaultPlan;
+use crate::faults::{FabricFaultPlan, WorkerFault};
 use crate::merge::{FabricOps, MergeSink, MergedReport, StreamingMerge};
 use crate::protocol::Msg;
 use crate::shard::ShardPlan;
-use crate::worker::{worker_main, Fence, ScannerFactory, WorkerCtx};
+use crate::worker::{worker_main, Fence, ScannerFactory, ShardAssignment, ShardWork, WorkerCtx};
 use scan_journal::{recover, shard_header, shard_state_dir};
 use std::collections::BTreeSet;
 use std::io;
@@ -94,21 +107,11 @@ struct WorkerSlot {
 
 #[derive(Debug, Clone, Copy)]
 struct RunningShard {
+    epoch: u32,
     shard: u32,
     attempt: u32,
     lease: u64,
     silent_polls: u32,
-}
-
-/// Everything a spawned worker thread borrows from the fabric run.
-#[derive(Clone, Copy)]
-struct SpawnEnv<'env> {
-    run_id: u64,
-    heartbeat_every: u64,
-    factory: ScannerFactory<'env>,
-    plan: &'env ShardPlan,
-    state_root: &'env Path,
-    faults: &'env FabricFaultPlan,
 }
 
 /// Spawn one worker thread (initial fleet member or replacement) with
@@ -116,7 +119,9 @@ struct SpawnEnv<'env> {
 fn spawn_slot<'scope, 'env>(
     scope: &'scope std::thread::Scope<'scope, 'env>,
     id: u32,
-    env: SpawnEnv<'env>,
+    run_id: u64,
+    heartbeat_every: u64,
+    work: &'env dyn ShardWork,
     wake: &Arc<WakeSet>,
 ) -> WorkerSlot {
     let (to_worker, worker_inbox) = pipe(None);
@@ -127,13 +132,10 @@ fn spawn_slot<'scope, 'env>(
         worker_main(
             WorkerCtx {
                 worker: id,
-                run_id: env.run_id,
-                factory: env.factory,
-                plan: env.plan,
-                state_root: env.state_root,
-                faults: env.faults,
+                run_id,
+                work,
                 fence: &thread_fence,
-                heartbeat_every: env.heartbeat_every,
+                heartbeat_every,
             },
             worker_inbox,
             worker_out,
@@ -145,6 +147,377 @@ fn spawn_slot<'scope, 'env>(
         fence,
         alive: true,
         running: None,
+    }
+}
+
+/// A live worker fleet the caller drives epoch by epoch. Workers,
+/// respawn budget, the lease counter, and the coordinator round all
+/// persist across [`drive`](FleetHandle::drive) calls — an idle worker
+/// between epochs simply parks on its inbox.
+pub struct FleetHandle<'scope, 'env> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    work: &'env dyn ShardWork,
+    config: &'env FabricConfig,
+    run_id: u64,
+    wake: Arc<WakeSet>,
+    slots: Vec<WorkerSlot>,
+    next_worker_id: u32,
+    respawns_left: u32,
+    /// Globally monotonic across epochs: an epoch-N lease always
+    /// outranks every epoch-N−1 lease on the same fence.
+    lease_counter: u64,
+    round: u64,
+    wake_cursor: u64,
+}
+
+impl<'scope, 'env> FleetHandle<'scope, 'env> {
+    fn new(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        work: &'env dyn ShardWork,
+        run_id: u64,
+        config: &'env FabricConfig,
+    ) -> FleetHandle<'scope, 'env> {
+        let workers = config.workers.max(1);
+        let wake = WakeSet::new();
+        let mut fleet = FleetHandle {
+            scope,
+            work,
+            config,
+            run_id,
+            wake,
+            slots: Vec::with_capacity(workers),
+            next_worker_id: 0,
+            respawns_left: config.max_respawns,
+            lease_counter: 0,
+            round: 0,
+            wake_cursor: 0,
+        };
+        for _ in 0..workers {
+            fleet.spawn_one();
+        }
+        fleet
+    }
+
+    fn spawn_one(&mut self) {
+        self.slots.push(spawn_slot(
+            self.scope,
+            self.next_worker_id,
+            self.run_id,
+            self.config.heartbeat_every,
+            self.work,
+            &self.wake,
+        ));
+        self.next_worker_id += 1;
+    }
+
+    /// Workers spawned so far (initial fleet plus respawns).
+    pub fn workers_spawned(&self) -> u32 {
+        self.next_worker_id
+    }
+
+    /// Drive one epoch to completion: dispatch shards `0..shards` of
+    /// `epoch` across the fleet, supervise leases, steal from the
+    /// fallen, respawn within budget. Returns the shards abandoned
+    /// after `max_attempts` (their zones surface as explicit
+    /// Indeterminate placeholders downstream — never silent loss).
+    pub fn drive(&mut self, epoch: u32, shards: u32, ops: &mut FabricOps) -> BTreeSet<u32> {
+        let config = self.config;
+        if ops.attempts.len() < shards as usize {
+            ops.attempts.resize(shards as usize, 0);
+        }
+        let mut pending: Vec<PendingShard> = (0..shards)
+            .map(|shard| PendingShard {
+                shard,
+                attempt: 0,
+                ready_round: 0,
+            })
+            .collect();
+        let mut completed: BTreeSet<u32> = BTreeSet::new();
+        let mut abandoned: BTreeSet<u32> = BTreeSet::new();
+
+        let requeue = |pending: &mut Vec<PendingShard>,
+                       abandoned: &mut BTreeSet<u32>,
+                       ops: &mut FabricOps,
+                       shard: u32,
+                       next_attempt: u32,
+                       round: u64| {
+            if next_attempt >= config.max_attempts {
+                abandoned.insert(shard);
+                ops.shards_abandoned += 1;
+            } else {
+                // Exponential backoff in coordinator rounds, capped.
+                let backoff = 1u64 << next_attempt.min(3);
+                pending.push(PendingShard {
+                    shard,
+                    attempt: next_attempt,
+                    ready_round: round + backoff,
+                });
+                ops.reassignments += 1;
+            }
+        };
+
+        while (completed.len() + abandoned.len()) < shards as usize {
+            // If every worker is gone, nothing pending can ever run.
+            if self.slots.iter().all(|s| !s.alive) {
+                for p in pending.drain(..) {
+                    if !completed.contains(&p.shard) && abandoned.insert(p.shard) {
+                        ops.shards_abandoned += 1;
+                    }
+                }
+                break;
+            }
+
+            // Assign eligible pending shards to idle live workers,
+            // lowest shard id first (deterministic preference).
+            pending.sort_by_key(|p| (p.ready_round, p.shard));
+            let round = self.round;
+            for slot in self.slots.iter_mut() {
+                if !slot.alive || slot.running.is_some() {
+                    continue;
+                }
+                let Some(pos) = pending.iter().position(|p| p.ready_round <= round) else {
+                    break;
+                };
+                let p = pending.remove(pos);
+                self.lease_counter += 1;
+                if let Some(a) = ops.attempts.get_mut(p.shard as usize) {
+                    *a += 1;
+                }
+                slot.tx.send(&Msg::Assign {
+                    epoch,
+                    shard: p.shard,
+                    attempt: p.attempt,
+                    lease: self.lease_counter,
+                });
+                slot.running = Some(RunningShard {
+                    epoch,
+                    shard: p.shard,
+                    attempt: p.attempt,
+                    lease: self.lease_counter,
+                    silent_polls: 0,
+                });
+            }
+
+            let woke = self.wake.wait(&mut self.wake_cursor, config.poll_wait);
+            self.round += 1;
+            let round = self.round;
+
+            // Drain every live worker's pipe.
+            let mut lost_this_round = 0u32;
+            for slot in self.slots.iter_mut() {
+                if !slot.alive {
+                    continue;
+                }
+                loop {
+                    let polled = match slot.rx.try_recv() {
+                        Ok(polled) => polled,
+                        // Corrupt channel: treat the worker as lost.
+                        Err(_) => Polled::Closed,
+                    };
+                    match polled {
+                        Polled::Empty => break,
+                        Polled::Closed => {
+                            slot.alive = false;
+                            ops.workers_lost += 1;
+                            lost_this_round += 1;
+                            if let Some(run) = slot.running.take() {
+                                // Died holding a shard: fence the lease
+                                // (a formality — the thread is gone) and
+                                // steal the shard. A stale-epoch attempt
+                                // (left running when an earlier drive
+                                // gave up on it) is fenced but never
+                                // requeued into *this* epoch's queue.
+                                slot.fence.revoke_through(run.lease);
+                                if run.epoch == epoch {
+                                    requeue(
+                                        &mut pending,
+                                        &mut abandoned,
+                                        ops,
+                                        run.shard,
+                                        run.attempt + 1,
+                                        round,
+                                    );
+                                }
+                            }
+                            break;
+                        }
+                        Polled::Msg(msg) => {
+                            // Any frame proves liveness.
+                            if let Some(run) = slot.running.as_mut() {
+                                run.silent_polls = 0;
+                            }
+                            match msg {
+                                Msg::ShardDone {
+                                    epoch: msg_epoch,
+                                    shard,
+                                    lease,
+                                    ..
+                                } => {
+                                    let current = slot
+                                        .running
+                                        .map(|r| {
+                                            r.lease == lease
+                                                && r.shard == shard
+                                                && r.epoch == msg_epoch
+                                        })
+                                        .unwrap_or(false);
+                                    if current && msg_epoch == epoch {
+                                        slot.running = None;
+                                        if completed.insert(shard) {
+                                            ops.shards_completed += 1;
+                                        }
+                                    }
+                                    // Stale Done (lease already revoked, or
+                                    // a previous epoch's shard): the current
+                                    // attempt will re-report from the same
+                                    // journal; ignore.
+                                }
+                                Msg::ShardFailed {
+                                    epoch: msg_epoch,
+                                    shard,
+                                    lease,
+                                    ..
+                                } => {
+                                    let current = slot
+                                        .running
+                                        .map(|r| {
+                                            r.lease == lease
+                                                && r.shard == shard
+                                                && r.epoch == msg_epoch
+                                        })
+                                        .unwrap_or(false);
+                                    if current && msg_epoch == epoch {
+                                        let run = slot.running.take();
+                                        if let Some(run) = run {
+                                            slot.fence.revoke_through(run.lease);
+                                            requeue(
+                                                &mut pending,
+                                                &mut abandoned,
+                                                ops,
+                                                run.shard,
+                                                run.attempt + 1,
+                                                round,
+                                            );
+                                        }
+                                    }
+                                    // Stale failure (e.g. Fenced after we
+                                    // already stole the shard): the worker
+                                    // is simply idle again.
+                                }
+                                // Hello / Heartbeat / unexpected: liveness only.
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Replace the fallen, budget permitting. Replacements get
+            // fresh worker ids (like new pids), so a fault plan that
+            // condemned the dead worker does not condemn its successor.
+            for _ in 0..lost_this_round {
+                if self.respawns_left == 0 {
+                    break;
+                }
+                self.respawns_left -= 1;
+                self.spawn_one();
+                ops.workers_spawned += 1;
+            }
+
+            // Lease supervision: only quiet ticks (no worker said
+            // anything at all) count toward expiry, so a busy fabric
+            // never expires a slow-but-heartbeating worker.
+            if !woke {
+                for slot in self.slots.iter_mut() {
+                    if !slot.alive {
+                        continue;
+                    }
+                    let Some(run) = slot.running.as_mut() else {
+                        continue;
+                    };
+                    run.silent_polls += 1;
+                    if run.silent_polls > config.lease_timeout_polls {
+                        let run = *run;
+                        // Revoke first: after this, the worker cannot
+                        // append under the old lease, so the shard's
+                        // journal is safe to hand elsewhere. As above,
+                        // stale-epoch attempts are fenced, not requeued.
+                        slot.fence.revoke_through(run.lease);
+                        slot.running = None;
+                        ops.lease_expiries += 1;
+                        if run.epoch == epoch {
+                            requeue(
+                                &mut pending,
+                                &mut abandoned,
+                                ops,
+                                run.shard,
+                                run.attempt + 1,
+                                round,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        abandoned
+    }
+
+    /// Orderly shutdown; dropping the writers EOFs every inbox.
+    fn shutdown(&mut self) {
+        for slot in &self.slots {
+            if slot.alive {
+                slot.tx.send(&Msg::Shutdown);
+            }
+        }
+        self.slots.clear();
+    }
+}
+
+/// Run `body` against a live worker fleet scanning `work`. The fleet
+/// (threads, respawn budget, monotonic lease counter) persists across
+/// every [`FleetHandle::drive`] call the body makes, and is shut down
+/// orderly when the body returns — even on error.
+pub fn with_fleet<R>(
+    work: &dyn ShardWork,
+    run_id: u64,
+    config: &FabricConfig,
+    body: impl FnOnce(&mut FleetHandle<'_, '_>) -> io::Result<R>,
+) -> io::Result<R> {
+    std::thread::scope(|scope| {
+        let mut fleet = FleetHandle::new(scope, work, run_id, config);
+        let result = body(&mut fleet);
+        fleet.shutdown();
+        result
+    })
+}
+
+/// The single-epoch [`ShardWork`]: a fixed shard plan under the legacy
+/// (non-nested) shard namespace, a fresh cold scanner per attempt.
+struct OneShotWork<'a> {
+    factory: ScannerFactory<'a>,
+    plan: &'a ShardPlan,
+    state_root: &'a Path,
+    run_id: u64,
+    faults: &'a FabricFaultPlan,
+}
+
+impl ShardWork for OneShotWork<'_> {
+    fn assignment(&self, _epoch: u32, shard: u32) -> Option<ShardAssignment> {
+        let zones = self.plan.zones(shard).to_vec();
+        Some(ShardAssignment {
+            dir: shard_state_dir(self.state_root, shard),
+            header: shard_header(self.run_id, shard, &zones),
+            zones: Arc::new(zones),
+            scanner: (self.factory)(),
+        })
+    }
+
+    fn fault(&self, _epoch: u32, shard: u32, attempt: u32) -> Option<WorkerFault> {
+        self.faults.fault_for(shard, attempt)
+    }
+
+    fn worker_dead(&self, worker: u32) -> bool {
+        self.faults.worker_dead(worker)
     }
 }
 
@@ -173,241 +546,15 @@ pub fn run_fabric(
         ..FabricOps::default()
     };
 
-    let wake = WakeSet::new();
-    let mut abandoned: BTreeSet<u32> = BTreeSet::new();
-
-    std::thread::scope(|scope| -> io::Result<()> {
-        let env = SpawnEnv {
-            run_id,
-            heartbeat_every: config.heartbeat_every,
-            factory,
-            plan: &plan,
-            state_root,
-            faults,
-        };
-        let mut next_worker_id: u32 = 0;
-        let mut respawns_left = config.max_respawns;
-        let mut slots: Vec<WorkerSlot> = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            slots.push(spawn_slot(scope, next_worker_id, env, &wake));
-            next_worker_id += 1;
-        }
-
-        let mut pending: Vec<PendingShard> = (0..plan.shards())
-            .map(|shard| PendingShard {
-                shard,
-                attempt: 0,
-                ready_round: 0,
-            })
-            .collect();
-        let mut completed: BTreeSet<u32> = BTreeSet::new();
-        let mut lease_counter: u64 = 0;
-        let mut round: u64 = 0;
-        let mut wake_cursor: u64 = 0;
-
-        let requeue = |pending: &mut Vec<PendingShard>,
-                       abandoned: &mut BTreeSet<u32>,
-                       ops: &mut FabricOps,
-                       shard: u32,
-                       next_attempt: u32,
-                       round: u64| {
-            if next_attempt >= config.max_attempts {
-                abandoned.insert(shard);
-                ops.shards_abandoned += 1;
-            } else {
-                // Exponential backoff in coordinator rounds, capped.
-                let backoff = 1u64 << next_attempt.min(3);
-                pending.push(PendingShard {
-                    shard,
-                    attempt: next_attempt,
-                    ready_round: round + backoff,
-                });
-                ops.reassignments += 1;
-            }
-        };
-
-        while (completed.len() + abandoned.len()) < plan.shards() as usize {
-            // If every worker is gone, nothing pending can ever run.
-            if slots.iter().all(|s| !s.alive) {
-                for p in pending.drain(..) {
-                    if !completed.contains(&p.shard) && abandoned.insert(p.shard) {
-                        ops.shards_abandoned += 1;
-                    }
-                }
-                break;
-            }
-
-            // Assign eligible pending shards to idle live workers,
-            // lowest shard id first (deterministic preference).
-            pending.sort_by_key(|p| (p.ready_round, p.shard));
-            for slot in slots.iter_mut() {
-                if !slot.alive || slot.running.is_some() {
-                    continue;
-                }
-                let Some(pos) = pending.iter().position(|p| p.ready_round <= round) else {
-                    break;
-                };
-                let p = pending.remove(pos);
-                lease_counter += 1;
-                if let Some(a) = ops.attempts.get_mut(p.shard as usize) {
-                    *a += 1;
-                }
-                slot.tx.send(&Msg::Assign {
-                    shard: p.shard,
-                    attempt: p.attempt,
-                    lease: lease_counter,
-                });
-                slot.running = Some(RunningShard {
-                    shard: p.shard,
-                    attempt: p.attempt,
-                    lease: lease_counter,
-                    silent_polls: 0,
-                });
-            }
-
-            let woke = wake.wait(&mut wake_cursor, config.poll_wait);
-            round += 1;
-
-            // Drain every live worker's pipe.
-            let mut lost_this_round = 0u32;
-            for slot in slots.iter_mut() {
-                if !slot.alive {
-                    continue;
-                }
-                loop {
-                    let polled = match slot.rx.try_recv() {
-                        Ok(polled) => polled,
-                        // Corrupt channel: treat the worker as lost.
-                        Err(_) => Polled::Closed,
-                    };
-                    match polled {
-                        Polled::Empty => break,
-                        Polled::Closed => {
-                            slot.alive = false;
-                            ops.workers_lost += 1;
-                            lost_this_round += 1;
-                            if let Some(run) = slot.running.take() {
-                                // Died holding a shard: fence the lease
-                                // (a formality — the thread is gone) and
-                                // steal the shard.
-                                slot.fence.revoke_through(run.lease);
-                                requeue(
-                                    &mut pending,
-                                    &mut abandoned,
-                                    &mut ops,
-                                    run.shard,
-                                    run.attempt + 1,
-                                    round,
-                                );
-                            }
-                            break;
-                        }
-                        Polled::Msg(msg) => {
-                            // Any frame proves liveness.
-                            if let Some(run) = slot.running.as_mut() {
-                                run.silent_polls = 0;
-                            }
-                            match msg {
-                                Msg::ShardDone { shard, lease, .. } => {
-                                    let current = slot
-                                        .running
-                                        .map(|r| r.lease == lease && r.shard == shard)
-                                        .unwrap_or(false);
-                                    if current {
-                                        slot.running = None;
-                                        if completed.insert(shard) {
-                                            ops.shards_completed += 1;
-                                        }
-                                    }
-                                    // Stale Done (lease already revoked):
-                                    // the reassigned attempt will re-report
-                                    // from the same journal; ignore.
-                                }
-                                Msg::ShardFailed { shard, lease, .. } => {
-                                    let current = slot
-                                        .running
-                                        .map(|r| r.lease == lease && r.shard == shard)
-                                        .unwrap_or(false);
-                                    if current {
-                                        let run = slot.running.take();
-                                        if let Some(run) = run {
-                                            slot.fence.revoke_through(run.lease);
-                                            requeue(
-                                                &mut pending,
-                                                &mut abandoned,
-                                                &mut ops,
-                                                run.shard,
-                                                run.attempt + 1,
-                                                round,
-                                            );
-                                        }
-                                    }
-                                    // Stale failure (e.g. Fenced after we
-                                    // already stole the shard): the worker
-                                    // is simply idle again.
-                                }
-                                // Hello / Heartbeat / unexpected: liveness only.
-                                _ => {}
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Replace the fallen, budget permitting. Replacements get
-            // fresh worker ids (like new pids), so a fault plan that
-            // condemned the dead worker does not condemn its successor.
-            for _ in 0..lost_this_round {
-                if respawns_left == 0 {
-                    break;
-                }
-                respawns_left -= 1;
-                slots.push(spawn_slot(scope, next_worker_id, env, &wake));
-                next_worker_id += 1;
-                ops.workers_spawned += 1;
-            }
-
-            // Lease supervision: only quiet ticks (no worker said
-            // anything at all) count toward expiry, so a busy fabric
-            // never expires a slow-but-heartbeating worker.
-            if !woke {
-                for slot in slots.iter_mut() {
-                    if !slot.alive {
-                        continue;
-                    }
-                    let Some(run) = slot.running.as_mut() else {
-                        continue;
-                    };
-                    run.silent_polls += 1;
-                    if run.silent_polls > config.lease_timeout_polls {
-                        let run = *run;
-                        // Revoke first: after this, the worker cannot
-                        // append under the old lease, so the shard's
-                        // journal is safe to hand elsewhere.
-                        slot.fence.revoke_through(run.lease);
-                        slot.running = None;
-                        ops.lease_expiries += 1;
-                        requeue(
-                            &mut pending,
-                            &mut abandoned,
-                            &mut ops,
-                            run.shard,
-                            run.attempt + 1,
-                            round,
-                        );
-                    }
-                }
-            }
-        }
-
-        // Orderly shutdown; dropping the writers EOFs every inbox.
-        for slot in &slots {
-            if slot.alive {
-                slot.tx.send(&Msg::Shutdown);
-            }
-        }
-        drop(slots);
-        Ok(())
+    let work = OneShotWork {
+        factory,
+        plan: &plan,
+        state_root,
+        run_id,
+        faults,
+    };
+    let abandoned = with_fleet(&work, run_id, config, |fleet| {
+        Ok(fleet.drive(0, plan.shards(), &mut ops))
     })?;
 
     // Merge phase: one shard's journal at a time, in shard-id order.

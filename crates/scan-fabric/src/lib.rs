@@ -45,9 +45,12 @@ mod shard;
 mod worker;
 
 pub use channel::{pipe, PipeReader, PipeWriter, Polled, WakeSet};
-pub use coordinator::{run_fabric, FabricConfig, FabricOutput};
+pub use coordinator::{run_fabric, with_fleet, FabricConfig, FabricOutput, FleetHandle};
 pub use faults::{FabricFaultPlan, WorkerFault};
-pub use merge::{CollectSink, FabricOps, MergeSink, MergedReport, NullMergeSink, StreamingMerge};
+pub use merge::{
+    indeterminate_placeholder, CollectSink, FabricOps, MergeSink, MergedReport, NullMergeSink,
+    StreamingMerge,
+};
 pub use protocol::{encode_msg, FailReason, FrameDecoder, FrameError, Msg, MAX_PAYLOAD};
 pub use shard::ShardPlan;
-pub use worker::{Fence, ScannerFactory};
+pub use worker::{Fence, ScannerFactory, ShardAssignment, ShardWork};

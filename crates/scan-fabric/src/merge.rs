@@ -241,7 +241,7 @@ impl StreamingMerge {
 
 /// The explicit "we could not scan this" record for an abandoned
 /// shard's zone: Indeterminate and degraded, never silently dropped.
-fn indeterminate_placeholder(name: &Name) -> ZoneScan {
+pub fn indeterminate_placeholder(name: &Name) -> ZoneScan {
     ZoneScan {
         name: name.clone(),
         ns_names: Vec::new(),

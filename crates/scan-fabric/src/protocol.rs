@@ -37,8 +37,10 @@ pub enum FailReason {
 pub enum Msg {
     /// Worker announces itself (and the run it believes it's part of).
     Hello { worker: u32, run_id: u64 },
-    /// Coordinator grants `lease` on `shard`, attempt number `attempt`.
+    /// Coordinator grants `lease` on `shard` of `epoch`, attempt number
+    /// `attempt`. Single-epoch fabrics use `epoch: 0` throughout.
     Assign {
+        epoch: u32,
         shard: u32,
         attempt: u32,
         lease: u64,
@@ -46,6 +48,7 @@ pub enum Msg {
     /// Worker liveness: `events` journaled so far under `lease`.
     Heartbeat {
         worker: u32,
+        epoch: u32,
         shard: u32,
         lease: u64,
         events: u64,
@@ -54,6 +57,7 @@ pub enum Msg {
     /// never this message).
     ShardDone {
         worker: u32,
+        epoch: u32,
         shard: u32,
         lease: u64,
         zones: u64,
@@ -63,6 +67,7 @@ pub enum Msg {
     /// Shard given back; the coordinator decides retry vs abandon.
     ShardFailed {
         worker: u32,
+        epoch: u32,
         shard: u32,
         lease: u64,
         reason: FailReason,
@@ -105,29 +110,34 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             payload.extend_from_slice(&run_id.to_le_bytes());
         }
         Msg::Assign {
+            epoch,
             shard,
             attempt,
             lease,
         } => {
             payload.push(TAG_ASSIGN);
+            payload.extend_from_slice(&epoch.to_le_bytes());
             payload.extend_from_slice(&shard.to_le_bytes());
             payload.extend_from_slice(&attempt.to_le_bytes());
             payload.extend_from_slice(&lease.to_le_bytes());
         }
         Msg::Heartbeat {
             worker,
+            epoch,
             shard,
             lease,
             events,
         } => {
             payload.push(TAG_HEARTBEAT);
             payload.extend_from_slice(&worker.to_le_bytes());
+            payload.extend_from_slice(&epoch.to_le_bytes());
             payload.extend_from_slice(&shard.to_le_bytes());
             payload.extend_from_slice(&lease.to_le_bytes());
             payload.extend_from_slice(&events.to_le_bytes());
         }
         Msg::ShardDone {
             worker,
+            epoch,
             shard,
             lease,
             zones,
@@ -136,6 +146,7 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
         } => {
             payload.push(TAG_DONE);
             payload.extend_from_slice(&worker.to_le_bytes());
+            payload.extend_from_slice(&epoch.to_le_bytes());
             payload.extend_from_slice(&shard.to_le_bytes());
             payload.extend_from_slice(&lease.to_le_bytes());
             payload.extend_from_slice(&zones.to_le_bytes());
@@ -144,12 +155,14 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
         }
         Msg::ShardFailed {
             worker,
+            epoch,
             shard,
             lease,
             reason,
         } => {
             payload.push(TAG_FAILED);
             payload.extend_from_slice(&worker.to_le_bytes());
+            payload.extend_from_slice(&epoch.to_le_bytes());
             payload.extend_from_slice(&shard.to_le_bytes());
             payload.extend_from_slice(&lease.to_le_bytes());
             payload.push(match reason {
@@ -199,10 +212,12 @@ fn decode_payload(mut p: &[u8]) -> Result<Msg, FrameError> {
             Msg::Hello { worker, run_id }
         }
         TAG_ASSIGN => {
+            let epoch = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let shard = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let attempt = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let lease = take_u64(&mut p).ok_or(FrameError::BadLayout)?;
             Msg::Assign {
+                epoch,
                 shard,
                 attempt,
                 lease,
@@ -210,11 +225,13 @@ fn decode_payload(mut p: &[u8]) -> Result<Msg, FrameError> {
         }
         TAG_HEARTBEAT => {
             let worker = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
+            let epoch = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let shard = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let lease = take_u64(&mut p).ok_or(FrameError::BadLayout)?;
             let events = take_u64(&mut p).ok_or(FrameError::BadLayout)?;
             Msg::Heartbeat {
                 worker,
+                epoch,
                 shard,
                 lease,
                 events,
@@ -222,6 +239,7 @@ fn decode_payload(mut p: &[u8]) -> Result<Msg, FrameError> {
         }
         TAG_DONE => {
             let worker = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
+            let epoch = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let shard = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let lease = take_u64(&mut p).ok_or(FrameError::BadLayout)?;
             let zones = take_u64(&mut p).ok_or(FrameError::BadLayout)?;
@@ -229,6 +247,7 @@ fn decode_payload(mut p: &[u8]) -> Result<Msg, FrameError> {
             let duration = take_u64(&mut p).ok_or(FrameError::BadLayout)?;
             Msg::ShardDone {
                 worker,
+                epoch,
                 shard,
                 lease,
                 zones,
@@ -238,6 +257,7 @@ fn decode_payload(mut p: &[u8]) -> Result<Msg, FrameError> {
         }
         TAG_FAILED => {
             let worker = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
+            let epoch = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let shard = take_u32(&mut p).ok_or(FrameError::BadLayout)?;
             let lease = take_u64(&mut p).ok_or(FrameError::BadLayout)?;
             let reason = match take_u8(&mut p).ok_or(FrameError::BadLayout)? {
@@ -247,6 +267,7 @@ fn decode_payload(mut p: &[u8]) -> Result<Msg, FrameError> {
             };
             Msg::ShardFailed {
                 worker,
+                epoch,
                 shard,
                 lease,
                 reason,
@@ -329,18 +350,21 @@ mod tests {
                 run_id: 0xDEAD_BEEF,
             },
             Msg::Assign {
+                epoch: 5,
                 shard: 7,
                 attempt: 2,
                 lease: 99,
             },
             Msg::Heartbeat {
                 worker: 3,
+                epoch: 5,
                 shard: 7,
                 lease: 99,
                 events: 41,
             },
             Msg::ShardDone {
                 worker: 3,
+                epoch: 5,
                 shard: 7,
                 lease: 99,
                 zones: 120,
@@ -349,12 +373,14 @@ mod tests {
             },
             Msg::ShardFailed {
                 worker: 3,
+                epoch: 5,
                 shard: 7,
                 lease: 99,
                 reason: FailReason::Fenced,
             },
             Msg::ShardFailed {
                 worker: 1,
+                epoch: 0,
                 shard: 0,
                 lease: 1,
                 reason: FailReason::JournalIo,

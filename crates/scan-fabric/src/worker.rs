@@ -16,12 +16,12 @@
 //! `ShardFailed(Fenced)` and waits for new work.
 
 use crate::channel::{PipeReader, PipeWriter};
-use crate::faults::{FabricFaultPlan, WorkerFault};
+use crate::faults::WorkerFault;
 use crate::protocol::{FailReason, Msg};
-use crate::shard::ShardPlan;
 use bootscan::scanner::Scanner;
 use bootscan::{ProgressSink, ZoneEvent};
-use scan_journal::{recover, shard_header, shard_state_dir, JournalSink};
+use dns_wire::name::Name;
+use scan_journal::{recover, JournalHeader, JournalSink};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -30,6 +30,40 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 /// share scanner state: cold caches per shard are what make shard
 /// results independent of scheduling.
 pub type ScannerFactory<'a> = &'a (dyn Fn() -> Arc<Scanner> + Sync);
+
+/// Everything one shard attempt needs, resolved by the [`ShardWork`]
+/// driving the fleet. The scanner must be **fresh per attempt** (cold
+/// caches apart from deterministic pre-seeding such as a distributed
+/// carry ledger): shard results must be a pure function of
+/// `(world, zones, pre-seeded state)`, never of scheduling history.
+pub struct ShardAssignment {
+    /// The shard's seed slice, in canonical order.
+    pub zones: Arc<Vec<Name>>,
+    /// The shard's journal directory (a [`Namespace`](scan_journal::Namespace) leaf).
+    pub dir: PathBuf,
+    /// The header every journal under `dir` must carry.
+    pub header: JournalHeader,
+    /// A fresh, deterministically pre-seeded scanner for this attempt.
+    pub scanner: Arc<Scanner>,
+}
+
+/// What the fleet scans: a source of shard assignments, keyed by
+/// `(epoch, shard)`. One-shot fabrics ignore the epoch (always 0);
+/// the continuous service resolves each epoch's delta plan and
+/// partitioned carry ledger here. `assignment` returning `None` means
+/// the epoch is no longer current — the worker gives the shard back as
+/// fenced, which is exactly the cross-epoch fencing guarantee (a stale
+/// assignment can never append under a superseded epoch's namespace,
+/// because it never gets a sink for it).
+pub trait ShardWork: Sync {
+    /// Resolve the assignment for `shard` of `epoch`, or `None` if that
+    /// epoch is no longer scannable.
+    fn assignment(&self, epoch: u32, shard: u32) -> Option<ShardAssignment>;
+    /// Fault to inject for this `(epoch, shard, attempt)`, if any.
+    fn fault(&self, epoch: u32, shard: u32, attempt: u32) -> Option<WorkerFault>;
+    /// Whether `worker` is permanently dead (dies on first assignment).
+    fn worker_dead(&self, worker: u32) -> bool;
+}
 
 /// Write fence for one worker's current lease.
 #[derive(Debug, Default)]
@@ -105,6 +139,7 @@ struct ShardSink<'a> {
     fault: Option<WorkerFault>,
     out: &'a PipeWriter,
     worker: u32,
+    epoch: u32,
     shard: u32,
     heartbeat_every: u64,
     state_dir: PathBuf,
@@ -180,6 +215,7 @@ impl ProgressSink for ShardSink<'_> {
         if self.heartbeat_every > 0 && events % self.heartbeat_every == 0 {
             self.out.send(&Msg::Heartbeat {
                 worker: self.worker,
+                epoch: self.epoch,
                 shard: self.shard,
                 lease: self.lease,
                 events,
@@ -215,10 +251,7 @@ fn truncate_one_bucket(dir: &Path) {
 pub(crate) struct WorkerCtx<'a> {
     pub worker: u32,
     pub run_id: u64,
-    pub factory: ScannerFactory<'a>,
-    pub plan: &'a ShardPlan,
-    pub state_root: &'a Path,
-    pub faults: &'a FabricFaultPlan,
+    pub work: &'a dyn ShardWork,
     pub fence: &'a Fence,
     pub heartbeat_every: u64,
 }
@@ -237,23 +270,25 @@ pub(crate) fn worker_main(ctx: WorkerCtx<'_>, mut inbox: PipeReader, out: PipeWr
             // Coordinator gone or channel corrupt: exit.
             Ok(None) | Err(_) => return,
         };
-        let (shard, attempt, lease) = match msg {
+        let (epoch, shard, attempt, lease) = match msg {
             Msg::Shutdown => return,
             Msg::Assign {
+                epoch,
                 shard,
                 attempt,
                 lease,
-            } => (shard, attempt, lease),
+            } => (epoch, shard, attempt, lease),
             // Unexpected message kinds are ignored (forward compat).
             _ => continue,
         };
-        if ctx.faults.worker_dead(ctx.worker) {
+        if ctx.work.worker_dead(ctx.worker) {
             // Permanently dead worker: dies the moment it gets work.
             return;
         }
-        match run_shard(&ctx, &out, shard, attempt, lease) {
+        match run_shard(&ctx, &out, epoch, shard, attempt, lease) {
             Ok(Some((zones, queries, duration))) => out.send(&Msg::ShardDone {
                 worker: ctx.worker,
+                epoch,
                 shard,
                 lease,
                 zones,
@@ -265,12 +300,14 @@ pub(crate) fn worker_main(ctx: WorkerCtx<'_>, mut inbox: PipeReader, out: PipeWr
             Err(AttemptEnd::Died) => return,
             Err(AttemptEnd::Fenced) => out.send(&Msg::ShardFailed {
                 worker: ctx.worker,
+                epoch,
                 shard,
                 lease,
                 reason: FailReason::Fenced,
             }),
             Err(AttemptEnd::JournalIo) => out.send(&Msg::ShardFailed {
                 worker: ctx.worker,
+                epoch,
                 shard,
                 lease,
                 reason: FailReason::JournalIo,
@@ -284,19 +321,28 @@ pub(crate) fn worker_main(ctx: WorkerCtx<'_>, mut inbox: PipeReader, out: PipeWr
 fn run_shard(
     ctx: &WorkerCtx<'_>,
     out: &PipeWriter,
+    epoch: u32,
     shard: u32,
     attempt: u32,
     lease: u64,
 ) -> Result<Option<(u64, u64, u64)>, AttemptEnd> {
-    let zones = ctx.plan.zones(shard);
-    let dir = shard_state_dir(ctx.state_root, shard);
-    let header = shard_header(ctx.run_id, shard, zones);
+    // A stale-epoch assignment resolves to no work: give the shard back
+    // as fenced without ever opening a journal — epoch N−1's namespace
+    // is unreachable from here by construction.
+    let Some(assignment) = ctx.work.assignment(epoch, shard) else {
+        return Err(AttemptEnd::Fenced);
+    };
+    let ShardAssignment {
+        zones,
+        dir,
+        header,
+        scanner,
+    } = assignment;
     let recovery = recover(&dir, header).map_err(|_| AttemptEnd::JournalIo)?;
-    let scanner = (ctx.factory)();
     recovery.apply_to(&scanner);
     let resume = recovery.resume_state();
     let inner = JournalSink::resume(&dir, &recovery).map_err(|_| AttemptEnd::JournalIo)?;
-    let fault = ctx.faults.fault_for(shard, attempt);
+    let fault = ctx.work.fault(epoch, shard, attempt);
     let sink = ShardSink {
         inner,
         fence: ctx.fence,
@@ -304,6 +350,7 @@ fn run_shard(
         fault,
         out,
         worker: ctx.worker,
+        epoch,
         shard,
         heartbeat_every: ctx.heartbeat_every,
         state_dir: dir,
@@ -312,7 +359,7 @@ fn run_shard(
             end: None,
         }),
     };
-    let results = scanner.scan_shard_with(zones, Some(&sink), Some(resume));
+    let results = scanner.scan_shard_with(&zones, Some(&sink), Some(resume));
     if let Some(end) = sink.end() {
         return Err(end);
     }

@@ -49,6 +49,7 @@ mod checkpoint;
 mod codec;
 mod crc;
 mod journal;
+mod namespace;
 mod recover;
 
 pub use checkpoint::{read_checkpoint, shard_path, write_checkpoint, zone_shard, MANIFEST_FILE};
@@ -58,7 +59,8 @@ pub use journal::{
     read_journal, truncate_torn_tail, JournalHeader, JournalRead, JournalWriter, TailStatus,
     FORMAT_VERSION, JOURNAL_FILE, JOURNAL_MAGIC,
 };
-pub use recover::{
-    epoch_header, epoch_run_id, epoch_state_dir, fingerprint_names, recover, shard_header,
-    shard_run_id, shard_state_dir, JournalSink, Recovery,
+pub use namespace::{
+    epoch_header, epoch_run_id, epoch_state_dir, shard_header, shard_run_id, shard_state_dir,
+    Level, Namespace,
 };
+pub use recover::{fingerprint_names, recover, JournalSink, Recovery};

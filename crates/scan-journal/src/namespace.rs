@@ -1,0 +1,242 @@
+//! Composable journal namespaces: one scheme for every nested run.
+//!
+//! Both distributed tiers carve a run's state root into independent
+//! journal directories — the fabric per *shard*, the longitudinal
+//! service per *epoch*, and the continuous service per *epoch × shard*.
+//! Each level must provide two guarantees:
+//!
+//! * **disjoint directories** — a crash corrupts at most one leaf; and
+//! * **foreign-by-construction run ids** — a sibling's journal (or a
+//!   previous epoch's journal for the same shard) recovered under the
+//!   wrong identity is a *hard error* in [`recover`](crate::recover),
+//!   never a silent mis-resume. This is what extends lease fencing
+//!   across epoch boundaries: a stolen shard resumed in epoch N opens a
+//!   directory whose header epoch-N−1 state can never satisfy.
+//!
+//! [`Namespace`] folds both: every [`child`](Namespace::child) level
+//! joins a `"<prefix>-NNNN"` directory component and chains the run id
+//! through FNV-1a 64 over `(label, parent run id, index)`. The legacy
+//! helpers ([`shard_state_dir`], [`epoch_run_id`], …) are thin wrappers
+//! and remain byte-compatible with state roots written before nesting
+//! existed.
+
+use crate::crc::fnv64;
+use crate::journal::JournalHeader;
+use crate::recover::fingerprint_names;
+use dns_wire::name::Name;
+use std::path::{Path, PathBuf};
+
+/// One namespace level. The directory prefix and the run-id label
+/// differ deliberately: they predate unification and are pinned by
+/// existing on-disk state roots and recovery tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// A fabric shard (`shard-NNNN`, run ids labelled `fabric-shard`).
+    Shard,
+    /// A longitudinal epoch (`epoch-NNNN`, run ids labelled
+    /// `scan-epoch`).
+    Epoch,
+}
+
+impl Level {
+    fn dir_prefix(self) -> &'static str {
+        match self {
+            Level::Shard => "shard",
+            Level::Epoch => "epoch",
+        }
+    }
+
+    fn run_label(self) -> &'static [u8] {
+        match self {
+            Level::Shard => b"fabric-shard",
+            Level::Epoch => b"scan-epoch",
+        }
+    }
+}
+
+/// A journal namespace: a state directory plus the run id every journal
+/// under it must carry. Root namespaces come from
+/// [`root`](Namespace::root); nested levels from
+/// [`child`](Namespace::child) (or the [`shard`](Namespace::shard) /
+/// [`epoch`](Namespace::epoch) shorthands), which compose — the
+/// continuous service uses `root(...).epoch(e).shard(k)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Namespace {
+    dir: PathBuf,
+    run_id: u64,
+}
+
+impl Namespace {
+    /// The namespace of a whole run: its state root and top-level run
+    /// id.
+    pub fn root(dir: impl Into<PathBuf>, run_id: u64) -> Namespace {
+        Namespace {
+            dir: dir.into(),
+            run_id,
+        }
+    }
+
+    /// Descend one level: directory component `"<prefix>-NNNN"`, run id
+    /// chained through FNV-1a 64 over `(label, parent run id, index)`.
+    /// Distinct indices, distinct levels, and distinct parents all
+    /// yield mutually foreign run ids.
+    pub fn child(&self, level: Level, index: u32) -> Namespace {
+        Namespace {
+            dir: self.dir.join(format!("{}-{index:04}", level.dir_prefix())),
+            run_id: fnv64(&[
+                level.run_label(),
+                &self.run_id.to_le_bytes(),
+                &index.to_le_bytes(),
+            ]),
+        }
+    }
+
+    /// Shorthand for [`child`](Namespace::child)`(Level::Shard, shard)`.
+    pub fn shard(&self, shard: u32) -> Namespace {
+        self.child(Level::Shard, shard)
+    }
+
+    /// Shorthand for [`child`](Namespace::child)`(Level::Epoch, epoch)`.
+    pub fn epoch(&self, epoch: u32) -> Namespace {
+        self.child(Level::Epoch, epoch)
+    }
+
+    /// The state directory of this namespace.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The run id every journal under this namespace must carry.
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// The journal header for this namespace over `seeds` — the
+    /// namespaced run id plus the fingerprint of exactly the seed slice
+    /// this leaf scans, so a reshuffled plan (different slice) makes a
+    /// stale directory a hard error instead of a silent mis-resume.
+    pub fn header(&self, seeds: &[Name]) -> JournalHeader {
+        JournalHeader {
+            run_id: self.run_id,
+            fingerprint: fingerprint_names(seeds),
+        }
+    }
+}
+
+/// State directory for one fabric shard under a fabric run root. Each
+/// shard journals independently — a worker killed mid-shard corrupts at
+/// most its own shard directory, and the coordinator can hand the
+/// directory to a different worker on reassignment.
+pub fn shard_state_dir(root: &Path, shard: u32) -> PathBuf {
+    Namespace::root(root, 0).shard(shard).dir
+}
+
+/// Run id for one fabric shard's journal, derived from the fabric run
+/// id. Namespacing the run id per shard means a shard journal can never
+/// be mistaken for (or resumed against) a sibling shard's — `recover`
+/// treats a mismatched run id as a foreign journal, a hard error.
+pub fn shard_run_id(fabric_run_id: u64, shard: u32) -> u64 {
+    Namespace::root("", fabric_run_id).shard(shard).run_id
+}
+
+/// Journal header for one fabric shard: namespaced run id plus the
+/// fingerprint of *this shard's* seed slice, so reshuffling the shard
+/// plan (different shard count, different seed list) invalidates every
+/// stale shard directory instead of silently mis-resuming.
+pub fn shard_header(fabric_run_id: u64, shard: u32, shard_seeds: &[Name]) -> JournalHeader {
+    Namespace::root("", fabric_run_id)
+        .shard(shard)
+        .header(shard_seeds)
+}
+
+/// State directory for one longitudinal epoch under a study run root.
+/// Each epoch journals independently: a process killed mid-epoch leaves
+/// at most a torn *epoch* directory behind, and resume re-enters exactly
+/// that epoch — committed epochs are never re-opened.
+pub fn epoch_state_dir(root: &Path, epoch: u32) -> PathBuf {
+    Namespace::root(root, 0).epoch(epoch).dir
+}
+
+/// Run id for one epoch's journal, derived from the study run id. As
+/// with fabric shards, namespacing makes a neighbouring epoch's journal
+/// a foreign journal — `recover` hard-errors instead of mis-resuming.
+pub fn epoch_run_id(study_run_id: u64, epoch: u32) -> u64 {
+    Namespace::root("", study_run_id).epoch(epoch).run_id
+}
+
+/// Journal header for one longitudinal epoch: namespaced run id plus the
+/// fingerprint of *this epoch's delta scan set*, so a changed churn seed
+/// or epoch plan invalidates the stale epoch directory instead of
+/// silently resuming a different epoch's work.
+pub fn epoch_header(study_run_id: u64, epoch: u32, delta_seeds: &[Name]) -> JournalHeader {
+    Namespace::root("", study_run_id)
+        .epoch(epoch)
+        .header(delta_seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name;
+
+    #[test]
+    fn levels_compose_into_nested_dirs_and_chained_run_ids() {
+        let ns = Namespace::root("/tmp/study", 7).epoch(3).shard(12);
+        assert_eq!(ns.dir(), Path::new("/tmp/study/epoch-0003/shard-0012"));
+        // The nested run id is the shard derivation applied to the
+        // epoch derivation — exactly what the legacy helpers compose to.
+        assert_eq!(ns.run_id(), shard_run_id(epoch_run_id(7, 3), 12));
+    }
+
+    #[test]
+    fn legacy_helpers_are_byte_compatible_wrappers() {
+        let root = Path::new("/tmp/fabric");
+        assert_eq!(
+            Namespace::root(root, 42).shard(5).dir(),
+            &shard_state_dir(root, 5)
+        );
+        assert_eq!(
+            Namespace::root("", 42).shard(5).run_id(),
+            shard_run_id(42, 5)
+        );
+        assert_eq!(
+            Namespace::root(root, 42).epoch(5).dir(),
+            &epoch_state_dir(root, 5)
+        );
+        assert_eq!(
+            Namespace::root("", 42).epoch(5).run_id(),
+            epoch_run_id(42, 5)
+        );
+        let seeds = vec![name!("a.example"), name!("b.example")];
+        assert_eq!(
+            Namespace::root("", 42).shard(5).header(&seeds),
+            shard_header(42, 5, &seeds)
+        );
+        assert_eq!(
+            Namespace::root("", 42).epoch(5).header(&seeds),
+            epoch_header(42, 5, &seeds)
+        );
+    }
+
+    #[test]
+    fn sibling_and_cross_level_namespaces_are_mutually_foreign() {
+        let root = Namespace::root("/tmp/x", 9);
+        // Siblings at one level.
+        assert_ne!(root.shard(0).run_id(), root.shard(1).run_id());
+        assert_ne!(root.epoch(0).run_id(), root.epoch(1).run_id());
+        // Same index, different level.
+        assert_ne!(root.shard(4).run_id(), root.epoch(4).run_id());
+        // Same shard under different epochs — the cross-epoch fencing
+        // guarantee: epoch N−1's journal can never satisfy epoch N's
+        // header for the same shard.
+        assert_ne!(
+            root.epoch(0).shard(4).run_id(),
+            root.epoch(1).shard(4).run_id()
+        );
+        // Different roots.
+        assert_ne!(
+            Namespace::root("/tmp/x", 9).shard(0).run_id(),
+            Namespace::root("/tmp/x", 10).shard(0).run_id()
+        );
+    }
+}

@@ -47,67 +47,6 @@ pub fn fingerprint_names(names: &[Name]) -> u64 {
     fnv64(&chunks)
 }
 
-/// State directory for one fabric shard under a fabric run root. Each
-/// shard journals independently — a worker killed mid-shard corrupts at
-/// most its own shard directory, and the coordinator can hand the
-/// directory to a different worker on reassignment.
-pub fn shard_state_dir(root: &Path, shard: u32) -> PathBuf {
-    root.join(format!("shard-{shard:04}"))
-}
-
-/// Run id for one fabric shard's journal, derived from the fabric run
-/// id. Namespacing the run id per shard means a shard journal can never
-/// be mistaken for (or resumed against) a sibling shard's — `recover`
-/// treats a mismatched run id as a foreign journal, a hard error.
-pub fn shard_run_id(fabric_run_id: u64, shard: u32) -> u64 {
-    fnv64(&[
-        b"fabric-shard",
-        &fabric_run_id.to_le_bytes(),
-        &shard.to_le_bytes(),
-    ])
-}
-
-/// Journal header for one fabric shard: namespaced run id plus the
-/// fingerprint of *this shard's* seed slice, so reshuffling the shard
-/// plan (different shard count, different seed list) invalidates every
-/// stale shard directory instead of silently mis-resuming.
-pub fn shard_header(fabric_run_id: u64, shard: u32, shard_seeds: &[Name]) -> JournalHeader {
-    JournalHeader {
-        run_id: shard_run_id(fabric_run_id, shard),
-        fingerprint: fingerprint_names(shard_seeds),
-    }
-}
-
-/// State directory for one longitudinal epoch under a study run root.
-/// Each epoch journals independently: a process killed mid-epoch leaves
-/// at most a torn *epoch* directory behind, and resume re-enters exactly
-/// that epoch — committed epochs are never re-opened.
-pub fn epoch_state_dir(root: &Path, epoch: u32) -> PathBuf {
-    root.join(format!("epoch-{epoch:04}"))
-}
-
-/// Run id for one epoch's journal, derived from the study run id. As
-/// with fabric shards, namespacing makes a neighbouring epoch's journal
-/// a foreign journal — `recover` hard-errors instead of mis-resuming.
-pub fn epoch_run_id(study_run_id: u64, epoch: u32) -> u64 {
-    fnv64(&[
-        b"scan-epoch",
-        &study_run_id.to_le_bytes(),
-        &epoch.to_le_bytes(),
-    ])
-}
-
-/// Journal header for one longitudinal epoch: namespaced run id plus the
-/// fingerprint of *this epoch's delta scan set*, so a changed churn seed
-/// or epoch plan invalidates the stale epoch directory instead of
-/// silently resuming a different epoch's work.
-pub fn epoch_header(study_run_id: u64, epoch: u32, delta_seeds: &[Name]) -> JournalHeader {
-    JournalHeader {
-        run_id: epoch_run_id(study_run_id, epoch),
-        fingerprint: fingerprint_names(delta_seeds),
-    }
-}
-
 /// Everything recovered from a run directory.
 #[derive(Debug)]
 pub struct Recovery {
@@ -422,6 +361,7 @@ impl Drop for JournalSink {
 mod tests {
     use super::*;
     use crate::codec::tests::rich_event;
+    use crate::namespace::{shard_header, shard_run_id, shard_state_dir};
     use dns_wire::name;
 
     fn tmpdir(tag: &str) -> PathBuf {

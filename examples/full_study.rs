@@ -26,6 +26,14 @@
 //! # BOOTSCAN_JOURNAL (or a temp dir), so an interrupted study resumes
 //! # into the same epoch:
 //! BOOTSCAN_EPOCHS=6 BOOTSCAN_CHURN_SEED=7 cargo run --release --example full_study
+//! # continuous: BOOTSCAN_WORKERS and BOOTSCAN_EPOCHS compose — the
+//! # longitudinal tier runs distributed over the fabric (DESIGN.md §11),
+//! # with epochs arriving every BOOTSCAN_EPOCH_SPACING virtual
+//! # microseconds. Arrivals that outpace the fleet are pipelined up to
+//! # BOOTSCAN_PIPELINE_DEPTH spacings of backlog, then coalesced into
+//! # explicit SKIPPED rows of the trend table:
+//! BOOTSCAN_WORKERS=4 BOOTSCAN_EPOCHS=6 BOOTSCAN_EPOCH_SPACING=1000000 \
+//!     cargo run --release --example full_study
 //! ```
 //!
 //! Prints Figure 1, Tables 1–3, the §4.2 CDS census, the §4.3 potential
@@ -35,8 +43,8 @@
 use bootscan::{budget, policy, report, ScanPolicy};
 use dns_ecosystem::{AdversaryArchetype, EcosystemConfig};
 use dnssec_bootstrap::{
-    run_study, run_study_fabric, run_study_longitudinal, run_study_resumable, scan_epochs,
-    scan_fabric,
+    run_study, run_study_continuous, run_study_fabric, run_study_longitudinal, run_study_resumable,
+    scan_continuous, scan_epochs, scan_fabric,
 };
 
 fn main() {
@@ -269,20 +277,72 @@ fn main() {
     }
 
     if let Some((config, policy)) = longitudinal {
-        println!("================================================================");
-        println!("E8 — longitudinal study ({epochs} epochs, churn seed {churn_seed};");
-        println!("     DESIGN.md §10: epoch 0 is a cold scan, later epochs re-scan");
-        println!("     only the churned/stale/indeterminate delta set — every epoch");
-        println!("     byte-identical to a cold scan of the same world state)");
-        println!("================================================================");
-        let study = scan_epochs::StudyConfig::new(epochs, churn_seed);
-        let dir = std::env::var("BOOTSCAN_JOURNAL")
-            .map(|d| std::path::PathBuf::from(d).join("epochs"))
-            .unwrap_or_else(|_| std::env::temp_dir().join(format!("bootscan-epochs-{scale}")));
-        eprintln!("epoch state in {} …", dir.display());
-        let series =
-            run_study_longitudinal(config, policy, &study, &dir).expect("longitudinal study");
-        println!("{}", series.render_trend());
+        if workers > 1 {
+            // BOOTSCAN_WORKERS and BOOTSCAN_EPOCHS compose: the whole
+            // longitudinal study runs distributed over the fabric
+            // (DESIGN.md §11) with epochs arriving on a virtual-time
+            // schedule. A spacing shorter than an epoch's makespan
+            // forces backpressure: late epochs pipeline up to the
+            // configured depth, then coalesce into explicit SKIPPED
+            // trend rows — never silently dropped observations.
+            println!("================================================================");
+            println!("E9 — continuous study ({epochs} epochs × {workers} workers, churn");
+            println!("     seed {churn_seed}; DESIGN.md §11: each epoch's delta set is");
+            println!("     sharded across the fleet, the carry ledger travels with its");
+            println!("     shards, and overlapping arrivals pipeline or coalesce into");
+            println!("     explicit SKIPPED markers)");
+            println!("================================================================");
+            let mut study = scan_continuous::ContinuousConfig::new(epochs, churn_seed);
+            if let Some(spacing) = std::env::var("BOOTSCAN_EPOCH_SPACING")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                study.epoch_spacing = spacing;
+            }
+            if let Some(depth) = std::env::var("BOOTSCAN_PIPELINE_DEPTH")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                study.max_pipeline_depth = depth;
+            }
+            study.fabric = scan_fabric::FabricConfig {
+                workers,
+                ..scan_fabric::FabricConfig::default()
+            };
+            let dir = std::env::var("BOOTSCAN_JOURNAL")
+                .map(|d| std::path::PathBuf::from(d).join("continuous"))
+                .unwrap_or_else(|_| {
+                    std::env::temp_dir().join(format!("bootscan-continuous-{scale}"))
+                });
+            eprintln!("continuous epoch state in {} …", dir.display());
+            let out = run_study_continuous(config, policy, &study, &dir).expect("continuous study");
+            print!("{}", scan_continuous::render_decisions(&out.decisions));
+            println!();
+            println!("{}", out.series.render_trend());
+            println!(
+                "fabric over the run: {} workers spawned ({} lost), {} reassignments, \
+                 largest shard {} zones",
+                out.ops.workers_spawned,
+                out.ops.workers_lost,
+                out.ops.reassignments,
+                out.ops.largest_shard
+            );
+        } else {
+            println!("================================================================");
+            println!("E8 — longitudinal study ({epochs} epochs, churn seed {churn_seed};");
+            println!("     DESIGN.md §10: epoch 0 is a cold scan, later epochs re-scan");
+            println!("     only the churned/stale/indeterminate delta set — every epoch");
+            println!("     byte-identical to a cold scan of the same world state)");
+            println!("================================================================");
+            let study = scan_epochs::StudyConfig::new(epochs, churn_seed);
+            let dir = std::env::var("BOOTSCAN_JOURNAL")
+                .map(|d| std::path::PathBuf::from(d).join("epochs"))
+                .unwrap_or_else(|_| std::env::temp_dir().join(format!("bootscan-epochs-{scale}")));
+            eprintln!("epoch state in {} …", dir.display());
+            let series =
+                run_study_longitudinal(config, policy, &study, &dir).expect("longitudinal study");
+            println!("{}", series.render_trend());
+        }
     }
 
     // Machine-readable dump for EXPERIMENTS.md bookkeeping.

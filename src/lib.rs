@@ -28,6 +28,7 @@ pub use dns_server;
 pub use dns_wire;
 pub use dns_zone;
 pub use netsim;
+pub use scan_continuous;
 pub use scan_epochs;
 pub use scan_fabric;
 pub use scan_journal;
@@ -175,6 +176,28 @@ pub fn run_study_longitudinal(
     state_root: &std::path::Path,
 ) -> std::io::Result<scan_epochs::TimeSeries> {
     scan_epochs::run_study(config, policy, study, state_root)
+}
+
+/// The continuous tier: [`run_study_longitudinal`] distributed over the
+/// scan fabric, with overlapping epochs under explicit backpressure.
+/// Each epoch's delta set is sharded across a persistent worker fleet,
+/// the carry ledger travels with its shards, and epochs that arrive
+/// faster than the fleet drains are either pipelined or coalesced into
+/// explicit `SkippedEpoch` markers — never silently dropped.
+///
+/// Epochs journal under nested `epoch-NNNN/shard-NNNN` namespaces
+/// inside `state_root`; a killed run (worker, or coordinator at any
+/// boundary) resumes to a byte-identical time series (see
+/// `tests/continuous_recovery.rs`), and every committed epoch is
+/// byte-identical to a cold scan of the same churned world at any
+/// worker count (see `tests/continuous_equivalence.rs`).
+pub fn run_study_continuous(
+    config: dns_ecosystem::EcosystemConfig,
+    policy: bootscan::ScanPolicy,
+    study: &scan_continuous::ContinuousConfig,
+    state_root: &std::path::Path,
+) -> std::io::Result<scan_continuous::ContinuousOutput> {
+    scan_continuous::run_continuous(config, policy, study, state_root)
 }
 
 #[cfg(test)]

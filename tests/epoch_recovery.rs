@@ -179,6 +179,7 @@ fn torn_epoch_never_appears_in_a_later_series() {
     let expect = baseline();
     let expect_prefix = TimeSeries {
         epochs: expect.epochs[..2].to_vec(),
+        skipped: Vec::new(),
     };
     assert_eq!(prefix.canonical_bytes(), expect_prefix.canonical_bytes());
 
