@@ -1,0 +1,417 @@
+//! Approximate workspace call graph over the symbol index.
+//!
+//! Call sites are recognized syntactically — an identifier followed by
+//! `(`, or a method call `.name(` — and resolved *by bare name* to
+//! every workspace function with that name. That over-approximates
+//! (two unrelated `decode` methods merge) and under-approximates
+//! (calls through trait objects and function pointers are invisible at
+//! the token level), which is the right trade for invariant checking:
+//! taint and lock rules want "could this possibly flow", and the
+//! escape hatch absorbs the occasional merged-name false positive.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::symbols::SymbolIndex;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One syntactic call site inside some function's body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Calling function (index into [`SymbolIndex::fns`]).
+    pub from: usize,
+    /// Bare callee name as written.
+    pub name: String,
+    /// Token index of the callee name (in the caller's file).
+    pub tok: usize,
+    pub line: u32,
+    /// `true` for `.name(` method-call syntax.
+    pub method: bool,
+}
+
+/// The workspace call graph: sites plus name-resolved edges.
+pub struct CallGraph {
+    pub sites: Vec<CallSite>,
+    /// Per site (parallel to `sites`): the callee fns it resolves to
+    /// under scoped resolution.
+    pub resolved: Vec<Vec<usize>>,
+    /// Caller fn → indices into `sites`, in token order.
+    pub calls_from: BTreeMap<usize, Vec<usize>>,
+    /// Caller fn → resolved callee fns (deduped).
+    pub edges: BTreeMap<usize, BTreeSet<usize>>,
+    /// Callee fn → caller fns (reverse edges).
+    pub redges: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+/// Keywords that look like call syntax (`if (..)`, `while (..)`) or
+/// can't name a callee; also pattern/type positions.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "mut", "ref", "move", "fn",
+    "impl", "dyn", "where", "pub", "use", "mod", "struct", "enum", "trait", "type", "const",
+    "static", "unsafe", "box", "break", "continue", "crate", "super", "self", "Self", "union",
+    "else", "async", "await",
+];
+
+/// Names too ubiquitous to resolve by bare name: std trait and
+/// collection methods the workspace happens to also define. A call
+/// named `len` or `get` is almost always `Vec::len`/`HashMap::get`,
+/// not the workspace function that shares the name — resolving it
+/// would thread bogus edges through every container call in the tree.
+/// (Sink detection is unaffected: L003 matches these at the *site*
+/// level, not through resolution.)
+const AMBIENT_NAMES: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "next",
+    "iter",
+    "into_iter",
+    "clear",
+    "contains",
+    "contains_key",
+    "write",
+    "read",
+    "flush",
+    "send",
+    "recv",
+    "sync",
+    "drop",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "from",
+    "into",
+    "try_from",
+    "as_ref",
+    "as_str",
+    "as_bytes",
+    "to_string",
+    "serialize",
+    "deserialize",
+    "min",
+    "max",
+    "count",
+    "extend",
+    "split",
+    "join",
+    "parse",
+    "finish",
+];
+
+fn text(sf: &SourceFile, i: usize) -> &str {
+    sf.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+/// Path roots that mark a call as std/alloc machinery, never a
+/// workspace function: `std::mem::take(..)` must not merge with a
+/// workspace `take`, and `Vec::with_capacity(..)` is not a workspace
+/// `with_capacity`. Workspace types (`Message::from_bytes`) are not
+/// listed, so associated calls on them still resolve.
+const STD_PATH_ROOTS: &[&str] = &[
+    // std modules commonly used path-qualified.
+    "std",
+    "core",
+    "alloc",
+    "mem",
+    "fs",
+    "io",
+    "cmp",
+    "ptr",
+    "iter",
+    "slice",
+    "str",
+    "char",
+    "fmt",
+    "hash",
+    "ops",
+    "convert",
+    "borrow",
+    "net",
+    "thread",
+    "process",
+    "env",
+    "time",
+    "collections",
+    "array",
+    // std/alloc types used for associated calls.
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Arc",
+    "Rc",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "Option",
+    "Result",
+    "Ordering",
+    "Instant",
+    "Duration",
+    "Path",
+    "PathBuf",
+    "OsString",
+    "Cell",
+    "RefCell",
+    "Cow",
+    "AtomicBool",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Ipv4Addr",
+    "Ipv6Addr",
+    "IpAddr",
+    "SocketAddr",
+    // primitives.
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "f32",
+    "f64",
+    "bool",
+];
+
+/// For a path-qualified call `a::b::name(` at token `i`, the first
+/// path segment (`a`); `None` for an unqualified call.
+fn path_root(sf: &SourceFile, i: usize) -> Option<String> {
+    let mut j = i;
+    while j >= 3 && text(sf, j - 1) == ":" && text(sf, j - 2) == ":" {
+        j -= 3;
+    }
+    if j == i {
+        None
+    } else {
+        Some(sf.toks[j].text.clone())
+    }
+}
+
+impl CallGraph {
+    pub fn build(files: &[SourceFile], index: &SymbolIndex) -> CallGraph {
+        let mut sites = Vec::new();
+        let mut calls_from: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (file, sf) in files.iter().enumerate() {
+            for i in 0..sf.toks.len() {
+                if sf.toks[i].kind != TokKind::Ident
+                    || text(sf, i + 1) != "("
+                    || NON_CALL_KEYWORDS.contains(&text(sf, i))
+                {
+                    continue;
+                }
+                // `fn name(` is a declaration; `name!(..)` never
+                // happens (the `!` would sit between name and paren,
+                // failing the `(` check); `|name|(..)` closures are
+                // punct-preceded and fine to keep.
+                if text(sf, i.wrapping_sub(1)) == "fn" {
+                    continue;
+                }
+                // Struct-literal field `name (` cannot occur; tuple
+                // struct patterns `Some(x)` resolve to nothing and are
+                // harmless.
+                let Some(from) = index.enclosing(file, i) else {
+                    continue;
+                };
+                let site = CallSite {
+                    from,
+                    name: sf.toks[i].text.clone(),
+                    tok: i,
+                    line: sf.toks[i].line,
+                    method: text(sf, i.wrapping_sub(1)) == ".",
+                };
+                calls_from.entry(from).or_default().push(sites.len());
+                sites.push(site);
+            }
+        }
+
+        let mut edges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        let mut redges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        let mut resolved_per_site: Vec<Vec<usize>> = vec![Vec::new(); sites.len()];
+        for (s, site) in sites.iter().enumerate() {
+            if AMBIENT_NAMES.contains(&site.name.as_str()) {
+                continue;
+            }
+            if !site.method {
+                if let Some(root) = path_root(&files[index.fns[site.from].file], site.tok) {
+                    if STD_PATH_ROOTS.contains(&root.as_str()) {
+                        continue;
+                    }
+                }
+            }
+            let caller = &index.fns[site.from];
+            let candidates: Vec<usize> = index
+                .by_name(&site.name)
+                .iter()
+                .copied()
+                .filter(|&callee| {
+                    // Not a self-call; live code never resolves into
+                    // test-only functions; `.name(..)` method syntax
+                    // only reaches methods (first param `self`) and
+                    // path syntax only reaches free/associated fns —
+                    // this keeps `opt.take()` from merging with a free
+                    // `take(buf, n)` decode helper.
+                    callee != site.from
+                        && (caller.is_test || !index.fns[callee].is_test)
+                        && index.fns[callee].has_self == site.method
+                })
+                .collect();
+            // Scoped resolution: a same-file definition shadows the
+            // rest of the workspace; failing that, a same-crate one
+            // shadows cross-crate candidates. Free/path calls with no
+            // nearby definition resolve workspace-wide
+            // (`Message::from_bytes` from a resolver is real flow);
+            // *method* calls never resolve across crates — `.peek()`
+            // on an iterator must not merge with some other crate's
+            // `peek` method — with one exception: a method declared on
+            // a *workspace trait* (`ProgressSink::on_zone`) dispatches
+            // dynamically, so the receiver could be any implementor
+            // anywhere; those sites resolve to every impl.
+            let resolved = if site.method && index.is_trait_method(&site.name) {
+                candidates
+            } else {
+                let same_file: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| index.fns[c].file == caller.file)
+                    .collect();
+                let same_crate: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| index.fns[c].krate == caller.krate)
+                    .collect();
+                if !same_file.is_empty() {
+                    same_file
+                } else if !same_crate.is_empty() {
+                    same_crate
+                } else if site.method {
+                    Vec::new()
+                } else {
+                    candidates
+                }
+            };
+            for &callee in &resolved {
+                edges.entry(site.from).or_default().insert(callee);
+                redges.entry(callee).or_default().insert(site.from);
+            }
+            resolved_per_site[s] = resolved;
+        }
+        CallGraph {
+            sites,
+            resolved: resolved_per_site,
+            calls_from,
+            edges,
+            redges,
+        }
+    }
+
+    /// Call sites made from `f`, in source order.
+    pub fn sites_from(&self, f: usize) -> impl Iterator<Item = &CallSite> {
+        self.calls_from
+            .get(&f)
+            .into_iter()
+            .flatten()
+            .map(|&s| &self.sites[s])
+    }
+
+    /// Does `f` (directly) make a call named `name`?
+    pub fn calls_name(&self, f: usize, name: &str) -> bool {
+        self.sites_from(f).any(|s| s.name == name)
+    }
+
+    /// Every function from which a member of `targets` is reachable
+    /// (including the targets themselves), walking reverse edges.
+    pub fn reaching(&self, targets: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = targets.clone();
+        let mut stack: Vec<usize> = targets.iter().copied().collect();
+        while let Some(f) = stack.pop() {
+            if let Some(callers) = self.redges.get(&f) {
+                for &c in callers {
+                    if seen.insert(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> (CallGraph, SymbolIndex) {
+        let files = vec![SourceFile::parse("crates/demo/src/lib.rs".into(), src)];
+        let idx = SymbolIndex::build(&files);
+        (CallGraph::build(&files, &idx), idx)
+    }
+
+    #[test]
+    fn direct_and_method_calls_resolve() {
+        let (g, idx) = graph(
+            "fn helper() {}\n\
+             fn caller(x: &X) { helper(); x.helper(); if x.is() { helper(); } }",
+        );
+        let caller = idx.by_name("caller")[0];
+        let helper = idx.by_name("helper")[0];
+        assert!(g.edges[&caller].contains(&helper));
+        assert_eq!(
+            g.sites_from(caller).filter(|s| s.name == "helper").count(),
+            3
+        );
+        assert!(g.sites_from(caller).any(|s| s.method));
+    }
+
+    #[test]
+    fn keywords_and_declarations_are_not_calls() {
+        let (g, idx) = graph("fn f(x: bool) { if x { return; } match x { _ => {} } }");
+        let f = idx.by_name("f")[0];
+        assert!(g.sites_from(f).next().is_none());
+    }
+
+    #[test]
+    fn reaching_walks_transitively() {
+        let (g, idx) = graph(
+            "fn sink() {}\n\
+             fn mid() { sink(); }\n\
+             fn top() { mid(); }\n\
+             fn unrelated() {}",
+        );
+        let targets: BTreeSet<usize> = [idx.by_name("sink")[0]].into_iter().collect();
+        let reach = g.reaching(&targets);
+        assert!(reach.contains(&idx.by_name("top")[0]));
+        assert!(reach.contains(&idx.by_name("mid")[0]));
+        assert!(!reach.contains(&idx.by_name("unrelated")[0]));
+    }
+
+    #[test]
+    fn live_code_does_not_resolve_into_test_fns() {
+        let (g, idx) = graph(
+            "#[cfg(test)]\nmod t { pub fn helper() {} }\n\
+             fn live() { helper(); }",
+        );
+        let live = idx.by_name("live")[0];
+        assert!(!g.edges.contains_key(&live));
+    }
+}

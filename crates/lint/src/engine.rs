@@ -33,6 +33,9 @@ impl std::fmt::Display for Finding {
 pub struct Report {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// Total lexed tokens across all scanned files — the analysis-cost
+    /// currency the CI runtime guard budgets against.
+    pub tokens_scanned: usize,
 }
 
 impl Report {
@@ -212,6 +215,26 @@ pub fn run(root: &Path) -> io::Result<Report> {
         }
     }
 
+    // Cross-crate passes: symbol index → call graph → taint (T-rules)
+    // and lock discipline (L-rules). These run before the X checks so
+    // their suppressions count as used.
+    let index = crate::symbols::SymbolIndex::build(&files);
+    let graph = crate::callgraph::CallGraph::build(&files, &index);
+    let taint = crate::taint::Taint::analyze(&files, &index, &graph);
+    let by_rel: std::collections::BTreeMap<&str, &SourceFile> =
+        files.iter().map(|sf| (sf.rel.as_str(), sf)).collect();
+    for finding in crate::taint::check(&files, &index, &graph, &taint)
+        .into_iter()
+        .chain(crate::locks::check(&files, &index, &graph))
+    {
+        if let Some(sf) = by_rel.get(finding.rel.as_str()) {
+            if suppressed(sf, &finding.rule, finding.line) {
+                continue;
+            }
+        }
+        findings.push(finding);
+    }
+
     // X002: allows must carry a reason. X001: allows must suppress
     // something. Both are unconditional — suppressions cannot rot.
     for sf in &files {
@@ -245,6 +268,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
     findings.sort();
     findings.dedup();
     Ok(Report {
+        tokens_scanned: files.iter().map(|f| f.toks.len()).sum(),
         findings,
         files_scanned: files.len(),
     })

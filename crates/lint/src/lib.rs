@@ -11,9 +11,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
 pub mod source;
+pub mod symbols;
+pub mod taint;
 
 pub use engine::{glob_match, run, Finding, Report};

@@ -1,9 +1,11 @@
-//! CLI entry point: `bootscan-lint [workspace-root]`.
+//! CLI entry point: `bootscan-lint [--json] [workspace-root]`.
 //!
-//! With no argument, walks upward from the current directory to the
-//! first `Cargo.toml` declaring `[workspace]`. Prints one
+//! With no path argument, walks upward from the current directory to
+//! the first `Cargo.toml` declaring `[workspace]`. Prints one
 //! `file:line: [RULE] message` diagnostic per violation and exits 1
-//! if any are found.
+//! if any are found. With `--json`, prints a single machine-readable
+//! report object instead (findings, file and token counts) — the
+//! shape CI archives as the `lint-invariants` artifact.
 
 #![forbid(unsafe_code)]
 
@@ -25,9 +27,66 @@ fn find_workspace_root() -> Option<PathBuf> {
     }
 }
 
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report as a single JSON object (no external deps — the
+/// shape is small enough to emit by hand).
+fn render_json(report: &bootscan_lint::Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"tokens_scanned\": {},\n",
+        report.tokens_scanned
+    ));
+    out.push_str(&format!("  \"clean\": {},\n", report.clean()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.rel),
+            f.line,
+            json_escape(&f.rule),
+            json_escape(&f.msg)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args_os().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            root_arg = Some(PathBuf::from(arg));
+        }
+    }
+    let root = match root_arg {
+        Some(r) => r,
         None => match find_workspace_root() {
             Some(r) => r,
             None => {
@@ -44,6 +103,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if json {
+        print!("{}", render_json(&report));
+        return if report.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     for f in &report.findings {
         println!("{f}");

@@ -242,7 +242,7 @@ fn path_at(sf: &SourceFile, i: usize, parts: &[&str]) -> bool {
 /// `()`/`[]` groups (so `self.map.lock().iter()` yields
 /// `[lock, map, self]`), stopping at statement boundaries or after
 /// `limit` tokens.
-fn receiver_idents(sf: &SourceFile, dot: usize, limit: usize) -> Vec<String> {
+pub(crate) fn receiver_idents(sf: &SourceFile, dot: usize, limit: usize) -> Vec<String> {
     let mut out = Vec::new();
     let mut depth = 0usize;
     let mut j = dot;

@@ -1,0 +1,330 @@
+//! Workspace symbol index: every `fn` item in every scanned file, with
+//! its crate, body token range, and test-ness.
+//!
+//! This is the foundation of the cross-crate passes (taint tracking,
+//! lock discipline): they need to know *which function* a token lives
+//! in and where that function's body starts and ends, across the whole
+//! workspace at once — the per-file rules never did. Like the lexer it
+//! sits on, this is deliberately approximate: functions are recognized
+//! by the `fn name` token pair and bodies by brace matching, which is
+//! robust against formatting and complete enough for dataflow over a
+//! codebase that the per-file rules already keep macro-light.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// One `fn` item somewhere in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Bare function name (no path, no generics).
+    pub name: String,
+    /// Index into the engine's file list.
+    pub file: usize,
+    /// Crate the file belongs to (`crates/<name>/…` → `<name>`).
+    pub krate: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body, `{` inclusive to `}` exclusive-end —
+    /// `None` for bodyless signatures (trait methods, externs).
+    pub body: Option<(usize, usize)>,
+    /// The function is not live scanner code: `#[cfg(test)]` /
+    /// `#[test]`, or it lives in a test/bench/example harness file.
+    /// Harness helpers exercise the system with data they made up, so
+    /// they are neither taint carriers nor lock-discipline subjects.
+    pub is_test: bool,
+    /// First parameter is `self` (a method, callable as `.name(..)`).
+    pub has_self: bool,
+}
+
+/// Index over every function in the workspace.
+pub struct SymbolIndex {
+    pub fns: Vec<FnSym>,
+    /// Bare name → indices into `fns`, in file order.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Per file: sorted `(body_start, fn index)` for containment
+    /// lookups.
+    spans: Vec<Vec<(usize, usize)>>,
+    /// Names declared as methods inside a `trait { .. }` block
+    /// anywhere in the workspace — the dynamically-dispatchable
+    /// surface (`ProgressSink::on_zone` and friends).
+    trait_methods: std::collections::BTreeSet<String>,
+}
+
+/// The crate a workspace-relative path belongs to: the second path
+/// segment under `crates/` or `shims/`, else the first segment (so
+/// root-level `tests/` and `src/` group as themselves).
+pub fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) | (Some("shims"), Some(name)) => name.to_string(),
+        (Some(first), _) => first.to_string(),
+        _ => String::new(),
+    }
+}
+
+/// Is `rel` a test/bench/example harness file rather than live
+/// scanner code?
+pub fn is_harness(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.starts_with("benches/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+fn text(sf: &SourceFile, i: usize) -> &str {
+    sf.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+/// From the token after `fn name`, find the body braces: skip the
+/// signature (parameters, return type, where clause) at bracket depth
+/// 0, stopping at the first `{` (body open) or a depth-0 `;` (no
+/// body). Returns the token range `{..}` (start inclusive, end
+/// exclusive of the token *after* `}`).
+fn body_range(sf: &SourceFile, mut j: usize) -> Option<(usize, usize)> {
+    let mut depth = 0isize;
+    while j < sf.toks.len() {
+        match text(sf, j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => {
+                let open = j;
+                let mut braces = 0isize;
+                while j < sf.toks.len() {
+                    match text(sf, j) {
+                        "{" => braces += 1,
+                        "}" => {
+                            braces -= 1;
+                            if braces == 0 {
+                                return Some((open, j + 1));
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return Some((open, sf.toks.len()));
+            }
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does the parameter list starting at the `(` after `fn name` open
+/// with a `self` receiver (`self`, `&self`, `&mut self`,
+/// `self: Arc<Self>`)?
+fn first_param_is_self(sf: &SourceFile, mut j: usize) -> bool {
+    // Skip generics to the parameter `(`.
+    let mut angle = 0isize;
+    while j < sf.toks.len() {
+        match text(sf, j) {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" if angle <= 0 => break,
+            "{" | ";" => return false,
+            _ => {}
+        }
+        j += 1;
+    }
+    // First parameter: tokens up to the first `,` or the close paren.
+    let mut depth = 0isize;
+    for k in j..sf.toks.len() {
+        match text(sf, k) {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return false;
+                }
+            }
+            "," if depth == 1 => return false,
+            "self" if depth == 1 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Token ranges of `trait Name { .. }` bodies in one file.
+fn trait_bodies(sf: &SourceFile) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..sf.toks.len() {
+        if text(sf, i) != "trait" || sf.toks.get(i + 1).map(|t| t.kind) != Some(TokKind::Ident) {
+            continue;
+        }
+        // Forward past the generics/supertrait/where header to the
+        // body `{` (or a `;` ending an associated-type-like form).
+        let mut j = i + 2;
+        let mut angle = 0isize;
+        while j < sf.toks.len() {
+            match text(sf, j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => break,
+                ";" if angle <= 0 => {
+                    j = sf.toks.len();
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= sf.toks.len() {
+            continue;
+        }
+        let open = j;
+        let mut braces = 0isize;
+        while j < sf.toks.len() {
+            match text(sf, j) {
+                "{" => braces += 1,
+                "}" => {
+                    braces -= 1;
+                    if braces == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((open, j));
+    }
+    out
+}
+
+impl SymbolIndex {
+    /// Build the index over the engine's file list.
+    pub fn build(files: &[SourceFile]) -> SymbolIndex {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut spans = vec![Vec::new(); files.len()];
+        let mut trait_methods = std::collections::BTreeSet::new();
+        for sf in files {
+            for (open, close) in trait_bodies(sf) {
+                for i in open..close {
+                    if text(sf, i) == "fn"
+                        && sf.toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Ident)
+                    {
+                        trait_methods.insert(sf.toks[i + 1].text.clone());
+                    }
+                }
+            }
+        }
+        for (file, sf) in files.iter().enumerate() {
+            let krate = crate_of(&sf.rel);
+            let harness = is_harness(&sf.rel);
+            for i in 0..sf.toks.len() {
+                if text(sf, i) != "fn" || sf.toks[i].kind != TokKind::Ident {
+                    continue;
+                }
+                let Some(name_tok) = sf.toks.get(i + 1) else {
+                    continue;
+                };
+                if name_tok.kind != TokKind::Ident {
+                    continue;
+                }
+                let body = body_range(sf, i + 2);
+                let idx = fns.len();
+                if let Some((open, _)) = body {
+                    spans[file].push((open, idx));
+                }
+                by_name.entry(name_tok.text.clone()).or_default().push(idx);
+                fns.push(FnSym {
+                    name: name_tok.text.clone(),
+                    file,
+                    krate: krate.clone(),
+                    line: sf.toks[i].line,
+                    body,
+                    is_test: harness || sf.in_test.get(i).copied().unwrap_or(false),
+                    has_self: first_param_is_self(sf, i + 2),
+                });
+            }
+        }
+        for s in &mut spans {
+            s.sort_unstable();
+        }
+        SymbolIndex {
+            fns,
+            by_name,
+            spans,
+            trait_methods,
+        }
+    }
+
+    /// Is `name` declared as a method of some workspace trait?
+    pub fn is_trait_method(&self, name: &str) -> bool {
+        self.trait_methods.contains(name)
+    }
+
+    /// Functions with this bare name, across the workspace.
+    pub fn by_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The *innermost* function whose body contains token `tok` of
+    /// `file` (nested fns resolve to the nested one).
+    pub fn enclosing(&self, file: usize, tok: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &(open, idx) in &self.spans[file] {
+            if open > tok {
+                break;
+            }
+            let (_, end) = self.fns[idx].body.unwrap();
+            if tok < end {
+                best = Some(idx);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(src: &str) -> (SymbolIndex, Vec<SourceFile>) {
+        let files = vec![SourceFile::parse("crates/demo/src/lib.rs".into(), src)];
+        (SymbolIndex::build(&files), files)
+    }
+
+    #[test]
+    fn crate_of_paths() {
+        assert_eq!(crate_of("crates/core/src/lib.rs"), "core");
+        assert_eq!(crate_of("shims/fake/src/lib.rs"), "fake");
+        assert_eq!(crate_of("tests/crash_recovery.rs"), "tests");
+    }
+
+    #[test]
+    fn fns_with_bodies_and_signatures() {
+        let (idx, _) = index(
+            "fn a(x: u32) -> bool { x > 0 }\n\
+             trait T { fn sig(&self); }\n\
+             fn with_where<T>(t: T) where T: Clone { let _ = t; }",
+        );
+        assert_eq!(idx.fns.len(), 3);
+        assert!(idx.fns[0].body.is_some());
+        assert!(idx.fns[1].body.is_none(), "trait signature has no body");
+        assert!(idx.fns[2].body.is_some());
+        assert_eq!(idx.by_name("a"), &[0]);
+    }
+
+    #[test]
+    fn enclosing_resolves_innermost() {
+        let (idx, files) = index("fn outer() {\n  fn inner() { marker(); }\n}");
+        let sf = &files[0];
+        let m = sf.toks.iter().position(|t| t.text == "marker").unwrap();
+        let f = idx.enclosing(0, m).unwrap();
+        assert_eq!(idx.fns[f].name, "inner");
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let (idx, _) = index("#[test]\nfn t() {}\nfn live() {}");
+        assert!(idx.fns[0].is_test);
+        assert!(!idx.fns[1].is_test);
+    }
+}

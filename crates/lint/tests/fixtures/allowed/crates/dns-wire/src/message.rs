@@ -1,0 +1,19 @@
+//! Fixture: the T001 preallocation under a justified suppression.
+//! Never compiled; consumed only by the bootscan-lint integration
+//! tests.
+
+pub fn from_bytes(buf: &[u8]) -> Vec<u8> {
+    let count = declared_count(buf);
+    // bootscan-allow(T001): fixture — the caller clamps declared_count
+    // against the frame budget before this decode path runs
+    let mut out = Vec::with_capacity(count);
+    out.truncate(count);
+    out
+}
+
+fn declared_count(buf: &[u8]) -> usize {
+    match buf.first() {
+        Some(&b) => b as usize,
+        None => 0,
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: the wire-decode taint source sizing an allocation from a
+//! hostile declared count (T001). Never compiled; consumed only by
+//! the bootscan-lint integration tests.
+
+pub fn from_bytes(buf: &[u8]) -> Vec<u8> {
+    let count = declared_count(buf);
+    let mut out = Vec::with_capacity(count);
+    out.truncate(count);
+    out
+}
+
+fn declared_count(buf: &[u8]) -> usize {
+    match buf.first() {
+        Some(&b) => b as usize,
+        None => 0,
+    }
+}

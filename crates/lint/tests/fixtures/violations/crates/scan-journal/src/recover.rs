@@ -1,0 +1,10 @@
+//! Fixture: a state-root disk read that trusts sidecar bytes without
+//! validating them (T003). Never compiled; consumed only by the
+//! bootscan-lint integration tests.
+
+pub fn read_sidecar(path: &Path) -> Vec<u8> {
+    match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(_) => Vec::new(),
+    }
+}

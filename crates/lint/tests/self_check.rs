@@ -31,3 +31,40 @@ fn workspace_satisfies_all_invariants() {
         report.files_scanned
     );
 }
+
+/// The analysis-runtime guard: the cross-crate passes (symbol index,
+/// call graph, taint fixpoint, lock-scope walks) must stay cheap
+/// enough to run on every CI push. The budget is pinned at roughly 2×
+/// the workspace's current size (150 files / ~278k tokens when set) —
+/// organic growth fits, but an accidentally quadratic resolver or a
+/// runaway fixture tree blows the ceiling and fails here instead of
+/// silently doubling CI time.
+#[test]
+fn workspace_scan_stays_within_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels under the workspace root");
+    let started = std::time::Instant::now();
+    let report = run(root).expect("scan workspace");
+    let elapsed = started.elapsed();
+    assert!(
+        report.tokens_scanned <= 600_000,
+        "workspace grew past the analysis token budget: {} tokens \
+         (budget 600k); raise the budget deliberately or trim the scan",
+        report.tokens_scanned
+    );
+    assert!(
+        report.files_scanned <= 300,
+        "workspace grew past the analysis file budget: {} files \
+         (budget 300)",
+        report.files_scanned
+    );
+    // Coarse wall-clock ceiling — generous enough for loaded CI
+    // runners, tight enough to catch a superlinear blowup.
+    assert!(
+        elapsed.as_secs() < 60,
+        "workspace scan took {elapsed:?}; the cross-crate passes must \
+         stay far under a minute"
+    );
+}

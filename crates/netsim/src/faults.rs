@@ -261,6 +261,9 @@ impl FaultPlan {
 fn garbage_bytes(draw: DeterministicDraw) -> Vec<u8> {
     let mut d = draw.next();
     let len = 3 + d.below(21) as usize;
+    // bootscan-allow(T001): `len` is 3 + draw.below(21) — at most 23 by
+    // construction, and the draw is the simulator's own deterministic
+    // RNG, not bytes off the wire.
     let mut bytes = Vec::with_capacity(len);
     while bytes.len() < len {
         d = d.next();

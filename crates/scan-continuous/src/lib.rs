@@ -199,13 +199,40 @@ fn write_commit(dir: &Path, epoch: u32, abandoned: &BTreeSet<u32>) -> io::Result
     fs::rename(&tmp, dir.join(COMMIT_FILE))
 }
 
-/// `Some(abandoned shards)` if the epoch committed, `None` otherwise.
-fn read_commit(dir: &Path) -> io::Result<Option<BTreeSet<u32>>> {
+/// Validate the `epoch N` identity line of a COMMIT marker against the
+/// epoch whose directory it was read from. A marker that names a
+/// different epoch (a mis-placed copy, a torn write, hand-edited state)
+/// must be a hard error, never silently treated as "this epoch
+/// committed" — committing the wrong epoch would fold stale results
+/// into the time series.
+fn validate_commit_epoch(text: &str, expected: u32) -> io::Result<()> {
+    let declared = text
+        .lines()
+        .find_map(|line| line.strip_prefix("epoch "))
+        .and_then(|n| n.trim().parse::<u32>().ok());
+    match declared {
+        Some(epoch) if epoch == expected => Ok(()),
+        Some(epoch) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("COMMIT marker declares epoch {epoch}, expected epoch {expected}"),
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "corrupt COMMIT marker: missing or unparsable `epoch N` line",
+        )),
+    }
+}
+
+/// `Some(abandoned shards)` if `epoch` committed, `None` otherwise.
+/// The marker's declared epoch is validated against the one being
+/// resumed ([`validate_commit_epoch`]); a mismatch is a hard error.
+fn read_commit(dir: &Path, epoch: u32) -> io::Result<Option<BTreeSet<u32>>> {
     let text = match fs::read_to_string(dir.join(COMMIT_FILE)) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
+    validate_commit_epoch(&text, epoch)?;
     let mut abandoned = BTreeSet::new();
     for line in text.lines() {
         if let Some(ids) = line.strip_prefix("abandoned ") {
@@ -236,8 +263,11 @@ struct EpochState {
     /// Shard → seed slice (the epoch's delta plan).
     zones: Vec<Arc<Vec<Name>>>,
     /// Shard → carried-ledger partition, seeded into that shard's fresh
-    /// scanner.
-    parts: Vec<CarryLedger>,
+    /// scanner. `Arc` so an assignment can clone its shard's partition
+    /// out and seed it *after* releasing the state lock — seeding takes
+    /// the scanner's internal cache locks, and holding the epoch-state
+    /// lock across them would order the two lock classes.
+    parts: Vec<Arc<CarryLedger>>,
     /// The epoch's virtual start (its admitted `start`, not its
     /// scheduled arrival), for remaining-validity translation.
     now: SimMicros,
@@ -267,12 +297,22 @@ impl ContinuousWork {
 
 impl ShardWork for ContinuousWork {
     fn assignment(&self, epoch: u32, shard: u32) -> Option<ShardAssignment> {
-        let guard = self.state.read();
-        let st = guard.as_ref()?;
-        if st.epoch != epoch {
-            return None;
-        }
-        let zones = Arc::clone(st.zones.get(shard as usize)?);
+        // Clone the shard's slice and ledger partition out of the
+        // published state, then release the lock: seeding walks the
+        // scanner's striped cache locks, and the factory may do real
+        // work — neither belongs under the epoch-state read guard.
+        let (zones, part, now) = {
+            let guard = self.state.read();
+            let st = guard.as_ref()?;
+            if st.epoch != epoch {
+                return None;
+            }
+            (
+                Arc::clone(st.zones.get(shard as usize)?),
+                st.parts.get(shard as usize).map(Arc::clone),
+                st.now,
+            )
+        };
         let ns = Namespace::root(&self.root, self.run_id)
             .epoch(epoch)
             .shard(shard);
@@ -280,8 +320,8 @@ impl ShardWork for ContinuousWork {
         // this shard's carried-ledger partition: shard results stay a
         // pure function of (world, zones, carried state).
         let scanner = (self.factory)();
-        if let Some(part) = st.parts.get(shard as usize) {
-            part.seed_into(&scanner, st.now, self.cache_ttl, self.epoch_spacing);
+        if let Some(part) = part {
+            part.seed_into(&scanner, now, self.cache_ttl, self.epoch_spacing);
         }
         Some(ShardAssignment {
             header: ns.header(&zones),
@@ -551,14 +591,14 @@ pub fn run_continuous(
             let ns_epoch = Namespace::root(state_root, cfg.run_id).epoch(epoch);
 
             // -- Drive or fold: committed epochs never re-scan.
-            let (abandoned, committed) = match read_commit(ns_epoch.dir())? {
+            let (abandoned, committed) = match read_commit(ns_epoch.dir(), epoch)? {
                 Some(abandoned) => (abandoned, true),
                 None => {
                     // Distribute carry-over: partition the ledger and
                     // publish the epoch to the fleet. From this point a
                     // worker can resolve (epoch, shard) — and only this
                     // epoch.
-                    let parts = ledger.partition(shards);
+                    let parts = ledger.partition(shards).into_iter().map(Arc::new).collect();
                     work.publish(EpochState {
                         epoch,
                         zones: zones_per_shard.clone(),
@@ -630,12 +670,15 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = fs::remove_dir_all(&dir);
-        assert_eq!(read_commit(&dir).unwrap(), None, "no marker yet");
+        assert_eq!(read_commit(&dir, 3).unwrap(), None, "no marker yet");
         write_commit(&dir, 3, &BTreeSet::new()).unwrap();
-        assert_eq!(read_commit(&dir).unwrap(), Some(BTreeSet::new()));
+        assert_eq!(read_commit(&dir, 3).unwrap(), Some(BTreeSet::new()));
         let abandoned: BTreeSet<u32> = [1, 4, 7].into_iter().collect();
         write_commit(&dir, 3, &abandoned).unwrap();
-        assert_eq!(read_commit(&dir).unwrap(), Some(abandoned));
+        assert_eq!(read_commit(&dir, 3).unwrap(), Some(abandoned));
+        // A marker that declares a different epoch (mis-placed copy,
+        // hand-edited state) is a hard error, not a commit.
+        assert!(read_commit(&dir, 4).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -649,7 +692,10 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(COMMIT_FILE), "epoch 3\nabandoned 1,x\n").unwrap();
-        assert!(read_commit(&dir).is_err());
+        assert!(read_commit(&dir, 3).is_err());
+        // Missing identity line entirely: also a hard error.
+        fs::write(dir.join(COMMIT_FILE), "abandoned 1\n").unwrap();
+        assert!(read_commit(&dir, 3).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 }

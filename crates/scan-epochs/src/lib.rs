@@ -46,7 +46,7 @@ use bootscan::{ProgressSink, RetryStats, ScanPolicy, ZoneEvent};
 use dns_ecosystem::{apply_churn, build, ChurnConfig, ChurnLog, ChurnPlan, EcosystemConfig};
 use dns_wire::name::Name;
 use netsim::SimMicros;
-use scan_journal::{epoch_header, epoch_state_dir, recover, JournalSink};
+use scan_journal::{recover, JournalSink, Namespace};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -325,8 +325,9 @@ pub fn run_study(
         };
 
         // -- Journal recovery: committed epochs fold without scanning.
-        let dir = epoch_state_dir(state_root, epoch);
-        let header = epoch_header(cfg.run_id, epoch, &scanned);
+        let ns = Namespace::root(state_root, cfg.run_id).epoch(epoch);
+        let dir = ns.dir().to_path_buf();
+        let header = ns.header(&scanned);
         let recovery = recover(&dir, header)?;
         let committed = commit_path(&dir).exists();
 

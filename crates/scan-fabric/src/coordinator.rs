@@ -30,7 +30,7 @@ use crate::merge::{FabricOps, MergeSink, MergedReport, StreamingMerge};
 use crate::protocol::Msg;
 use crate::shard::ShardPlan;
 use crate::worker::{worker_main, Fence, ScannerFactory, ShardAssignment, ShardWork, WorkerCtx};
-use scan_journal::{recover, shard_header, shard_state_dir};
+use scan_journal::{recover, Namespace};
 use std::collections::BTreeSet;
 use std::io;
 use std::path::Path;
@@ -491,8 +491,9 @@ pub fn with_fleet<R>(
     })
 }
 
-/// The single-epoch [`ShardWork`]: a fixed shard plan under the legacy
-/// (non-nested) shard namespace, a fresh cold scanner per attempt.
+/// The single-epoch [`ShardWork`]: a fixed shard plan under the root
+/// shard namespace (`<state_root>/shard-NNNN`), a fresh cold scanner
+/// per attempt.
 struct OneShotWork<'a> {
     factory: ScannerFactory<'a>,
     plan: &'a ShardPlan,
@@ -504,9 +505,10 @@ struct OneShotWork<'a> {
 impl ShardWork for OneShotWork<'_> {
     fn assignment(&self, _epoch: u32, shard: u32) -> Option<ShardAssignment> {
         let zones = self.plan.zones(shard).to_vec();
+        let ns = Namespace::root(self.state_root, self.run_id).shard(shard);
         Some(ShardAssignment {
-            dir: shard_state_dir(self.state_root, shard),
-            header: shard_header(self.run_id, shard, &zones),
+            dir: ns.dir().to_path_buf(),
+            header: ns.header(&zones),
             zones: Arc::new(zones),
             scanner: (self.factory)(),
         })
@@ -561,8 +563,8 @@ pub fn run_fabric(
     let mut merge = StreamingMerge::new();
     for shard in 0..plan.shards() {
         let zones = plan.zones(shard);
-        let dir = shard_state_dir(state_root, shard);
-        let recovery = recover(&dir, shard_header(run_id, shard, zones))?;
+        let ns = Namespace::root(state_root, run_id).shard(shard);
+        let recovery = recover(ns.dir(), ns.header(zones))?;
         merge.absorb_shard(zones, recovery.events, abandoned.contains(&shard), sink)?;
     }
     let (report, peak_resident) = merge.finish();

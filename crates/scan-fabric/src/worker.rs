@@ -177,10 +177,14 @@ impl ProgressSink for ShardSink<'_> {
             Some(WorkerFault::SlowDrain) => std::thread::yield_now(),
             _ => {}
         }
-        match self
-            .fence
-            .with_lease(self.lease, || self.inner.on_zone(event))
-        {
+        let fence = self.fence;
+        // bootscan-allow(L003): the fence must gate append + group
+        // commit atomically — a concurrent revoke has to block until
+        // this in-flight on_zone lands, or a fenced-off worker could
+        // write after its successor started. Holding `revoked` across
+        // the sink is the fencing contract, not an oversight.
+        let appended = fence.with_lease(self.lease, || self.inner.on_zone(event));
+        match appended {
             None => {
                 let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
                 state.end = Some(AttemptEnd::Fenced);

@@ -37,6 +37,7 @@ use bootscan::ZoneEvent;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Journal file magic ("Bootstrap Scan Journal v1").
 pub const JOURNAL_MAGIC: [u8; 4] = *b"BSJ1";
@@ -96,8 +97,24 @@ impl JournalHeader {
 /// [`sync`](Self::sync) (group commit).
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
+    file: Arc<File>,
     next_seq: u64,
+}
+
+/// A clonable handle that can `fdatasync` the journal file without
+/// borrowing the [`JournalWriter`]. This lets a caller serialize
+/// appends under a lock but run the (slow, kernel-blocking) sync after
+/// dropping it: `fdatasync` commits every byte the file has received,
+/// so frames appended by other threads between the handoff and the sync
+/// are simply committed early, never skipped.
+#[derive(Debug, Clone)]
+pub struct SyncHandle(Arc<File>);
+
+impl SyncHandle {
+    /// Commit every appended frame to stable storage (group commit).
+    pub fn sync(&self) -> io::Result<()> {
+        self.0.sync_data()
+    }
 }
 
 impl JournalWriter {
@@ -109,7 +126,7 @@ impl JournalWriter {
         file.write_all(&header.to_bytes())?;
         file.sync_data()?;
         Ok(JournalWriter {
-            file,
+            file: Arc::new(file),
             next_seq: first_seq,
         })
     }
@@ -118,7 +135,16 @@ impl JournalWriter {
     /// for appending; `next_seq` continues the recovered sequence.
     pub fn open_append(path: &Path, next_seq: u64) -> io::Result<Self> {
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(JournalWriter { file, next_seq })
+        Ok(JournalWriter {
+            file: Arc::new(file),
+            next_seq,
+        })
+    }
+
+    /// A handle for syncing this journal outside whatever lock guards
+    /// the writer itself.
+    pub fn sync_handle(&self) -> SyncHandle {
+        SyncHandle(Arc::clone(&self.file))
     }
 
     /// The sequence number the next [`append`](Self::append) will use.
@@ -138,7 +164,7 @@ impl JournalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        (&*self.file).write_all(&frame)?;
         self.next_seq = seq + 1;
         Ok(seq)
     }

@@ -59,8 +59,5 @@ pub use journal::{
     read_journal, truncate_torn_tail, JournalHeader, JournalRead, JournalWriter, TailStatus,
     FORMAT_VERSION, JOURNAL_FILE, JOURNAL_MAGIC,
 };
-pub use namespace::{
-    epoch_header, epoch_run_id, epoch_state_dir, shard_header, shard_run_id, shard_state_dir,
-    Level, Namespace,
-};
+pub use namespace::{Level, Namespace};
 pub use recover::{fingerprint_names, recover, JournalSink, Recovery};

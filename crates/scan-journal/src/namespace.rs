@@ -15,10 +15,12 @@
 //!
 //! [`Namespace`] folds both: every [`child`](Namespace::child) level
 //! joins a `"<prefix>-NNNN"` directory component and chains the run id
-//! through FNV-1a 64 over `(label, parent run id, index)`. The legacy
-//! helpers ([`shard_state_dir`], [`epoch_run_id`], …) are thin wrappers
-//! and remain byte-compatible with state roots written before nesting
-//! existed.
+//! through FNV-1a 64 over `(label, parent run id, index)`. The
+//! directory component never depends on the run id and the run id never
+//! depends on the directory, so `root(dir, run_id).shard(k)` is
+//! byte-compatible with state roots written before nesting existed
+//! (which derived the two halves separately); the pinned-derivation
+//! test below keeps it that way.
 
 use crate::crc::fnv64;
 use crate::journal::JournalHeader;
@@ -123,98 +125,46 @@ impl Namespace {
     }
 }
 
-/// State directory for one fabric shard under a fabric run root. Each
-/// shard journals independently — a worker killed mid-shard corrupts at
-/// most its own shard directory, and the coordinator can hand the
-/// directory to a different worker on reassignment.
-pub fn shard_state_dir(root: &Path, shard: u32) -> PathBuf {
-    Namespace::root(root, 0).shard(shard).dir
-}
-
-/// Run id for one fabric shard's journal, derived from the fabric run
-/// id. Namespacing the run id per shard means a shard journal can never
-/// be mistaken for (or resumed against) a sibling shard's — `recover`
-/// treats a mismatched run id as a foreign journal, a hard error.
-pub fn shard_run_id(fabric_run_id: u64, shard: u32) -> u64 {
-    Namespace::root("", fabric_run_id).shard(shard).run_id
-}
-
-/// Journal header for one fabric shard: namespaced run id plus the
-/// fingerprint of *this shard's* seed slice, so reshuffling the shard
-/// plan (different shard count, different seed list) invalidates every
-/// stale shard directory instead of silently mis-resuming.
-pub fn shard_header(fabric_run_id: u64, shard: u32, shard_seeds: &[Name]) -> JournalHeader {
-    Namespace::root("", fabric_run_id)
-        .shard(shard)
-        .header(shard_seeds)
-}
-
-/// State directory for one longitudinal epoch under a study run root.
-/// Each epoch journals independently: a process killed mid-epoch leaves
-/// at most a torn *epoch* directory behind, and resume re-enters exactly
-/// that epoch — committed epochs are never re-opened.
-pub fn epoch_state_dir(root: &Path, epoch: u32) -> PathBuf {
-    Namespace::root(root, 0).epoch(epoch).dir
-}
-
-/// Run id for one epoch's journal, derived from the study run id. As
-/// with fabric shards, namespacing makes a neighbouring epoch's journal
-/// a foreign journal — `recover` hard-errors instead of mis-resuming.
-pub fn epoch_run_id(study_run_id: u64, epoch: u32) -> u64 {
-    Namespace::root("", study_run_id).epoch(epoch).run_id
-}
-
-/// Journal header for one longitudinal epoch: namespaced run id plus the
-/// fingerprint of *this epoch's delta scan set*, so a changed churn seed
-/// or epoch plan invalidates the stale epoch directory instead of
-/// silently resuming a different epoch's work.
-pub fn epoch_header(study_run_id: u64, epoch: u32, delta_seeds: &[Name]) -> JournalHeader {
-    Namespace::root("", study_run_id)
-        .epoch(epoch)
-        .header(delta_seeds)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dns_wire::name;
 
     #[test]
     fn levels_compose_into_nested_dirs_and_chained_run_ids() {
         let ns = Namespace::root("/tmp/study", 7).epoch(3).shard(12);
         assert_eq!(ns.dir(), Path::new("/tmp/study/epoch-0003/shard-0012"));
         // The nested run id is the shard derivation applied to the
-        // epoch derivation — exactly what the legacy helpers compose to.
-        assert_eq!(ns.run_id(), shard_run_id(epoch_run_id(7, 3), 12));
+        // epoch derivation — level order is what chains.
+        assert_eq!(
+            ns.run_id(),
+            Namespace::root("", Namespace::root("", 7).epoch(3).run_id())
+                .shard(12)
+                .run_id()
+        );
     }
 
+    /// Pins the exact on-disk derivation. State roots written by
+    /// earlier releases (which derived directory names and run ids
+    /// through separate helper functions) must keep recovering, so the
+    /// directory component format and the FNV chaining are frozen here
+    /// byte-for-byte — if this test fails, existing journals on disk
+    /// have become unreadable.
     #[test]
-    fn legacy_helpers_are_byte_compatible_wrappers() {
-        let root = Path::new("/tmp/fabric");
+    fn derivation_is_pinned_for_on_disk_compatibility() {
+        let shard = Namespace::root("/r", 42).shard(5);
+        assert_eq!(shard.dir(), Path::new("/r/shard-0005"));
+        assert_eq!(shard.run_id(), 0x5c9e_c1d9_a9ef_a6e2);
+        let epoch = Namespace::root("/r", 42).epoch(5);
+        assert_eq!(epoch.dir(), Path::new("/r/epoch-0005"));
+        assert_eq!(epoch.run_id(), 0x0280_e052_16e3_a07b);
+        // The directory half never depends on the run id; the run-id
+        // half never depends on the directory.
+        assert_eq!(Namespace::root("/r", 7).shard(5).dir(), shard.dir());
+        assert_eq!(Namespace::root("/x", 42).shard(5).run_id(), shard.run_id());
+        // The run id is FNV-1a 64 over (level label, parent id, index).
         assert_eq!(
-            Namespace::root(root, 42).shard(5).dir(),
-            &shard_state_dir(root, 5)
-        );
-        assert_eq!(
-            Namespace::root("", 42).shard(5).run_id(),
-            shard_run_id(42, 5)
-        );
-        assert_eq!(
-            Namespace::root(root, 42).epoch(5).dir(),
-            &epoch_state_dir(root, 5)
-        );
-        assert_eq!(
-            Namespace::root("", 42).epoch(5).run_id(),
-            epoch_run_id(42, 5)
-        );
-        let seeds = vec![name!("a.example"), name!("b.example")];
-        assert_eq!(
-            Namespace::root("", 42).shard(5).header(&seeds),
-            shard_header(42, 5, &seeds)
-        );
-        assert_eq!(
-            Namespace::root("", 42).epoch(5).header(&seeds),
-            epoch_header(42, 5, &seeds)
+            shard.run_id(),
+            crate::crc::fnv64(&[b"fabric-shard", &42u64.to_le_bytes(), &5u32.to_le_bytes()])
         );
     }
 

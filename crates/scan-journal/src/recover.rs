@@ -33,6 +33,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Stable fingerprint of a seed-zone list. Stored in the journal header
 /// so a journal cannot silently be resumed against a different target
@@ -199,6 +200,11 @@ pub struct JournalSink {
     sync_every: u64,
     shards: u32,
     inner: Mutex<SinkInner>,
+    /// True while some thread is writing a checkpoint (outside the
+    /// `inner` lock). A due checkpoint that finds this set is deferred —
+    /// `since_checkpoint` keeps accumulating, so a later event retries —
+    /// rather than rewriting the same prefix twice concurrently.
+    checkpointing: AtomicBool,
 }
 
 struct SinkInner {
@@ -244,6 +250,7 @@ impl JournalSink {
                 since_checkpoint: 0,
                 since_sync: 0,
             }),
+            checkpointing: AtomicBool::new(false),
         })
     }
 
@@ -272,6 +279,7 @@ impl JournalSink {
                 since_checkpoint: 0,
                 since_sync: 0,
             }),
+            checkpointing: AtomicBool::new(false),
         })
     }
 
@@ -306,14 +314,28 @@ impl JournalSink {
         self.inner.lock().entries.len() as u64
     }
 
-    /// Force a checkpoint of everything journaled so far.
+    /// Force a checkpoint of everything journaled so far. Snapshots the
+    /// entries under the lock but writes the shards after dropping it,
+    /// so concurrent `on_zone` calls never stall behind checkpoint I/O.
     pub fn checkpoint_now(&self) -> io::Result<()> {
-        let inner = self.inner.lock();
-        write_checkpoint(&self.dir, self.header, &inner.entries, self.shards)
+        let entries = self.inner.lock().entries.clone();
+        write_checkpoint(&self.dir, self.header, &entries, self.shards)
     }
 }
 
 impl ProgressSink for JournalSink {
+    /// Append (and book-keep) under the `inner` lock, but run both slow
+    /// I/O stages — the group-commit `fdatasync` and any due checkpoint
+    /// — after dropping it, so concurrent shard workers funnelling into
+    /// one sink serialize only on the append itself.
+    ///
+    /// Durability is unchanged: the sync handle commits every frame the
+    /// file has received, so frames appended by other threads between
+    /// our unlock and our `fdatasync` are committed early, never missed,
+    /// and each appender still triggers a sync every `sync_every` of its
+    /// own appends. Checkpoints snapshot the entries under the lock;
+    /// the `checkpointing` flag defers (not drops) a checkpoint that
+    /// becomes due while another is still being written.
     fn on_zone(&self, event: &ZoneEvent) -> bool {
         let mut inner = self.inner.lock();
         let seq = match inner.writer.append(event) {
@@ -322,14 +344,12 @@ impl ProgressSink for JournalSink {
         };
         inner.entries.push((seq, event.clone()));
         inner.since_sync += 1;
-        if inner.since_sync >= self.sync_every {
+        let need_sync = if inner.since_sync >= self.sync_every {
             inner.since_sync = 0;
-            // Group commit: a failed sync means the WAL can no longer
-            // promise durability — stop like a failed append.
-            if inner.writer.sync().is_err() {
-                return false;
-            }
-        }
+            Some(inner.writer.sync_handle())
+        } else {
+            None
+        };
         inner.since_checkpoint += 1;
         let due = match self.cadence {
             Cadence::Never => false,
@@ -339,10 +359,31 @@ impl ProgressSink for JournalSink {
                 inner.since_checkpoint >= min.max(covered / 2)
             }
         };
-        if due {
+        let snapshot = if due && !self.checkpointing.swap(true, Ordering::Acquire) {
             inner.since_checkpoint = 0;
+            Some(inner.entries.clone())
+        } else {
+            // Either not due, or a checkpoint is already in flight — in
+            // the latter case `since_checkpoint` keeps counting so a
+            // later event re-offers the (larger) prefix.
+            None
+        };
+        drop(inner);
+
+        if let Some(handle) = need_sync {
+            // Group commit: a failed sync means the WAL can no longer
+            // promise durability — stop like a failed append.
+            if handle.sync().is_err() {
+                if snapshot.is_some() {
+                    self.checkpointing.store(false, Ordering::Release);
+                }
+                return false;
+            }
+        }
+        if let Some(entries) = snapshot {
             // Best-effort: the journal remains the source of truth.
-            let _ = write_checkpoint(&self.dir, self.header, &inner.entries, self.shards);
+            let _ = write_checkpoint(&self.dir, self.header, &entries, self.shards);
+            self.checkpointing.store(false, Ordering::Release);
         }
         true
     }
@@ -361,8 +402,18 @@ impl Drop for JournalSink {
 mod tests {
     use super::*;
     use crate::codec::tests::rich_event;
-    use crate::namespace::{shard_header, shard_run_id, shard_state_dir};
+    use crate::namespace::Namespace;
     use dns_wire::name;
+
+    fn shard_run_id(fabric_run_id: u64, shard: u32) -> u64 {
+        Namespace::root("", fabric_run_id).shard(shard).run_id()
+    }
+
+    fn shard_header(fabric_run_id: u64, shard: u32, seeds: &[Name]) -> JournalHeader {
+        Namespace::root("", fabric_run_id)
+            .shard(shard)
+            .header(seeds)
+    }
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d =
@@ -568,16 +619,10 @@ mod tests {
 
     #[test]
     fn shard_state_dirs_are_disjoint_and_sorted() {
-        let root = Path::new("/tmp/fabric");
-        assert_eq!(
-            shard_state_dir(root, 0),
-            Path::new("/tmp/fabric/shard-0000")
-        );
-        assert_eq!(
-            shard_state_dir(root, 12),
-            Path::new("/tmp/fabric/shard-0012")
-        );
-        assert_ne!(shard_state_dir(root, 1), shard_state_dir(root, 10));
+        let root = Namespace::root("/tmp/fabric", 0);
+        assert_eq!(root.shard(0).dir(), Path::new("/tmp/fabric/shard-0000"));
+        assert_eq!(root.shard(12).dir(), Path::new("/tmp/fabric/shard-0012"));
+        assert_ne!(root.shard(1).dir(), root.shard(10).dir());
     }
 
     #[test]
